@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the P3Q building blocks: similarity
+//! scoring, Bloom-filter digests, partial-result construction, the
+//! incremental NRA and one full gossip exchange.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p3q::baseline::IdealNetworks;
+use p3q::config::P3qConfig;
+use p3q::experiment::{build_simulator_with_budgets, init_ideal_networks};
+use p3q::lazy::{collect_offers, process_offers};
+use p3q::scoring::{partial_result_list, similarity};
+use p3q_topk::{IncrementalNra, PartialResultList};
+use p3q_trace::{ItemId, QueryGenerator, TraceConfig, TraceGenerator};
+
+fn bench_similarity(c: &mut Criterion) {
+    let trace = TraceGenerator::new(TraceConfig::laptop_scale(1)).generate();
+    let a = trace.dataset.profile(p3q_trace::UserId(0));
+    let b = trace.dataset.profile(p3q_trace::UserId(1));
+    c.bench_function("similarity/common_actions", |bencher| {
+        bencher.iter(|| similarity(black_box(a), black_box(b)))
+    });
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let trace = TraceGenerator::new(TraceConfig::laptop_scale(2)).generate();
+    let profile = trace.dataset.profile(p3q_trace::UserId(0));
+    let mut group = c.benchmark_group("bloom_digest");
+    for bits in [4 * 1024usize, 20 * 1024] {
+        group.bench_with_input(BenchmarkId::new("build", bits), &bits, |bencher, &bits| {
+            bencher.iter(|| profile.digest(black_box(bits), 7))
+        });
+    }
+    let digest = profile.digest(20 * 1024, 7);
+    group.bench_function("probe", |bencher| {
+        bencher.iter(|| digest.contains(black_box(ItemId(42).as_key())))
+    });
+    group.finish();
+}
+
+fn bench_partial_results(c: &mut Criterion) {
+    let trace = TraceGenerator::new(TraceConfig::laptop_scale(3)).generate();
+    let queries = QueryGenerator::new(3).one_query_per_user(&trace.dataset);
+    let query = &queries[0];
+    let profiles: Vec<_> = (0..20)
+        .map(|i| trace.dataset.profile(p3q_trace::UserId(i)))
+        .collect();
+    c.bench_function("scoring/partial_result_list_20_profiles", |bencher| {
+        bencher.iter(|| partial_result_list(profiles.iter().copied(), black_box(query)))
+    });
+}
+
+fn bench_incremental_nra(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let lists: Vec<PartialResultList<u32>> = (0..50)
+        .map(|_| {
+            use rand::Rng;
+            PartialResultList::from_scores(
+                (0..100).map(|_| (rng.gen_range(0u32..500), rng.gen_range(1u32..20))),
+            )
+        })
+        .collect();
+    c.bench_function("nra/50_lists_top10", |bencher| {
+        bencher.iter(|| {
+            let mut nra = IncrementalNra::new();
+            for list in &lists {
+                nra.push_list(list.clone());
+            }
+            black_box(nra.topk(10))
+        })
+    });
+}
+
+fn bench_gossip_exchange(c: &mut Criterion) {
+    let trace = TraceGenerator::new(TraceConfig::laptop_scale(4)).generate();
+    let cfg = P3qConfig::laptop_scale();
+    let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+    let budgets = vec![10usize; trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 5);
+    init_ideal_networks(&mut sim, &ideal);
+    let offers = {
+        let mut rng = StdRng::seed_from_u64(1);
+        collect_offers(sim.node(1), cfg.profiles_per_gossip, &mut rng)
+    };
+    c.bench_function("lazy/process_offers_10_profiles", |bencher| {
+        bencher.iter_batched(
+            || sim.node(0).clone(),
+            |mut node| black_box(process_offers(&mut node, &offers)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_digest,
+    bench_partial_results,
+    bench_incremental_nra,
+    bench_gossip_exchange
+);
+criterion_main!(benches);

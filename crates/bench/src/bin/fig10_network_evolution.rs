@@ -1,0 +1,129 @@
+//! Figure 10 — Personal-network evolution under the lazy mode: the fraction
+//! of users (among those whose ideal network changed) that have discovered
+//! *all* of their new ideal neighbours, per lazy cycle.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig10_network_evolution -- --users 1000 --cycles 100
+//! ```
+
+use p3q::prelude::*;
+use p3q_bench::{fmt, print_table, HarnessArgs, World};
+use p3q_sim::SeriesRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_scenario(
+    world: &World,
+    new_ideal: &IdealNetworks,
+    batch: &p3q_trace::ChangeBatch,
+    label: &str,
+    storage: StorageDistribution,
+    args: &HarnessArgs,
+    recorder: &mut SeriesRecorder,
+) {
+    let cfg = &world.cfg;
+    let mut sim = build_simulator(&world.trace.dataset, cfg, &storage, args.seed);
+    // Personal networks start at the *old* ideal state (converged before the
+    // changes happen).
+    init_ideal_networks(&mut sim, &world.ideal);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x10_10);
+    bootstrap_random_views(&mut sim, cfg, &mut rng);
+
+    for change in &batch.changes {
+        sim.node_mut(change.user.index())
+            .add_tagging_actions(change.new_actions.iter().copied());
+    }
+
+    let sample_every = (args.cycles / 20).max(1);
+    recorder.record(
+        label,
+        0,
+        network_refresh_ratio(sim.nodes(), &world.ideal, new_ideal) * 100.0,
+    );
+    run_lazy_cycles(&mut sim, cfg, args.cycles, |sim, cycle| {
+        if cycle % sample_every == 0 || cycle == args.cycles {
+            recorder.record(
+                label,
+                cycle,
+                network_refresh_ratio(sim.nodes(), &world.ideal, new_ideal) * 100.0,
+            );
+        }
+    });
+    eprintln!(
+        "  {label}: {:.1}% of affected users fully refreshed after {} cycles",
+        recorder.last(label).unwrap_or(0.0),
+        args.cycles
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse(100);
+    println!("=== Figure 10: discovery of new ideal neighbours in lazy mode ===");
+    let world = World::build(&args);
+    println!("users {}, cycles {}", args.users, args.cycles);
+
+    // A day of profile changes shifts some users' ideal networks.
+    let batch =
+        DynamicsGenerator::new(DynamicsConfig::paper_day(args.seed ^ 0xDA7)).generate(&world.trace);
+    let mut changed_dataset = world.trace.dataset.clone();
+    batch.apply(&mut changed_dataset);
+    let new_ideal =
+        IdealNetworks::compute(&changed_dataset, world.cfg.personal_network_size);
+
+    // How many users does the change actually affect?
+    let affected = world
+        .trace
+        .dataset
+        .users()
+        .filter(|&u| {
+            let old: std::collections::HashSet<UserId> =
+                world.ideal.neighbours_of(u).into_iter().collect();
+            new_ideal.neighbours_of(u).iter().any(|n| !old.contains(n))
+        })
+        .count();
+    println!(
+        "{} changing users cause {} users to need new personal-network neighbours",
+        batch.len(),
+        affected
+    );
+
+    let mut recorder = SeriesRecorder::new();
+    run_scenario(
+        &world,
+        &new_ideal,
+        &batch,
+        "poisson λ=1",
+        StorageDistribution::poisson_lambda_1(),
+        &args,
+        &mut recorder,
+    );
+    run_scenario(
+        &world,
+        &new_ideal,
+        &batch,
+        "poisson λ=4",
+        StorageDistribution::poisson_lambda_4(),
+        &args,
+        &mut recorder,
+    );
+
+    let names = recorder.names();
+    let header: Vec<&str> = std::iter::once("cycle").chain(names.iter().copied()).collect();
+    let xs: Vec<u64> = recorder.points(names[0]).iter().map(|&(x, _)| x).collect();
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .map(|&x| {
+            std::iter::once(x.to_string())
+                .chain(names.iter().map(|n| recorder.get(n, x).map(fmt).unwrap_or_default()))
+                .collect()
+        })
+        .collect();
+    println!();
+    print_table(&header, &rows);
+    println!();
+    println!(
+        "paper shape: the metric is strict (a user only counts once her network is fully \
+         refreshed) yet about half of the affected users are done after 30 cycles and \
+         ~80% after 100 cycles, with λ=1 and λ=4 behaving similarly."
+    );
+}

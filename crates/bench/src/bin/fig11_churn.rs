@@ -1,0 +1,98 @@
+//! Figure 11 — Impact of massive simultaneous departures on the top-k
+//! quality: recall per cycle for p ∈ {0, 10, 30, 50, 70, 90}% departed users
+//! under the two heterogeneous storage scenarios, and the fraction of queries
+//! that can never reach recall 1 (Figure 11(c)).
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig11_churn -- --users 1000 --queries 150
+//! ```
+
+use p3q::prelude::*;
+use p3q_bench::{fmt, print_table, run_recall_experiment, HarnessArgs, World};
+
+fn main() {
+    let args = HarnessArgs::parse(10);
+    println!("=== Figure 11: impact of user departures on top-k processing ===");
+    let world = World::build(&args);
+    let cfg = &world.cfg;
+    println!(
+        "users {}, tracked queries {}, eager cycles {}",
+        args.users, args.queries, args.cycles
+    );
+
+    let departure_fractions = [0.0, 0.1, 0.3, 0.5, 0.7, 0.9];
+    let scenarios = [
+        StorageDistribution::poisson_lambda_1(),
+        StorageDistribution::poisson_lambda_4(),
+    ];
+
+    let mut incomplete_rows = Vec::new();
+    for storage in scenarios {
+        println!();
+        println!("--- {} ---", storage.label());
+        let mut per_p = Vec::new();
+        for &p in &departure_fractions {
+            let mut sim = build_simulator(&world.trace.dataset, cfg, &storage, args.seed);
+            init_ideal_networks(&mut sim, &world.ideal);
+            if p > 0.0 {
+                sim.mass_departure(p);
+            }
+            // Only surviving queriers issue queries.
+            let queries: Vec<Query> = world
+                .sample_queries(args.queries)
+                .into_iter()
+                .filter(|q| sim.is_alive(q.querier.index()))
+                .collect();
+            let outcome = run_recall_experiment(&mut sim, &world, &queries, args.cycles);
+            eprintln!(
+                "  p={:>3.0}%: recall cycle0 {:.3} → final {:.3}, {:.1}% of queries incomplete",
+                p * 100.0,
+                outcome.recall_per_cycle[0],
+                outcome.recall_per_cycle.last().copied().unwrap_or(0.0),
+                outcome.incomplete_fraction * 100.0
+            );
+            per_p.push((p, outcome, queries.len()));
+        }
+
+        // (a)/(b): recall per cycle, one column per departure fraction.
+        let header: Vec<String> = std::iter::once("cycle".to_string())
+            .chain(departure_fractions.iter().map(|p| format!("p={:.0}%", p * 100.0)))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..=args.cycles as usize)
+            .map(|cycle| {
+                std::iter::once(cycle.to_string())
+                    .chain(per_p.iter().map(|(_, o, _)| {
+                        fmt(o.recall_per_cycle[cycle.min(o.recall_per_cycle.len() - 1)])
+                    }))
+                    .collect()
+            })
+            .collect();
+        print_table(&header_refs, &rows);
+
+        // (c): queries unable to reach recall 1 (their personal network can
+        // no longer be fully covered).
+        for (p, outcome, tracked) in &per_p {
+            incomplete_rows.push(vec![
+                storage.label(),
+                format!("{:.0}", p * 100.0),
+                tracked.to_string(),
+                fmt(outcome.incomplete_fraction * 100.0),
+            ]);
+        }
+    }
+
+    println!();
+    println!("--- Figure 11(c): queries unable to cover their personal network ---");
+    print_table(
+        &["scenario", "% departed", "tracked queries", "% incomplete"],
+        &incomplete_rows,
+    );
+    println!();
+    println!(
+        "paper shape: recall degrades gracefully (50% departures cost ≈10% of quality), the \
+         λ=4 population is more robust thanks to more replicas, and the share of queries \
+         that can never reach recall 1 grows with the departure fraction (≤5% at 50% \
+         departures for λ=4)."
+    );
+}

@@ -1,0 +1,88 @@
+//! Figure 2 — Convergence speed of the personal-network construction.
+//!
+//! Every user starts with an empty personal network and a bootstrapped random
+//! view; the lazy mode runs for `--cycles` cycles and the average success
+//! ratio against the ideal personal networks is sampled periodically, for
+//! each uniform storage scenario `c ∈ {10, 20, 50, 100, 200, 500, 1000}`
+//! (scaled to the configured personal-network size).
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig2_convergence -- --users 1000 --cycles 100
+//! ```
+
+use p3q::prelude::*;
+use p3q::storage::{scale_bucket, PAPER_STORAGE_BUCKETS};
+use p3q_bench::{fmt, print_table, HarnessArgs, World};
+use p3q_sim::SeriesRecorder;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse(100);
+    println!("=== Figure 2: personal-network convergence (average success ratio) ===");
+    println!(
+        "users {}, cycles {}, s {}, seed {}",
+        args.users,
+        args.cycles,
+        args.protocol_config().personal_network_size,
+        args.seed
+    );
+    let world = World::build(&args);
+    let cfg = &world.cfg;
+    let sample_every = (args.cycles / 20).max(1);
+
+    let mut recorder = SeriesRecorder::new();
+    for &bucket in &PAPER_STORAGE_BUCKETS {
+        let c = scale_bucket(bucket, cfg.personal_network_size);
+        let series = format!("c={bucket}");
+        let budgets = vec![c; world.trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
+        let mut rng = StdRng::seed_from_u64(args.seed ^ bucket as u64);
+        bootstrap_random_views(&mut sim, cfg, &mut rng);
+
+        recorder.record(
+            &series,
+            0,
+            average_success_ratio(sim.nodes().iter(), &world.ideal),
+        );
+        run_lazy_cycles(&mut sim, cfg, args.cycles, |sim, cycle| {
+            if cycle % sample_every == 0 || cycle == args.cycles {
+                let ratio = average_success_ratio(sim.nodes().iter(), &world.ideal);
+                recorder.record(&series, cycle, ratio);
+            }
+        });
+        eprintln!(
+            "  c={bucket:<5} ({c:>4} profiles stored): final success ratio {:.3}",
+            recorder.last(&series).unwrap_or(0.0)
+        );
+    }
+
+    // Tabulate: one row per sampled cycle, one column per storage scenario.
+    let names = recorder.names();
+    let header: Vec<&str> = std::iter::once("cycle").chain(names.iter().copied()).collect();
+    let xs: Vec<u64> = recorder.points(names[0]).iter().map(|&(x, _)| x).collect();
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .map(|&x| {
+            std::iter::once(x.to_string())
+                .chain(
+                    names
+                        .iter()
+                        .map(|n| recorder.get(n, x).map(fmt).unwrap_or_default()),
+                )
+                .collect()
+        })
+        .collect();
+    println!();
+    print_table(&header, &rows);
+
+    println!();
+    println!("csv:");
+    print!("{}", recorder.to_csv());
+    println!();
+    println!(
+        "paper shape: the more profiles are stored, the faster the personal networks \
+         converge; with c=10 roughly 68% of the neighbours are found by cycle 200, \
+         with large c more than 90% are found within 50 cycles."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 4 — Average recall evolution for different storage budgets
+//! (α = 0.5).
+//!
+//! Same workload as Figure 3, but α is fixed at its optimum and the uniform
+//! storage budget varies over the paper's buckets {10, 20, 50, 100, 200,
+//! 500}.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig4_storage_recall -- --users 1000
+//! ```
+
+use p3q::prelude::*;
+use p3q::storage::scale_bucket;
+use p3q_bench::{fmt, print_table, run_recall_experiment, HarnessArgs, World};
+
+fn main() {
+    let args = HarnessArgs::parse(10);
+    println!("=== Figure 4: average recall vs cycles for different c (α = 0.5) ===");
+    let world = World::build(&args);
+    let cfg = &world.cfg;
+    let queries = world.sample_queries(args.queries);
+    println!(
+        "users {}, tracked queries {}, s {}",
+        args.users,
+        queries.len(),
+        cfg.personal_network_size
+    );
+
+    let buckets = [10usize, 20, 50, 100, 200, 500];
+    let mut results = Vec::new();
+    for &bucket in &buckets {
+        let c = scale_bucket(bucket, cfg.personal_network_size);
+        let budgets = vec![c; world.trace.dataset.num_users()];
+        let mut sim =
+            build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
+        init_ideal_networks(&mut sim, &world.ideal);
+        let outcome = run_recall_experiment(&mut sim, &world, &queries, args.cycles);
+        eprintln!(
+            "  c={bucket:<4}: recall cycle0 {:.3} → final {:.3} (users reached/query {:.1})",
+            outcome.recall_per_cycle[0],
+            outcome.recall_per_cycle.last().copied().unwrap_or(0.0),
+            outcome.mean_users_reached
+        );
+        results.push((bucket, outcome));
+    }
+
+    let header: Vec<String> = std::iter::once("cycle".to_string())
+        .chain(buckets.iter().map(|b| format!("c={b}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..=args.cycles as usize)
+        .map(|cycle| {
+            std::iter::once(cycle.to_string())
+                .chain(results.iter().map(|(_, r)| {
+                    fmt(r.recall_per_cycle[cycle.min(r.recall_per_cycle.len() - 1)])
+                }))
+                .collect()
+        })
+        .collect();
+    println!();
+    print_table(&header_refs, &rows);
+
+    println!();
+    println!(
+        "paper shape: with only 10 stored profiles more than 4 of the 10 relevant items \
+         are returned before any gossip; every scenario reaches recall 1 by cycle 10, \
+         and the first cycle brings the largest improvement."
+    );
+}

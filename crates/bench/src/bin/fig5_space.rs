@@ -1,0 +1,88 @@
+//! Figure 5 — Per-user storage requirement for different storage budgets.
+//!
+//! For every uniform scenario `c ∈ {10, …, 1000}` the personal networks are
+//! initialised to their ideal content and the total length (in tagging
+//! actions) of the profiles each user stores is measured; the binary reports
+//! the per-user distribution and the fraction of the space a full
+//! personal-network replication would need.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig5_space -- --users 1000
+//! ```
+
+use p3q::bandwidth::TAGGING_ACTION_BYTES;
+use p3q::prelude::*;
+use p3q::storage::{scale_bucket, PAPER_STORAGE_BUCKETS};
+use p3q_bench::{fmt, print_table, HarnessArgs, World};
+use p3q_sim::DistributionSummary;
+
+fn main() {
+    let args = HarnessArgs::parse(0);
+    println!("=== Figure 5: per-user storage requirement (profile lengths stored) ===");
+    let world = World::build(&args);
+    let cfg = &world.cfg;
+    println!("users {}, s {}", args.users, cfg.personal_network_size);
+    println!();
+
+    let mut rows = Vec::new();
+    let mut full_reference: Option<f64> = None;
+    for &bucket in &PAPER_STORAGE_BUCKETS {
+        let c = scale_bucket(bucket, cfg.personal_network_size);
+        let budgets = vec![c; world.trace.dataset.num_users()];
+        let mut sim =
+            build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
+        init_ideal_networks(&mut sim, &world.ideal);
+
+        let per_user: Vec<f64> = storage_requirements(&sim)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let full: Vec<f64> = full_network_requirements(&sim, &world.trace.dataset)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let summary = DistributionSummary::of(&per_user);
+        let total: f64 = per_user.iter().sum();
+        let full_total: f64 = full.iter().sum();
+        if bucket == 1000 {
+            full_reference = Some(total);
+        }
+        rows.push(vec![
+            bucket.to_string(),
+            c.to_string(),
+            fmt(summary.mean),
+            fmt(summary.median),
+            fmt(summary.max),
+            fmt(summary.mean * TAGGING_ACTION_BYTES as f64 / 1024.0),
+            fmt(total * 100.0 / full_total.max(1.0)),
+        ]);
+    }
+    print_table(
+        &[
+            "c (paper)",
+            "profiles stored",
+            "mean actions",
+            "median",
+            "max",
+            "mean KiB",
+            "% of full network",
+        ],
+        &rows,
+    );
+
+    if let Some(reference) = full_reference {
+        println!();
+        println!(
+            "storing every profile of the personal network would take {:.1} MiB across all \
+             users ({} bytes/action).",
+            reference * TAGGING_ACTION_BYTES as f64 / (1024.0 * 1024.0),
+            TAGGING_ACTION_BYTES
+        );
+    }
+    println!();
+    println!(
+        "paper shape: storage grows with c but strongly sub-linearly at the small end \
+         (10 profiles ≈ 6.8% of the full personal network, 500 profiles ≈ 73.6%); users \
+         without enough similar neighbours stay cheap regardless of their budget."
+    );
+}

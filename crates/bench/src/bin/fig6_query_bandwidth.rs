@@ -1,0 +1,140 @@
+//! Figure 6 — Bandwidth consumed to answer a query, split into partial
+//! result lists, returned remaining lists and forwarded remaining lists
+//! (Poisson λ=1 storage; λ=4 is reported for comparison as in the running
+//! text of Section 3.3.2).
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig6_query_bandwidth -- --users 1000 --queries 100
+//! ```
+
+use p3q::prelude::*;
+use p3q_bench::{fmt, print_table, HarnessArgs, World};
+use p3q_sim::DistributionSummary;
+
+struct ScenarioOutcome {
+    label: String,
+    per_query: Vec<(u64, u64, u64)>, // (partial, returned, forwarded)
+    messages: Vec<f64>,
+}
+
+fn run_scenario(
+    world: &World,
+    storage: StorageDistribution,
+    queries: &[Query],
+    seed: u64,
+    max_cycles: u64,
+) -> ScenarioOutcome {
+    let cfg = &world.cfg;
+    let mut sim = build_simulator(&world.trace.dataset, cfg, &storage, seed);
+    init_ideal_networks(&mut sim, &world.ideal);
+    for (i, query) in queries.iter().enumerate() {
+        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), cfg);
+    }
+    run_eager_until_complete(&mut sim, cfg, max_cycles, |_, _| {});
+
+    let mut per_query = Vec::new();
+    let mut messages = Vec::new();
+    for (i, query) in queries.iter().enumerate() {
+        let state = sim
+            .node(query.querier.index())
+            .querier_states
+            .get(&QueryId(i as u64))
+            .expect("query state");
+        per_query.push((
+            state.traffic.partial_results,
+            state.traffic.returned_remaining,
+            state.traffic.forwarded_remaining,
+        ));
+        messages.push(state.traffic.partial_result_messages as f64);
+    }
+    ScenarioOutcome {
+        label: storage.label(),
+        per_query,
+        messages,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(40);
+    println!("=== Figure 6: per-query bandwidth breakdown ===");
+    let world = World::build(&args);
+    let queries = world.sample_queries(args.queries);
+    println!("users {}, tracked queries {}", args.users, queries.len());
+
+    let scenarios = [
+        StorageDistribution::poisson_lambda_1(),
+        StorageDistribution::poisson_lambda_4(),
+    ];
+    let mut outcomes = Vec::new();
+    for storage in scenarios {
+        eprintln!("  running {} …", storage.label());
+        outcomes.push(run_scenario(&world, storage, &queries, args.seed, args.cycles));
+    }
+
+    for outcome in &outcomes {
+        println!();
+        println!("--- {} ---", outcome.label);
+        let partial: Vec<f64> = outcome.per_query.iter().map(|t| t.0 as f64).collect();
+        let returned: Vec<f64> = outcome.per_query.iter().map(|t| t.1 as f64).collect();
+        let forwarded: Vec<f64> = outcome.per_query.iter().map(|t| t.2 as f64).collect();
+        let totals: Vec<f64> = outcome
+            .per_query
+            .iter()
+            .map(|t| (t.0 + t.1 + t.2) as f64)
+            .collect();
+        let rows = vec![
+            vec![
+                "partial result lists".to_string(),
+                fmt(DistributionSummary::of(&partial).mean),
+                fmt(DistributionSummary::of(&partial).max),
+            ],
+            vec![
+                "returned remaining lists".to_string(),
+                fmt(DistributionSummary::of(&returned).mean),
+                fmt(DistributionSummary::of(&returned).max),
+            ],
+            vec![
+                "forwarded remaining lists".to_string(),
+                fmt(DistributionSummary::of(&forwarded).mean),
+                fmt(DistributionSummary::of(&forwarded).max),
+            ],
+            vec![
+                "total".to_string(),
+                fmt(DistributionSummary::of(&totals).mean),
+                fmt(DistributionSummary::of(&totals).max),
+            ],
+        ];
+        print_table(&["category (bytes/query)", "mean", "max"], &rows);
+        println!(
+            "partial-result messages per query: {}",
+            DistributionSummary::of(&outcome.messages)
+        );
+
+        // The per-query profile of Figure 6: queries ranked by the volume of
+        // partial result lists (the dominating component), first 20 shown.
+        let mut ranked = outcome.per_query.clone();
+        ranked.sort_by_key(|t| t.0);
+        println!("per-query sample (ranked by partial-result bytes):");
+        let rows: Vec<Vec<String>> = ranked
+            .iter()
+            .enumerate()
+            .step_by((ranked.len() / 20).max(1))
+            .map(|(rank, t)| {
+                vec![
+                    rank.to_string(),
+                    t.0.to_string(),
+                    t.1.to_string(),
+                    t.2.to_string(),
+                ]
+            })
+            .collect();
+        print_table(&["query rank", "partial", "returned", "forwarded"], &rows);
+    }
+
+    println!();
+    println!(
+        "paper shape: partial result lists dominate the per-query traffic; the λ=4 system \
+         moves less data per query than λ=1 (storage-rich users resolve several profiles \
+         in one hop) and needs far fewer partial-result messages (paper: 228 vs 70)."
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 9 — Freshness effect of the eager mode: AUR over the users reached
+//! by a burst of consecutive queries issued before the next lazy cycle.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin fig9_aur_eager -- --users 1000 --queries 200
+//! ```
+
+use std::collections::HashSet;
+
+use p3q::prelude::*;
+use p3q_bench::{fmt, print_table, HarnessArgs, World};
+
+fn main() {
+    let args = HarnessArgs::parse(20);
+    println!("=== Figure 9: AUR of the users reached by consecutive queries (eager mode) ===");
+    let world = World::build(&args);
+    let cfg = &world.cfg;
+    println!("users {}, consecutive queries {}", args.users, args.queries);
+
+    // The λ=1 population (small storage) is the scenario where the paper
+    // observes the strongest acceleration.
+    let mut sim = build_simulator(
+        &world.trace.dataset,
+        cfg,
+        &StorageDistribution::poisson_lambda_1(),
+        args.seed,
+    );
+    init_ideal_networks(&mut sim, &world.ideal);
+
+    // Everyone changes her profile; no lazy cycle will run, so only the
+    // eager-mode piggybacked maintenance can propagate the changes.
+    let batch =
+        DynamicsGenerator::new(DynamicsConfig::all_users(args.seed ^ 0xA11)).generate(&world.trace);
+    let changed: HashSet<UserId> = batch.changed_users().into_iter().collect();
+    for change in &batch.changes {
+        sim.node_mut(change.user.index())
+            .add_tagging_actions(change.new_actions.iter().copied());
+    }
+    let versions: Vec<u64> = (0..sim.num_nodes())
+        .map(|i| sim.node(i).profile_version())
+        .collect();
+
+    // A single user issues consecutive queries; after each one we measure the
+    // AUR restricted to the users reached so far.
+    let querier = world.queries[0].querier;
+    let burst = QueryGenerator::new(args.seed ^ 0xB1).burst_for_user(
+        &world.trace.dataset,
+        querier,
+        args.queries,
+    );
+    let mut reached_so_far: HashSet<UserId> = HashSet::new();
+    let mut rows = Vec::new();
+    let sample_every = (args.queries / 20).max(1);
+    for (i, query) in burst.into_iter().enumerate() {
+        let qid = QueryId(i as u64);
+        issue_query(&mut sim, querier.index(), qid, query, cfg);
+        run_eager_until_complete(&mut sim, cfg, 30, |_, _| {});
+        {
+            let state = sim
+                .node(querier.index())
+                .querier_states
+                .get(&qid)
+                .expect("query state");
+            reached_so_far.extend(state.reached_users.iter().copied());
+        }
+        if (i + 1) % sample_every == 0 || i == 0 {
+            let reached_nodes: Vec<&P3qNode> =
+                reached_so_far.iter().map(|u| sim.node(u.index())).collect();
+            let aur = average_update_rate(reached_nodes, &changed, &versions);
+            rows.push(vec![
+                (i + 1).to_string(),
+                reached_so_far.len().to_string(),
+                fmt(aur),
+            ]);
+        }
+    }
+    print_table(&["queries issued", "distinct users reached", "AUR over reached users"], &rows);
+
+    // Reference: AUR over the whole population (no lazy gossip ran, so only
+    // reached users were refreshed).
+    let global_aur = average_update_rate(sim.nodes().iter(), &changed, &versions);
+    println!();
+    println!("AUR over the whole population (no lazy cycle ran): {}", fmt(global_aur));
+    println!();
+    println!(
+        "paper shape: a single query already refreshes a noticeable share of the reached \
+         users' stored profiles (~24% in the paper) and ten consecutive queries push the \
+         reached users above 60%, while users never reached by a query stay stale until \
+         the next lazy cycle."
+    );
+}

@@ -1,0 +1,63 @@
+//! Table 1 — Distribution of the storage budget `c` under the two
+//! heterogeneous scenarios (Poisson λ=1 and λ=4).
+//!
+//! Prints the analytical bucket probabilities (which must match the
+//! percentages of Table 1) and an empirical sample over the simulated
+//! population.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin table1_storage_distribution
+//! ```
+
+use p3q::storage::{StorageDistribution, PAPER_STORAGE_BUCKETS};
+use p3q_bench::{fmt, print_table, HarnessArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::parse(0);
+    println!("=== Table 1: distribution of c (personal-network profiles stored) ===");
+    println!("population: {} users, seed {}", args.users, args.seed);
+    println!();
+
+    let scenarios = [
+        ("λ=1", StorageDistribution::poisson_lambda_1()),
+        ("λ=4", StorageDistribution::poisson_lambda_4()),
+    ];
+
+    let header: Vec<String> = std::iter::once("c".to_string())
+        .chain(PAPER_STORAGE_BUCKETS.iter().map(|b| b.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for (label, dist) in &scenarios {
+        // Analytical probabilities (the numbers printed in the paper).
+        let probs = dist.bucket_probabilities();
+        let mut row = vec![format!("{label} (analytic %)")];
+        row.extend(probs.iter().map(|p| fmt(p * 100.0)));
+        rows.push(row);
+
+        // Empirical sample over the requested population size.
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let mut counts = [0usize; 7];
+        for _ in 0..args.users {
+            let c = dist.sample(&mut rng);
+            let idx = PAPER_STORAGE_BUCKETS.iter().position(|&b| b == c).unwrap();
+            counts[idx] += 1;
+        }
+        let mut row = vec![format!("{label} (sampled %)")];
+        row.extend(
+            counts
+                .iter()
+                .map(|&c| fmt(c as f64 * 100.0 / args.users as f64)),
+        );
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+
+    println!();
+    println!("paper Table 1 reference:");
+    println!("  λ=1: 36.79 36.79 18.39  6.13  1.53  0.31  0.06");
+    println!("  λ=4:  2.06  8.25 16.49 21.99 21.99 17.59 11.73");
+}

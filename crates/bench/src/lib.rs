@@ -1,0 +1,374 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (Section 3) has a
+//! dedicated binary in `src/bin/`; they all share the helpers in this crate:
+//! a tiny command-line parser, a common "world" (trace + ideal networks +
+//! query workload) and the per-cycle recall measurement used by the
+//! eager-mode figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use p3q::prelude::*;
+use p3q_trace::SyntheticTrace;
+
+/// Command-line options shared by all harness binaries.
+///
+/// ```text
+/// --users N        population size                    (default 1000)
+/// --seed N         master RNG seed                    (default 42)
+/// --cycles N       number of gossip cycles            (binary-specific default)
+/// --queries N      number of tracked queries          (default 200)
+/// --paper-scale    use the paper's 10,000-user scale  (slow!)
+/// ```
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Number of users in the simulated system.
+    pub users: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of gossip cycles to run (meaning depends on the binary).
+    pub cycles: u64,
+    /// Number of queries tracked in eager-mode experiments.
+    pub queries: usize,
+    /// Use the paper's full 10,000-user configuration.
+    pub paper_scale: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            users: 1_000,
+            seed: 42,
+            cycles: 0,
+            queries: 200,
+            paper_scale: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, using `default_cycles` when `--cycles` is not
+    /// given. Unknown flags abort with a usage message.
+    pub fn parse(default_cycles: u64) -> Self {
+        Self::parse_from(std::env::args().skip(1), default_cycles)
+    }
+
+    /// Parses an explicit argument iterator (testable variant of
+    /// [`parse`](Self::parse)).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I, default_cycles: u64) -> Self {
+        let mut parsed = Self {
+            cycles: default_cycles,
+            ..Self::default()
+        };
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut take_value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--users" => parsed.users = take_value("--users").parse().expect("--users"),
+                "--seed" => parsed.seed = take_value("--seed").parse().expect("--seed"),
+                "--cycles" => parsed.cycles = take_value("--cycles").parse().expect("--cycles"),
+                "--queries" => {
+                    parsed.queries = take_value("--queries").parse().expect("--queries")
+                }
+                "--paper-scale" => parsed.paper_scale = true,
+                "--help" | "-h" => {
+                    println!(
+                        "options: --users N --seed N --cycles N --queries N --paper-scale"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        parsed
+    }
+
+    /// The protocol configuration implied by the scale flags.
+    pub fn protocol_config(&self) -> P3qConfig {
+        if self.paper_scale {
+            P3qConfig::paper(self.users)
+        } else {
+            P3qConfig::laptop_scale()
+        }
+    }
+
+    /// The trace configuration implied by the scale flags.
+    pub fn trace_config(&self) -> TraceConfig {
+        let mut cfg = if self.paper_scale {
+            TraceConfig::paper_scale(self.seed)
+        } else {
+            TraceConfig::laptop_scale(self.seed)
+        };
+        cfg.num_users = self.users;
+        cfg
+    }
+}
+
+/// Everything an experiment needs: the trace, the protocol configuration, the
+/// offline ideal networks and the one-query-per-user workload.
+pub struct World {
+    /// The generated trace (dataset + latent topic model).
+    pub trace: SyntheticTrace,
+    /// Protocol configuration.
+    pub cfg: P3qConfig,
+    /// Ideal personal networks (global knowledge).
+    pub ideal: IdealNetworks,
+    /// The query workload (one query per user with a non-empty profile).
+    pub queries: Vec<Query>,
+}
+
+impl World {
+    /// Builds the world for the given harness arguments.
+    pub fn build(args: &HarnessArgs) -> Self {
+        let trace = TraceGenerator::new(args.trace_config()).generate();
+        let cfg = args.protocol_config();
+        let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+        let queries = QueryGenerator::new(args.seed ^ 0x5EED)
+            .one_query_per_user(&trace.dataset)
+            .into_iter()
+            .filter(|q| !ideal.network_of(q.querier).is_empty())
+            .collect();
+        Self {
+            trace,
+            cfg,
+            ideal,
+            queries,
+        }
+    }
+
+    /// A deterministic sample of at most `limit` queries (spread over the
+    /// user population rather than taking a prefix).
+    pub fn sample_queries(&self, limit: usize) -> Vec<Query> {
+        if self.queries.len() <= limit || limit == 0 {
+            return self.queries.clone();
+        }
+        let stride = self.queries.len() as f64 / limit as f64;
+        (0..limit)
+            .map(|i| self.queries[(i as f64 * stride) as usize].clone())
+            .collect()
+    }
+}
+
+/// Per-cycle average recall of a batch of queries processed simultaneously in
+/// eager mode — the measurement behind Figures 3, 4 and 11.
+pub struct RecallExperiment {
+    /// Average recall at cycle 0 (local processing only), then after each
+    /// eager cycle.
+    pub recall_per_cycle: Vec<f64>,
+    /// Fraction of tracked queries whose final recall stays below 1 — the
+    /// paper's "queries unable to get R10 = 1" metric (Figure 11(c)).
+    pub incomplete_fraction: f64,
+    /// Mean number of users reached per query.
+    pub mean_users_reached: f64,
+}
+
+/// Issues `queries` on `sim`, runs `cycles` eager cycles and measures the
+/// average recall against the centralized reference after every cycle.
+pub fn run_recall_experiment(
+    sim: &mut Simulator<P3qNode>,
+    world: &World,
+    queries: &[Query],
+    cycles: u64,
+) -> RecallExperiment {
+    let cfg = &world.cfg;
+    let references: HashMap<usize, Vec<(ItemId, u32)>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            (
+                i,
+                centralized_topk(&world.trace.dataset, &world.ideal, q, cfg.top_k),
+            )
+        })
+        .collect();
+
+    for (i, query) in queries.iter().enumerate() {
+        issue_query(
+            sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            cfg,
+        );
+    }
+
+    let average_recall = |sim: &mut Simulator<P3qNode>| -> f64 {
+        let mut total = 0.0;
+        for (i, query) in queries.iter().enumerate() {
+            let state = sim
+                .node_mut(query.querier.index())
+                .querier_states
+                .get_mut(&QueryId(i as u64))
+                .expect("query state exists");
+            let items: Vec<ItemId> = state
+                .current_topk(cfg.top_k)
+                .iter()
+                .map(|r| r.item)
+                .collect();
+            total += recall_at_k(&items, &references[&i]);
+        }
+        total / queries.len().max(1) as f64
+    };
+
+    let mut recall_per_cycle = vec![average_recall(sim)];
+    for _ in 0..cycles {
+        run_eager_cycle(sim, cfg);
+        recall_per_cycle.push(average_recall(sim));
+    }
+
+    let mut incomplete = 0usize;
+    let mut reached_total = 0usize;
+    for (i, query) in queries.iter().enumerate() {
+        let state = sim
+            .node_mut(query.querier.index())
+            .querier_states
+            .get_mut(&QueryId(i as u64))
+            .expect("query state exists");
+        reached_total += state.reached_users.len();
+        // Figure 11(c): a query counts as unable to reach R10 = 1 if, with
+        // everything it has received (scanned exhaustively), some relevant
+        // item is still missing.
+        let items: Vec<ItemId> = state
+            .nra
+            .topk_exhaustive(cfg.top_k)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        if recall_at_k(&items, &references[&i]) < 1.0 - 1e-9 {
+            incomplete += 1;
+        }
+    }
+
+    RecallExperiment {
+        recall_per_cycle,
+        incomplete_fraction: incomplete as f64 / queries.len().max(1) as f64,
+        mean_users_reached: reached_total as f64 / queries.len().max(1) as f64,
+    }
+}
+
+/// Prints a simple aligned table: a header row followed by data rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let formatted: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", formatted.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with 3 decimal places (the precision used in the output
+/// tables).
+pub fn fmt(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults_and_overrides() {
+        let args = HarnessArgs::parse_from(Vec::<String>::new(), 25);
+        assert_eq!(args.users, 1000);
+        assert_eq!(args.cycles, 25);
+        assert!(!args.paper_scale);
+
+        let args = HarnessArgs::parse_from(
+            ["--users", "50", "--seed", "9", "--cycles", "3", "--queries", "7"]
+                .iter()
+                .map(|s| s.to_string()),
+            25,
+        );
+        assert_eq!(args.users, 50);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.cycles, 3);
+        assert_eq!(args.queries, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = HarnessArgs::parse_from(["--bogus".to_string()], 1);
+    }
+
+    #[test]
+    fn world_build_and_recall_experiment_smoke() {
+        // Build a miniature world by hand to keep the test fast.
+        let mut trace_cfg = TraceConfig::tiny(3);
+        trace_cfg.num_users = 60;
+        let trace = TraceGenerator::new(trace_cfg).generate();
+        let cfg = P3qConfig::tiny();
+        let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+        let queries: Vec<Query> = QueryGenerator::new(1)
+            .one_query_per_user(&trace.dataset)
+            .into_iter()
+            .filter(|q| !ideal.network_of(q.querier).is_empty())
+            .take(5)
+            .collect();
+        let world = World {
+            trace,
+            cfg: cfg.clone(),
+            ideal,
+            queries: queries.clone(),
+        };
+
+        let budgets = vec![2usize; world.trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, 5);
+        init_ideal_networks(&mut sim, &world.ideal);
+        let outcome = run_recall_experiment(&mut sim, &world, &queries, 6);
+        assert_eq!(outcome.recall_per_cycle.len(), 7);
+        let first = outcome.recall_per_cycle[0];
+        let last = *outcome.recall_per_cycle.last().unwrap();
+        assert!(last >= first - 1e-9, "recall must not degrade: {first} -> {last}");
+        assert!(last > 0.9, "recall should approach 1, got {last}");
+    }
+
+    #[test]
+    fn sample_queries_spreads_over_population() {
+        let mut trace_cfg = TraceConfig::tiny(1);
+        trace_cfg.num_users = 40;
+        let trace = TraceGenerator::new(trace_cfg).generate();
+        let cfg = P3qConfig::tiny();
+        let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+        let queries = QueryGenerator::new(1).one_query_per_user(&trace.dataset);
+        let world = World {
+            trace,
+            cfg,
+            ideal,
+            queries,
+        };
+        let sample = world.sample_queries(10);
+        assert_eq!(sample.len(), 10);
+        let full = world.sample_queries(10_000);
+        assert_eq!(full.len(), world.queries.len());
+    }
+
+    #[test]
+    fn print_table_and_fmt_do_not_panic() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(fmt(0.5), "0.500");
+    }
+}

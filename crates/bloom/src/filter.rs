@@ -1,0 +1,306 @@
+//! The Bloom filter proper.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hashing::hash_pair;
+use crate::{PAPER_FILTER_BITS, PAPER_FILTER_HASHES};
+
+/// A fixed-size Bloom filter over 64-bit keys.
+///
+/// P3Q inserts item identifiers into the filter; membership queries answer
+/// "might this user have tagged this item?" with no false negatives and a
+/// false-positive rate governed by the filter size and the number of inserted
+/// items.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    bit_len: usize,
+    num_hashes: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with `bit_len` bits and `num_hashes` hash
+    /// functions.
+    ///
+    /// # Panics
+    /// Panics if `bit_len` is zero or `num_hashes` is zero.
+    pub fn new(bit_len: usize, num_hashes: u32) -> Self {
+        assert!(bit_len > 0, "a Bloom filter needs at least one bit");
+        assert!(num_hashes > 0, "a Bloom filter needs at least one hash");
+        let words = bit_len.div_ceil(64);
+        Self {
+            bits: vec![0; words],
+            bit_len,
+            num_hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Creates a filter with the parameters used throughout the paper's
+    /// evaluation (20 Kbit, 7 hashes).
+    pub fn with_paper_parameters() -> Self {
+        Self::new(PAPER_FILTER_BITS, PAPER_FILTER_HASHES)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = hash_pair(key);
+        for i in 0..self.num_hashes {
+            let idx = self.slot(h1, h2, i);
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Returns `true` if the key *might* have been inserted, `false` if it
+    /// definitely has not.
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = hash_pair(key);
+        (0..self.num_hashes).all(|i| {
+            let idx = self.slot(h1, h2, i);
+            self.bits[idx / 64] & (1 << (idx % 64)) != 0
+        })
+    }
+
+    /// Returns `true` if no key was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Number of `insert` calls performed (counting duplicates).
+    pub fn inserted_keys(&self) -> usize {
+        self.inserted
+    }
+
+    /// Capacity of the filter in bits.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Number of hash functions.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Size of the filter payload when transmitted over the network, in bytes.
+    ///
+    /// This is the figure P3Q's bandwidth accounting charges for every digest
+    /// exchanged in lazy-mode gossip.
+    pub fn size_bytes(&self) -> usize {
+        self.bit_len.div_ceil(8)
+    }
+
+    /// Number of bits currently set to one.
+    pub fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits set to one (the filter's fill ratio).
+    pub fn fill_ratio(&self) -> f64 {
+        self.ones() as f64 / self.bit_len as f64
+    }
+
+    /// Estimated false-positive probability for the *current* fill ratio.
+    ///
+    /// For a filter with fill ratio `p` and `k` hashes, a key not in the set
+    /// tests positive with probability `p^k`.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.fill_ratio().powi(self.num_hashes as i32)
+    }
+
+    /// Returns `true` if the two filters share at least one set bit position.
+    ///
+    /// This is the cheap "might we share an item?" test used in step 1 of
+    /// Algorithm 1 when a full membership probe is not possible (both sides
+    /// only hold digests). It can over-approximate but never misses a real
+    /// overlap, provided both filters use the same geometry.
+    ///
+    /// # Panics
+    /// Panics if the two filters have different geometries.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.assert_same_geometry(other);
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union with another filter of identical geometry.
+    ///
+    /// # Panics
+    /// Panics if the two filters have different geometries.
+    pub fn union_with(&mut self, other: &Self) {
+        self.assert_same_geometry(other);
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        self.inserted += other.inserted;
+    }
+
+    /// Clears the filter without changing its geometry.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// Builds a filter of the given geometry from an iterator of keys.
+    pub fn from_keys<I: IntoIterator<Item = u64>>(
+        bit_len: usize,
+        num_hashes: u32,
+        keys: I,
+    ) -> Self {
+        let mut f = Self::new(bit_len, num_hashes);
+        for k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    #[inline]
+    fn slot(&self, h1: u64, h2: u64, i: u32) -> usize {
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.bit_len as u64) as usize
+    }
+
+    fn assert_same_geometry(&self, other: &Self) {
+        assert_eq!(
+            (self.bit_len, self.num_hashes),
+            (other.bit_len, other.num_hashes),
+            "Bloom filters must share the same geometry"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1 << 12, 5);
+        for k in 0..500u64 {
+            f.insert(k * 7);
+        }
+        for k in 0..500u64 {
+            assert!(f.contains(k * 7), "inserted key {} missing", k * 7);
+        }
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(1024, 3);
+        assert!(f.is_empty());
+        for k in 0..1000u64 {
+            assert!(!f.contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_paper_parameters() {
+        let mut f = BloomFilter::with_paper_parameters();
+        // Average delicious profile: 249 items.
+        for k in 0..249u64 {
+            f.insert(k);
+        }
+        let mut false_positives = 0usize;
+        let probes = 100_000u64;
+        for k in 1_000_000..1_000_000 + probes {
+            if f.contains(k) {
+                false_positives += 1;
+            }
+        }
+        let rate = false_positives as f64 / probes as f64;
+        assert!(
+            rate < 0.001,
+            "paper claims ~0.1% false positives, measured {rate}"
+        );
+    }
+
+    #[test]
+    fn false_positive_rate_stays_reasonable_for_large_profiles() {
+        let mut f = BloomFilter::with_paper_parameters();
+        // 99th-percentile delicious profile: 2000 items.
+        for k in 0..2000u64 {
+            f.insert(k);
+        }
+        assert!(f.false_positive_rate() < 0.01);
+    }
+
+    #[test]
+    fn union_contains_both_sides() {
+        let mut a = BloomFilter::new(2048, 4);
+        let mut b = BloomFilter::new(2048, 4);
+        a.insert(1);
+        a.insert(2);
+        b.insert(100);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(2) && a.contains(100));
+        assert_eq!(a.inserted_keys(), 3);
+    }
+
+    #[test]
+    fn intersects_detects_shared_keys() {
+        let mut a = BloomFilter::new(4096, 5);
+        let mut b = BloomFilter::new(4096, 5);
+        a.insert(7);
+        b.insert(9999);
+        // Disjoint small filters normally do not intersect.
+        assert!(!a.intersects(&b));
+        b.insert(7);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut f = BloomFilter::new(512, 3);
+        f.insert(11);
+        assert!(f.contains(11));
+        f.clear();
+        assert!(f.is_empty());
+        assert!(!f.contains(11));
+        assert_eq!(f.ones(), 0);
+    }
+
+    #[test]
+    fn fill_ratio_grows_with_insertions() {
+        let mut f = BloomFilter::new(1 << 14, 7);
+        let before = f.fill_ratio();
+        for k in 0..100 {
+            f.insert(k);
+        }
+        assert!(f.fill_ratio() > before);
+        assert!(f.fill_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn size_bytes_rounds_up() {
+        assert_eq!(BloomFilter::new(9, 1).size_bytes(), 2);
+        assert_eq!(BloomFilter::new(8, 1).size_bytes(), 1);
+        assert_eq!(BloomFilter::with_paper_parameters().size_bytes(), 2560);
+    }
+
+    #[test]
+    #[should_panic(expected = "same geometry")]
+    fn union_rejects_mismatched_geometry() {
+        let mut a = BloomFilter::new(128, 3);
+        let b = BloomFilter::new(256, 3);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        let _ = BloomFilter::new(0, 3);
+    }
+
+    #[test]
+    fn from_keys_matches_incremental_inserts() {
+        let keys = [3u64, 17, 99, 4242];
+        let a = BloomFilter::from_keys(1024, 4, keys.iter().copied());
+        let mut b = BloomFilter::new(1024, 4);
+        for &k in &keys {
+            b.insert(k);
+        }
+        assert_eq!(a, b);
+    }
+}

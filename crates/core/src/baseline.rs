@@ -1,0 +1,207 @@
+//! The centralized reference P3Q is evaluated against.
+//!
+//! Two pieces of global knowledge are computed offline:
+//!
+//! * the **ideal personal network** of every user — the `s` users with the
+//!   highest (positive) similarity score, computed from all profiles
+//!   (Section 3.2.1 uses it as the target of the convergence experiment);
+//! * the **centralized top-k** of every query — the result a centralized
+//!   implementation of the protocol would return using the querier's ideal
+//!   personal network (Section 3.2.2 uses it as the reference for the recall
+//!   metric).
+
+use std::collections::HashMap;
+
+use p3q_trace::{Dataset, ItemId, Query, UserId};
+
+use crate::scoring::{full_relevance_scores, similarity};
+
+/// The ideal personal networks of every user, computed from global
+/// knowledge.
+#[derive(Debug, Clone)]
+pub struct IdealNetworks {
+    per_user: Vec<Vec<(UserId, u64)>>,
+    network_size: usize,
+}
+
+impl IdealNetworks {
+    /// Computes the ideal personal network (top-`s` most similar users with a
+    /// positive score) of every user.
+    ///
+    /// An inverted item → users index restricts the similarity computation to
+    /// pairs that share at least one item, which is what makes the
+    /// computation tractable at paper scale.
+    pub fn compute(dataset: &Dataset, network_size: usize) -> Self {
+        // Inverted index: item -> users that tagged it.
+        let mut item_users: HashMap<ItemId, Vec<UserId>> = HashMap::new();
+        for (user, profile) in dataset.iter() {
+            for item in profile.items() {
+                item_users.entry(item).or_default().push(user);
+            }
+        }
+
+        let mut per_user = Vec::with_capacity(dataset.num_users());
+        for (user, profile) in dataset.iter() {
+            // Candidate users sharing at least one item.
+            let mut candidates: Vec<UserId> = profile
+                .items()
+                .filter_map(|item| item_users.get(&item))
+                .flatten()
+                .copied()
+                .filter(|&other| other != user)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            let mut scored: Vec<(UserId, u64)> = candidates
+                .into_iter()
+                .map(|other| (other, similarity(profile, dataset.profile(other))))
+                .filter(|&(_, score)| score > 0)
+                .collect();
+            scored.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            scored.truncate(network_size);
+            per_user.push(scored);
+        }
+        Self {
+            per_user,
+            network_size,
+        }
+    }
+
+    /// The requested personal-network size `s`.
+    pub fn network_size(&self) -> usize {
+        self.network_size
+    }
+
+    /// The ideal personal network of one user: `(neighbour, score)` pairs in
+    /// descending score order (at most `s`, possibly fewer if not enough
+    /// users share anything with her).
+    pub fn network_of(&self, user: UserId) -> &[(UserId, u64)] {
+        &self.per_user[user.index()]
+    }
+
+    /// The ideal neighbours of one user, without scores.
+    pub fn neighbours_of(&self, user: UserId) -> Vec<UserId> {
+        self.per_user[user.index()]
+            .iter()
+            .map(|&(u, _)| u)
+            .collect()
+    }
+
+    /// Number of users covered.
+    pub fn num_users(&self) -> usize {
+        self.per_user.len()
+    }
+}
+
+/// The centralized reference result of a query: the exact top-`k` computed
+/// over the profiles of the querier's ideal personal network.
+pub fn centralized_topk(
+    dataset: &Dataset,
+    ideal: &IdealNetworks,
+    query: &Query,
+    k: usize,
+) -> Vec<(ItemId, u32)> {
+    let profiles = ideal
+        .network_of(query.querier)
+        .iter()
+        .map(|&(user, _)| dataset.profile(user));
+    let mut scores = full_relevance_scores(profiles, query);
+    scores.truncate(k);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3q_trace::{Profile, QueryGenerator, TagId, TaggingAction, TraceConfig, TraceGenerator};
+
+    fn act(item: u32, tag: u32) -> TaggingAction {
+        TaggingAction::new(ItemId(item), TagId(tag))
+    }
+
+    fn tiny_dataset() -> Dataset {
+        // u0 and u1 share two actions; u2 shares one with u0; u3 is isolated.
+        let p0 = Profile::from_actions(vec![act(1, 1), act(2, 2), act(3, 3)]);
+        let p1 = Profile::from_actions(vec![act(1, 1), act(2, 2)]);
+        let p2 = Profile::from_actions(vec![act(3, 3), act(9, 9)]);
+        let p3 = Profile::from_actions(vec![act(100, 100)]);
+        Dataset::new(vec![p0, p1, p2, p3], 200, 200)
+    }
+
+    #[test]
+    fn ideal_networks_rank_by_similarity() {
+        let d = tiny_dataset();
+        let ideal = IdealNetworks::compute(&d, 10);
+        assert_eq!(
+            ideal.network_of(UserId(0)),
+            &[(UserId(1), 2), (UserId(2), 1)]
+        );
+        assert_eq!(ideal.neighbours_of(UserId(1)), vec![UserId(0)]);
+        assert!(ideal.network_of(UserId(3)).is_empty());
+        assert_eq!(ideal.num_users(), 4);
+    }
+
+    #[test]
+    fn network_size_truncates() {
+        let d = tiny_dataset();
+        let ideal = IdealNetworks::compute(&d, 1);
+        assert_eq!(ideal.network_of(UserId(0)).len(), 1);
+        assert_eq!(ideal.network_of(UserId(0))[0].0, UserId(1));
+    }
+
+    #[test]
+    fn zero_score_pairs_are_excluded() {
+        let d = tiny_dataset();
+        let ideal = IdealNetworks::compute(&d, 10);
+        // u3 shares nothing with anyone: excluded everywhere.
+        for user in d.users() {
+            assert!(!ideal.neighbours_of(user).contains(&UserId(3)));
+        }
+    }
+
+    #[test]
+    fn centralized_topk_scores_over_ideal_network() {
+        let d = tiny_dataset();
+        let ideal = IdealNetworks::compute(&d, 10);
+        // u0 queries for tags 1 and 2: her network is {u1, u2}; u1 tagged
+        // item 1 with tag 1 and item 2 with tag 2; u2 contributes nothing.
+        let q = Query::new(UserId(0), vec![TagId(1), TagId(2)], ItemId(1));
+        let top = centralized_topk(&d, &ideal, &q, 10);
+        assert_eq!(top, vec![(ItemId(1), 1), (ItemId(2), 1)]);
+    }
+
+    #[test]
+    fn ideal_networks_on_generated_trace_are_symmetric_in_score() {
+        let trace = TraceGenerator::new(TraceConfig::tiny(3)).generate();
+        let ideal = IdealNetworks::compute(&trace.dataset, 20);
+        // Similarity is symmetric, so if b is a's strongest neighbour with
+        // score x, then a must appear in b's network with the same score
+        // (as long as b's network is not full of better neighbours).
+        for user in trace.dataset.users() {
+            for &(other, score) in ideal.network_of(user) {
+                let back = ideal
+                    .network_of(other)
+                    .iter()
+                    .find(|&&(u, _)| u == user);
+                if let Some(&(_, back_score)) = back {
+                    assert_eq!(score, back_score);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centralized_results_respect_k_and_ordering() {
+        let trace = TraceGenerator::new(TraceConfig::tiny(5)).generate();
+        let ideal = IdealNetworks::compute(&trace.dataset, 20);
+        let queries = QueryGenerator::new(1).one_query_per_user(&trace.dataset);
+        for q in queries.iter().take(10) {
+            let top = centralized_topk(&trace.dataset, &ideal, q, 5);
+            assert!(top.len() <= 5);
+            for pair in top.windows(2) {
+                assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Protocol configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the P3Q protocol (Section 2.1 / 3.1.2 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P3qConfig {
+    /// Size `s` of the personal network: the number of most-similar
+    /// neighbours every user tracks (paper: 1000).
+    pub personal_network_size: usize,
+    /// Size `r` of the random view maintained by the peer-sampling layer
+    /// (paper: 10).
+    pub random_view_size: usize,
+    /// `k` of the top-k queries (paper: 10).
+    pub top_k: usize,
+    /// The remaining-list split parameter `α ∈ [0, 1]` of the eager mode
+    /// (paper default: 0.5, shown optimal by Theorem 2.2).
+    pub alpha: f64,
+    /// Maximum number of neighbour profiles proposed in one lazy-mode gossip
+    /// exchange (paper: 50, or everything if fewer are stored).
+    pub profiles_per_gossip: usize,
+    /// Bloom-filter size of the profile digests, in bits (paper: 20 Kbit).
+    pub digest_bits: usize,
+    /// Number of hash functions of the profile digests.
+    pub digest_hashes: u32,
+    /// Wall-clock seconds per lazy-mode cycle (paper: 60 s), used only to
+    /// convert byte counts into bits-per-second figures.
+    pub lazy_cycle_seconds: f64,
+    /// Wall-clock seconds per eager-mode cycle (paper: 5 s).
+    pub eager_cycle_seconds: f64,
+}
+
+impl P3qConfig {
+    /// The configuration used throughout the paper's evaluation
+    /// (10,000-user delicious trace): `s = 1000`, `r = 10`, `k = 10`,
+    /// `α = 0.5`, 50 profiles per gossip, 20 Kbit digests.
+    pub fn paper(_users: usize) -> Self {
+        Self {
+            personal_network_size: 1000,
+            random_view_size: 10,
+            top_k: 10,
+            alpha: 0.5,
+            profiles_per_gossip: 50,
+            digest_bits: p3q_bloom::PAPER_FILTER_BITS,
+            digest_hashes: p3q_bloom::PAPER_FILTER_HASHES,
+            lazy_cycle_seconds: 60.0,
+            eager_cycle_seconds: 5.0,
+        }
+    }
+
+    /// A laptop-scale configuration for a system of roughly 1,000 users:
+    /// the personal network is scaled to `s = 100` (the same 1:10 ratio to
+    /// the population as the paper's 1000:10,000) and digests are shrunk
+    /// accordingly; every other parameter keeps its paper value.
+    pub fn laptop_scale() -> Self {
+        Self {
+            personal_network_size: 100,
+            random_view_size: 10,
+            top_k: 10,
+            alpha: 0.5,
+            profiles_per_gossip: 50,
+            digest_bits: 4 * 1024,
+            digest_hashes: 7,
+            lazy_cycle_seconds: 60.0,
+            eager_cycle_seconds: 5.0,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            personal_network_size: 10,
+            random_view_size: 5,
+            top_k: 5,
+            alpha: 0.5,
+            profiles_per_gossip: 10,
+            digest_bits: 2048,
+            digest_hashes: 5,
+            lazy_cycle_seconds: 60.0,
+            eager_cycle_seconds: 5.0,
+        }
+    }
+
+    /// Returns a copy with a different `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self.validate();
+        self
+    }
+
+    /// Returns a copy with a different top-k.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self.validate();
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    /// Panics if any parameter is out of its valid range.
+    pub fn validate(&self) {
+        assert!(
+            self.personal_network_size > 0,
+            "personal_network_size must be positive"
+        );
+        assert!(self.random_view_size > 0, "random_view_size must be positive");
+        assert!(self.top_k > 0, "top_k must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must lie in [0, 1]"
+        );
+        assert!(
+            self.profiles_per_gossip > 0,
+            "profiles_per_gossip must be positive"
+        );
+        assert!(self.digest_bits > 0, "digest_bits must be positive");
+        assert!(self.digest_hashes > 0, "digest_hashes must be positive");
+        assert!(
+            self.lazy_cycle_seconds > 0.0 && self.eager_cycle_seconds > 0.0,
+            "cycle durations must be positive"
+        );
+    }
+}
+
+impl Default for P3qConfig {
+    fn default() -> Self {
+        Self::laptop_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_section_3_1_2() {
+        let cfg = P3qConfig::paper(10_000);
+        assert_eq!(cfg.personal_network_size, 1000);
+        assert_eq!(cfg.random_view_size, 10);
+        assert_eq!(cfg.top_k, 10);
+        assert!((cfg.alpha - 0.5).abs() < 1e-12);
+        assert_eq!(cfg.profiles_per_gossip, 50);
+        assert_eq!(cfg.digest_bits, 20 * 1024);
+        cfg.validate();
+    }
+
+    #[test]
+    fn presets_validate() {
+        P3qConfig::laptop_scale().validate();
+        P3qConfig::tiny().validate();
+        P3qConfig::default().validate();
+    }
+
+    #[test]
+    fn with_alpha_and_top_k_update_fields() {
+        let cfg = P3qConfig::tiny().with_alpha(0.3).with_top_k(20);
+        assert!((cfg.alpha - 0.3).abs() < 1e-12);
+        assert_eq!(cfg.top_k, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let _ = P3qConfig::tiny().with_alpha(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn zero_top_k_rejected() {
+        let _ = P3qConfig::tiny().with_top_k(0);
+    }
+}

@@ -1,0 +1,582 @@
+//! The eager gossip mode: collaborative query processing (Section 2.2.2,
+//! Algorithms 2 and 3).
+//!
+//! The querier first answers her query locally from the profiles she stores,
+//! then gossips the query together with her **remaining list** (the
+//! personal-network members whose profiles she does not store) along the
+//! personal network. Every reached user
+//!
+//! 1. removes from the received remaining list the users whose profiles she
+//!    stores (including her own, if requested),
+//! 2. computes her share of the query over those profiles and sends the
+//!    partial result list straight to the querier,
+//! 3. keeps a `(1 − α)` fraction of the updated remaining list for herself
+//!    and returns the remaining `α` fraction to the gossip initiator,
+//! 4. piggybacks a lazy-style profile exchange with the initiator, which is
+//!    what refreshes the personal networks of the users reached by queries
+//!    (Section 3.4.1, Figure 9).
+//!
+//! The process continues, cycle after cycle, until no reached user has a
+//! non-empty remaining list; the querier merges the asynchronously arriving
+//! partial result lists with the incremental NRA and can display a top-k at
+//! the end of every cycle.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use p3q_sim::Simulator;
+use p3q_trace::{Profile, Query, UserId};
+
+use crate::bandwidth::{category, partial_result_bytes, remaining_list_bytes};
+use crate::config::P3qConfig;
+use crate::lazy::gossip_pair;
+use crate::node::P3qNode;
+use crate::query::{QuerierState, QueryId, RemainingTask};
+use crate::scoring::partial_result_list;
+
+/// Issues a query at the given node (Algorithm 2, lines 3–7).
+///
+/// The querier processes the query over the profiles she stores, initialises
+/// her remaining list with the personal-network members whose profiles she
+/// lacks, and records the querier-side state under `query_id`.
+///
+/// Returns the number of profiles used by the local computation.
+pub fn issue_query(
+    sim: &mut Simulator<P3qNode>,
+    querier_idx: usize,
+    query_id: QueryId,
+    query: Query,
+    _cfg: &P3qConfig,
+) -> usize {
+    let cycle = sim.cycle();
+    let node = sim.node_mut(querier_idx);
+    let target_profiles = node.network_peers();
+    let mut state = QuerierState::new(query.clone(), target_profiles, cycle);
+
+    // Local processing over the stored profiles (all of them belong to the
+    // personal network, so they count towards the target set).
+    let stored: Vec<(UserId, Profile)> = node
+        .stored_profiles()
+        .map(|(peer, profile, _)| (peer, profile.clone()))
+        .collect();
+    let used: Vec<UserId> = stored.iter().map(|(peer, _)| *peer).collect();
+    let list = partial_result_list(stored.iter().map(|(_, p)| p), &query);
+    state.absorb_partial_result(list, &used);
+
+    // Remaining list: personal-network members without a stored profile.
+    state.remaining = node.unstored_network_peers();
+    state.mark_complete_if_done(cycle);
+    let used_count = used.len();
+    node.querier_states.insert(query_id, state);
+    used_count
+}
+
+/// One gossip context owned by a node: either the querier's own remaining
+/// list or a task delegated to it.
+#[derive(Debug, Clone)]
+struct GossipContext {
+    query_id: QueryId,
+    querier: UserId,
+    query: Query,
+    remaining: Vec<UserId>,
+    /// `true` if this context is the querier's own state.
+    is_querier: bool,
+}
+
+/// Result of destination-side processing (Algorithm 3, lines 16–25).
+struct DestinationOutcome {
+    partial: p3q_topk::PartialResultList<p3q_trace::ItemId>,
+    found: Vec<UserId>,
+    dest_share: Vec<UserId>,
+    initiator_share: Vec<UserId>,
+}
+
+/// Runs one eager-mode cycle over every alive node holding an unfinished
+/// gossip context. Returns the number of gossip exchanges performed.
+pub fn run_eager_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
+    let mut exchanges = 0usize;
+    sim.run_cycle(|sim, idx| {
+        exchanges += eager_step(sim, idx, cfg);
+    });
+    // End-of-cycle bookkeeping: the querier updates completion status.
+    let cycle = sim.cycle();
+    for idx in 0..sim.num_nodes() {
+        let node = sim.node_mut(idx);
+        for state in node.querier_states.values_mut() {
+            state.mark_complete_if_done(cycle);
+        }
+    }
+    exchanges
+}
+
+/// Runs eager cycles until every tracked query has completed or `max_cycles`
+/// have elapsed, invoking `on_cycle_end` after each cycle. Returns the number
+/// of cycles run.
+pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    max_cycles: u64,
+    mut on_cycle_end: F,
+) -> u64 {
+    for round in 0..max_cycles {
+        let exchanges = run_eager_cycle(sim, cfg);
+        let cycle = sim.cycle();
+        on_cycle_end(sim, cycle);
+        if exchanges == 0 {
+            return round + 1;
+        }
+    }
+    max_cycles
+}
+
+/// Executes the eager-mode step of one node: one gossip per active context
+/// (Algorithm 3, initiator side).
+fn eager_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) -> usize {
+    let contexts = collect_contexts(sim.node(idx));
+    if contexts.is_empty() {
+        return 0;
+    }
+    let mut exchanges = 0usize;
+    for ctx in contexts {
+        if gossip_one_context(sim, idx, &ctx, cfg) {
+            exchanges += 1;
+        }
+    }
+    exchanges
+}
+
+/// Snapshot of the node's active gossip contexts (non-empty remaining lists).
+fn collect_contexts(node: &P3qNode) -> Vec<GossipContext> {
+    let mut contexts = Vec::new();
+    for (&query_id, state) in &node.querier_states {
+        if !state.remaining.is_empty() {
+            contexts.push(GossipContext {
+                query_id,
+                querier: node.id,
+                query: state.query.clone(),
+                remaining: state.remaining.clone(),
+                is_querier: true,
+            });
+        }
+    }
+    for (&query_id, task) in &node.tasks {
+        if !task.remaining.is_empty() {
+            contexts.push(GossipContext {
+                query_id,
+                querier: task.querier,
+                query: task.query.clone(),
+                remaining: task.remaining.clone(),
+                is_querier: false,
+            });
+        }
+    }
+    contexts.sort_by_key(|c| c.query_id);
+    contexts
+}
+
+/// Performs one gossip exchange for one context. Returns `false` if no alive
+/// destination could be selected (the context stalls for this cycle).
+fn gossip_one_context(
+    sim: &mut Simulator<P3qNode>,
+    idx: usize,
+    ctx: &GossipContext,
+    cfg: &P3qConfig,
+) -> bool {
+    let cycle = sim.cycle();
+    let mut rng = sim.derived_rng(0xEA6E_0000 ^ (idx as u64) ^ (ctx.query_id.0 << 20));
+
+    let Some(dest_idx) = select_destination(sim, idx, &ctx.remaining, &mut rng) else {
+        return false;
+    };
+
+    // Destination-side processing (Algorithm 3, destination).
+    let outcome = destination_process(sim.node(dest_idx), ctx, cfg, &mut rng);
+
+    // Traffic: forwarded remaining list (initiator pays), returned remaining
+    // list (destination pays), partial results to the querier (destination
+    // pays).
+    let forwarded = remaining_list_bytes(ctx.remaining.len());
+    sim.bandwidth
+        .record(idx, cycle, category::EAGER_FORWARDED, forwarded);
+    let returned = remaining_list_bytes(outcome.initiator_share.len());
+    sim.bandwidth
+        .record(dest_idx, cycle, category::EAGER_RETURNED, returned);
+
+    let partial_bytes = if outcome.found.is_empty() {
+        0
+    } else {
+        partial_result_bytes(outcome.partial.len(), outcome.found.len())
+    };
+    if partial_bytes > 0 {
+        sim.bandwidth
+            .record(dest_idx, cycle, category::EAGER_PARTIAL_RESULTS, partial_bytes);
+    }
+
+    // Update the destination's task (merge with an existing share if it
+    // already helps this query).
+    {
+        let dest_node = sim.node_mut(dest_idx);
+        if !outcome.dest_share.is_empty() || dest_node.tasks.contains_key(&ctx.query_id) {
+            let task = dest_node
+                .tasks
+                .entry(ctx.query_id)
+                .or_insert_with(|| RemainingTask {
+                    query_id: ctx.query_id,
+                    querier: ctx.querier,
+                    query: ctx.query.clone(),
+                    remaining: Vec::new(),
+                });
+            for user in &outcome.dest_share {
+                if !task.remaining.contains(user) {
+                    task.remaining.push(*user);
+                }
+            }
+        }
+    }
+
+    // Update the initiator's context with the returned remaining list.
+    {
+        let init_node = sim.node_mut(idx);
+        if ctx.is_querier {
+            if let Some(state) = init_node.querier_states.get_mut(&ctx.query_id) {
+                state.remaining = outcome.initiator_share.clone();
+                state.traffic.forwarded_remaining += forwarded as u64;
+                state.traffic.returned_remaining += returned as u64;
+            }
+        } else if let Some(task) = init_node.tasks.get_mut(&ctx.query_id) {
+            task.remaining = outcome.initiator_share.clone();
+        }
+    }
+
+    // Deliver the partial result to the querier.
+    let querier_idx = ctx.querier.index();
+    {
+        let dest_id = sim.node(dest_idx).id;
+        let querier_node = sim.node_mut(querier_idx);
+        if let Some(state) = querier_node.querier_states.get_mut(&ctx.query_id) {
+            state.reached_users.insert(dest_id);
+            if !outcome.found.is_empty() {
+                state.absorb_partial_result(outcome.partial.clone(), &outcome.found);
+                state.traffic.partial_results += partial_bytes as u64;
+                state.traffic.partial_result_messages += 1;
+            }
+            if !ctx.is_querier {
+                // Remaining-list traffic of helper-to-helper gossip also
+                // belongs to this query's bill (Figure 6 sums over all users
+                // reached by the query).
+                state.traffic.forwarded_remaining += forwarded as u64;
+                state.traffic.returned_remaining += returned as u64;
+            }
+            state.traffic.users_reached = state.reached_users.len() as u64;
+        }
+    }
+
+    // Piggybacked personal-network maintenance between initiator and
+    // destination (the "maintain personal network as in lazy mode" lines of
+    // Algorithm 3).
+    gossip_pair(
+        sim,
+        idx,
+        dest_idx,
+        cfg,
+        &mut rng,
+        category::EAGER_MAINTENANCE,
+        category::EAGER_MAINTENANCE,
+        category::EAGER_MAINTENANCE,
+    );
+
+    true
+}
+
+/// Selects the gossip destination for a remaining list (Algorithm 3, lines
+/// 4–9): prefer the remaining-list member of the initiator's personal network
+/// with the oldest timestamp; otherwise a random remaining-list member; fall
+/// back to a random alive personal-network neighbour (who may store replicas)
+/// when no remaining-list member is alive.
+fn select_destination(
+    sim: &mut Simulator<P3qNode>,
+    idx: usize,
+    remaining: &[UserId],
+    rng: &mut impl Rng,
+) -> Option<usize> {
+    let alive_remaining: Vec<UserId> = remaining
+        .iter()
+        .copied()
+        .filter(|u| u.index() != idx && sim.is_alive(u.index()))
+        .collect();
+
+    // Preferred: a remaining-list member of the personal network, oldest
+    // timestamp first.
+    let from_network = {
+        let node = sim.node_mut(idx);
+        node.personal_network
+            .select_oldest_among_and_reset(&alive_remaining)
+    };
+    if let Some(peer) = from_network {
+        return Some(peer.index());
+    }
+    // Otherwise: any alive remaining-list member.
+    if let Some(peer) = alive_remaining.choose(rng) {
+        return Some(peer.index());
+    }
+    // Fallback under churn: an alive personal-network neighbour that may hold
+    // replicas of the departed users' profiles.
+    let alive_neighbours: Vec<UserId> = sim
+        .node(idx)
+        .network_peers()
+        .into_iter()
+        .filter(|u| u.index() != idx && sim.is_alive(u.index()))
+        .collect();
+    alive_neighbours.choose(rng).map(|u| u.index())
+}
+
+/// Destination-side processing of a received query + remaining list
+/// (Algorithm 3, lines 16–23).
+fn destination_process(
+    dest: &P3qNode,
+    ctx: &GossipContext,
+    cfg: &P3qConfig,
+    rng: &mut impl Rng,
+) -> DestinationOutcome {
+    // Profiles the destination can resolve: its own (if requested) and the
+    // stored copies of requested users.
+    let requested: HashSet<UserId> = ctx.remaining.iter().copied().collect();
+    let mut found: Vec<UserId> = Vec::new();
+    let mut profiles: Vec<&Profile> = Vec::new();
+    if requested.contains(&dest.id) {
+        found.push(dest.id);
+        profiles.push(dest.profile());
+    }
+    for (peer, profile, _) in dest.stored_profiles() {
+        if requested.contains(&peer) {
+            found.push(peer);
+            profiles.push(profile);
+        }
+    }
+
+    let partial = partial_result_list(profiles.iter().copied(), &ctx.query);
+
+    // Updated remaining list, split by α: the destination keeps a (1 − α)
+    // share, the initiator gets the rest back.
+    let mut updated: Vec<UserId> = ctx
+        .remaining
+        .iter()
+        .copied()
+        .filter(|u| !found.contains(u))
+        .collect();
+    updated.shuffle(rng);
+    let dest_count = ((1.0 - cfg.alpha) * updated.len() as f64).floor() as usize;
+    let dest_share: Vec<UserId> = updated[..dest_count].to_vec();
+    let initiator_share: Vec<UserId> = updated[dest_count..].to_vec();
+
+    DestinationOutcome {
+        partial,
+        found,
+        dest_share,
+        initiator_share,
+    }
+}
+
+/// Convenience accessor: the querier-side state of a query, if the node at
+/// `querier_idx` issued it.
+pub fn querier_state(
+    sim: &Simulator<P3qNode>,
+    querier_idx: usize,
+    query_id: QueryId,
+) -> Option<&QuerierState> {
+    sim.node(querier_idx).querier_states.get(&query_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{centralized_topk, IdealNetworks};
+    use crate::experiment::{build_simulator_with_budgets, init_ideal_networks};
+    use crate::metrics::recall_at_k;
+    use p3q_trace::{ItemId, QueryGenerator, TraceConfig, TraceGenerator};
+
+    struct Fixture {
+        sim: Simulator<P3qNode>,
+        cfg: P3qConfig,
+        dataset: p3q_trace::Dataset,
+        ideal: IdealNetworks,
+        queries: Vec<Query>,
+    }
+
+    fn fixture(storage_budget: usize) -> Fixture {
+        let trace = TraceGenerator::new(TraceConfig::tiny(31)).generate();
+        let cfg = P3qConfig::tiny();
+        let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+        let budgets = vec![storage_budget; trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 41);
+        init_ideal_networks(&mut sim, &ideal);
+        let queries = QueryGenerator::new(7).one_query_per_user(&trace.dataset);
+        Fixture {
+            sim,
+            cfg,
+            dataset: trace.dataset,
+            ideal,
+            queries,
+        }
+    }
+
+    #[test]
+    fn full_storage_queries_complete_immediately_with_recall_one() {
+        // Storage budget ≥ s: every profile of the personal network is
+        // stored, so the local result is already exact (Algorithm 2 line 4).
+        let mut fx = fixture(1000);
+        let query = fx.queries[0].clone();
+        let querier = query.querier.index();
+        issue_query(&mut fx.sim, querier, QueryId(1), query.clone(), &fx.cfg);
+        let state = querier_state(&fx.sim, querier, QueryId(1)).unwrap();
+        assert!(state.is_complete());
+        assert!(state.remaining.is_empty());
+
+        let reference = centralized_topk(&fx.dataset, &fx.ideal, &query, fx.cfg.top_k);
+        let mut state = fx.sim.node_mut(querier).querier_states.remove(&QueryId(1)).unwrap();
+        let items: Vec<ItemId> = state
+            .current_topk(fx.cfg.top_k)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        assert_eq!(recall_at_k(&items, &reference), 1.0);
+    }
+
+    #[test]
+    fn limited_storage_reaches_recall_one_within_few_cycles() {
+        let mut fx = fixture(2);
+        // Issue queries for the first few users.
+        let sample: Vec<Query> = fx.queries.iter().take(8).cloned().collect();
+        for (i, query) in sample.iter().enumerate() {
+            issue_query(
+                &mut fx.sim,
+                query.querier.index(),
+                QueryId(i as u64),
+                query.clone(),
+                &fx.cfg,
+            );
+        }
+        let cycles = run_eager_until_complete(&mut fx.sim, &fx.cfg, 30, |_, _| {});
+        assert!(cycles <= 30);
+
+        for (i, query) in sample.iter().enumerate() {
+            let querier = query.querier.index();
+            let reference = centralized_topk(&fx.dataset, &fx.ideal, query, fx.cfg.top_k);
+            let mut state = fx
+                .sim
+                .node_mut(querier)
+                .querier_states
+                .remove(&QueryId(i as u64))
+                .unwrap();
+            assert!(
+                state.is_complete(),
+                "query {i} did not complete: coverage {}",
+                state.coverage()
+            );
+            let items: Vec<ItemId> = state
+                .nra
+                .topk_exhaustive(fx.cfg.top_k)
+                .iter()
+                .map(|r| r.item)
+                .collect();
+            let recall = recall_at_k(&items, &reference);
+            assert!(
+                (recall - 1.0).abs() < 1e-9,
+                "query {i} recall {recall} < 1 after completion"
+            );
+        }
+    }
+
+    #[test]
+    fn remaining_lists_shrink_monotonically_overall() {
+        let mut fx = fixture(1);
+        let query = fx.queries[0].clone();
+        let querier = query.querier.index();
+        issue_query(&mut fx.sim, querier, QueryId(9), query, &fx.cfg);
+        let initial = querier_state(&fx.sim, querier, QueryId(9))
+            .unwrap()
+            .remaining
+            .len();
+        if initial == 0 {
+            return; // degenerate: the querier had nothing to fetch
+        }
+        let mut last_total = usize::MAX;
+        for _ in 0..20 {
+            run_eager_cycle(&mut fx.sim, &fx.cfg);
+            // Total outstanding work across all nodes for this query.
+            let mut total = 0usize;
+            for idx in 0..fx.sim.num_nodes() {
+                let node = fx.sim.node(idx);
+                if let Some(s) = node.querier_states.get(&QueryId(9)) {
+                    total += s.remaining.len();
+                }
+                if let Some(t) = node.tasks.get(&QueryId(9)) {
+                    total += t.remaining.len();
+                }
+            }
+            assert!(total <= last_total.max(initial));
+            last_total = total;
+            if total == 0 {
+                break;
+            }
+        }
+        assert_eq!(last_total, 0, "query never drained its remaining lists");
+    }
+
+    #[test]
+    fn partial_results_and_traffic_are_accounted() {
+        let mut fx = fixture(1);
+        let query = fx.queries[1].clone();
+        let querier = query.querier.index();
+        issue_query(&mut fx.sim, querier, QueryId(3), query, &fx.cfg);
+        run_eager_until_complete(&mut fx.sim, &fx.cfg, 30, |_, _| {});
+        let state = querier_state(&fx.sim, querier, QueryId(3)).unwrap();
+        if state.target_profiles.len() <= state.used_profiles.len()
+            && !state.target_profiles.is_empty()
+            && state.reached_users.is_empty()
+        {
+            // Everything was stored locally — nothing to assert about gossip.
+            return;
+        }
+        assert!(state.traffic.forwarded_remaining > 0 || state.reached_users.is_empty());
+        assert_eq!(state.traffic.users_reached, state.reached_users.len() as u64);
+        // Simulator-level categories must be consistent with per-query sums.
+        let total_partial = fx
+            .sim
+            .bandwidth
+            .category_bytes(category::EAGER_PARTIAL_RESULTS);
+        assert!(total_partial >= state.traffic.partial_results);
+    }
+
+    #[test]
+    fn queries_survive_mass_departure_with_degraded_latency() {
+        let mut fx = fixture(2);
+        fx.sim.mass_departure(0.5);
+        let alive_queriers: Vec<Query> = fx
+            .queries
+            .iter()
+            .filter(|q| fx.sim.is_alive(q.querier.index()))
+            .take(5)
+            .cloned()
+            .collect();
+        for (i, query) in alive_queriers.iter().enumerate() {
+            issue_query(
+                &mut fx.sim,
+                query.querier.index(),
+                QueryId(100 + i as u64),
+                query.clone(),
+                &fx.cfg,
+            );
+        }
+        run_eager_until_complete(&mut fx.sim, &fx.cfg, 15, |_, _| {});
+        // Queries cannot crash the protocol; recall may be below 1 but some
+        // results must have been produced for queriers with a target set.
+        for (i, query) in alive_queriers.iter().enumerate() {
+            let state = querier_state(&fx.sim, query.querier.index(), QueryId(100 + i as u64))
+                .expect("state must survive churn");
+            assert!(state.coverage() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Explicit (declared) social networks.
+//!
+//! The paper's concluding remarks observe that "equipping each P3Q user with
+//! a pre-defined explicit network (e.g. explicit social network in Facebook)
+//! as input would be straightforward: only the eager mode of P3Q would
+//! suffice" — the lazy mode exists solely to *discover* the implicit
+//! acquaintances. This module provides that deployment mode: personal
+//! networks are seeded from a declared friend graph instead of being gossiped
+//! into existence, and queries are processed by the unchanged eager mode.
+
+use std::collections::HashSet;
+
+use p3q_trace::{Dataset, ItemId, Query, UserId};
+
+use crate::node::P3qNode;
+use crate::scoring::{full_relevance_scores, similarity};
+use p3q_sim::Simulator;
+
+/// A declared social graph: for every user, the list of users she explicitly
+/// follows (directed, like the paper's network model).
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitNetwork {
+    edges: Vec<Vec<UserId>>,
+}
+
+impl ExplicitNetwork {
+    /// Builds a graph from per-user adjacency lists (indexed by user id).
+    /// Self-loops and duplicates are removed.
+    pub fn new(mut edges: Vec<Vec<UserId>>) -> Self {
+        for (user, friends) in edges.iter_mut().enumerate() {
+            friends.retain(|f| f.index() != user);
+            friends.sort_unstable();
+            friends.dedup();
+        }
+        Self { edges }
+    }
+
+    /// Number of users covered by the graph.
+    pub fn num_users(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The declared friends of `user` (empty if the user is unknown).
+    pub fn friends_of(&self, user: UserId) -> &[UserId] {
+        self.edges
+            .get(user.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+/// Seeds every node's personal network with its declared friends, scored by
+/// profile similarity, storing the profiles of the `c` most similar friends
+/// (the node's storage budget). The lazy mode is not needed afterwards; the
+/// eager mode processes queries exactly as in the implicit deployment.
+pub fn init_explicit_networks(sim: &mut Simulator<P3qNode>, network: &ExplicitNetwork) {
+    let n = sim.num_nodes();
+    for idx in 0..n {
+        let friends: Vec<UserId> = network
+            .friends_of(UserId::from_index(idx))
+            .iter()
+            .copied()
+            .filter(|f| f.index() < n)
+            .collect();
+        for friend in friends {
+            let (digest, version, profile, score) = {
+                let me = sim.node(idx);
+                let peer = sim.node(friend.index());
+                (
+                    peer.digest().clone(),
+                    peer.profile_version(),
+                    peer.profile().clone(),
+                    similarity(me.profile(), peer.profile()),
+                )
+            };
+            let node = sim.node_mut(idx);
+            // Explicit friends stay in the network even with zero overlap —
+            // the user chose them — so the score floor is 1.
+            node.record_neighbour(friend, score.max(1), digest, version);
+            let rank = node.personal_network.rank_of(&friend).unwrap_or(usize::MAX);
+            if rank < node.storage_budget() {
+                node.store_profile(friend, profile, version);
+            }
+        }
+        sim.node_mut(idx).enforce_storage_budget();
+    }
+}
+
+/// The centralized reference for a query under an explicit network: the exact
+/// top-`k` over the profiles of the querier's declared friends.
+pub fn explicit_reference_topk(
+    dataset: &Dataset,
+    network: &ExplicitNetwork,
+    query: &Query,
+    k: usize,
+) -> Vec<(ItemId, u32)> {
+    let friends: HashSet<UserId> = network.friends_of(query.querier).iter().copied().collect();
+    let profiles = friends.iter().map(|&u| dataset.profile(u));
+    let mut scores = full_relevance_scores(profiles, query);
+    scores.truncate(k);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::P3qConfig;
+    use crate::eager::{issue_query, run_eager_until_complete};
+    use crate::experiment::build_simulator_with_budgets;
+    use crate::metrics::recall_at_k;
+    use crate::query::QueryId;
+    use p3q_trace::{QueryGenerator, TraceConfig, TraceGenerator};
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(users: usize, degree: usize, seed: u64) -> ExplicitNetwork {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges = (0..users)
+            .map(|u| {
+                let mut friends = Vec::new();
+                while friends.len() < degree {
+                    let f = rng.gen_range(0..users);
+                    if f != u && !friends.contains(&UserId::from_index(f)) {
+                        friends.push(UserId::from_index(f));
+                    }
+                }
+                friends
+            })
+            .collect();
+        ExplicitNetwork::new(edges)
+    }
+
+    #[test]
+    fn graph_construction_cleans_input() {
+        let net = ExplicitNetwork::new(vec![
+            vec![UserId(0), UserId(1), UserId(1), UserId(2)],
+            vec![UserId(0)],
+        ]);
+        assert_eq!(net.friends_of(UserId(0)), &[UserId(1), UserId(2)]);
+        assert_eq!(net.num_edges(), 3);
+        assert_eq!(net.num_users(), 2);
+        assert!(net.friends_of(UserId(99)).is_empty());
+    }
+
+    #[test]
+    fn explicit_networks_only_contain_declared_friends() {
+        let trace = TraceGenerator::new(TraceConfig::tiny(3)).generate();
+        let cfg = P3qConfig::tiny();
+        let net = random_graph(trace.dataset.num_users(), 4, 1);
+        let budgets = vec![2usize; trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 5);
+        init_explicit_networks(&mut sim, &net);
+        for idx in 0..sim.num_nodes() {
+            let node = sim.node(idx);
+            let declared: HashSet<UserId> =
+                net.friends_of(UserId::from_index(idx)).iter().copied().collect();
+            for peer in node.network_peers() {
+                assert!(declared.contains(&peer));
+            }
+            assert!(node.stored_profile_count() <= 2);
+        }
+    }
+
+    #[test]
+    fn eager_mode_alone_answers_queries_over_explicit_networks() {
+        let mut trace_cfg = TraceConfig::tiny(13);
+        trace_cfg.num_users = 80;
+        let trace = TraceGenerator::new(trace_cfg).generate();
+        let cfg = P3qConfig::tiny();
+        let net = random_graph(trace.dataset.num_users(), 6, 2);
+        let budgets = vec![2usize; trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 7);
+        init_explicit_networks(&mut sim, &net);
+
+        let mut queries = QueryGenerator::new(5).one_query_per_user(&trace.dataset);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        queries.shuffle(&mut rng);
+        let queries: Vec<Query> = queries.into_iter().take(8).collect();
+        // The reference counts the friends present in the (bounded) personal
+        // network *at query time* — the eager mode's piggybacked maintenance
+        // may later discover better implicit neighbours and evict friends,
+        // but the query is defined over the network it was issued on.
+        let mut references = Vec::new();
+        for query in &queries {
+            let node_peers: HashSet<UserId> = sim
+                .node(query.querier.index())
+                .network_peers()
+                .into_iter()
+                .collect();
+            let profiles = node_peers.iter().map(|&u| trace.dataset.profile(u));
+            let mut reference = full_relevance_scores(profiles, query);
+            reference.truncate(cfg.top_k);
+            references.push(reference);
+        }
+        for (i, query) in queries.iter().enumerate() {
+            issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+        }
+        run_eager_until_complete(&mut sim, &cfg, 60, |_, _| {});
+
+        for (i, query) in queries.iter().enumerate() {
+            let reference = references[i].clone();
+
+            let state = sim
+                .node_mut(query.querier.index())
+                .querier_states
+                .get_mut(&QueryId(i as u64))
+                .unwrap();
+            assert!(state.is_complete(), "query {i} incomplete");
+            let items: Vec<ItemId> = state
+                .nra
+                .topk_exhaustive(cfg.top_k)
+                .iter()
+                .map(|r| r.item)
+                .collect();
+            assert!(
+                (recall_at_k(&items, &reference) - 1.0).abs() < 1e-9,
+                "query {i} over an explicit network did not reach recall 1"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_reference_respects_k() {
+        let trace = TraceGenerator::new(TraceConfig::tiny(4)).generate();
+        let net = random_graph(trace.dataset.num_users(), 5, 9);
+        let queries = QueryGenerator::new(2).one_query_per_user(&trace.dataset);
+        for q in queries.iter().take(5) {
+            let top = explicit_reference_topk(&trace.dataset, &net, q, 3);
+            assert!(top.len() <= 3);
+            for pair in top.windows(2) {
+                assert!(pair[0].1 >= pair[1].1);
+            }
+        }
+    }
+}

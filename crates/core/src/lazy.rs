@@ -1,0 +1,516 @@
+//! The lazy gossip mode: personal-network maintenance (Section 2.2.1,
+//! Algorithm 1).
+//!
+//! Every lazy cycle a node runs two layers in parallel:
+//!
+//! * the **bottom layer** (random peer sampling) shuffles its random view
+//!   with a uniformly random member of that view, keeping the overlay
+//!   connected and exposing fresh candidate neighbours;
+//! * the **top layer** gossips with the personal-network neighbour it has
+//!   not contacted for the longest time and exchanges a random subset of its
+//!   stored profiles, following the 3-step protocol of Algorithm 1 (digests →
+//!   tagging actions on common items → full profiles for the top-`c`
+//!   neighbours), and probes the random-view members whose digest reveals a
+//!   shared item.
+//!
+//! All functions operate on a [`Simulator<P3qNode>`] so the same code is used
+//! by the convergence experiment (Figure 2), the dynamics experiments
+//! (Figures 7, 9, 10, Table 2) and — with different traffic categories — by
+//! the maintenance piggybacked on eager gossip.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use p3q_bloom::BloomFilter;
+use p3q_gossip::peer_sampling;
+use p3q_sim::Simulator;
+use p3q_trace::{Profile, UserId};
+
+use crate::bandwidth::{category, digest_bytes, tagging_actions_bytes};
+use crate::config::P3qConfig;
+use crate::node::{DigestInfo, P3qNode};
+use crate::scoring::similarity;
+
+/// One profile proposed during a gossip exchange: the owner, her digest and
+/// the proposer's stored copy of her profile.
+#[derive(Debug, Clone)]
+pub struct ProfileOffer {
+    /// The user the profile belongs to.
+    pub user: UserId,
+    /// Digest of the offered profile copy.
+    pub digest: BloomFilter,
+    /// Version of the offered profile copy.
+    pub version: u64,
+    /// The profile copy itself (available on request in steps 2–3).
+    pub profile: Profile,
+}
+
+/// Byte counts of one side of a gossip exchange, split by protocol step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Bytes of profile digests received (step 1).
+    pub digest_bytes: usize,
+    /// Bytes of tagging actions on common items received (step 2).
+    pub common_bytes: usize,
+    /// Bytes of full profiles received for storage (step 3).
+    pub profile_bytes: usize,
+    /// Number of candidates whose score was computed.
+    pub candidates_scored: usize,
+    /// Number of profiles newly stored or refreshed.
+    pub profiles_stored: usize,
+}
+
+impl ExchangeStats {
+    /// Total bytes across the three steps.
+    pub fn total_bytes(&self) -> usize {
+        self.digest_bytes + self.common_bytes + self.profile_bytes
+    }
+}
+
+/// Collects the profiles a node proposes in one gossip exchange: a random
+/// subset of at most `limit` stored profiles, plus the node's own profile.
+pub fn collect_offers(node: &P3qNode, limit: usize, rng: &mut StdRng) -> Vec<ProfileOffer> {
+    let mut stored: Vec<ProfileOffer> = node
+        .stored_profiles()
+        .map(|(user, profile, version)| ProfileOffer {
+            user,
+            digest: node
+                .personal_network
+                .get(&user)
+                .map(|e| e.meta.digest.clone())
+                .unwrap_or_else(|| profile.digest(1, 1)),
+            version,
+            profile: profile.clone(),
+        })
+        .collect();
+    stored.shuffle(rng);
+    stored.truncate(limit);
+    stored.push(ProfileOffer {
+        user: node.id,
+        digest: node.digest().clone(),
+        version: node.profile_version(),
+        profile: node.profile().clone(),
+    });
+    stored
+}
+
+/// Processes the profiles received in a gossip exchange, following the
+/// 3-step protocol of Algorithm 1, and returns the byte counts incurred.
+pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeStats {
+    let mut stats = ExchangeStats::default();
+    for offer in offers {
+        if offer.user == node.id {
+            continue;
+        }
+        // Step 1: the digest always travels.
+        stats.digest_bytes += offer.digest.size_bytes();
+
+        // Lines 4–9: known neighbour with an unchanged digest → drop.
+        if let Some(entry) = node.personal_network.get(&offer.user) {
+            if entry.meta.digest == offer.digest {
+                continue;
+            }
+        }
+        // Lines 10–11: no common item → drop. The digest is the only
+        // information available at this point, so the check uses it (false
+        // positives are possible and simply cost a step-2 exchange).
+        let shares_item = node
+            .profile()
+            .items()
+            .any(|item| offer.digest.contains(item.as_key()));
+        if !shares_item && !node.personal_network.contains(&offer.user) {
+            continue;
+        }
+
+        // Step 2 (lines 16–26): fetch the tagging actions for the common
+        // items and compute the exact similarity score.
+        let common_actions = node.profile().common_action_list(&offer.profile);
+        stats.common_bytes += tagging_actions_bytes(common_actions.len());
+        stats.candidates_scored += 1;
+        let score = similarity(node.profile(), &offer.profile);
+        if score == 0 {
+            // The digest check was a false positive; nothing to add.
+            continue;
+        }
+        let accepted =
+            node.record_neighbour(offer.user, score, offer.digest.clone(), offer.version);
+        if !accepted {
+            continue;
+        }
+
+        // Step 3 (lines 27–31): fetch the rest of the profile if the
+        // neighbour ranks within the storage budget, or if a stored copy is
+        // stale.
+        let rank = node.personal_network.rank_of(&offer.user).unwrap_or(usize::MAX);
+        if rank < node.storage_budget() {
+            let cached_version = node
+                .personal_network
+                .get(&offer.user)
+                .map(|e| e.meta.profile_version)
+                .unwrap_or(0);
+            let has_fresh_copy =
+                node.has_stored_profile(&offer.user) && cached_version >= offer.version;
+            if !has_fresh_copy {
+                let rest = offer.profile.len().saturating_sub(common_actions.len());
+                stats.profile_bytes += tagging_actions_bytes(rest);
+                if node.store_profile(offer.user, offer.profile.clone(), offer.version) {
+                    stats.profiles_stored += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Runs the bottom layer (random peer sampling) step of one node.
+fn bottom_layer_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) {
+    let mut rng = sim.derived_rng(idx as u64);
+    let partner = {
+        let node = sim.node(idx);
+        peer_sampling::pick_partner(&node.random_view, &mut rng)
+    };
+    let Some(partner) = partner else { return };
+    let partner_idx = partner.index();
+    if partner_idx == idx || !sim.is_alive(partner_idx) {
+        return;
+    }
+    let cycle = sim.cycle();
+    {
+        let (a, b) = sim.pair_mut(idx, partner_idx);
+        let a_info = DigestInfo {
+            digest: a.digest().clone(),
+            version: a.profile_version(),
+        };
+        let b_info = DigestInfo {
+            digest: b.digest().clone(),
+            version: b.profile_version(),
+        };
+        a.random_view.tick();
+        b.random_view.tick();
+        peer_sampling::shuffle(
+            a.id,
+            &mut a.random_view,
+            b.id,
+            &mut b.random_view,
+            a_info,
+            b_info,
+            &mut rng,
+        );
+    }
+    // Each side ships r digests (paper: "10 profile digests of 25K bytes").
+    let payload = cfg.random_view_size * digest_bytes(cfg.digest_bits);
+    sim.bandwidth
+        .record(idx, cycle, category::RPS_DIGESTS, payload);
+    sim.bandwidth
+        .record(partner_idx, cycle, category::RPS_DIGESTS, payload);
+}
+
+/// Runs the top layer (similarity gossip, Algorithm 1) step of one node.
+/// Returns the partner index if a gossip exchange took place.
+fn top_layer_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) -> Option<usize> {
+    let mut rng = sim.derived_rng(0x7070_0000 ^ idx as u64);
+    let partner = {
+        let node = sim.node_mut(idx);
+        node.personal_network.tick();
+        node.personal_network.select_oldest_and_reset()
+    };
+    let Some(partner) = partner else {
+        probe_random_view(sim, idx, cfg);
+        return None;
+    };
+    let partner_idx = partner.index();
+    if partner_idx == idx || !sim.is_alive(partner_idx) {
+        probe_random_view(sim, idx, cfg);
+        return None;
+    }
+
+    gossip_pair(
+        sim,
+        idx,
+        partner_idx,
+        cfg,
+        &mut rng,
+        category::LAZY_DIGESTS,
+        category::LAZY_COMMON,
+        category::LAZY_PROFILES,
+    );
+    probe_random_view(sim, idx, cfg);
+    Some(partner_idx)
+}
+
+/// Performs a symmetric profile-gossip exchange between two nodes and records
+/// the traffic under the given categories. Used by both the lazy mode and the
+/// maintenance piggybacked on eager gossip.
+#[allow(clippy::too_many_arguments)]
+pub fn gossip_pair(
+    sim: &mut Simulator<P3qNode>,
+    a_idx: usize,
+    b_idx: usize,
+    cfg: &P3qConfig,
+    rng: &mut StdRng,
+    digest_cat: &'static str,
+    common_cat: &'static str,
+    profile_cat: &'static str,
+) {
+    let cycle = sim.cycle();
+    let (a_stats, b_stats) = {
+        let (a, b) = sim.pair_mut(a_idx, b_idx);
+        let offers_from_a = collect_offers(a, cfg.profiles_per_gossip, rng);
+        let offers_from_b = collect_offers(b, cfg.profiles_per_gossip, rng);
+        let a_stats = process_offers(a, &offers_from_b);
+        let b_stats = process_offers(b, &offers_from_a);
+        (a_stats, b_stats)
+    };
+    for (node_idx, stats) in [(a_idx, a_stats), (b_idx, b_stats)] {
+        sim.bandwidth
+            .record(node_idx, cycle, digest_cat, stats.digest_bytes);
+        if stats.common_bytes > 0 {
+            sim.bandwidth
+                .record(node_idx, cycle, common_cat, stats.common_bytes);
+        }
+        if stats.profile_bytes > 0 {
+            sim.bandwidth
+                .record(node_idx, cycle, profile_cat, stats.profile_bytes);
+        }
+    }
+}
+
+/// Probes the random view: any member whose digest shares an item with the
+/// node is contacted directly for her profile and considered as a
+/// personal-network candidate (Section 2.2.1).
+fn probe_random_view(sim: &mut Simulator<P3qNode>, idx: usize, _cfg: &P3qConfig) {
+    let cycle = sim.cycle();
+    let candidates: Vec<(UserId, BloomFilter)> = sim
+        .node(idx)
+        .random_view
+        .iter()
+        .map(|e| (e.peer, e.meta.digest.clone()))
+        .collect();
+    for (peer, digest) in candidates {
+        let peer_idx = peer.index();
+        if peer_idx == idx || peer_idx >= sim.num_nodes() || !sim.is_alive(peer_idx) {
+            continue;
+        }
+        let shares_item = sim
+            .node(idx)
+            .profile()
+            .items()
+            .any(|item| digest.contains(item.as_key()));
+        if !shares_item {
+            continue;
+        }
+        let (peer_profile, peer_digest, peer_version) = {
+            let peer_node = sim.node(peer_idx);
+            (
+                peer_node.profile().clone(),
+                peer_node.digest().clone(),
+                peer_node.profile_version(),
+            )
+        };
+        let me = sim.node_mut(idx);
+        let common = me.profile().common_action_list(&peer_profile);
+        let score = common.len() as u64;
+        let mut common_bytes = tagging_actions_bytes(common.len());
+        let mut profile_bytes = 0usize;
+        if score > 0 && me.record_neighbour(peer, score, peer_digest, peer_version) {
+            let rank = me.personal_network.rank_of(&peer).unwrap_or(usize::MAX);
+            if rank < me.storage_budget() && !me.has_stored_profile(&peer) {
+                profile_bytes =
+                    tagging_actions_bytes(peer_profile.len().saturating_sub(common.len()));
+                me.store_profile(peer, peer_profile, peer_version);
+            }
+        } else {
+            // The digest matched but the profiles share nothing: the step-2
+            // exchange still happened (false positive cost).
+            common_bytes = common_bytes.max(tagging_actions_bytes(1));
+        }
+        sim.bandwidth
+            .record(idx, cycle, category::LAZY_COMMON, common_bytes);
+        if profile_bytes > 0 {
+            sim.bandwidth
+                .record(idx, cycle, category::LAZY_PROFILES, profile_bytes);
+        }
+    }
+}
+
+/// Runs one full lazy-mode cycle: every alive node executes the bottom and
+/// top layers.
+pub fn run_lazy_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) {
+    sim.run_cycle(|sim, idx| {
+        bottom_layer_step(sim, idx, cfg);
+        let _ = top_layer_step(sim, idx, cfg);
+    });
+}
+
+/// Runs `cycles` lazy-mode cycles, invoking `on_cycle_end(sim, cycle_index)`
+/// after each one (used by the harness to sample per-cycle metrics).
+pub fn run_lazy_cycles<F: FnMut(&mut Simulator<P3qNode>, u64)>(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    cycles: u64,
+    mut on_cycle_end: F,
+) {
+    for _ in 0..cycles {
+        run_lazy_cycle(sim, cfg);
+        let cycle = sim.cycle();
+        on_cycle_end(sim, cycle);
+    }
+}
+
+/// Seeds every node's random view with `r` uniformly random alive peers (the
+/// paper assumes users first discover arbitrary contacts through the peer
+/// sampling service).
+pub fn bootstrap_random_views(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig, rng: &mut StdRng) {
+    let n = sim.num_nodes();
+    for idx in 0..n {
+        if !sim.is_alive(idx) {
+            continue;
+        }
+        let mut picked = Vec::new();
+        while picked.len() < cfg.random_view_size.min(n.saturating_sub(1)) {
+            let other = rng.gen_range(0..n);
+            if other != idx && !picked.contains(&other) && sim.is_alive(other) {
+                picked.push(other);
+            }
+        }
+        for other in picked {
+            let info = {
+                let peer = sim.node(other);
+                DigestInfo {
+                    digest: peer.digest().clone(),
+                    version: peer.profile_version(),
+                }
+            };
+            sim.node_mut(idx)
+                .random_view
+                .insert(UserId::from_index(other), info);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::build_simulator;
+    use crate::metrics::average_success_ratio;
+    use crate::storage::StorageDistribution;
+    use crate::baseline::IdealNetworks;
+    use p3q_trace::{TraceConfig, TraceGenerator};
+    use rand::SeedableRng;
+
+    fn small_sim() -> (Simulator<P3qNode>, P3qConfig, p3q_trace::Dataset) {
+        let trace = TraceGenerator::new(TraceConfig::tiny(17)).generate();
+        let cfg = P3qConfig::tiny();
+        let sim = build_simulator(
+            &trace.dataset,
+            &cfg,
+            &StorageDistribution::Uniform(1000),
+            99,
+        );
+        (sim, cfg, trace.dataset)
+    }
+
+    #[test]
+    fn collect_offers_includes_own_profile_and_respects_limit() {
+        let (sim, _cfg, _) = small_sim();
+        let mut rng = StdRng::seed_from_u64(0);
+        let offers = collect_offers(sim.node(0), 3, &mut rng);
+        assert!(offers.iter().any(|o| o.user == sim.node(0).id));
+        assert!(offers.len() <= 4);
+    }
+
+    #[test]
+    fn process_offers_adds_similar_neighbours() {
+        let (mut sim, _cfg, dataset) = small_sim();
+        // Offer node 0 the profile of a user that certainly shares something:
+        // its own strongest ideal neighbour.
+        let ideal = IdealNetworks::compute(&dataset, 10);
+        let Some(&(best, score)) = ideal.network_of(UserId(0)).first() else {
+            return; // degenerate trace; nothing to assert
+        };
+        let offer = {
+            let peer = sim.node(best.index());
+            ProfileOffer {
+                user: peer.id,
+                digest: peer.digest().clone(),
+                version: peer.profile_version(),
+                profile: peer.profile().clone(),
+            }
+        };
+        let stats = process_offers(sim.node_mut(0), &[offer]);
+        assert_eq!(stats.candidates_scored, 1);
+        assert!(stats.digest_bytes > 0);
+        assert!(sim.node(0).personal_network.contains(&best));
+        assert_eq!(
+            sim.node(0).personal_network.get(&best).unwrap().score,
+            score
+        );
+    }
+
+    #[test]
+    fn unchanged_digest_is_dropped_without_rescoring() {
+        let (mut sim, _cfg, dataset) = small_sim();
+        let ideal = IdealNetworks::compute(&dataset, 10);
+        let Some(&(best, _)) = ideal.network_of(UserId(0)).first() else {
+            return;
+        };
+        let offer = {
+            let peer = sim.node(best.index());
+            ProfileOffer {
+                user: peer.id,
+                digest: peer.digest().clone(),
+                version: peer.profile_version(),
+                profile: peer.profile().clone(),
+            }
+        };
+        let first = process_offers(sim.node_mut(0), std::slice::from_ref(&offer));
+        assert_eq!(first.candidates_scored, 1);
+        // Re-offering the identical digest must be dropped at step 1.
+        let second = process_offers(sim.node_mut(0), &[offer]);
+        assert_eq!(second.candidates_scored, 0);
+        assert_eq!(second.common_bytes, 0);
+    }
+
+    #[test]
+    fn lazy_cycles_grow_personal_networks_towards_ideal() {
+        let (mut sim, cfg, dataset) = small_sim();
+        let ideal = IdealNetworks::compute(&dataset, cfg.personal_network_size);
+        let mut rng = StdRng::seed_from_u64(5);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        let before = average_success_ratio(sim.nodes().iter(), &ideal);
+        run_lazy_cycles(&mut sim, &cfg, 15, |_, _| {});
+        let after = average_success_ratio(sim.nodes().iter(), &ideal);
+        assert!(
+            after > before,
+            "success ratio did not improve: {before} -> {after}"
+        );
+        assert!(after > 0.3, "convergence too slow: {after}");
+    }
+
+    #[test]
+    fn lazy_cycles_record_bandwidth() {
+        let (mut sim, cfg, _) = small_sim();
+        let mut rng = StdRng::seed_from_u64(5);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        run_lazy_cycles(&mut sim, &cfg, 3, |_, _| {});
+        let (bytes, messages) = sim.bandwidth.totals();
+        assert!(bytes > 0);
+        assert!(messages > 0);
+        assert!(sim.bandwidth.category_bytes(category::RPS_DIGESTS) > 0);
+    }
+
+    #[test]
+    fn bootstrap_fills_random_views() {
+        let (mut sim, cfg, _) = small_sim();
+        let mut rng = StdRng::seed_from_u64(1);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        for idx in 0..sim.num_nodes() {
+            assert!(
+                sim.node(idx).random_view.len() >= cfg.random_view_size.min(sim.num_nodes() - 1),
+                "random view of node {idx} not filled"
+            );
+            assert!(!sim.node(idx).random_view.contains(&UserId::from_index(idx)));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! # P3Q — Gossiping Personalized Queries
+//!
+//! A from-scratch Rust reproduction of **"Gossiping Personalized Queries"**
+//! (Xiao Bai, Marin Bertier, Rachid Guerraoui, Anne-Marie Kermarrec, Vincent
+//! Leroy — EDBT 2010): a fully decentralized, gossip-based protocol for
+//! personalized top-k query processing in collaborative tagging systems.
+//!
+//! ## Protocol in one paragraph
+//!
+//! Every user maintains a **personal network** of the `s` users with the most
+//! similar tagging behaviour (similarity = number of common `(item, tag)`
+//! actions) but stores the full profiles of only the `c` most similar ones; a
+//! **random view** maintained by a peer-sampling layer keeps the overlay
+//! connected. A **lazy** gossip mode (low frequency) discovers and refreshes
+//! the personal network with a 3-step digest → common-items → full-profile
+//! exchange; an **eager** mode (on demand, high frequency) processes queries
+//! by gossiping a *remaining list* of still-needed profiles along the
+//! personal network, with every reached user resolving what she stores,
+//! sending a partial result list straight to the querier and splitting the
+//! rest with a parameter `α`. The querier merges the asynchronously arriving
+//! lists with an incremental NRA and refreshes its top-k every cycle.
+//!
+//! ## Crate layout
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`config`] | 2.1, 3.1.2 | protocol parameters (`s`, `r`, `c`, `α`, …) |
+//! | [`storage`] | 3.1.2, Table 1 | uniform / Poisson storage scenarios |
+//! | [`node`] | 2.1, Figure 1 | per-user state (profile, personal network, random view) |
+//! | [`scoring`] | 2.1, 2.3 | similarity and relevance scores |
+//! | [`lazy`] | 2.2.1, Algorithm 1 | personal-network maintenance |
+//! | [`eager`] | 2.2.2, Algorithms 2–3 | collaborative query processing |
+//! | [`query`] | 2.2.2, 2.3 | querier-side state, remaining lists |
+//! | [`baseline`] | 3.2 | ideal networks and the centralized reference |
+//! | [`metrics`] | 3.2, 3.4 | success ratio, recall, AUR, network refresh |
+//! | [`bandwidth`] | 3.3 | the paper's wire-size model and traffic categories |
+//! | [`analysis`] | 2.4 | Theorems 2.1–2.4 in closed form |
+//! | [`experiment`] | 3.1 | simulator construction and initialisation helpers |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use p3q::prelude::*;
+//!
+//! // 1. A small synthetic delicious-like trace.
+//! let trace = TraceGenerator::new(TraceConfig::tiny(42)).generate();
+//! let cfg = P3qConfig::tiny();
+//!
+//! // 2. Build the simulated P3Q network, with every user storing at most
+//! //    two neighbour profiles, and give every user her ideal personal
+//! //    network (as after lazy-mode convergence).
+//! let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+//! let budgets = vec![2; trace.dataset.num_users()];
+//! let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 7);
+//! init_ideal_networks(&mut sim, &ideal);
+//!
+//! // 3. Issue one user's query and gossip it to completion.
+//! let query = QueryGenerator::new(1)
+//!     .one_query_per_user(&trace.dataset)
+//!     .into_iter()
+//!     .next()
+//!     .unwrap();
+//! let querier = query.querier.index();
+//! issue_query(&mut sim, querier, QueryId(0), query.clone(), &cfg);
+//! run_eager_until_complete(&mut sim, &cfg, 50, |_, _| {});
+//!
+//! // 4. The decentralized result matches the centralized reference.
+//! let reference = centralized_topk(&trace.dataset, &ideal, &query, cfg.top_k);
+//! let state = sim.node_mut(querier).querier_states.get_mut(&QueryId(0)).unwrap();
+//! let items: Vec<_> = state.nra.topk_exhaustive(cfg.top_k).iter().map(|r| r.item).collect();
+//! assert_eq!(p3q::metrics::recall_at_k(&items, &reference), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bandwidth;
+pub mod baseline;
+pub mod config;
+pub mod eager;
+pub mod experiment;
+pub mod explicit;
+pub mod lazy;
+pub mod metrics;
+pub mod node;
+pub mod query;
+pub mod scoring;
+pub mod storage;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::analysis::{cycles_to_completion, OPTIMAL_ALPHA};
+    pub use crate::baseline::{centralized_topk, IdealNetworks};
+    pub use crate::config::P3qConfig;
+    pub use crate::eager::{
+        issue_query, querier_state, run_eager_cycle, run_eager_until_complete,
+    };
+    pub use crate::experiment::{
+        build_simulator, build_simulator_with_budgets, full_network_requirements,
+        init_ideal_networks, storage_requirements,
+    };
+    pub use crate::lazy::{bootstrap_random_views, run_lazy_cycle, run_lazy_cycles};
+    pub use crate::metrics::{
+        average_success_ratio, average_update_rate, network_refresh_ratio, recall_at_k,
+        success_ratio,
+    };
+    pub use crate::node::P3qNode;
+    pub use crate::query::{QuerierState, QueryId};
+    pub use crate::storage::StorageDistribution;
+    pub use p3q_sim::Simulator;
+    pub use p3q_trace::{
+        Dataset, DynamicsConfig, DynamicsGenerator, ItemId, Profile, Query, QueryGenerator,
+        TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,
+    };
+}

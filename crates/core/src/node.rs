@@ -1,0 +1,353 @@
+//! Per-user protocol state: own profile, personal network, random view and
+//! bounded profile storage.
+
+use std::collections::HashMap;
+
+use p3q_bloom::BloomFilter;
+use p3q_gossip::{AgedView, ScoredView};
+use p3q_trace::{Profile, TaggingAction, UserId};
+
+use crate::query::{QuerierState, QueryId, RemainingTask};
+
+/// Digest metadata carried by random-view entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestInfo {
+    /// The peer's profile digest (Bloom filter over its items).
+    pub digest: BloomFilter,
+    /// Version of the peer's profile when the digest was taken.
+    pub version: u64,
+}
+
+/// Metadata attached to every personal-network neighbour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighbourInfo {
+    /// The neighbour's profile digest.
+    pub digest: BloomFilter,
+    /// Version of the neighbour's profile when the digest was taken.
+    pub digest_version: u64,
+    /// Cached copy of the neighbour's full profile, present only for the `c`
+    /// most similar neighbours (the node's storage budget).
+    pub profile: Option<Profile>,
+    /// Version of the neighbour's profile when the cached copy was taken.
+    pub profile_version: u64,
+}
+
+impl NeighbourInfo {
+    /// Metadata for a neighbour known only by digest.
+    pub fn digest_only(digest: BloomFilter, version: u64) -> Self {
+        Self {
+            digest,
+            digest_version: version,
+            profile: None,
+            profile_version: 0,
+        }
+    }
+}
+
+/// The complete local state of one P3Q user (Figure 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct P3qNode {
+    /// The user this node belongs to.
+    pub id: UserId,
+    profile: Profile,
+    profile_version: u64,
+    digest: BloomFilter,
+    digest_bits: usize,
+    digest_hashes: u32,
+    storage_budget: usize,
+    /// The personal network: up to `s` most similar neighbours.
+    pub personal_network: ScoredView<UserId, NeighbourInfo>,
+    /// The random view maintained by the peer-sampling layer.
+    pub random_view: AgedView<UserId, DigestInfo>,
+    /// Queries this node issued and is still collecting results for.
+    pub querier_states: HashMap<QueryId, QuerierState>,
+    /// Remaining-list shares this node took over for other users' queries.
+    pub tasks: HashMap<QueryId, RemainingTask>,
+}
+
+impl P3qNode {
+    /// Creates a node.
+    ///
+    /// * `personal_network_size` — the `s` parameter;
+    /// * `random_view_size` — the `r` parameter;
+    /// * `storage_budget` — the `c` parameter (how many full profiles this
+    ///   user is willing to store);
+    /// * `digest_bits` / `digest_hashes` — Bloom-filter geometry of profile
+    ///   digests.
+    pub fn new(
+        id: UserId,
+        profile: Profile,
+        personal_network_size: usize,
+        random_view_size: usize,
+        storage_budget: usize,
+        digest_bits: usize,
+        digest_hashes: u32,
+    ) -> Self {
+        let digest = profile.digest(digest_bits, digest_hashes);
+        Self {
+            id,
+            profile,
+            profile_version: 1,
+            digest,
+            digest_bits,
+            digest_hashes,
+            storage_budget: storage_budget.max(1),
+            personal_network: ScoredView::new(personal_network_size.max(1)),
+            random_view: AgedView::new(random_view_size.max(1)),
+            querier_states: HashMap::new(),
+            tasks: HashMap::new(),
+        }
+    }
+
+    /// The node's own profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Monotonically increasing version of the node's own profile.
+    pub fn profile_version(&self) -> u64 {
+        self.profile_version
+    }
+
+    /// The node's own profile digest (kept in sync with the profile).
+    pub fn digest(&self) -> &BloomFilter {
+        &self.digest
+    }
+
+    /// The node's storage budget `c`.
+    pub fn storage_budget(&self) -> usize {
+        self.storage_budget
+    }
+
+    /// Changes the storage budget and re-applies the storage rule.
+    pub fn set_storage_budget(&mut self, budget: usize) {
+        self.storage_budget = budget.max(1);
+        self.enforce_storage_budget();
+    }
+
+    /// Adds new tagging actions to the node's own profile (profile dynamics),
+    /// bumping its version and refreshing the digest. Returns the number of
+    /// genuinely new actions.
+    pub fn add_tagging_actions<I: IntoIterator<Item = TaggingAction>>(
+        &mut self,
+        actions: I,
+    ) -> usize {
+        let added = self.profile.extend(actions);
+        if added > 0 {
+            self.profile_version += 1;
+            self.digest = self.profile.digest(self.digest_bits, self.digest_hashes);
+        }
+        added
+    }
+
+    /// Inserts or refreshes a neighbour in the personal network with a new
+    /// similarity score and digest, preserving any cached profile copy.
+    ///
+    /// Returns `true` if the neighbour is part of the personal network after
+    /// the call (it may be rejected if the network is full of better
+    /// neighbours).
+    pub fn record_neighbour(
+        &mut self,
+        peer: UserId,
+        score: u64,
+        digest: BloomFilter,
+        digest_version: u64,
+    ) -> bool {
+        let (profile, profile_version) = match self.personal_network.get(&peer) {
+            Some(entry) => (entry.meta.profile.clone(), entry.meta.profile_version),
+            None => (None, 0),
+        };
+        self.personal_network.upsert(
+            peer,
+            score,
+            NeighbourInfo {
+                digest,
+                digest_version,
+                profile,
+                profile_version,
+            },
+        )
+    }
+
+    /// Stores (or refreshes) the full profile of a personal-network
+    /// neighbour. The storage rule (only the `c` best neighbours keep a full
+    /// profile) is re-applied afterwards; returns `true` if the copy was kept.
+    pub fn store_profile(&mut self, peer: UserId, profile: Profile, version: u64) -> bool {
+        let Some(entry) = self.personal_network.get_mut(&peer) else {
+            return false;
+        };
+        entry.meta.profile = Some(profile);
+        entry.meta.profile_version = version;
+        self.enforce_storage_budget();
+        self.has_stored_profile(&peer)
+    }
+
+    /// Applies the storage rule: only the `c` most similar neighbours keep a
+    /// cached profile copy.
+    pub fn enforce_storage_budget(&mut self) {
+        let keep: Vec<UserId> = self.personal_network.top_peers(self.storage_budget);
+        let drop_peers: Vec<UserId> = self
+            .personal_network
+            .iter()
+            .filter(|e| e.meta.profile.is_some() && !keep.contains(&e.peer))
+            .map(|e| e.peer)
+            .collect();
+        for peer in drop_peers {
+            if let Some(entry) = self.personal_network.get_mut(&peer) {
+                entry.meta.profile = None;
+                entry.meta.profile_version = 0;
+            }
+        }
+    }
+
+    /// Returns `true` if the full profile of `peer` is stored locally.
+    pub fn has_stored_profile(&self, peer: &UserId) -> bool {
+        self.personal_network
+            .get(peer)
+            .is_some_and(|e| e.meta.profile.is_some())
+    }
+
+    /// The cached profile of `peer`, if stored.
+    pub fn stored_profile(&self, peer: &UserId) -> Option<&Profile> {
+        self.personal_network
+            .get(peer)
+            .and_then(|e| e.meta.profile.as_ref())
+    }
+
+    /// Iterates over `(peer, cached profile, cached version)` for every
+    /// stored neighbour profile.
+    pub fn stored_profiles(&self) -> impl Iterator<Item = (UserId, &Profile, u64)> {
+        self.personal_network.iter().filter_map(|e| {
+            e.meta
+                .profile
+                .as_ref()
+                .map(|p| (e.peer, p, e.meta.profile_version))
+        })
+    }
+
+    /// Number of stored neighbour profiles.
+    pub fn stored_profile_count(&self) -> usize {
+        self.stored_profiles().count()
+    }
+
+    /// Personal-network neighbours whose profiles are *not* stored locally —
+    /// the initial remaining list of any query this node issues.
+    pub fn unstored_network_peers(&self) -> Vec<UserId> {
+        self.personal_network
+            .iter()
+            .filter(|e| e.meta.profile.is_none())
+            .map(|e| e.peer)
+            .collect()
+    }
+
+    /// All personal-network neighbours (descending similarity).
+    pub fn network_peers(&self) -> Vec<UserId> {
+        self.personal_network.peers().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3q_trace::{ItemId, TagId};
+
+    fn profile(actions: &[(u32, u32)]) -> Profile {
+        Profile::from_actions(
+            actions
+                .iter()
+                .map(|&(i, t)| TaggingAction::new(ItemId(i), TagId(t))),
+        )
+    }
+
+    fn node(c: usize) -> P3qNode {
+        P3qNode::new(
+            UserId(0),
+            profile(&[(1, 1), (2, 2)]),
+            5,
+            3,
+            c,
+            1024,
+            4,
+        )
+    }
+
+    #[test]
+    fn digest_tracks_own_profile() {
+        let mut n = node(2);
+        assert!(n.digest().contains(ItemId(1).as_key()));
+        assert!(!n.digest().contains(ItemId(9).as_key()));
+        let v0 = n.profile_version();
+        let added = n.add_tagging_actions(vec![TaggingAction::new(ItemId(9), TagId(1))]);
+        assert_eq!(added, 1);
+        assert_eq!(n.profile_version(), v0 + 1);
+        assert!(n.digest().contains(ItemId(9).as_key()));
+        // Re-adding the same action changes nothing.
+        assert_eq!(
+            n.add_tagging_actions(vec![TaggingAction::new(ItemId(9), TagId(1))]),
+            0
+        );
+        assert_eq!(n.profile_version(), v0 + 1);
+    }
+
+    #[test]
+    fn record_neighbour_preserves_cached_profile() {
+        let mut n = node(2);
+        let d = profile(&[(5, 5)]).digest(1024, 4);
+        assert!(n.record_neighbour(UserId(1), 3, d.clone(), 1));
+        assert!(n.store_profile(UserId(1), profile(&[(5, 5)]), 1));
+        // Refreshing the score must not drop the stored profile.
+        assert!(n.record_neighbour(UserId(1), 7, d, 2));
+        assert!(n.has_stored_profile(&UserId(1)));
+        assert_eq!(n.stored_profile(&UserId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn storage_budget_keeps_only_top_c_profiles() {
+        let mut n = node(2);
+        for (peer, score) in [(1u32, 10u64), (2, 20), (3, 30)] {
+            let p = profile(&[(peer, peer)]);
+            let d = p.digest(1024, 4);
+            n.record_neighbour(UserId(peer), score, d, 1);
+            n.store_profile(UserId(peer), p, 1);
+        }
+        // Only the two best-scored neighbours (3 and 2) may keep a profile.
+        assert_eq!(n.stored_profile_count(), 2);
+        assert!(n.has_stored_profile(&UserId(3)));
+        assert!(n.has_stored_profile(&UserId(2)));
+        assert!(!n.has_stored_profile(&UserId(1)));
+        assert_eq!(n.unstored_network_peers(), vec![UserId(1)]);
+    }
+
+    #[test]
+    fn store_profile_for_unknown_peer_is_rejected() {
+        let mut n = node(2);
+        assert!(!n.store_profile(UserId(9), profile(&[(1, 1)]), 1));
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_profiles() {
+        let mut n = node(3);
+        for (peer, score) in [(1u32, 10u64), (2, 20), (3, 30)] {
+            let p = profile(&[(peer, peer)]);
+            let d = p.digest(1024, 4);
+            n.record_neighbour(UserId(peer), score, d, 1);
+            n.store_profile(UserId(peer), p, 1);
+        }
+        assert_eq!(n.stored_profile_count(), 3);
+        n.set_storage_budget(1);
+        assert_eq!(n.stored_profile_count(), 1);
+        assert!(n.has_stored_profile(&UserId(3)));
+    }
+
+    #[test]
+    fn network_capacity_is_bounded_by_s() {
+        let mut n = node(3);
+        for peer in 1..=10u32 {
+            let p = profile(&[(peer, peer)]);
+            n.record_neighbour(UserId(peer), peer as u64, p.digest(1024, 4), 1);
+        }
+        // s = 5 in the fixture.
+        assert_eq!(n.network_peers().len(), 5);
+        assert_eq!(n.network_peers()[0], UserId(10));
+    }
+}

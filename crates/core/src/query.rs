@@ -1,0 +1,210 @@
+//! Query-side state: what the querier and every helping user keep while a
+//! query is being processed in eager mode.
+
+use std::collections::HashSet;
+
+use p3q_topk::{IncrementalNra, PartialResultList, RankedItem};
+use p3q_trace::{ItemId, Query, UserId};
+
+use crate::bandwidth::QueryTraffic;
+
+/// Identifier of a query instance (unique within one simulation run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// The querier's bookkeeping for one of her own queries (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct QuerierState {
+    /// The query being processed.
+    pub query: Query,
+    /// The incremental NRA instance merging partial result lists.
+    pub nra: IncrementalNra<ItemId>,
+    /// Users whose profiles have been used so far (the querier estimates the
+    /// result quality from this set).
+    pub used_profiles: HashSet<UserId>,
+    /// Users that processed the query (gossip destinations), excluding the
+    /// querier herself — the population measured by Figure 8.
+    pub reached_users: HashSet<UserId>,
+    /// The querier's own remaining list `L_Q(u_i)`.
+    pub remaining: Vec<UserId>,
+    /// The personal network at query time: the target set of profiles the
+    /// query should eventually cover.
+    pub target_profiles: Vec<UserId>,
+    /// Cycle at which the query was issued.
+    pub started_cycle: u64,
+    /// Cycle at which the query reached its best possible result, if it did.
+    pub completed_cycle: Option<u64>,
+    /// Per-query traffic accounting (Figure 6).
+    pub traffic: QueryTraffic,
+}
+
+impl QuerierState {
+    /// Creates the state for a freshly issued query.
+    pub fn new(query: Query, target_profiles: Vec<UserId>, started_cycle: u64) -> Self {
+        Self {
+            query,
+            nra: IncrementalNra::new(),
+            used_profiles: HashSet::new(),
+            reached_users: HashSet::new(),
+            remaining: Vec::new(),
+            target_profiles,
+            started_cycle,
+            completed_cycle: None,
+            traffic: QueryTraffic::default(),
+        }
+    }
+
+    /// Feeds one partial result list (plus the set of profiles it was built
+    /// from) into the querier's NRA.
+    pub fn absorb_partial_result(
+        &mut self,
+        list: PartialResultList<ItemId>,
+        used: &[UserId],
+    ) {
+        for &user in used {
+            self.used_profiles.insert(user);
+        }
+        if !list.is_empty() {
+            self.nra.push_list(list);
+        }
+    }
+
+    /// The current top-k estimate with the information received so far.
+    pub fn current_topk(&mut self, k: usize) -> Vec<RankedItem<ItemId>> {
+        self.nra.topk(k)
+    }
+
+    /// Fraction of the target profiles already used for the computation —
+    /// the quality estimator the paper lets the user consult.
+    pub fn coverage(&self) -> f64 {
+        if self.target_profiles.is_empty() {
+            return 1.0;
+        }
+        let covered = self
+            .target_profiles
+            .iter()
+            .filter(|u| self.used_profiles.contains(u))
+            .count();
+        covered as f64 / self.target_profiles.len() as f64
+    }
+
+    /// Returns `true` once every target profile has been used — the point at
+    /// which the querier "stops waiting for incoming partial result lists".
+    pub fn is_complete(&self) -> bool {
+        self.target_profiles
+            .iter()
+            .all(|u| self.used_profiles.contains(u))
+    }
+
+    /// Marks the completion cycle the first time the query becomes complete.
+    pub fn mark_complete_if_done(&mut self, cycle: u64) {
+        if self.completed_cycle.is_none() && self.is_complete() {
+            self.completed_cycle = Some(cycle);
+        }
+    }
+
+    /// Number of cycles from issue to completion, if the query completed.
+    pub fn completion_latency(&self) -> Option<u64> {
+        self.completed_cycle.map(|c| c - self.started_cycle)
+    }
+}
+
+/// The share of a query's remaining list a non-querier node took over
+/// (Algorithm 3, gossip-destination side).
+#[derive(Debug, Clone)]
+pub struct RemainingTask {
+    /// The query this task belongs to.
+    pub query_id: QueryId,
+    /// The user who issued the query (partial results are sent to her).
+    pub querier: UserId,
+    /// The query itself.
+    pub query: Query,
+    /// This node's remaining list `L_Q(u_dest)`.
+    pub remaining: Vec<UserId>,
+}
+
+impl RemainingTask {
+    /// Returns `true` if nothing remains to be resolved by this node.
+    pub fn is_done(&self) -> bool {
+        self.remaining.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3q_trace::TagId;
+
+    fn query() -> Query {
+        Query::new(UserId(0), vec![TagId(1), TagId(2)], ItemId(5))
+    }
+
+    fn list(pairs: &[(u32, u32)]) -> PartialResultList<ItemId> {
+        PartialResultList::from_scores(pairs.iter().map(|&(i, s)| (ItemId(i), s)))
+    }
+
+    #[test]
+    fn coverage_and_completion_track_used_profiles() {
+        let targets = vec![UserId(1), UserId(2), UserId(3), UserId(4)];
+        let mut st = QuerierState::new(query(), targets, 0);
+        assert_eq!(st.coverage(), 0.0);
+        assert!(!st.is_complete());
+
+        st.absorb_partial_result(list(&[(1, 3)]), &[UserId(1), UserId(2)]);
+        assert!((st.coverage() - 0.5).abs() < 1e-12);
+
+        st.absorb_partial_result(list(&[(2, 1)]), &[UserId(3), UserId(4)]);
+        assert!(st.is_complete());
+        st.mark_complete_if_done(7);
+        assert_eq!(st.completed_cycle, Some(7));
+        assert_eq!(st.completion_latency(), Some(7));
+        // A later call must not overwrite the completion cycle.
+        st.mark_complete_if_done(9);
+        assert_eq!(st.completed_cycle, Some(7));
+    }
+
+    #[test]
+    fn absorbed_lists_feed_the_nra() {
+        let mut st = QuerierState::new(query(), vec![UserId(1)], 0);
+        st.absorb_partial_result(list(&[(10, 5), (11, 2)]), &[UserId(1)]);
+        st.absorb_partial_result(list(&[(11, 4)]), &[UserId(1)]);
+        // The per-cycle top-k only guarantees the item set; the exact
+        // aggregated scores are available once the lists are fully scanned.
+        let top = st.current_topk(2);
+        assert_eq!(top.len(), 2);
+        let exhaustive = st.nra.topk_exhaustive(2);
+        assert_eq!(exhaustive[0].item, ItemId(11));
+        assert_eq!(exhaustive[0].worst, 6);
+    }
+
+    #[test]
+    fn empty_lists_are_not_pushed() {
+        let mut st = QuerierState::new(query(), vec![UserId(1)], 0);
+        st.absorb_partial_result(PartialResultList::empty(), &[UserId(1)]);
+        assert_eq!(st.nra.list_count(), 0);
+        assert!(st.is_complete(), "profile counted even with empty results");
+    }
+
+    #[test]
+    fn empty_target_set_is_trivially_complete() {
+        let st = QuerierState::new(query(), vec![], 0);
+        assert_eq!(st.coverage(), 1.0);
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn remaining_task_done_flag() {
+        let t = RemainingTask {
+            query_id: QueryId(1),
+            querier: UserId(0),
+            query: query(),
+            remaining: vec![UserId(5)],
+        };
+        assert!(!t.is_done());
+        let done = RemainingTask {
+            remaining: vec![],
+            ..t
+        };
+        assert!(done.is_done());
+    }
+}

@@ -1,0 +1,1 @@
+//! Examples crate: the runnable sources live in the repository-level examples/ directory.

@@ -1,0 +1,434 @@
+//! Bounded gossip views.
+//!
+//! P3Q nodes maintain two views (Section 2.1 of the paper):
+//!
+//! * the **personal network** — the `s` peers with the highest similarity
+//!   score, each carrying a score, a profile digest and a gossip timestamp
+//!   ("for how many cycles she has not been gossiped with");
+//! * the **random view** — `r` peers selected uniformly at random by the
+//!   peer-sampling layer, each carrying an age used by the shuffle.
+//!
+//! [`ScoredView`] implements the former's mechanics (bounded, score-ordered,
+//! timestamp-driven partner selection), [`AgedView`] the latter's. Both are
+//! generic over the peer identifier and per-entry metadata so that the P3Q
+//! crate can attach digests, profiles or anything else without this crate
+//! knowing about the tagging data model.
+
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// An entry of a [`ScoredView`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoredEntry<P, M> {
+    /// The peer.
+    pub peer: P,
+    /// Its similarity score with the view owner.
+    pub score: u64,
+    /// Cycles since the owner last gossiped with this peer.
+    pub staleness: u32,
+    /// Application metadata (digest, cached profile, …).
+    pub meta: M,
+}
+
+/// A bounded view keeping the `capacity` peers with the highest scores.
+///
+/// Ties are broken by peer identifier (ascending) so that view contents are
+/// deterministic for a given input sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoredView<P, M> {
+    capacity: usize,
+    entries: Vec<ScoredEntry<P, M>>,
+}
+
+impl<P: Copy + Eq + Hash + Ord, M> ScoredView<P, M> {
+    /// Creates an empty view bounded to `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a view needs a positive capacity");
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if `peer` is in the view.
+    pub fn contains(&self, peer: &P) -> bool {
+        self.entries.iter().any(|e| e.peer == *peer)
+    }
+
+    /// The entry for `peer`, if any.
+    pub fn get(&self, peer: &P) -> Option<&ScoredEntry<P, M>> {
+        self.entries.iter().find(|e| e.peer == *peer)
+    }
+
+    /// Mutable entry for `peer`, if any.
+    pub fn get_mut(&mut self, peer: &P) -> Option<&mut ScoredEntry<P, M>> {
+        self.entries.iter_mut().find(|e| e.peer == *peer)
+    }
+
+    /// Iterates over entries in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScoredEntry<P, M>> {
+        self.entries.iter()
+    }
+
+    /// The peers in descending score order.
+    pub fn peers(&self) -> impl Iterator<Item = P> + '_ {
+        self.entries.iter().map(|e| e.peer)
+    }
+
+    /// The `n` best peers (descending score).
+    pub fn top_peers(&self, n: usize) -> Vec<P> {
+        self.entries.iter().take(n).map(|e| e.peer).collect()
+    }
+
+    /// Rank of a peer in the view (0 = highest score), if present.
+    pub fn rank_of(&self, peer: &P) -> Option<usize> {
+        self.entries.iter().position(|e| e.peer == *peer)
+    }
+
+    /// Lowest score currently retained (`None` if the view is empty).
+    pub fn min_score(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.score)
+    }
+
+    /// Inserts or updates a peer.
+    ///
+    /// * If the peer is already present its score and metadata are replaced
+    ///   (the staleness timestamp is preserved).
+    /// * Otherwise the peer is inserted with staleness 0; if the view is
+    ///   over capacity the lowest-scored entry is evicted.
+    ///
+    /// Returns `true` if the peer is in the view after the call.
+    pub fn upsert(&mut self, peer: P, score: u64, meta: M) -> bool {
+        if let Some(entry) = self.get_mut(&peer) {
+            entry.score = score;
+            entry.meta = meta;
+            self.sort();
+            return true;
+        }
+        self.entries.push(ScoredEntry {
+            peer,
+            score,
+            staleness: 0,
+            meta,
+        });
+        self.sort();
+        if self.entries.len() > self.capacity {
+            self.entries.pop();
+        }
+        self.contains(&peer)
+    }
+
+    /// Removes a peer; returns its entry if it was present.
+    pub fn remove(&mut self, peer: &P) -> Option<ScoredEntry<P, M>> {
+        let pos = self.entries.iter().position(|e| e.peer == *peer)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Increments every entry's staleness by one — called once per gossip
+    /// cycle ("other neighbours increment their timestamps by 1").
+    pub fn tick(&mut self) {
+        for entry in &mut self.entries {
+            entry.staleness = entry.staleness.saturating_add(1);
+        }
+    }
+
+    /// Selects the peer with the largest staleness (the one the owner has not
+    /// gossiped with for the longest time) and resets its staleness to zero.
+    ///
+    /// Ties are broken by score (higher first) then peer id, so selection is
+    /// deterministic. Returns `None` if the view is empty.
+    pub fn select_oldest_and_reset(&mut self) -> Option<P> {
+        let peer = self
+            .entries
+            .iter()
+            .max_by(|a, b| {
+                a.staleness
+                    .cmp(&b.staleness)
+                    .then(a.score.cmp(&b.score))
+                    .then(b.peer.cmp(&a.peer))
+            })
+            .map(|e| e.peer)?;
+        if let Some(entry) = self.get_mut(&peer) {
+            entry.staleness = 0;
+        }
+        Some(peer)
+    }
+
+    /// Selects, among an arbitrary candidate set, the member of this view
+    /// with the largest staleness, resetting it (Algorithm 3 line 4–6: pick
+    /// the remaining-list user with the maximum timestamp). Returns `None`
+    /// if no candidate is in the view.
+    pub fn select_oldest_among_and_reset(&mut self, candidates: &[P]) -> Option<P> {
+        let peer = self
+            .entries
+            .iter()
+            .filter(|e| candidates.contains(&e.peer))
+            .max_by(|a, b| {
+                a.staleness
+                    .cmp(&b.staleness)
+                    .then(a.score.cmp(&b.score))
+                    .then(b.peer.cmp(&a.peer))
+            })
+            .map(|e| e.peer)?;
+        if let Some(entry) = self.get_mut(&peer) {
+            entry.staleness = 0;
+        }
+        Some(peer)
+    }
+
+    fn sort(&mut self) {
+        self.entries
+            .sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.peer.cmp(&b.peer)));
+    }
+}
+
+/// An entry of an [`AgedView`] (random view).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgedEntry<P, M> {
+    /// The peer.
+    pub peer: P,
+    /// Age in cycles since the entry was created by its original owner.
+    pub age: u32,
+    /// Application metadata (profile digest in P3Q).
+    pub meta: M,
+}
+
+/// A bounded view of uniformly random peers, maintained by the peer-sampling
+/// shuffle ([`crate::peer_sampling`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgedView<P, M> {
+    capacity: usize,
+    entries: Vec<AgedEntry<P, M>>,
+}
+
+impl<P: Copy + Eq + Hash + Ord, M: Clone> AgedView<P, M> {
+    /// Creates an empty view bounded to `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a view needs a positive capacity");
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if `peer` is in the view.
+    pub fn contains(&self, peer: &P) -> bool {
+        self.entries.iter().any(|e| e.peer == *peer)
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &AgedEntry<P, M>> {
+        self.entries.iter()
+    }
+
+    /// The peers currently in the view.
+    pub fn peers(&self) -> impl Iterator<Item = P> + '_ {
+        self.entries.iter().map(|e| e.peer)
+    }
+
+    /// Adds a peer (no-op if present), evicting the oldest entry when over
+    /// capacity.
+    pub fn insert(&mut self, peer: P, meta: M) {
+        if self.contains(&peer) {
+            return;
+        }
+        self.entries.push(AgedEntry { peer, age: 0, meta });
+        if self.entries.len() > self.capacity {
+            // Evict the oldest entry.
+            if let Some((idx, _)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.age)
+            {
+                self.entries.remove(idx);
+            }
+        }
+    }
+
+    /// Removes a peer; returns `true` if it was present.
+    pub fn remove(&mut self, peer: &P) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.peer != *peer);
+        self.entries.len() != before
+    }
+
+    /// Increments every entry's age.
+    pub fn tick(&mut self) {
+        for entry in &mut self.entries {
+            entry.age = entry.age.saturating_add(1);
+        }
+    }
+
+    /// Replaces the whole content (used by the shuffle). Truncates to
+    /// capacity if needed.
+    pub fn replace_with(&mut self, mut entries: Vec<AgedEntry<P, M>>) {
+        entries.truncate(self.capacity);
+        self.entries = entries;
+    }
+
+    /// Clones the current entries (the payload a shuffle sends to the other
+    /// side).
+    pub fn snapshot(&self) -> Vec<AgedEntry<P, M>> {
+        self.entries.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = ScoredView<u32, ()>;
+
+    #[test]
+    fn upsert_keeps_best_scores_up_to_capacity() {
+        let mut v = V::new(3);
+        for (peer, score) in [(1u32, 10u64), (2, 30), (3, 20), (4, 5), (5, 40)] {
+            v.upsert(peer, score, ());
+        }
+        assert_eq!(v.len(), 3);
+        let peers: Vec<u32> = v.peers().collect();
+        assert_eq!(peers, vec![5, 2, 3]);
+        assert_eq!(v.min_score(), Some(20));
+        assert!(!v.contains(&4));
+    }
+
+    #[test]
+    fn upsert_rejects_worse_than_minimum_when_full() {
+        let mut v = V::new(2);
+        v.upsert(1, 10, ());
+        v.upsert(2, 20, ());
+        assert!(!v.upsert(3, 5, ()));
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(&3));
+    }
+
+    #[test]
+    fn upsert_updates_existing_score_in_place() {
+        let mut v = V::new(2);
+        v.upsert(1, 10, ());
+        v.upsert(2, 20, ());
+        v.upsert(1, 30, ());
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.rank_of(&1), Some(0));
+    }
+
+    #[test]
+    fn tick_and_oldest_selection_round_robin() {
+        let mut v = V::new(3);
+        v.upsert(1, 10, ());
+        v.upsert(2, 20, ());
+        v.upsert(3, 30, ());
+        // After several tick/select rounds every peer must have been selected.
+        let mut selected = Vec::new();
+        for _ in 0..3 {
+            v.tick();
+            selected.push(v.select_oldest_and_reset().unwrap());
+        }
+        selected.sort_unstable();
+        assert_eq!(selected, vec![1, 2, 3], "selection must rotate over all peers");
+    }
+
+    #[test]
+    fn select_among_candidates_only() {
+        let mut v = V::new(3);
+        v.upsert(1, 10, ());
+        v.upsert(2, 20, ());
+        v.tick();
+        assert_eq!(v.select_oldest_among_and_reset(&[2, 9]), Some(2));
+        assert_eq!(v.select_oldest_among_and_reset(&[9]), None);
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut v = V::new(2);
+        v.upsert(7, 1, ());
+        let removed = v.remove(&7).unwrap();
+        assert_eq!(removed.peer, 7);
+        assert!(v.is_empty());
+        assert!(v.remove(&7).is_none());
+    }
+
+    #[test]
+    fn top_peers_truncates() {
+        let mut v = V::new(5);
+        for p in 0..5u32 {
+            v.upsert(p, p as u64, ());
+        }
+        assert_eq!(v.top_peers(2), vec![4, 3]);
+        assert_eq!(v.top_peers(10).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _ = V::new(0);
+    }
+
+    #[test]
+    fn aged_view_insert_and_evict() {
+        let mut v: AgedView<u32, ()> = AgedView::new(2);
+        v.insert(1, ());
+        v.tick();
+        v.insert(2, ());
+        v.insert(3, ()); // evicts the oldest (peer 1, age 1)
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(&1));
+        assert!(v.contains(&2) && v.contains(&3));
+    }
+
+    #[test]
+    fn aged_view_insert_is_idempotent() {
+        let mut v: AgedView<u32, ()> = AgedView::new(3);
+        v.insert(1, ());
+        v.insert(1, ());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn aged_view_replace_truncates_to_capacity() {
+        let mut v: AgedView<u32, ()> = AgedView::new(2);
+        v.replace_with(vec![
+            AgedEntry { peer: 1, age: 0, meta: () },
+            AgedEntry { peer: 2, age: 0, meta: () },
+            AgedEntry { peer: 3, age: 0, meta: () },
+        ]);
+        assert_eq!(v.len(), 2);
+    }
+}

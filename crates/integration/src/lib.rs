@@ -1,0 +1,1 @@
+//! Integration test crate: see repository-level tests/ directory.

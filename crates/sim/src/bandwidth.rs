@@ -1,0 +1,207 @@
+//! Bandwidth and message accounting.
+//!
+//! The paper's cost evaluation (Section 3.3.2) tracks, per user and per
+//! cycle, how many bytes travel for each kind of payload (profile digests,
+//! common items, full profiles, forwarded/returned remaining lists, partial
+//! result lists). [`BandwidthRecorder`] provides exactly that: counters keyed
+//! by `(node, category)` plus per-cycle totals, with categories being plain
+//! static strings so the protocol crate can define its own taxonomy.
+
+use std::collections::HashMap;
+
+/// Label of a traffic category (e.g. `"digest"`, `"partial_results"`).
+pub type Category = &'static str;
+
+/// Records bytes and message counts per node and per category.
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthRecorder {
+    /// bytes[(node, category)] = total bytes attributed to that node.
+    bytes: HashMap<(usize, Category), u64>,
+    /// messages[(node, category)] = number of messages attributed to that node.
+    messages: HashMap<(usize, Category), u64>,
+    /// Total bytes per cycle index.
+    per_cycle: HashMap<u64, u64>,
+    /// Total bytes across all nodes and categories.
+    total_bytes: u64,
+    /// Total messages across all nodes and categories.
+    total_messages: u64,
+}
+
+impl BandwidthRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `bytes` bytes sent by `node` during `cycle`,
+    /// under the given category.
+    pub fn record(&mut self, node: usize, cycle: u64, category: Category, bytes: usize) {
+        *self.bytes.entry((node, category)).or_insert(0) += bytes as u64;
+        *self.messages.entry((node, category)).or_insert(0) += 1;
+        *self.per_cycle.entry(cycle).or_insert(0) += bytes as u64;
+        self.total_bytes += bytes as u64;
+        self.total_messages += 1;
+    }
+
+    /// Total bytes recorded for a node in a category.
+    pub fn node_bytes(&self, node: usize, category: Category) -> u64 {
+        self.bytes.get(&(node, category)).copied().unwrap_or(0)
+    }
+
+    /// Total bytes recorded for a node across all categories.
+    pub fn node_total_bytes(&self, node: usize) -> u64 {
+        self.bytes
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Number of messages recorded for a node in a category.
+    pub fn node_messages(&self, node: usize, category: Category) -> u64 {
+        self.messages.get(&(node, category)).copied().unwrap_or(0)
+    }
+
+    /// Total bytes recorded in a category across all nodes.
+    pub fn category_bytes(&self, category: Category) -> u64 {
+        self.bytes
+            .iter()
+            .filter(|((_, c), _)| *c == category)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Total messages recorded in a category across all nodes.
+    pub fn category_messages(&self, category: Category) -> u64 {
+        self.messages
+            .iter()
+            .filter(|((_, c), _)| *c == category)
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Bytes recorded during one cycle (all nodes, all categories).
+    pub fn cycle_bytes(&self, cycle: u64) -> u64 {
+        self.per_cycle.get(&cycle).copied().unwrap_or(0)
+    }
+
+    /// Grand totals: `(bytes, messages)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.total_bytes, self.total_messages)
+    }
+
+    /// All categories observed so far, sorted for deterministic reporting.
+    pub fn categories(&self) -> Vec<Category> {
+        let mut cats: Vec<Category> = self.bytes.keys().map(|&(_, c)| c).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        cats
+    }
+
+    /// Average bits per second for a node, given bytes recorded over
+    /// `cycles` cycles of `seconds_per_cycle` seconds each — the unit the
+    /// paper's summary quotes (e.g. "13.4 Kbps for maintaining the personal
+    /// network").
+    pub fn node_bits_per_second(
+        &self,
+        node: usize,
+        cycles: u64,
+        seconds_per_cycle: f64,
+    ) -> f64 {
+        if cycles == 0 || seconds_per_cycle <= 0.0 {
+            return 0.0;
+        }
+        (self.node_total_bytes(node) * 8) as f64 / (cycles as f64 * seconds_per_cycle)
+    }
+
+    /// Merges the counters of another recorder into this one (used when
+    /// experiments run phases with separate recorders).
+    pub fn merge(&mut self, other: &BandwidthRecorder) {
+        for (&key, &value) in &other.bytes {
+            *self.bytes.entry(key).or_insert(0) += value;
+        }
+        for (&key, &value) in &other.messages {
+            *self.messages.entry(key).or_insert(0) += value;
+        }
+        for (&cycle, &value) in &other.per_cycle {
+            *self.per_cycle.entry(cycle).or_insert(0) += value;
+        }
+        self.total_bytes += other.total_bytes;
+        self.total_messages += other.total_messages;
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_bytes_and_messages() {
+        let mut r = BandwidthRecorder::new();
+        r.record(0, 1, "digest", 100);
+        r.record(0, 1, "digest", 50);
+        r.record(1, 2, "profile", 500);
+        assert_eq!(r.node_bytes(0, "digest"), 150);
+        assert_eq!(r.node_messages(0, "digest"), 2);
+        assert_eq!(r.node_total_bytes(0), 150);
+        assert_eq!(r.category_bytes("profile"), 500);
+        assert_eq!(r.category_messages("profile"), 1);
+        assert_eq!(r.cycle_bytes(1), 150);
+        assert_eq!(r.cycle_bytes(2), 500);
+        assert_eq!(r.totals(), (650, 3));
+    }
+
+    #[test]
+    fn unknown_keys_are_zero() {
+        let r = BandwidthRecorder::new();
+        assert_eq!(r.node_bytes(9, "nope"), 0);
+        assert_eq!(r.cycle_bytes(9), 0);
+        assert_eq!(r.totals(), (0, 0));
+    }
+
+    #[test]
+    fn categories_are_sorted_and_unique() {
+        let mut r = BandwidthRecorder::new();
+        r.record(0, 0, "b", 1);
+        r.record(1, 0, "a", 1);
+        r.record(2, 0, "b", 1);
+        assert_eq!(r.categories(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bits_per_second_matches_manual_computation() {
+        let mut r = BandwidthRecorder::new();
+        // 1000 bytes over 10 cycles of 5 seconds = 8000 bits / 50 s = 160 bps.
+        r.record(3, 0, "x", 1000);
+        let bps = r.node_bits_per_second(3, 10, 5.0);
+        assert!((bps - 160.0).abs() < 1e-9);
+        assert_eq!(r.node_bits_per_second(3, 0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = BandwidthRecorder::new();
+        let mut b = BandwidthRecorder::new();
+        a.record(0, 0, "x", 10);
+        b.record(0, 0, "x", 5);
+        b.record(1, 1, "y", 7);
+        a.merge(&b);
+        assert_eq!(a.node_bytes(0, "x"), 15);
+        assert_eq!(a.node_bytes(1, "y"), 7);
+        assert_eq!(a.totals(), (22, 3));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut r = BandwidthRecorder::new();
+        r.record(0, 0, "x", 10);
+        r.reset();
+        assert_eq!(r.totals(), (0, 0));
+        assert!(r.categories().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! The cycle-driven simulation engine.
+//!
+//! The paper evaluates P3Q in PeerSim's *cycle-driven* mode: time advances in
+//! discrete gossip cycles; in every cycle each alive node executes its
+//! protocol step, and a pairwise gossip exchange (initiator ↔ destination)
+//! completes within the cycle. [`Simulator`] reproduces that model:
+//!
+//! * it owns one protocol state per node plus the [`Membership`] (who is
+//!   alive) and a [`BandwidthRecorder`];
+//! * [`Simulator::run_cycle`] visits every alive node in a freshly shuffled
+//!   order and hands the protocol callback mutable access to the whole
+//!   simulator, so the callback can perform pairwise exchanges via
+//!   [`Simulator::pair_mut`];
+//! * all randomness flows from the seed given at construction, so runs are
+//!   reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::bandwidth::BandwidthRecorder;
+use crate::membership::Membership;
+
+/// A deterministic, cycle-driven peer-to-peer simulator.
+#[derive(Debug)]
+pub struct Simulator<N> {
+    nodes: Vec<N>,
+    membership: Membership,
+    cycle: u64,
+    rng: StdRng,
+    /// Bandwidth and message accounting for the whole run.
+    pub bandwidth: BandwidthRecorder,
+}
+
+impl<N> Simulator<N> {
+    /// Creates a simulator over the given per-node protocol states.
+    pub fn new(nodes: Vec<N>, seed: u64) -> Self {
+        let membership = Membership::all_alive(nodes.len());
+        Self {
+            nodes,
+            membership,
+            cycle: 0,
+            rng: StdRng::seed_from_u64(seed),
+            bandwidth: BandwidthRecorder::new(),
+        }
+    }
+
+    /// Number of nodes (alive or departed).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current cycle (number of completed [`run_cycle`](Self::run_cycle)
+    /// calls).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Immutable access to one node's state.
+    pub fn node(&self, idx: usize) -> &N {
+        &self.nodes[idx]
+    }
+
+    /// Mutable access to one node's state.
+    pub fn node_mut(&mut self, idx: usize) -> &mut N {
+        &mut self.nodes[idx]
+    }
+
+    /// All node states.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// All node states, mutable.
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Simultaneous mutable access to two distinct nodes — the shape of every
+    /// pairwise gossip exchange.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of bounds.
+    pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut N, &mut N) {
+        assert!(a != b, "a gossip exchange needs two distinct nodes");
+        if a < b {
+            let (left, right) = self.nodes.split_at_mut(b);
+            (&mut left[a], &mut right[0])
+        } else {
+            let (left, right) = self.nodes.split_at_mut(a);
+            (&mut right[0], &mut left[b])
+        }
+    }
+
+    /// The membership (who is alive).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Mutable membership, e.g. to inject churn.
+    pub fn membership_mut(&mut self) -> &mut Membership {
+        &mut self.membership
+    }
+
+    /// Returns `true` if node `idx` is alive.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.membership.is_alive(idx)
+    }
+
+    /// The simulator's RNG (all protocol randomness should flow from here so
+    /// runs stay reproducible).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Derives an independent, deterministic RNG for a labelled purpose
+    /// (e.g. one per node), without disturbing the main RNG stream.
+    pub fn derived_rng(&mut self, label: u64) -> StdRng {
+        let base: u64 = self.rng.gen();
+        StdRng::seed_from_u64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Makes a random `fraction` of the alive nodes depart simultaneously
+    /// (the paper's churn model). Returns the departed node indices.
+    pub fn mass_departure(&mut self, fraction: f64) -> Vec<usize> {
+        self.membership.mass_departure(fraction, &mut self.rng)
+    }
+
+    /// Runs one cycle: every alive node, in a freshly shuffled order, gets
+    /// `step(self, node_index)` invoked. The cycle counter is incremented
+    /// afterwards.
+    ///
+    /// The callback receives the whole simulator so it can read the cycle
+    /// number, record bandwidth, draw randomness and perform pairwise
+    /// exchanges through [`pair_mut`](Self::pair_mut).
+    pub fn run_cycle<F: FnMut(&mut Self, usize)>(&mut self, mut step: F) {
+        let mut order = self.membership.alive_nodes();
+        order.shuffle(&mut self.rng);
+        for idx in order {
+            // A node may have departed mid-cycle (e.g. churn injected by the
+            // protocol callback); skip it in that case.
+            if self.membership.is_alive(idx) {
+                step(self, idx);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `count` cycles with the same per-node step callback.
+    pub fn run_cycles<F: FnMut(&mut Self, usize)>(&mut self, count: u64, mut step: F) {
+        for _ in 0..count {
+            self.run_cycle(&mut step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default, Clone)]
+    struct Counter {
+        steps: u64,
+        exchanges: u64,
+    }
+
+    #[test]
+    fn run_cycle_visits_every_alive_node_once() {
+        let mut sim = Simulator::new(vec![Counter::default(); 10], 1);
+        sim.run_cycle(|sim, idx| sim.node_mut(idx).steps += 1);
+        assert_eq!(sim.cycle(), 1);
+        assert!(sim.nodes().iter().all(|n| n.steps == 1));
+    }
+
+    #[test]
+    fn departed_nodes_are_skipped() {
+        let mut sim = Simulator::new(vec![Counter::default(); 4], 2);
+        sim.membership_mut().depart(2);
+        sim.run_cycles(3, |sim, idx| sim.node_mut(idx).steps += 1);
+        assert_eq!(sim.node(2).steps, 0);
+        assert_eq!(sim.node(0).steps, 3);
+    }
+
+    #[test]
+    fn pair_mut_gives_two_distinct_references() {
+        let mut sim = Simulator::new(vec![Counter::default(); 3], 3);
+        {
+            let (a, b) = sim.pair_mut(0, 2);
+            a.exchanges += 1;
+            b.exchanges += 1;
+        }
+        {
+            let (a, b) = sim.pair_mut(2, 1);
+            a.exchanges += 1;
+            b.exchanges += 1;
+        }
+        assert_eq!(sim.node(0).exchanges, 1);
+        assert_eq!(sim.node(1).exchanges, 1);
+        assert_eq!(sim.node(2).exchanges, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn pair_mut_rejects_same_index() {
+        let mut sim = Simulator::new(vec![Counter::default(); 2], 0);
+        let _ = sim.pair_mut(1, 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(vec![Counter::default(); 20], seed);
+            let mut visit_log = Vec::new();
+            sim.run_cycles(3, |sim, idx| {
+                visit_log.push((sim.cycle(), idx));
+                let partner = (idx + 1) % sim.num_nodes();
+                sim.bandwidth.record(idx, sim.cycle(), "test", 10);
+                let cycle_unused = partner; // partner deliberately unused beyond determinism
+                let _ = cycle_unused;
+            });
+            visit_log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn mass_departure_reduces_alive_count() {
+        let mut sim = Simulator::new(vec![Counter::default(); 100], 5);
+        let departed = sim.mass_departure(0.5);
+        assert_eq!(departed.len(), 50);
+        assert_eq!(sim.membership().alive_count(), 50);
+    }
+
+    #[test]
+    fn bandwidth_recorder_is_attached() {
+        let mut sim = Simulator::new(vec![Counter::default(); 2], 9);
+        sim.run_cycle(|sim, idx| {
+            let cycle = sim.cycle();
+            sim.bandwidth.record(idx, cycle, "ping", 42);
+        });
+        assert_eq!(sim.bandwidth.totals().1, 2);
+    }
+
+    #[test]
+    fn derived_rngs_are_deterministic_and_distinct() {
+        let mut sim1 = Simulator::new(vec![Counter::default(); 1], 11);
+        let mut sim2 = Simulator::new(vec![Counter::default(); 1], 11);
+        let a: u64 = sim1.derived_rng(1).gen();
+        let b: u64 = sim2.derived_rng(1).gen();
+        assert_eq!(a, b);
+        let c: u64 = sim1.derived_rng(2).gen();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,34 @@
+//! A cycle-driven peer-to-peer simulator: the PeerSim substitute used by the
+//! P3Q reproduction.
+//!
+//! The paper (Bai et al., EDBT 2010, Section 3.1.1) evaluates P3Q in PeerSim,
+//! using its cycle-driven execution model: in every gossip cycle each alive
+//! node runs one protocol step and pairwise gossip exchanges complete within
+//! the cycle. This crate implements that model from scratch:
+//!
+//! * [`Simulator`] — the engine: per-node protocol state, shuffled per-cycle
+//!   scheduling, pairwise mutable access for exchanges, seeded determinism;
+//! * [`Membership`] — alive/departed bookkeeping with the paper's "p% of
+//!   users leave simultaneously" churn model;
+//! * [`BandwidthRecorder`] — per-node, per-category, per-cycle byte and
+//!   message accounting (the basis of the paper's cost analysis);
+//! * [`SeriesRecorder`] / [`DistributionSummary`] — per-cycle series and
+//!   per-entity distributions, the two shapes every figure in the paper
+//!   takes;
+//! * [`EventQueue`] — "at cycle X, do Y" hooks for dynamics and churn
+//!   scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod engine;
+mod membership;
+mod metrics;
+mod schedule;
+
+pub use bandwidth::{BandwidthRecorder, Category};
+pub use engine::Simulator;
+pub use membership::Membership;
+pub use metrics::{DistributionSummary, SeriesRecorder};
+pub use schedule::EventQueue;

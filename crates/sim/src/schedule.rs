@@ -1,0 +1,104 @@
+//! One-shot event scheduling on the cycle axis.
+//!
+//! Experiment drivers occasionally need "at cycle X, do Y" hooks: apply a
+//! batch of profile changes, inject a mass departure, start a burst of
+//! queries. [`EventQueue`] is a minimal, deterministic priority queue for
+//! such events (FIFO among events scheduled for the same cycle).
+
+use std::collections::BTreeMap;
+
+/// A queue of events keyed by the cycle at which they become due.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    events: BTreeMap<u64, Vec<E>>,
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            events: BTreeMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` to fire at `cycle`.
+    pub fn schedule(&mut self, cycle: u64, event: E) {
+        self.events.entry(cycle).or_default().push(event);
+        self.len += 1;
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cycle of the next pending event, if any.
+    pub fn next_due_cycle(&self) -> Option<u64> {
+        self.events.keys().next().copied()
+    }
+
+    /// Removes and returns every event due at or before `cycle`, in
+    /// scheduling order.
+    pub fn pop_due(&mut self, cycle: u64) -> Vec<E> {
+        let mut due = Vec::new();
+        let due_cycles: Vec<u64> = self
+            .events
+            .range(..=cycle)
+            .map(|(&c, _)| c)
+            .collect();
+        for c in due_cycles {
+            if let Some(mut events) = self.events.remove(&c) {
+                self.len -= events.len();
+                due.append(&mut events);
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_cycle_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "b");
+        q.schedule(3, "a");
+        q.schedule(5, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_due_cycle(), Some(3));
+        assert_eq!(q.pop_due(4), vec!["a"]);
+        assert_eq!(q.pop_due(10), vec!["b", "c"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_due_on_empty_is_empty() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.pop_due(100).is_empty());
+        assert_eq!(q.next_due_cycle(), None);
+    }
+
+    #[test]
+    fn events_not_yet_due_stay_queued() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1u32);
+        assert!(q.pop_due(9).is_empty());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(10), vec![1]);
+    }
+}

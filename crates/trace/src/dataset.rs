@@ -1,0 +1,219 @@
+//! The collaborative-tagging dataset: one profile per user plus global
+//! vocabulary sizes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::action::TaggingAction;
+use crate::ids::{ItemId, TagId, UserId};
+use crate::profile::Profile;
+
+/// A complete collaborative-tagging dataset.
+///
+/// This is the in-memory equivalent of the paper's delicious crawl: the set
+/// `U` of users, the set `I` of items, the set `T` of tags and, for every
+/// user, her profile `{Tagged_u(i, t)}`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    profiles: Vec<Profile>,
+    num_items: usize,
+    num_tags: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from per-user profiles and the vocabulary sizes.
+    pub fn new(profiles: Vec<Profile>, num_items: usize, num_tags: usize) -> Self {
+        Self {
+            profiles,
+            num_items,
+            num_tags,
+        }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Number of distinct items in the vocabulary (upper bound on item ids).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of distinct tags in the vocabulary (upper bound on tag ids).
+    pub fn num_tags(&self) -> usize {
+        self.num_tags
+    }
+
+    /// Total number of tagging actions across all users.
+    pub fn total_actions(&self) -> usize {
+        self.profiles.iter().map(Profile::len).sum()
+    }
+
+    /// The profile of `user`.
+    ///
+    /// # Panics
+    /// Panics if the user does not exist.
+    pub fn profile(&self, user: UserId) -> &Profile {
+        &self.profiles[user.index()]
+    }
+
+    /// Mutable access to the profile of `user` (used by the dynamics
+    /// experiments that add new tagging actions).
+    pub fn profile_mut(&mut self, user: UserId) -> &mut Profile {
+        &mut self.profiles[user.index()]
+    }
+
+    /// Iterates over `(user, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &Profile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (UserId::from_index(i), p))
+    }
+
+    /// All user identifiers.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.profiles.len()).map(UserId::from_index)
+    }
+
+    /// Number of distinct users that tagged each item.
+    pub fn item_user_counts(&self) -> HashMap<ItemId, usize> {
+        let mut counts = HashMap::new();
+        for profile in &self.profiles {
+            for item in profile.items() {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of distinct users that used each tag.
+    pub fn tag_user_counts(&self) -> HashMap<TagId, usize> {
+        let mut counts = HashMap::new();
+        for profile in &self.profiles {
+            let mut seen: Vec<TagId> = profile.iter().map(|a| a.tag).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for tag in seen {
+                *counts.entry(tag).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Reproduces the paper's dataset-reduction step (Section 3.1.1): keep
+    /// only tagging actions whose item **and** tag are used by at least
+    /// `min_users` distinct users.
+    ///
+    /// Returns the filtered dataset; the original is left untouched. Item and
+    /// tag identifiers are preserved (not re-densified) so that profiles
+    /// remain comparable before and after filtering.
+    pub fn filter_min_users(&self, min_users: usize) -> Dataset {
+        let item_counts = self.item_user_counts();
+        let tag_counts = self.tag_user_counts();
+        let keep = |a: &TaggingAction| {
+            item_counts.get(&a.item).copied().unwrap_or(0) >= min_users
+                && tag_counts.get(&a.tag).copied().unwrap_or(0) >= min_users
+        };
+        let profiles = self
+            .profiles
+            .iter()
+            .map(|p| p.iter().filter(|a| keep(a)).copied().collect())
+            .collect();
+        Dataset {
+            profiles,
+            num_items: self.num_items,
+            num_tags: self.num_tags,
+        }
+    }
+
+    /// Average profile length (tagging actions per user).
+    pub fn mean_profile_len(&self) -> f64 {
+        if self.profiles.is_empty() {
+            return 0.0;
+        }
+        self.total_actions() as f64 / self.num_users() as f64
+    }
+
+    /// Largest profile length.
+    pub fn max_profile_len(&self) -> usize {
+        self.profiles.iter().map(Profile::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(item: u32, tag: u32) -> TaggingAction {
+        TaggingAction::new(ItemId(item), TagId(tag))
+    }
+
+    fn tiny_dataset() -> Dataset {
+        // Three users; item 1 and tag 1 are shared by all, item 9/tag 9 are
+        // used by a single user.
+        let p0 = Profile::from_actions(vec![act(1, 1), act(2, 1)]);
+        let p1 = Profile::from_actions(vec![act(1, 1), act(2, 2)]);
+        let p2 = Profile::from_actions(vec![act(1, 1), act(9, 9)]);
+        Dataset::new(vec![p0, p1, p2], 10, 10)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = tiny_dataset();
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.total_actions(), 6);
+        assert_eq!(d.profile(UserId(0)).len(), 2);
+        assert_eq!(d.users().count(), 3);
+        assert!((d.mean_profile_len() - 2.0).abs() < 1e-9);
+        assert_eq!(d.max_profile_len(), 2);
+    }
+
+    #[test]
+    fn item_and_tag_counts_count_distinct_users() {
+        let d = tiny_dataset();
+        let items = d.item_user_counts();
+        assert_eq!(items[&ItemId(1)], 3);
+        assert_eq!(items[&ItemId(2)], 2);
+        assert_eq!(items[&ItemId(9)], 1);
+        let tags = d.tag_user_counts();
+        assert_eq!(tags[&TagId(1)], 3);
+        assert_eq!(tags[&TagId(2)], 1);
+    }
+
+    #[test]
+    fn filter_removes_rare_items_and_tags() {
+        let d = tiny_dataset();
+        let f = d.filter_min_users(2);
+        // act(2,2): item 2 has 2 users but tag 2 only 1 → removed.
+        // act(9,9): both rare → removed.
+        assert_eq!(f.profile(UserId(0)).len(), 2);
+        assert_eq!(f.profile(UserId(1)).len(), 1);
+        assert_eq!(f.profile(UserId(2)).len(), 1);
+        // Originals unchanged.
+        assert_eq!(d.total_actions(), 6);
+    }
+
+    #[test]
+    fn filter_with_threshold_one_is_identity() {
+        let d = tiny_dataset();
+        let f = d.filter_min_users(1);
+        assert_eq!(f.total_actions(), d.total_actions());
+    }
+
+    #[test]
+    fn profile_mut_allows_dynamics() {
+        let mut d = tiny_dataset();
+        d.profile_mut(UserId(0)).insert(act(5, 5));
+        assert_eq!(d.profile(UserId(0)).len(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_is_sane() {
+        let d = Dataset::default();
+        assert_eq!(d.num_users(), 0);
+        assert_eq!(d.total_actions(), 0);
+        assert_eq!(d.mean_profile_len(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic collaborative-tagging traces for the P3Q reproduction.
+//!
+//! The paper "Gossiping Personalized Queries" (Bai et al., EDBT 2010)
+//! evaluates the P3Q protocol on a delicious crawl. This crate provides the
+//! data substrate the reproduction runs on:
+//!
+//! * the **data model** — [`UserId`], [`ItemId`], [`TagId`],
+//!   [`TaggingAction`], [`Profile`] and [`Dataset`];
+//! * a **synthetic trace generator** ([`TraceGenerator`]) that reproduces the
+//!   structural properties of the crawl (interest communities, Zipf
+//!   popularity, log-normal profile sizes, consistent item tags) because the
+//!   original crawl is not redistributable;
+//! * the **query workload** of the paper ([`QueryGenerator`]) — one query per
+//!   user, built from a random item of her own profile;
+//! * **profile dynamics** ([`DynamicsGenerator`]) — batches of new tagging
+//!   actions mirroring the weekly activity analysed in Section 3.4.1;
+//! * summary [`DatasetStats`] to compare a generated trace against the
+//!   paper's crawl statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod dataset;
+mod dynamics;
+mod generator;
+mod ids;
+mod profile;
+mod queries;
+mod stats;
+mod zipf;
+
+pub use action::TaggingAction;
+pub use dataset::Dataset;
+pub use dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator, ProfileChange};
+pub use generator::{SyntheticTrace, TraceConfig, TraceGenerator, World};
+pub use ids::{ItemId, TagId, UserId};
+pub use profile::Profile;
+pub use queries::{Query, QueryGenerator};
+pub use stats::DatasetStats;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,379 @@
+//! User profiles: sorted sets of tagging actions with the intersection
+//! operations P3Q's similarity metric and query scoring need.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use p3q_bloom::BloomFilter;
+
+use crate::action::TaggingAction;
+use crate::ids::{ItemId, TagId};
+
+/// The profile of a user: the set of her tagging actions.
+///
+/// Internally stored as a sorted, deduplicated `Vec<TaggingAction>` (item
+/// major) so that
+/// * intersections (`common_actions`, the similarity score) run as linear
+///   merges,
+/// * per-item tag lookups (`tags_for_item`, query scoring) are a binary
+///   search plus a short scan, and
+/// * the memory footprint stays close to the 8 bytes per action a simulation
+///   with ~10 million actions requires.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Profile {
+    actions: Vec<TaggingAction>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a profile from an arbitrary collection of actions, sorting and
+    /// deduplicating them.
+    pub fn from_actions<I: IntoIterator<Item = TaggingAction>>(actions: I) -> Self {
+        let mut actions: Vec<TaggingAction> = actions.into_iter().collect();
+        actions.sort_unstable();
+        actions.dedup();
+        Self { actions }
+    }
+
+    /// Adds one tagging action; returns `true` if it was not already present.
+    pub fn insert(&mut self, action: TaggingAction) -> bool {
+        match self.actions.binary_search(&action) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.actions.insert(pos, action);
+                true
+            }
+        }
+    }
+
+    /// Adds many actions at once (more efficient than repeated [`insert`]
+    /// calls for large batches).
+    ///
+    /// Returns the number of genuinely new actions.
+    ///
+    /// [`insert`]: Profile::insert
+    pub fn extend<I: IntoIterator<Item = TaggingAction>>(&mut self, actions: I) -> usize {
+        let before = self.actions.len();
+        self.actions.extend(actions);
+        self.actions.sort_unstable();
+        self.actions.dedup();
+        self.actions.len() - before
+    }
+
+    /// Returns `true` if the profile contains the given action.
+    pub fn contains(&self, action: &TaggingAction) -> bool {
+        self.actions.binary_search(action).is_ok()
+    }
+
+    /// Returns `true` if the user tagged `item` with `tag`
+    /// (`Tagged_u(i, t)` in the paper's notation).
+    pub fn tagged(&self, item: ItemId, tag: TagId) -> bool {
+        self.contains(&TaggingAction::new(item, tag))
+    }
+
+    /// Number of tagging actions — the "length" of the profile, used by the
+    /// paper's storage accounting (Figure 5).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` if the profile holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates over the actions in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &TaggingAction> {
+        self.actions.iter()
+    }
+
+    /// The actions as a sorted slice.
+    pub fn actions(&self) -> &[TaggingAction] {
+        &self.actions
+    }
+
+    /// Iterates over the distinct items the user tagged, in ascending order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        DistinctItems {
+            actions: &self.actions,
+            pos: 0,
+        }
+    }
+
+    /// Number of distinct items the user tagged.
+    pub fn item_count(&self) -> usize {
+        self.items().count()
+    }
+
+    /// Returns `true` if the user tagged `item` with any tag.
+    pub fn has_item(&self, item: ItemId) -> bool {
+        let probe = TaggingAction::new(item, TagId(0));
+        match self.actions.binary_search(&probe) {
+            Ok(_) => true,
+            Err(pos) => self.actions.get(pos).is_some_and(|a| a.item == item),
+        }
+    }
+
+    /// All tags the user applied to `item`, in ascending tag order.
+    pub fn tags_for_item(&self, item: ItemId) -> impl Iterator<Item = TagId> + '_ {
+        let start = self
+            .actions
+            .partition_point(|a| a.item < item);
+        self.actions[start..]
+            .iter()
+            .take_while(move |a| a.item == item)
+            .map(|a| a.tag)
+    }
+
+    /// `Score_u(v) = |Profile(u) ∩ Profile(v)|`: the number of common tagging
+    /// actions, i.e. the similarity score of Section 2.1.
+    pub fn common_actions(&self, other: &Profile) -> usize {
+        merge_count(&self.actions, &other.actions)
+    }
+
+    /// The common tagging actions themselves (used by step 2 of Algorithm 1,
+    /// where only the actions on shared items travel over the network).
+    pub fn common_action_list(&self, other: &Profile) -> Vec<TaggingAction> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.actions.len() && j < other.actions.len() {
+            match self.actions[i].cmp(&other.actions[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.actions[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Items present in both profiles.
+    pub fn common_items(&self, other: &Profile) -> Vec<ItemId> {
+        let mine: BTreeSet<ItemId> = self.items().collect();
+        other.items().filter(|i| mine.contains(i)).collect()
+    }
+
+    /// Returns `true` if the two profiles share at least one item
+    /// (the cheap pre-filter the profile digests approximate).
+    pub fn shares_item_with(&self, other: &Profile) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.actions.len() && j < other.actions.len() {
+            match self.actions[i].item.cmp(&other.actions[j].item) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// All tagging actions of this profile that concern items in `items`.
+    ///
+    /// This is the payload of step 2 of Algorithm 1: "require her tagging
+    /// actions for the common items with u_i".
+    pub fn actions_for_items(&self, items: &[ItemId]) -> Vec<TaggingAction> {
+        let set: BTreeSet<ItemId> = items.iter().copied().collect();
+        self.actions
+            .iter()
+            .filter(|a| set.contains(&a.item))
+            .copied()
+            .collect()
+    }
+
+    /// Builds the Bloom-filter digest of this profile: the filter contains
+    /// only the *items* tagged by the user (Section 2.1).
+    pub fn digest(&self, bits: usize, hashes: u32) -> BloomFilter {
+        BloomFilter::from_keys(bits, hashes, self.items().map(ItemId::as_key))
+    }
+
+    /// Builds the digest with the paper's 20 Kbit / 7-hash geometry.
+    pub fn paper_digest(&self) -> BloomFilter {
+        BloomFilter::from_keys(
+            p3q_bloom::PAPER_FILTER_BITS,
+            p3q_bloom::PAPER_FILTER_HASHES,
+            self.items().map(ItemId::as_key),
+        )
+    }
+
+    /// Wire size of the full profile under the paper's 36-bytes-per-action
+    /// accounting.
+    pub fn wire_bytes(&self) -> usize {
+        self.len() * TaggingAction::WIRE_BYTES
+    }
+}
+
+impl FromIterator<TaggingAction> for Profile {
+    fn from_iter<I: IntoIterator<Item = TaggingAction>>(iter: I) -> Self {
+        Self::from_actions(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Profile {
+    type Item = &'a TaggingAction;
+    type IntoIter = std::slice::Iter<'a, TaggingAction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.iter()
+    }
+}
+
+/// Iterator over distinct items of a sorted action list.
+struct DistinctItems<'a> {
+    actions: &'a [TaggingAction],
+    pos: usize,
+}
+
+impl Iterator for DistinctItems<'_> {
+    type Item = ItemId;
+
+    fn next(&mut self) -> Option<ItemId> {
+        let current = self.actions.get(self.pos)?.item;
+        while self
+            .actions
+            .get(self.pos)
+            .is_some_and(|a| a.item == current)
+        {
+            self.pos += 1;
+        }
+        Some(current)
+    }
+}
+
+/// Counts the size of the intersection of two sorted, deduplicated slices.
+fn merge_count(a: &[TaggingAction], b: &[TaggingAction]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(item: u32, tag: u32) -> TaggingAction {
+        TaggingAction::new(ItemId(item), TagId(tag))
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut p = Profile::new();
+        assert!(p.insert(act(1, 1)));
+        assert!(!p.insert(act(1, 1)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn from_actions_sorts_and_dedups() {
+        let p = Profile::from_actions(vec![act(3, 1), act(1, 2), act(3, 1), act(1, 1)]);
+        assert_eq!(p.len(), 3);
+        let actions: Vec<_> = p.iter().copied().collect();
+        assert_eq!(actions, vec![act(1, 1), act(1, 2), act(3, 1)]);
+    }
+
+    #[test]
+    fn common_actions_matches_paper_definition() {
+        let a = Profile::from_actions(vec![act(1, 1), act(1, 2), act(2, 5), act(9, 9)]);
+        let b = Profile::from_actions(vec![act(1, 2), act(2, 5), act(2, 6), act(8, 1)]);
+        // Shared (item, tag) pairs: (1,2) and (2,5).
+        assert_eq!(a.common_actions(&b), 2);
+        assert_eq!(b.common_actions(&a), 2);
+        assert_eq!(a.common_action_list(&b), vec![act(1, 2), act(2, 5)]);
+    }
+
+    #[test]
+    fn common_actions_with_self_is_len() {
+        let a = Profile::from_actions(vec![act(1, 1), act(2, 2), act(3, 3)]);
+        assert_eq!(a.common_actions(&a), a.len());
+    }
+
+    #[test]
+    fn items_are_distinct_and_sorted() {
+        let p = Profile::from_actions(vec![act(5, 1), act(1, 1), act(1, 2), act(5, 9)]);
+        let items: Vec<_> = p.items().collect();
+        assert_eq!(items, vec![ItemId(1), ItemId(5)]);
+        assert_eq!(p.item_count(), 2);
+    }
+
+    #[test]
+    fn tags_for_item_returns_all_tags() {
+        let p = Profile::from_actions(vec![act(4, 7), act(4, 2), act(5, 1)]);
+        let tags: Vec<_> = p.tags_for_item(ItemId(4)).collect();
+        assert_eq!(tags, vec![TagId(2), TagId(7)]);
+        assert_eq!(p.tags_for_item(ItemId(99)).count(), 0);
+    }
+
+    #[test]
+    fn has_item_does_not_depend_on_tag_zero() {
+        let p = Profile::from_actions(vec![act(4, 7)]);
+        assert!(p.has_item(ItemId(4)));
+        assert!(!p.has_item(ItemId(3)));
+        assert!(!p.has_item(ItemId(5)));
+    }
+
+    #[test]
+    fn shares_item_with_agrees_with_common_items() {
+        let a = Profile::from_actions(vec![act(1, 1), act(2, 1)]);
+        let b = Profile::from_actions(vec![act(2, 9), act(3, 1)]);
+        let c = Profile::from_actions(vec![act(7, 1)]);
+        assert!(a.shares_item_with(&b));
+        assert_eq!(a.common_items(&b), vec![ItemId(2)]);
+        assert!(!a.shares_item_with(&c));
+        assert!(a.common_items(&c).is_empty());
+    }
+
+    #[test]
+    fn actions_for_items_filters_correctly() {
+        let p = Profile::from_actions(vec![act(1, 1), act(2, 2), act(3, 3)]);
+        let subset = p.actions_for_items(&[ItemId(1), ItemId(3)]);
+        assert_eq!(subset, vec![act(1, 1), act(3, 3)]);
+    }
+
+    #[test]
+    fn digest_contains_all_items() {
+        let p = Profile::from_actions(vec![act(10, 1), act(20, 2), act(30, 3)]);
+        let d = p.digest(4096, 5);
+        for item in p.items() {
+            assert!(d.contains(item.as_key()));
+        }
+    }
+
+    #[test]
+    fn wire_bytes_is_36_per_action() {
+        let p = Profile::from_actions(vec![act(1, 1), act(2, 2)]);
+        assert_eq!(p.wire_bytes(), 72);
+    }
+
+    #[test]
+    fn extend_reports_new_actions_only() {
+        let mut p = Profile::from_actions(vec![act(1, 1)]);
+        let added = p.extend(vec![act(1, 1), act(2, 2), act(3, 3)]);
+        assert_eq!(added, 2);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn empty_profile_behaviour() {
+        let p = Profile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.common_actions(&p), 0);
+        assert_eq!(p.items().count(), 0);
+        assert_eq!(p.wire_bytes(), 0);
+    }
+}

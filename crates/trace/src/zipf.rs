@@ -1,0 +1,135 @@
+//! Zipf-distributed sampling.
+//!
+//! Collaborative-tagging workloads are heavy-tailed: most items and tags are
+//! used by very few users while a small head is extremely popular (Section
+//! 3.1.1 of the paper, citing Mislove et al.). The synthetic trace generator
+//! draws item and tag ranks from a Zipf distribution implemented here with a
+//! precomputed cumulative table, which keeps sampling an `O(log n)` binary
+//! search and avoids any dependency beyond `rand`.
+
+use rand::Rng;
+
+/// A sampler for the Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Rank `r` (0-based) is drawn with probability proportional to
+/// `1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `exponent`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `exponent` is negative or not finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.0.
+        for value in &mut cumulative {
+            *value /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if the sampler has a single rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    /// Probability mass of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn head_rank_is_most_frequent() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let head = counts[0];
+        let tail_max = counts[500..].iter().max().copied().unwrap_or(0);
+        assert!(
+            head > tail_max * 10,
+            "Zipf head ({head}) should dominate the tail ({tail_max})"
+        );
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for rank in 0..4 {
+            assert!((z.pmf(rank) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 0.8);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_empty_domain() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the trace substrate.
+
+use p3q_trace::{
+    ItemId, Profile, Query, TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,
+};
+use proptest::prelude::*;
+
+fn arb_action() -> impl Strategy<Value = TaggingAction> {
+    (0u32..200, 0u32..50).prop_map(|(i, t)| TaggingAction::new(ItemId(i), TagId(t)))
+}
+
+fn arb_profile(max: usize) -> impl Strategy<Value = Profile> {
+    prop::collection::vec(arb_action(), 0..max).prop_map(Profile::from_actions)
+}
+
+proptest! {
+    /// Similarity is symmetric: |A ∩ B| = |B ∩ A|.
+    #[test]
+    fn prop_similarity_symmetric(a in arb_profile(120), b in arb_profile(120)) {
+        prop_assert_eq!(a.common_actions(&b), b.common_actions(&a));
+    }
+
+    /// Similarity is bounded by both profile lengths and equals the length on
+    /// self-comparison.
+    #[test]
+    fn prop_similarity_bounds(a in arb_profile(120), b in arb_profile(120)) {
+        let s = a.common_actions(&b);
+        prop_assert!(s <= a.len());
+        prop_assert!(s <= b.len());
+        prop_assert_eq!(a.common_actions(&a), a.len());
+    }
+
+    /// The common-action list has exactly the similarity score's length and
+    /// every element belongs to both profiles.
+    #[test]
+    fn prop_common_list_consistent(a in arb_profile(100), b in arb_profile(100)) {
+        let list = a.common_action_list(&b);
+        prop_assert_eq!(list.len(), a.common_actions(&b));
+        for action in &list {
+            prop_assert!(a.contains(action));
+            prop_assert!(b.contains(action));
+        }
+    }
+
+    /// A profile digest never produces a false negative on the profile's own
+    /// items, and `shares_item_with` implies the digests intersect-probe
+    /// positively.
+    #[test]
+    fn prop_digest_soundness(a in arb_profile(100), b in arb_profile(100)) {
+        let da = a.digest(1 << 12, 5);
+        for item in a.items() {
+            prop_assert!(da.contains(item.as_key()));
+        }
+        if a.shares_item_with(&b) {
+            // At least one of b's items must probe positive in a's digest.
+            prop_assert!(b.items().any(|i| da.contains(i.as_key())));
+        }
+    }
+
+    /// Insert preserves sortedness and set semantics.
+    #[test]
+    fn prop_insert_keeps_invariants(actions in prop::collection::vec(arb_action(), 0..200)) {
+        let mut p = Profile::new();
+        for a in &actions {
+            p.insert(*a);
+        }
+        // Sorted and unique.
+        let slice = p.actions();
+        for w in slice.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Same content as bulk construction.
+        prop_assert_eq!(p, Profile::from_actions(actions));
+    }
+
+    /// Queries built from a profile only contain tags the querier actually
+    /// used on the source item.
+    #[test]
+    fn prop_query_tags_belong_to_querier(seed in 0u64..32) {
+        let trace = TraceGenerator::new(TraceConfig::tiny(seed)).generate();
+        let queries = p3q_trace::QueryGenerator::new(seed).one_query_per_user(&trace.dataset);
+        for q in queries {
+            let profile = trace.dataset.profile(q.querier);
+            for &tag in &q.tags {
+                prop_assert!(profile.tagged(q.source_item, tag));
+            }
+        }
+    }
+}
+
+#[test]
+fn query_wire_size_never_less_than_id() {
+    let q = Query::new(UserId(0), vec![], ItemId(0));
+    assert_eq!(q.wire_bytes(), 4);
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration: trace generation → lazy convergence → eager query
+//! processing, across all crates.
+
+use p3q::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_world() -> (p3q_trace::SyntheticTrace, P3qConfig, IdealNetworks) {
+    let mut trace_cfg = TraceConfig::tiny(2024);
+    trace_cfg.num_users = 120;
+    trace_cfg.num_items = 800;
+    trace_cfg.num_tags = 300;
+    let trace = TraceGenerator::new(trace_cfg).generate();
+    let cfg = P3qConfig::tiny();
+    let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+    (trace, cfg, ideal)
+}
+
+#[test]
+fn lazy_mode_builds_personal_networks_from_scratch() {
+    let (trace, cfg, ideal) = small_world();
+    let mut sim = build_simulator(
+        &trace.dataset,
+        &cfg,
+        &StorageDistribution::Uniform(1000),
+        11,
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    bootstrap_random_views(&mut sim, &cfg, &mut rng);
+
+    let initial = average_success_ratio(sim.nodes().iter(), &ideal);
+    let mut trajectory = vec![initial];
+    run_lazy_cycles(&mut sim, &cfg, 25, |sim, _| {
+        trajectory.push(average_success_ratio(sim.nodes().iter(), &ideal));
+    });
+    let final_ratio = *trajectory.last().unwrap();
+
+    assert!(
+        final_ratio > 0.6,
+        "after 25 lazy cycles the networks should be mostly built (got {final_ratio})"
+    );
+    assert!(
+        final_ratio > initial,
+        "convergence must improve over the random start"
+    );
+    // The trajectory should be broadly increasing: the last quarter must not
+    // be worse than the first quarter.
+    let quarter = trajectory.len() / 4;
+    let early: f64 = trajectory[..quarter].iter().sum::<f64>() / quarter as f64;
+    let late: f64 =
+        trajectory[trajectory.len() - quarter..].iter().sum::<f64>() / quarter as f64;
+    assert!(late >= early);
+}
+
+#[test]
+fn more_storage_converges_faster() {
+    let (trace, cfg, ideal) = small_world();
+    let run = |budget: usize| {
+        let budgets = vec![budget; trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 17);
+        let mut rng = StdRng::seed_from_u64(4);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        run_lazy_cycles(&mut sim, &cfg, 12, |_, _| {});
+        average_success_ratio(sim.nodes().iter(), &ideal)
+    };
+    let poor = run(1);
+    let rich = run(10);
+    assert!(
+        rich >= poor,
+        "storing more profiles must not slow convergence down (c=1: {poor}, c=10: {rich})"
+    );
+}
+
+#[test]
+fn full_pipeline_lazy_then_eager_reaches_good_recall() {
+    let (trace, cfg, _ideal) = small_world();
+    let budgets = vec![3usize; trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    bootstrap_random_views(&mut sim, &cfg, &mut rng);
+    run_lazy_cycles(&mut sim, &cfg, 30, |_, _| {});
+
+    // Queries are answered over whatever networks the lazy mode built; the
+    // reference for each query is the best her *current* personal network
+    // could provide, so completed queries must reach recall 1 against it.
+    let queries: Vec<Query> = QueryGenerator::new(12)
+        .one_query_per_user(&trace.dataset)
+        .into_iter()
+        .filter(|q| !sim.node(q.querier.index()).network_peers().is_empty())
+        .take(10)
+        .collect();
+    assert!(!queries.is_empty());
+
+    let mut references = Vec::new();
+    for query in &queries {
+        let node = sim.node(query.querier.index());
+        let profiles = node
+            .network_peers()
+            .into_iter()
+            .map(|peer| trace.dataset.profile(peer));
+        let mut scores = p3q::scoring::full_relevance_scores(profiles, query);
+        scores.truncate(cfg.top_k);
+        references.push(scores);
+    }
+
+    for (i, query) in queries.iter().enumerate() {
+        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+    }
+    run_eager_until_complete(&mut sim, &cfg, 40, |_, _| {});
+
+    let mut recall_sum = 0.0;
+    for (i, query) in queries.iter().enumerate() {
+        let state = sim
+            .node_mut(query.querier.index())
+            .querier_states
+            .get_mut(&QueryId(i as u64))
+            .unwrap();
+        let items: Vec<ItemId> = state
+            .nra
+            .topk_exhaustive(cfg.top_k)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        recall_sum += recall_at_k(&items, &references[i]);
+    }
+    let mean_recall = recall_sum / queries.len() as f64;
+    assert!(
+        mean_recall > 0.85,
+        "eager mode should recover nearly all of what the personal networks can offer \
+         (mean recall {mean_recall})"
+    );
+}
+
+#[test]
+fn bandwidth_accounting_covers_both_modes() {
+    let (trace, cfg, _ideal) = small_world();
+    let mut sim = build_simulator(&trace.dataset, &cfg, &StorageDistribution::Uniform(10), 9);
+    let mut rng = StdRng::seed_from_u64(8);
+    bootstrap_random_views(&mut sim, &cfg, &mut rng);
+    run_lazy_cycles(&mut sim, &cfg, 5, |_, _| {});
+    let lazy_bytes = sim.bandwidth.totals().0;
+    assert!(lazy_bytes > 0);
+
+    let query = QueryGenerator::new(2)
+        .one_query_per_user(&trace.dataset)
+        .into_iter()
+        .find(|q| !sim.node(q.querier.index()).unstored_network_peers().is_empty());
+    if let Some(query) = query {
+        issue_query(&mut sim, query.querier.index(), QueryId(0), query, &cfg);
+        run_eager_until_complete(&mut sim, &cfg, 20, |_, _| {});
+        let all_bytes = sim.bandwidth.totals().0;
+        assert!(all_bytes > lazy_bytes, "eager traffic must be recorded too");
+        assert!(
+            sim.bandwidth
+                .category_bytes(p3q::bandwidth::category::EAGER_FORWARDED)
+                > 0
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Query-processing correctness: the decentralized eager mode must converge
+//! to exactly what a centralized implementation computes over the querier's
+//! personal network, regardless of the storage budget and of α.
+
+use p3q::prelude::*;
+
+struct Fixture {
+    trace: p3q_trace::SyntheticTrace,
+    cfg: P3qConfig,
+    ideal: IdealNetworks,
+    queries: Vec<Query>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut trace_cfg = TraceConfig::tiny(seed);
+    trace_cfg.num_users = 100;
+    let trace = TraceGenerator::new(trace_cfg).generate();
+    let cfg = P3qConfig::tiny();
+    let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+    let queries = QueryGenerator::new(seed ^ 1)
+        .one_query_per_user(&trace.dataset)
+        .into_iter()
+        .filter(|q| !ideal.network_of(q.querier).is_empty())
+        .take(12)
+        .collect();
+    Fixture {
+        trace,
+        cfg,
+        ideal,
+        queries,
+    }
+}
+
+fn run_and_check_recall_one(fx: &Fixture, storage_budget: usize, alpha: f64) {
+    let cfg = fx.cfg.clone().with_alpha(alpha);
+    let budgets = vec![storage_budget; fx.trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&fx.trace.dataset, &cfg, &budgets, 21);
+    init_ideal_networks(&mut sim, &fx.ideal);
+    for (i, query) in fx.queries.iter().enumerate() {
+        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+    }
+    run_eager_until_complete(&mut sim, &cfg, 80, |_, _| {});
+
+    for (i, query) in fx.queries.iter().enumerate() {
+        let reference = centralized_topk(&fx.trace.dataset, &fx.ideal, query, cfg.top_k);
+        let state = sim
+            .node_mut(query.querier.index())
+            .querier_states
+            .get_mut(&QueryId(i as u64))
+            .unwrap();
+        assert!(
+            state.is_complete(),
+            "query {i} (c={storage_budget}, α={alpha}) did not complete: coverage {:.2}",
+            state.coverage()
+        );
+        let items: Vec<ItemId> = state
+            .nra
+            .topk_exhaustive(cfg.top_k)
+            .iter()
+            .map(|r| r.item)
+            .collect();
+        let recall = recall_at_k(&items, &reference);
+        assert!(
+            (recall - 1.0).abs() < 1e-9,
+            "query {i} (c={storage_budget}, α={alpha}) recall {recall}"
+        );
+    }
+}
+
+#[test]
+fn recall_one_with_tiny_storage() {
+    let fx = fixture(7);
+    run_and_check_recall_one(&fx, 1, 0.5);
+}
+
+#[test]
+fn recall_one_with_moderate_storage() {
+    let fx = fixture(8);
+    run_and_check_recall_one(&fx, 5, 0.5);
+}
+
+#[test]
+fn recall_one_with_extreme_alphas() {
+    let fx = fixture(9);
+    run_and_check_recall_one(&fx, 2, 0.1);
+    run_and_check_recall_one(&fx, 2, 0.9);
+}
+
+#[test]
+fn recall_one_even_at_alpha_extremes_zero_and_one() {
+    // α = 0 forwards the whole list along a path; α = 1 keeps everything at
+    // the querier. Both are slower but must still converge to recall 1.
+    let fx = fixture(10);
+    run_and_check_recall_one(&fx, 2, 0.0);
+    run_and_check_recall_one(&fx, 2, 1.0);
+}
+
+#[test]
+fn per_cycle_recall_is_monotone_and_coverage_never_decreases() {
+    let fx = fixture(11);
+    let cfg = &fx.cfg;
+    let budgets = vec![2usize; fx.trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&fx.trace.dataset, cfg, &budgets, 3);
+    init_ideal_networks(&mut sim, &fx.ideal);
+    let query = fx.queries[0].clone();
+    let reference = centralized_topk(&fx.trace.dataset, &fx.ideal, &query, cfg.top_k);
+    issue_query(&mut sim, query.querier.index(), QueryId(0), query.clone(), cfg);
+
+    let mut last_coverage = 0.0f64;
+    let mut last_used = 0usize;
+    for _ in 0..30 {
+        run_eager_cycle(&mut sim, cfg);
+        let state = sim
+            .node_mut(query.querier.index())
+            .querier_states
+            .get_mut(&QueryId(0))
+            .unwrap();
+        let coverage = state.coverage();
+        let used = state.used_profiles.len();
+        assert!(coverage >= last_coverage - 1e-12, "coverage regressed");
+        assert!(used >= last_used, "used-profile set shrank");
+        last_coverage = coverage;
+        last_used = used;
+    }
+    let state = sim
+        .node_mut(query.querier.index())
+        .querier_states
+        .get_mut(&QueryId(0))
+        .unwrap();
+    let items: Vec<ItemId> = state
+        .nra
+        .topk_exhaustive(cfg.top_k)
+        .iter()
+        .map(|r| r.item)
+        .collect();
+    assert_eq!(recall_at_k(&items, &reference), 1.0);
+}
+
+#[test]
+fn querier_with_full_storage_needs_no_gossip() {
+    let fx = fixture(12);
+    let cfg = &fx.cfg;
+    let budgets = vec![cfg.personal_network_size; fx.trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&fx.trace.dataset, cfg, &budgets, 3);
+    init_ideal_networks(&mut sim, &fx.ideal);
+    let query = fx.queries[0].clone();
+    issue_query(&mut sim, query.querier.index(), QueryId(0), query.clone(), cfg);
+    let exchanges = run_eager_cycle(&mut sim, cfg);
+    assert_eq!(
+        exchanges, 0,
+        "with c = s every profile is local and no eager gossip is needed"
+    );
+    let state = sim
+        .node(query.querier.index())
+        .querier_states
+        .get(&QueryId(0))
+        .unwrap();
+    assert!(state.is_complete());
+    assert_eq!(state.completion_latency(), Some(0));
+}

@@ -1,0 +1,181 @@
+//! The analytical model of Section 2.4 against the simulated protocol:
+//! completion latency ordering over α, and the Theorem 2.3/2.4 bounds.
+
+use p3q::analysis::{cycles_to_completion, max_partial_results, max_users_involved};
+use p3q::prelude::*;
+
+struct Fixture {
+    trace: p3q_trace::SyntheticTrace,
+    cfg: P3qConfig,
+    ideal: IdealNetworks,
+    queries: Vec<Query>,
+}
+
+fn fixture() -> Fixture {
+    let mut trace_cfg = TraceConfig::tiny(77);
+    trace_cfg.num_users = 120;
+    let trace = TraceGenerator::new(trace_cfg).generate();
+    let mut cfg = P3qConfig::tiny();
+    cfg.personal_network_size = 40;
+    let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+    let queries = QueryGenerator::new(3)
+        .one_query_per_user(&trace.dataset)
+        .into_iter()
+        .filter(|q| ideal.network_of(q.querier).len() >= 10)
+        .take(15)
+        .collect();
+    Fixture {
+        trace,
+        cfg,
+        ideal,
+        queries,
+    }
+}
+
+/// Runs the tracked queries at a given α and returns
+/// (mean completion cycles, per-query (latency, users reached, messages),
+/// per-query initial remaining-list length).
+fn run_alpha(fx: &Fixture, alpha: f64) -> (f64, Vec<(f64, f64, f64)>, Vec<f64>) {
+    let cfg = fx.cfg.clone().with_alpha(alpha);
+    let budgets = vec![1usize; fx.trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&fx.trace.dataset, &cfg, &budgets, 13);
+    init_ideal_networks(&mut sim, &fx.ideal);
+
+    let initial_remaining: Vec<f64> = fx
+        .queries
+        .iter()
+        .map(|q| sim.node(q.querier.index()).unstored_network_peers().len() as f64)
+        .collect();
+    for (i, query) in fx.queries.iter().enumerate() {
+        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+    }
+    run_eager_until_complete(&mut sim, &cfg, 100, |_, _| {});
+
+    let mut latencies = Vec::new();
+    let mut per_query = Vec::new();
+    for (i, query) in fx.queries.iter().enumerate() {
+        let state = sim
+            .node(query.querier.index())
+            .querier_states
+            .get(&QueryId(i as u64))
+            .unwrap();
+        if let Some(latency) = state.completion_latency() {
+            latencies.push(latency as f64);
+            per_query.push((
+                latency as f64,
+                state.reached_users.len() as f64,
+                state.traffic.partial_result_messages as f64,
+            ));
+        }
+    }
+    let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    (mean_latency, per_query, initial_remaining)
+}
+
+#[test]
+fn alpha_half_is_not_slower_than_the_extremes() {
+    let fx = fixture();
+    let (half, _, _) = run_alpha(&fx, 0.5);
+    let (nine, _, _) = run_alpha(&fx, 0.9);
+    let (one_tenth, _, _) = run_alpha(&fx, 0.1);
+    // Theorem 2.2: α = 0.5 minimises the completion time. The simulation has
+    // integer-cycle granularity and X varies per hop, so allow a one-cycle
+    // tolerance.
+    assert!(
+        half <= nine + 1.0,
+        "α=0.5 ({half}) should not be slower than α=0.9 ({nine})"
+    );
+    assert!(
+        half <= one_tenth + 1.0,
+        "α=0.5 ({half}) should not be slower than α=0.1 ({one_tenth})"
+    );
+}
+
+#[test]
+fn closed_form_predicts_the_order_of_magnitude() {
+    let fx = fixture();
+    let (measured, _, remaining) = run_alpha(&fx, 0.5);
+    let mean_l = remaining.iter().sum::<f64>() / remaining.len().max(1) as f64;
+    // Every reached user stores one profile plus her own: X ≈ 2.
+    let predicted = cycles_to_completion(0.5, mean_l, 2.0);
+    assert!(
+        measured <= predicted * 2.5 + 2.0,
+        "measured {measured} cycles, closed form predicts {predicted}"
+    );
+    assert!(
+        measured + 2.0 >= predicted * 0.3,
+        "measured {measured} cycles suspiciously below the prediction {predicted}"
+    );
+}
+
+#[test]
+fn users_reached_and_messages_respect_the_bounds() {
+    // Theorem 2.3 bounds the number of involved users by 2^R where R is the
+    // number of cycles the query actually ran: each reached user initiates at
+    // most one gossip per cycle for a given query, so the involved set can at
+    // most double per cycle. The bound therefore uses the *measured*
+    // completion latency of each query, not the idealized closed form (which
+    // assumes X useful profiles are found at every hop).
+    let fx = fixture();
+    let (_, per_query, _) = run_alpha(&fx, 0.5);
+    assert!(!per_query.is_empty());
+    for (latency, users, msgs) in per_query {
+        assert!(
+            users <= max_users_involved(latency) + 1.0,
+            "{users} users reached in {latency} cycles exceeds the 2^R bound {}",
+            max_users_involved(latency)
+        );
+        assert!(
+            msgs <= max_partial_results(latency) + 1.0,
+            "{msgs} partial-result messages in {latency} cycles exceed the 2^R - 1 bound {}",
+            max_partial_results(latency)
+        );
+    }
+}
+
+#[test]
+fn completion_time_grows_with_the_remaining_list() {
+    // Larger personal networks (with the same storage) mean longer remaining
+    // lists and therefore more cycles — the O(log2 L) scaling of the paper.
+    let mut trace_cfg = TraceConfig::tiny(99);
+    trace_cfg.num_users = 120;
+    let trace = TraceGenerator::new(trace_cfg).generate();
+
+    let run_with_s = |s: usize| {
+        let mut cfg = P3qConfig::tiny();
+        cfg.personal_network_size = s;
+        let ideal = IdealNetworks::compute(&trace.dataset, s);
+        let queries: Vec<Query> = QueryGenerator::new(3)
+            .one_query_per_user(&trace.dataset)
+            .into_iter()
+            .filter(|q| ideal.network_of(q.querier).len() >= s.min(10))
+            .take(10)
+            .collect();
+        let budgets = vec![1usize; trace.dataset.num_users()];
+        let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 31);
+        init_ideal_networks(&mut sim, &ideal);
+        for (i, query) in queries.iter().enumerate() {
+            issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+        }
+        run_eager_until_complete(&mut sim, &cfg, 100, |_, _| {});
+        let mut latencies = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            let state = sim
+                .node(query.querier.index())
+                .querier_states
+                .get(&QueryId(i as u64))
+                .unwrap();
+            if let Some(latency) = state.completion_latency() {
+                latencies.push(latency as f64);
+            }
+        }
+        latencies.iter().sum::<f64>() / latencies.len().max(1) as f64
+    };
+
+    let small = run_with_s(10);
+    let large = run_with_s(40);
+    assert!(
+        large >= small,
+        "a 4x larger personal network should not complete faster (s=10: {small}, s=40: {large})"
+    );
+}
