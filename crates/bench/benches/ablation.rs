@@ -47,26 +47,30 @@ fn alpha_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/alpha_sweep");
     group.sample_size(10);
     for alpha in [0.1f64, 0.5, 0.9] {
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |bencher, &alpha| {
-            bencher.iter(|| {
-                let mut cfg = P3qConfig::tiny().with_alpha(alpha);
-                cfg.personal_network_size = 50;
-                let budgets = vec![2usize; world.trace.dataset.num_users()];
-                let mut sim =
-                    build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, 3);
-                init_ideal_networks(&mut sim, &world.ideal);
-                for (i, query) in world.queries.iter().enumerate() {
-                    issue_query(
-                        &mut sim,
-                        query.querier.index(),
-                        QueryId(i as u64),
-                        query.clone(),
-                        &cfg,
-                    );
-                }
-                black_box(run_eager_until_complete(&mut sim, &cfg, 40, |_, _| {}))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &alpha,
+            |bencher, &alpha| {
+                bencher.iter(|| {
+                    let mut cfg = P3qConfig::tiny().with_alpha(alpha);
+                    cfg.personal_network_size = 50;
+                    let budgets = vec![2usize; world.trace.dataset.num_users()];
+                    let mut sim =
+                        build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, 3);
+                    init_ideal_networks(&mut sim, &world.ideal);
+                    for (i, query) in world.queries.iter().enumerate() {
+                        issue_query(
+                            &mut sim,
+                            query.querier.index(),
+                            QueryId(i as u64),
+                            query.clone(),
+                            &cfg,
+                        );
+                    }
+                    black_box(run_eager_until_complete(&mut sim, &cfg, 40, |_, _| {}))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -98,16 +102,17 @@ fn bloom_sizes(c: &mut Criterion) {
     let profile = trace.dataset.profile(UserId(0));
     let mut group = c.benchmark_group("ablation/bloom_size");
     for bits in [2 * 1024usize, 8 * 1024, 20 * 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bencher, &bits| {
-            bencher.iter(|| {
-                let filter = BloomFilter::from_keys(
-                    bits,
-                    7,
-                    profile.items().map(|i| i.as_key()),
-                );
-                black_box(filter.false_positive_rate())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bits),
+            &bits,
+            |bencher, &bits| {
+                bencher.iter(|| {
+                    let filter =
+                        BloomFilter::from_keys(bits, 7, profile.items().map(|i| i.as_key()));
+                    black_box(filter.false_positive_rate())
+                })
+            },
+        );
     }
     group.finish();
 }

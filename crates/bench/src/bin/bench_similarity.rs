@@ -1,0 +1,241 @@
+//! Similarity-engine benchmark: ideal-network build time (counting index vs
+//! per-pair-merge reference, single-threaded and parallel) plus lazy-cycle
+//! throughput, at several population scales.
+//!
+//! Emits `BENCH_similarity.json` in the working directory so the perf
+//! trajectory of the similarity layer is tracked from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_similarity [-- OPTIONS]
+//!     --users a,b,c   population scales        (default 1000,5000,20000)
+//!     --cycles N      lazy cycles to time      (default 3)
+//!     --seed N        master seed              (default 42)
+//!     --skip-reference  skip the slow per-pair-merge baseline
+//!     --out PATH      output path              (default BENCH_similarity.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p3q::baseline::IdealNetworks;
+use p3q::config::P3qConfig;
+use p3q::experiment::build_simulator;
+use p3q::lazy::{bootstrap_random_views, run_lazy_cycles};
+use p3q::similarity::ActionIndex;
+use p3q::storage::StorageDistribution;
+use p3q_sim::default_threads;
+use p3q_trace::{TraceConfig, TraceGenerator};
+
+struct Args {
+    users: Vec<usize>,
+    cycles: u64,
+    seed: u64,
+    skip_reference: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: vec![1_000, 5_000, 20_000],
+        cycles: 3,
+        seed: 42,
+        skip_reference: false,
+        out: "BENCH_similarity.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--users" => {
+                args.users = value("--users")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--users wants integers"))
+                    .collect();
+            }
+            "--cycles" => {
+                args.cycles = value("--cycles")
+                    .parse()
+                    .expect("--cycles wants an integer")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--skip-reference" => args.skip_reference = true,
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Scales the laptop trace shape to an arbitrary population, keeping the
+/// items-per-user density (and therefore the overlap structure) constant.
+fn trace_config(users: usize, seed: u64) -> TraceConfig {
+    let mut cfg = TraceConfig::laptop_scale(seed);
+    cfg.num_users = users;
+    cfg.num_items = users * 12;
+    cfg.num_tags = (users * 3).max(300);
+    cfg.num_topics = (users / 40).clamp(10, 200);
+    cfg
+}
+
+struct ScaleResult {
+    users: usize,
+    total_actions: usize,
+    distinct_actions: usize,
+    index_build_ms: f64,
+    counting_single_ms: f64,
+    counting_parallel_ms: f64,
+    parallel_threads: usize,
+    reference_ms: Option<f64>,
+    lazy_cycle_ms: f64,
+}
+
+fn bench_scale(users: usize, args: &Args) -> ScaleResult {
+    eprintln!("== {users} users ==");
+    let generation = Instant::now();
+    let trace = TraceGenerator::new(trace_config(users, args.seed)).generate();
+    let dataset = trace.dataset;
+    eprintln!(
+        "   trace: {} actions in {:.1?}",
+        dataset.total_actions(),
+        generation.elapsed()
+    );
+    let cfg = P3qConfig::laptop_scale();
+    let s = cfg.personal_network_size;
+
+    let start = Instant::now();
+    let index = ActionIndex::build(&dataset);
+    let index_build_ms = start.elapsed().as_secs_f64() * 1e3;
+    let distinct_actions = index.distinct_actions();
+
+    let start = Instant::now();
+    let single = IdealNetworks::compute_with_threads(&dataset, s, 1);
+    let counting_single_ms = start.elapsed().as_secs_f64() * 1e3;
+    eprintln!("   counting engine (1 thread): {counting_single_ms:.0} ms");
+
+    let parallel_threads = default_threads();
+    let start = Instant::now();
+    let parallel = IdealNetworks::compute_with_threads(&dataset, s, parallel_threads);
+    let counting_parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    eprintln!("   counting engine ({parallel_threads} threads): {counting_parallel_ms:.0} ms");
+
+    let reference_ms = if args.skip_reference {
+        None
+    } else {
+        let start = Instant::now();
+        let reference = IdealNetworks::compute_reference(&dataset, s);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "   per-pair-merge reference:   {ms:.0} ms ({:.1}x slower than counting)",
+            ms / counting_single_ms
+        );
+        for user in dataset.users().take(50) {
+            assert_eq!(
+                single.network_of(user),
+                reference.network_of(user),
+                "engines disagree for {user}"
+            );
+        }
+        Some(ms)
+    };
+    for user in dataset.users().take(50) {
+        assert_eq!(
+            single.network_of(user),
+            parallel.network_of(user),
+            "thread count changed the result for {user}"
+        );
+    }
+
+    // Lazy-cycle throughput over a bootstrapped network.
+    let mut sim = build_simulator(
+        &dataset,
+        &cfg,
+        &StorageDistribution::Uniform(1000),
+        args.seed,
+    );
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xB007);
+    bootstrap_random_views(&mut sim, &cfg, &mut rng);
+    let start = Instant::now();
+    run_lazy_cycles(&mut sim, &cfg, args.cycles, |_, _| {});
+    let lazy_cycle_ms = start.elapsed().as_secs_f64() * 1e3 / args.cycles as f64;
+    eprintln!("   lazy cycle: {lazy_cycle_ms:.0} ms");
+
+    ScaleResult {
+        users,
+        total_actions: dataset.total_actions(),
+        distinct_actions,
+        index_build_ms,
+        counting_single_ms,
+        counting_parallel_ms,
+        parallel_threads,
+        reference_ms,
+        lazy_cycle_ms,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let results: Vec<ScaleResult> = args.users.iter().map(|&u| bench_scale(u, &args)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"similarity\",\n");
+    let _ = writeln!(
+        json,
+        "  \"network_size\": {},",
+        P3qConfig::laptop_scale().personal_network_size
+    );
+    let _ = writeln!(json, "  \"lazy_cycles_timed\": {},", args.cycles);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    json.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"users\": {},", r.users);
+        let _ = writeln!(json, "      \"total_actions\": {},", r.total_actions);
+        let _ = writeln!(json, "      \"distinct_actions\": {},", r.distinct_actions);
+        let _ = writeln!(json, "      \"index_build_ms\": {:.3},", r.index_build_ms);
+        let _ = writeln!(
+            json,
+            "      \"ideal_networks_counting_1_thread_ms\": {:.3},",
+            r.counting_single_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"ideal_networks_counting_parallel_ms\": {:.3},",
+            r.counting_parallel_ms
+        );
+        let _ = writeln!(json, "      \"parallel_threads\": {},", r.parallel_threads);
+        match r.reference_ms {
+            Some(ms) => {
+                let _ = writeln!(
+                    json,
+                    "      \"ideal_networks_reference_merge_ms\": {ms:.3},"
+                );
+                let _ = writeln!(
+                    json,
+                    "      \"speedup_counting_vs_reference_1_thread\": {:.2},",
+                    ms / r.counting_single_ms
+                );
+            }
+            None => {
+                json.push_str("      \"ideal_networks_reference_merge_ms\": null,\n");
+                json.push_str("      \"speedup_counting_vs_reference_1_thread\": null,\n");
+            }
+        }
+        let _ = writeln!(json, "      \"lazy_cycle_ms\": {:.3}", r.lazy_cycle_ms);
+        json.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).expect("writing benchmark output");
+    eprintln!("wrote {}", args.out);
+    println!("{json}");
+}

@@ -67,8 +67,7 @@ fn main() {
         DynamicsGenerator::new(DynamicsConfig::paper_day(args.seed ^ 0xDA7)).generate(&world.trace);
     let mut changed_dataset = world.trace.dataset.clone();
     batch.apply(&mut changed_dataset);
-    let new_ideal =
-        IdealNetworks::compute(&changed_dataset, world.cfg.personal_network_size);
+    let new_ideal = IdealNetworks::compute(&changed_dataset, world.cfg.personal_network_size);
 
     // How many users does the change actually affect?
     let affected = world
@@ -108,13 +107,19 @@ fn main() {
     );
 
     let names = recorder.names();
-    let header: Vec<&str> = std::iter::once("cycle").chain(names.iter().copied()).collect();
+    let header: Vec<&str> = std::iter::once("cycle")
+        .chain(names.iter().copied())
+        .collect();
     let xs: Vec<u64> = recorder.points(names[0]).iter().map(|&(x, _)| x).collect();
     let rows: Vec<Vec<String>> = xs
         .iter()
         .map(|&x| {
             std::iter::once(x.to_string())
-                .chain(names.iter().map(|n| recorder.get(n, x).map(fmt).unwrap_or_default()))
+                .chain(
+                    names
+                        .iter()
+                        .map(|n| recorder.get(n, x).map(fmt).unwrap_or_default()),
+                )
                 .collect()
         })
         .collect();

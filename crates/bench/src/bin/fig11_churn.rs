@@ -56,7 +56,11 @@ fn main() {
 
         // (a)/(b): recall per cycle, one column per departure fraction.
         let header: Vec<String> = std::iter::once("cycle".to_string())
-            .chain(departure_fractions.iter().map(|p| format!("p={:.0}%", p * 100.0)))
+            .chain(
+                departure_fractions
+                    .iter()
+                    .map(|p| format!("p={:.0}%", p * 100.0)),
+            )
             .collect();
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let rows: Vec<Vec<String>> = (0..=args.cycles as usize)

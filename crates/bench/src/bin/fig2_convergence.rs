@@ -59,7 +59,9 @@ fn main() {
 
     // Tabulate: one row per sampled cycle, one column per storage scenario.
     let names = recorder.names();
-    let header: Vec<&str> = std::iter::once("cycle").chain(names.iter().copied()).collect();
+    let header: Vec<&str> = std::iter::once("cycle")
+        .chain(names.iter().copied())
+        .collect();
     let xs: Vec<u64> = recorder.points(names[0]).iter().map(|&(x, _)| x).collect();
     let rows: Vec<Vec<String>> = xs
         .iter()

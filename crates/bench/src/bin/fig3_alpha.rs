@@ -34,15 +34,11 @@ fn main() {
         let scoped_world = World {
             trace: world.trace.clone(),
             cfg: cfg.clone(),
-            ideal: IdealNetworks::compute(
-                &world.trace.dataset,
-                base_cfg.personal_network_size,
-            ),
+            ideal: IdealNetworks::compute(&world.trace.dataset, base_cfg.personal_network_size),
             queries: world.queries.clone(),
         };
         let budgets = vec![c; world.trace.dataset.num_users()];
-        let mut sim =
-            build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, args.seed);
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, args.seed);
         init_ideal_networks(&mut sim, &scoped_world.ideal);
         let outcome = run_recall_experiment(&mut sim, &scoped_world, &queries, args.cycles);
         eprintln!(
@@ -57,17 +53,16 @@ fn main() {
         .chain(alphas.iter().map(|a| format!("a={a}")))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let rows: Vec<Vec<String>> = (0..=args.cycles as usize)
-        .map(|cycle| {
-            std::iter::once(cycle.to_string())
-                .chain(
-                    results
-                        .iter()
-                        .map(|(_, r)| fmt(r.recall_per_cycle[cycle.min(r.recall_per_cycle.len() - 1)])),
-                )
-                .collect()
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        (0..=args.cycles as usize)
+            .map(|cycle| {
+                std::iter::once(cycle.to_string())
+                    .chain(results.iter().map(|(_, r)| {
+                        fmt(r.recall_per_cycle[cycle.min(r.recall_per_cycle.len() - 1)])
+                    }))
+                    .collect()
+            })
+            .collect();
     println!();
     print_table(&header_refs, &rows);
 

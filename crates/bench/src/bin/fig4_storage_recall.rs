@@ -31,8 +31,7 @@ fn main() {
     for &bucket in &buckets {
         let c = scale_bucket(bucket, cfg.personal_network_size);
         let budgets = vec![c; world.trace.dataset.num_users()];
-        let mut sim =
-            build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
         init_ideal_networks(&mut sim, &world.ideal);
         let outcome = run_recall_experiment(&mut sim, &world, &queries, args.cycles);
         eprintln!(
@@ -48,15 +47,16 @@ fn main() {
         .chain(buckets.iter().map(|b| format!("c={b}")))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let rows: Vec<Vec<String>> = (0..=args.cycles as usize)
-        .map(|cycle| {
-            std::iter::once(cycle.to_string())
-                .chain(results.iter().map(|(_, r)| {
-                    fmt(r.recall_per_cycle[cycle.min(r.recall_per_cycle.len() - 1)])
-                }))
-                .collect()
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        (0..=args.cycles as usize)
+            .map(|cycle| {
+                std::iter::once(cycle.to_string())
+                    .chain(results.iter().map(|(_, r)| {
+                        fmt(r.recall_per_cycle[cycle.min(r.recall_per_cycle.len() - 1)])
+                    }))
+                    .collect()
+            })
+            .collect();
     println!();
     print_table(&header_refs, &rows);
 

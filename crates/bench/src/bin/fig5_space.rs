@@ -29,8 +29,7 @@ fn main() {
     for &bucket in &PAPER_STORAGE_BUCKETS {
         let c = scale_bucket(bucket, cfg.personal_network_size);
         let budgets = vec![c; world.trace.dataset.num_users()];
-        let mut sim =
-            build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
         init_ideal_networks(&mut sim, &world.ideal);
 
         let per_user: Vec<f64> = storage_requirements(&sim)

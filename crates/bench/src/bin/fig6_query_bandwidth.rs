@@ -28,7 +28,13 @@ fn run_scenario(
     let mut sim = build_simulator(&world.trace.dataset, cfg, &storage, seed);
     init_ideal_networks(&mut sim, &world.ideal);
     for (i, query) in queries.iter().enumerate() {
-        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), cfg);
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            cfg,
+        );
     }
     run_eager_until_complete(&mut sim, cfg, max_cycles, |_, _| {});
 
@@ -68,7 +74,13 @@ fn main() {
     let mut outcomes = Vec::new();
     for storage in scenarios {
         eprintln!("  running {} …", storage.label());
-        outcomes.push(run_scenario(&world, storage, &queries, args.seed, args.cycles));
+        outcomes.push(run_scenario(
+            &world,
+            storage,
+            &queries,
+            args.seed,
+            args.cycles,
+        ));
     }
 
     for outcome in &outcomes {

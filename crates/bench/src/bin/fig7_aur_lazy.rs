@@ -98,13 +98,19 @@ fn main() {
     );
 
     let names = recorder.names();
-    let header: Vec<&str> = std::iter::once("cycle").chain(names.iter().copied()).collect();
+    let header: Vec<&str> = std::iter::once("cycle")
+        .chain(names.iter().copied())
+        .collect();
     let xs: Vec<u64> = recorder.points(names[0]).iter().map(|&(x, _)| x).collect();
     let rows: Vec<Vec<String>> = xs
         .iter()
         .map(|&x| {
             std::iter::once(x.to_string())
-                .chain(names.iter().map(|n| recorder.get(n, x).map(fmt).unwrap_or_default()))
+                .chain(
+                    names
+                        .iter()
+                        .map(|n| recorder.get(n, x).map(fmt).unwrap_or_default()),
+                )
                 .collect()
         })
         .collect();

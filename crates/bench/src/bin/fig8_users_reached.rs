@@ -20,7 +20,13 @@ fn reached_per_query(
     let mut sim = build_simulator(&world.trace.dataset, cfg, &storage, seed);
     init_ideal_networks(&mut sim, &world.ideal);
     for (i, query) in queries.iter().enumerate() {
-        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), cfg);
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            cfg,
+        );
     }
     run_eager_until_complete(&mut sim, cfg, max_cycles, |_, _| {});
     queries

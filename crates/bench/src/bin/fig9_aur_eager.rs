@@ -74,13 +74,23 @@ fn main() {
             ]);
         }
     }
-    print_table(&["queries issued", "distinct users reached", "AUR over reached users"], &rows);
+    print_table(
+        &[
+            "queries issued",
+            "distinct users reached",
+            "AUR over reached users",
+        ],
+        &rows,
+    );
 
     // Reference: AUR over the whole population (no lazy gossip ran, so only
     // reached users were refreshed).
     let global_aur = average_update_rate(sim.nodes().iter(), &changed, &versions);
     println!();
-    println!("AUR over the whole population (no lazy cycle ran): {}", fmt(global_aur));
+    println!(
+        "AUR over the whole population (no lazy cycle ran): {}",
+        fmt(global_aur)
+    );
     println!();
     println!(
         "paper shape: a single query already refreshes a noticeable share of the reached \

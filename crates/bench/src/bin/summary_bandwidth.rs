@@ -48,7 +48,13 @@ fn main() {
     let eager_bandwidth_before = sim.bandwidth.totals().0;
     let cycle_before = sim.cycle();
     for (i, query) in queries.iter().enumerate() {
-        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), cfg);
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            cfg,
+        );
     }
     run_eager_until_complete(&mut sim, cfg, 40, |_, _| {});
     let eager_cycles = sim.cycle() - cycle_before;
@@ -77,7 +83,9 @@ fn main() {
             let maintenance = sim.bandwidth.node_bytes(idx, category::EAGER_MAINTENANCE)
                 + sim.bandwidth.node_bytes(idx, category::EAGER_FORWARDED)
                 + sim.bandwidth.node_bytes(idx, category::EAGER_RETURNED)
-                + sim.bandwidth.node_bytes(idx, category::EAGER_PARTIAL_RESULTS);
+                + sim
+                    .bandwidth
+                    .node_bytes(idx, category::EAGER_PARTIAL_RESULTS);
             bits_per_second(maintenance, eager_cycles.max(1), cfg.eager_cycle_seconds)
         })
         .collect();
@@ -105,7 +113,12 @@ fn main() {
         ],
     ];
     print_table(
-        &["traffic class", "measured mean (Kbps)", "measured p90 (Kbps)", "paper (Kbps)"],
+        &[
+            "traffic class",
+            "measured mean (Kbps)",
+            "measured p90 (Kbps)",
+            "paper (Kbps)",
+        ],
         &rows,
     );
 
@@ -113,10 +126,7 @@ fn main() {
     println!(
         "total eager traffic: {} bytes over {} eager cycles; lazy traffic {} bytes over {} \
          lazy cycles.",
-        eager_bytes,
-        eager_cycles,
-        eager_bandwidth_before,
-        lazy_cycles
+        eager_bytes, eager_cycles, eager_bandwidth_before, lazy_cycles
     );
     println!(
         "absolute numbers depend on the synthetic trace's profile sizes; the claim to check \

@@ -21,7 +21,8 @@ fn main() {
     let cfg = &world.cfg;
 
     // One paper-style day of activity (≈15% of the users add ~8 actions).
-    let batch = DynamicsGenerator::new(DynamicsConfig::paper_day(args.seed ^ 0xDA7)).generate(&world.trace);
+    let batch =
+        DynamicsGenerator::new(DynamicsConfig::paper_day(args.seed ^ 0xDA7)).generate(&world.trace);
     let changed: HashSet<UserId> = batch.changed_users().into_iter().collect();
     println!(
         "users {}, changing users {} ({:.1}%), avg new actions {:.1}, max {}",
@@ -37,8 +38,7 @@ fn main() {
     for &bucket in &PAPER_STORAGE_BUCKETS {
         let c = scale_bucket(bucket, cfg.personal_network_size);
         let budgets = vec![c; world.trace.dataset.num_users()];
-        let mut sim =
-            build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
         init_ideal_networks(&mut sim, &world.ideal);
 
         // Apply the change batch to the owners' profiles (bumping versions);

@@ -42,8 +42,7 @@ fn main() {
     for &alpha in &alphas {
         let cfg = base_cfg.clone().with_alpha(alpha);
         let budgets = vec![c; world.trace.dataset.num_users()];
-        let mut sim =
-            build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, args.seed);
+        let mut sim = build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, args.seed);
         init_ideal_networks(&mut sim, &world.ideal);
 
         // Model parameters: L = the querier's initial remaining list, X = the
@@ -51,17 +50,19 @@ fn main() {
         // profiles, plus her own).
         let mean_l: f64 = queries
             .iter()
-            .map(|q| {
-                sim.node(q.querier.index())
-                    .unstored_network_peers()
-                    .len() as f64
-            })
+            .map(|q| sim.node(q.querier.index()).unstored_network_peers().len() as f64)
             .sum::<f64>()
             / queries.len().max(1) as f64;
         let x = (c + 1) as f64;
 
         for (i, query) in queries.iter().enumerate() {
-            issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+            issue_query(
+                &mut sim,
+                query.querier.index(),
+                QueryId(i as u64),
+                query.clone(),
+                &cfg,
+            );
         }
         run_eager_until_complete(&mut sim, &cfg, args.cycles, |_, _| {});
 

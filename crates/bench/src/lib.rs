@@ -73,14 +73,10 @@ impl HarnessArgs {
                 "--users" => parsed.users = take_value("--users").parse().expect("--users"),
                 "--seed" => parsed.seed = take_value("--seed").parse().expect("--seed"),
                 "--cycles" => parsed.cycles = take_value("--cycles").parse().expect("--cycles"),
-                "--queries" => {
-                    parsed.queries = take_value("--queries").parse().expect("--queries")
-                }
+                "--queries" => parsed.queries = take_value("--queries").parse().expect("--queries"),
                 "--paper-scale" => parsed.paper_scale = true,
                 "--help" | "-h" => {
-                    println!(
-                        "options: --users N --seed N --cycles N --queries N --paper-scale"
-                    );
+                    println!("options: --users N --seed N --cycles N --queries N --paper-scale");
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -294,9 +290,18 @@ mod tests {
         assert!(!args.paper_scale);
 
         let args = HarnessArgs::parse_from(
-            ["--users", "50", "--seed", "9", "--cycles", "3", "--queries", "7"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--users",
+                "50",
+                "--seed",
+                "9",
+                "--cycles",
+                "3",
+                "--queries",
+                "7",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
             25,
         );
         assert_eq!(args.users, 50);
@@ -339,7 +344,10 @@ mod tests {
         assert_eq!(outcome.recall_per_cycle.len(), 7);
         let first = outcome.recall_per_cycle[0];
         let last = *outcome.recall_per_cycle.last().unwrap();
-        assert!(last >= first - 1e-9, "recall must not degrade: {first} -> {last}");
+        assert!(
+            last >= first - 1e-9,
+            "recall must not degrade: {first} -> {last}"
+        );
         assert!(last > 0.9, "recall should approach 1, got {last}");
     }
 

@@ -28,6 +28,14 @@ pub use builder::BloomBuilder;
 pub use filter::BloomFilter;
 pub use hashing::{hash_pair, mix64};
 
+/// A reference-counted, immutably shared Bloom filter.
+///
+/// A paper-geometry digest is 20 Kbit (2.5 KB of bit blocks); the gossip
+/// stack used to deep-copy one per view entry, per offer and per shuffle.
+/// Sharing digests as `Arc<BloomFilter>` turns those copies into reference
+/// bumps — a digest is immutable from the moment it is taken.
+pub type SharedFilter = std::sync::Arc<BloomFilter>;
+
 /// Default filter size used by the paper's evaluation: 20 Kbit.
 pub const PAPER_FILTER_BITS: usize = 20 * 1024;
 

@@ -1,0 +1,288 @@
+//! Offline micro-benchmark harness.
+//!
+//! The build environment cannot reach a crate registry, so this crate
+//! provides the subset of the `criterion` surface the workspace's benches
+//! use: [`Criterion`] with `bench_function` / `benchmark_group`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`black_box`] and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical pipeline, each benchmark is warmed up
+//! briefly and then timed for a fixed wall-clock budget; the mean time per
+//! iteration is printed as `bench: <name> ... <mean> per iter (<iters>
+//! iters)`. Passing `--bench` (as `cargo bench` does) is accepted and
+//! ignored; a single positional argument filters benchmarks by substring.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Batch sizing hint (accepted for source compatibility; batching always
+/// re-runs the setup per iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing driver.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+    /// Iterations executed during measurement.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then running for the measurement
+    /// budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also used to estimate a per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target_iters =
+            ((MEASURE_BUDGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = target_iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / target_iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        // Keep whole-benchmark wall clock bounded even for slow routines.
+        let wall = Instant::now();
+        while total < MEASURE_BUDGET && wall.elapsed() < 4 * MEASURE_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark registry/driver (subset of criterion's type).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark filter from the command line (the positional
+    /// argument `cargo bench -- <filter>` passes through).
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self.filter = filter;
+        self
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(name) {
+            return;
+        }
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        println!(
+            "bench: {name} ... {} per iter ({} iters)",
+            human(bencher.mean_ns),
+            bencher.iters
+        );
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of criterion's type).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; sampling is time-budgeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.iters > 0);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::default();
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 64).to_string(), "build/64");
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(2_000_000_000.0).ends_with('s'));
+    }
+}

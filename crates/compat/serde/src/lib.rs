@@ -1,0 +1,22 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment cannot reach a crate registry, so this crate keeps
+//! the source-level serde surface (`use serde::{Serialize, Deserialize}` and
+//! the derives) compiling without any serialization machinery behind it.
+//! Nothing in the workspace serializes at runtime today; when real
+//! serialization lands, replace this stub with the real `serde` in the
+//! workspace manifest — no call site changes needed.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`. Implemented for every type so
+/// that generic bounds written against it keep compiling.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Implemented for every type so
+/// that generic bounds written against it keep compiling.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate keeps `#[derive(Serialize, Deserialize)]` compiling without pulling
+//! in the real serde machinery. Derives expand to nothing: the marker traits
+//! in the sibling `serde` stub are implemented blanketly there. Swap both
+//! stubs for the real crates (same names, same call sites) once a registry
+//! is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

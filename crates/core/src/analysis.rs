@@ -131,10 +131,7 @@ mod tests {
         let r_half = cycles_to_completion(0.5, l, x);
         for alpha in [0.05, 0.1, 0.3, 0.45, 0.55, 0.7, 0.9, 0.95] {
             let r = cycles_to_completion(alpha, l, x);
-            assert!(
-                r >= r_half - 1e-9,
-                "R({alpha}) = {r} < R(0.5) = {r_half}"
-            );
+            assert!(r >= r_half - 1e-9, "R({alpha}) = {r} < R(0.5) = {r_half}");
         }
         // Monotonicity on each side of 0.5.
         assert!(cycles_to_completion(0.9, l, x) > cycles_to_completion(0.7, l, x));

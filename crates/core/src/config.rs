@@ -104,7 +104,10 @@ impl P3qConfig {
             self.personal_network_size > 0,
             "personal_network_size must be positive"
         );
-        assert!(self.random_view_size > 0, "random_view_size must be positive");
+        assert!(
+            self.random_view_size > 0,
+            "random_view_size must be positive"
+        );
         assert!(self.top_k > 0, "top_k must be positive");
         assert!(
             (0.0..=1.0).contains(&self.alpha),

@@ -27,14 +27,14 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use p3q_sim::Simulator;
-use p3q_trace::{Profile, Query, UserId};
+use p3q_trace::{Profile, Query, SharedProfile, UserId};
 
 use crate::bandwidth::{category, partial_result_bytes, remaining_list_bytes};
 use crate::config::P3qConfig;
 use crate::lazy::gossip_pair;
 use crate::node::P3qNode;
 use crate::query::{QuerierState, QueryId, RemainingTask};
-use crate::scoring::partial_result_list;
+use crate::scoring::{partial_result_list_buffered, ScoreBuffer};
 
 /// Issues a query at the given node (Algorithm 2, lines 3–7).
 ///
@@ -56,13 +56,16 @@ pub fn issue_query(
     let mut state = QuerierState::new(query.clone(), target_profiles, cycle);
 
     // Local processing over the stored profiles (all of them belong to the
-    // personal network, so they count towards the target set).
-    let stored: Vec<(UserId, Profile)> = node
-        .stored_profiles()
+    // personal network, so they count towards the target set). Cloning the
+    // handles is reference counting, not profile copying.
+    let stored: Vec<(UserId, SharedProfile)> = node
+        .shared_stored_profiles()
         .map(|(peer, profile, _)| (peer, profile.clone()))
         .collect();
     let used: Vec<UserId> = stored.iter().map(|(peer, _)| *peer).collect();
-    let list = partial_result_list(stored.iter().map(|(_, p)| p), &query);
+    let mut scratch = ScoreBuffer::default();
+    let list =
+        partial_result_list_buffered(stored.iter().map(|(_, p)| p.as_ref()), &query, &mut scratch);
     state.absorb_partial_result(list, &used);
 
     // Remaining list: personal-network members without a stored profile.
@@ -97,8 +100,10 @@ struct DestinationOutcome {
 /// gossip context. Returns the number of gossip exchanges performed.
 pub fn run_eager_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
     let mut exchanges = 0usize;
+    // One scoring buffer serves every exchange of the cycle.
+    let mut scratch = ScoreBuffer::default();
     sim.run_cycle(|sim, idx| {
-        exchanges += eager_step(sim, idx, cfg);
+        exchanges += eager_step(sim, idx, cfg, &mut scratch);
     });
     // End-of-cycle bookkeeping: the querier updates completion status.
     let cycle = sim.cycle();
@@ -133,14 +138,19 @@ pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
 
 /// Executes the eager-mode step of one node: one gossip per active context
 /// (Algorithm 3, initiator side).
-fn eager_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) -> usize {
+fn eager_step(
+    sim: &mut Simulator<P3qNode>,
+    idx: usize,
+    cfg: &P3qConfig,
+    scratch: &mut ScoreBuffer,
+) -> usize {
     let contexts = collect_contexts(sim.node(idx));
     if contexts.is_empty() {
         return 0;
     }
     let mut exchanges = 0usize;
     for ctx in contexts {
-        if gossip_one_context(sim, idx, &ctx, cfg) {
+        if gossip_one_context(sim, idx, &ctx, cfg, scratch) {
             exchanges += 1;
         }
     }
@@ -183,6 +193,7 @@ fn gossip_one_context(
     idx: usize,
     ctx: &GossipContext,
     cfg: &P3qConfig,
+    scratch: &mut ScoreBuffer,
 ) -> bool {
     let cycle = sim.cycle();
     let mut rng = sim.derived_rng(0xEA6E_0000 ^ (idx as u64) ^ (ctx.query_id.0 << 20));
@@ -192,7 +203,7 @@ fn gossip_one_context(
     };
 
     // Destination-side processing (Algorithm 3, destination).
-    let outcome = destination_process(sim.node(dest_idx), ctx, cfg, &mut rng);
+    let outcome = destination_process(sim.node(dest_idx), ctx, cfg, &mut rng, scratch);
 
     // Traffic: forwarded remaining list (initiator pays), returned remaining
     // list (destination pays), partial results to the querier (destination
@@ -210,8 +221,12 @@ fn gossip_one_context(
         partial_result_bytes(outcome.partial.len(), outcome.found.len())
     };
     if partial_bytes > 0 {
-        sim.bandwidth
-            .record(dest_idx, cycle, category::EAGER_PARTIAL_RESULTS, partial_bytes);
+        sim.bandwidth.record(
+            dest_idx,
+            cycle,
+            category::EAGER_PARTIAL_RESULTS,
+            partial_bytes,
+        );
     }
 
     // Update the destination's task (merge with an existing share if it
@@ -339,6 +354,7 @@ fn destination_process(
     ctx: &GossipContext,
     cfg: &P3qConfig,
     rng: &mut impl Rng,
+    scratch: &mut ScoreBuffer,
 ) -> DestinationOutcome {
     // Profiles the destination can resolve: its own (if requested) and the
     // stored copies of requested users.
@@ -356,7 +372,7 @@ fn destination_process(
         }
     }
 
-    let partial = partial_result_list(profiles.iter().copied(), &ctx.query);
+    let partial = partial_result_list_buffered(profiles.iter().copied(), &ctx.query, scratch);
 
     // Updated remaining list, split by α: the destination keeps a (1 − α)
     // share, the initiator gets the rest back.
@@ -435,7 +451,12 @@ mod tests {
         assert!(state.remaining.is_empty());
 
         let reference = centralized_topk(&fx.dataset, &fx.ideal, &query, fx.cfg.top_k);
-        let mut state = fx.sim.node_mut(querier).querier_states.remove(&QueryId(1)).unwrap();
+        let mut state = fx
+            .sim
+            .node_mut(querier)
+            .querier_states
+            .remove(&QueryId(1))
+            .unwrap();
         let items: Vec<ItemId> = state
             .current_topk(fx.cfg.top_k)
             .iter()
@@ -541,7 +562,10 @@ mod tests {
             return;
         }
         assert!(state.traffic.forwarded_remaining > 0 || state.reached_users.is_empty());
-        assert_eq!(state.traffic.users_reached, state.reached_users.len() as u64);
+        assert_eq!(
+            state.traffic.users_reached,
+            state.reached_users.len() as u64
+        );
         // Simulator-level categories must be consistent with per-query sums.
         let total_partial = fx
             .sim

@@ -44,11 +44,11 @@ pub fn build_simulator_with_budgets(
         "one storage budget per user is required"
     );
     let nodes: Vec<P3qNode> = dataset
-        .iter()
-        .map(|(user, profile)| {
+        .users()
+        .map(|user| {
             P3qNode::new(
                 user,
-                profile.clone(),
+                dataset.shared_profile(user).clone(),
                 cfg.personal_network_size,
                 cfg.random_view_size,
                 budgets[user.index()],
@@ -75,9 +75,9 @@ pub fn init_ideal_networks(sim: &mut Simulator<P3qNode>, ideal: &IdealNetworks) 
             let (digest, version, profile) = {
                 let peer_node = sim.node(peer.index());
                 (
-                    peer_node.digest().clone(),
+                    peer_node.shared_digest().clone(),
                     peer_node.profile_version(),
-                    peer_node.profile().clone(),
+                    peer_node.shared_profile().clone(),
                 )
             };
             let node = sim.node_mut(idx);
@@ -101,7 +101,10 @@ pub fn init_ideal_networks(sim: &mut Simulator<P3qNode>, ideal: &IdealNetworks) 
         for peer in missing {
             let (profile, version) = {
                 let peer_node = sim.node(peer.index());
-                (peer_node.profile().clone(), peer_node.profile_version())
+                (
+                    peer_node.shared_profile().clone(),
+                    peer_node.profile_version(),
+                )
             };
             sim.node_mut(idx).store_profile(peer, profile, version);
         }
@@ -151,7 +154,10 @@ mod tests {
         assert_eq!(sim.num_nodes(), dataset.num_users());
         for idx in 0..sim.num_nodes() {
             assert_eq!(sim.node(idx).id, UserId::from_index(idx));
-            assert_eq!(sim.node(idx).profile(), dataset.profile(UserId::from_index(idx)));
+            assert_eq!(
+                sim.node(idx).profile(),
+                dataset.profile(UserId::from_index(idx))
+            );
         }
     }
 
@@ -201,19 +207,11 @@ mod tests {
         let (dataset, cfg) = setup();
         let ideal = IdealNetworks::compute(&dataset, cfg.personal_network_size);
 
-        let mut small = build_simulator_with_budgets(
-            &dataset,
-            &cfg,
-            &vec![1usize; dataset.num_users()],
-            7,
-        );
+        let mut small =
+            build_simulator_with_budgets(&dataset, &cfg, &vec![1usize; dataset.num_users()], 7);
         init_ideal_networks(&mut small, &ideal);
-        let mut large = build_simulator_with_budgets(
-            &dataset,
-            &cfg,
-            &vec![8usize; dataset.num_users()],
-            7,
-        );
+        let mut large =
+            build_simulator_with_budgets(&dataset, &cfg, &vec![8usize; dataset.num_users()], 7);
         init_ideal_networks(&mut large, &ideal);
 
         let small_total: usize = storage_requirements(&small).iter().sum();

@@ -157,8 +157,11 @@ mod tests {
         init_explicit_networks(&mut sim, &net);
         for idx in 0..sim.num_nodes() {
             let node = sim.node(idx);
-            let declared: HashSet<UserId> =
-                net.friends_of(UserId::from_index(idx)).iter().copied().collect();
+            let declared: HashSet<UserId> = net
+                .friends_of(UserId::from_index(idx))
+                .iter()
+                .copied()
+                .collect();
             for peer in node.network_peers() {
                 assert!(declared.contains(&peer));
             }
@@ -198,7 +201,13 @@ mod tests {
             references.push(reference);
         }
         for (i, query) in queries.iter().enumerate() {
-            issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+            issue_query(
+                &mut sim,
+                query.querier.index(),
+                QueryId(i as u64),
+                query.clone(),
+                &cfg,
+            );
         }
         run_eager_until_complete(&mut sim, &cfg, 60, |_, _| {});
 

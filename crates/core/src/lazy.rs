@@ -22,10 +22,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use p3q_bloom::BloomFilter;
+use std::sync::Arc;
+
+use p3q_bloom::SharedFilter;
 use p3q_gossip::peer_sampling;
 use p3q_sim::Simulator;
-use p3q_trace::{Profile, UserId};
+use p3q_trace::{SharedProfile, UserId};
 
 use crate::bandwidth::{category, digest_bytes, tagging_actions_bytes};
 use crate::config::P3qConfig;
@@ -34,16 +36,20 @@ use crate::scoring::similarity;
 
 /// One profile proposed during a gossip exchange: the owner, her digest and
 /// the proposer's stored copy of her profile.
+///
+/// Both payloads are shared handles: assembling and cloning an offer costs
+/// two reference bumps, never a profile or digest copy. The byte counts the
+/// *network* would pay are still charged by the bandwidth model.
 #[derive(Debug, Clone)]
 pub struct ProfileOffer {
     /// The user the profile belongs to.
     pub user: UserId,
     /// Digest of the offered profile copy.
-    pub digest: BloomFilter,
+    pub digest: SharedFilter,
     /// Version of the offered profile copy.
     pub version: u64,
     /// The profile copy itself (available on request in steps 2–3).
-    pub profile: Profile,
+    pub profile: SharedProfile,
 }
 
 /// Byte counts of one side of a gossip exchange, split by protocol step.
@@ -72,14 +78,14 @@ impl ExchangeStats {
 /// subset of at most `limit` stored profiles, plus the node's own profile.
 pub fn collect_offers(node: &P3qNode, limit: usize, rng: &mut StdRng) -> Vec<ProfileOffer> {
     let mut stored: Vec<ProfileOffer> = node
-        .stored_profiles()
+        .shared_stored_profiles()
         .map(|(user, profile, version)| ProfileOffer {
             user,
             digest: node
                 .personal_network
                 .get(&user)
                 .map(|e| e.meta.digest.clone())
-                .unwrap_or_else(|| profile.digest(1, 1)),
+                .unwrap_or_else(|| Arc::new(profile.digest(1, 1))),
             version,
             profile: profile.clone(),
         })
@@ -88,9 +94,9 @@ pub fn collect_offers(node: &P3qNode, limit: usize, rng: &mut StdRng) -> Vec<Pro
     stored.truncate(limit);
     stored.push(ProfileOffer {
         user: node.id,
-        digest: node.digest().clone(),
+        digest: node.shared_digest().clone(),
         version: node.profile_version(),
-        profile: node.profile().clone(),
+        profile: node.shared_profile().clone(),
     });
     stored
 }
@@ -107,8 +113,9 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
         stats.digest_bytes += offer.digest.size_bytes();
 
         // Lines 4–9: known neighbour with an unchanged digest → drop.
+        // Shared handles make the common case a pointer comparison.
         if let Some(entry) = node.personal_network.get(&offer.user) {
-            if entry.meta.digest == offer.digest {
+            if Arc::ptr_eq(&entry.meta.digest, &offer.digest) || entry.meta.digest == offer.digest {
                 continue;
             }
         }
@@ -142,7 +149,10 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
         // Step 3 (lines 27–31): fetch the rest of the profile if the
         // neighbour ranks within the storage budget, or if a stored copy is
         // stale.
-        let rank = node.personal_network.rank_of(&offer.user).unwrap_or(usize::MAX);
+        let rank = node
+            .personal_network
+            .rank_of(&offer.user)
+            .unwrap_or(usize::MAX);
         if rank < node.storage_budget() {
             let cached_version = node
                 .personal_network
@@ -179,11 +189,11 @@ fn bottom_layer_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) 
     {
         let (a, b) = sim.pair_mut(idx, partner_idx);
         let a_info = DigestInfo {
-            digest: a.digest().clone(),
+            digest: a.shared_digest().clone(),
             version: a.profile_version(),
         };
         let b_info = DigestInfo {
-            digest: b.digest().clone(),
+            digest: b.shared_digest().clone(),
             version: b.profile_version(),
         };
         a.random_view.tick();
@@ -281,7 +291,7 @@ pub fn gossip_pair(
 /// personal-network candidate (Section 2.2.1).
 fn probe_random_view(sim: &mut Simulator<P3qNode>, idx: usize, _cfg: &P3qConfig) {
     let cycle = sim.cycle();
-    let candidates: Vec<(UserId, BloomFilter)> = sim
+    let candidates: Vec<(UserId, SharedFilter)> = sim
         .node(idx)
         .random_view
         .iter()
@@ -303,8 +313,8 @@ fn probe_random_view(sim: &mut Simulator<P3qNode>, idx: usize, _cfg: &P3qConfig)
         let (peer_profile, peer_digest, peer_version) = {
             let peer_node = sim.node(peer_idx);
             (
-                peer_node.profile().clone(),
-                peer_node.digest().clone(),
+                peer_node.shared_profile().clone(),
+                peer_node.shared_digest().clone(),
                 peer_node.profile_version(),
             )
         };
@@ -378,7 +388,7 @@ pub fn bootstrap_random_views(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig, rng
             let info = {
                 let peer = sim.node(other);
                 DigestInfo {
-                    digest: peer.digest().clone(),
+                    digest: peer.shared_digest().clone(),
                     version: peer.profile_version(),
                 }
             };
@@ -392,10 +402,10 @@ pub fn bootstrap_random_views(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig, rng
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::IdealNetworks;
     use crate::experiment::build_simulator;
     use crate::metrics::average_success_ratio;
     use crate::storage::StorageDistribution;
-    use crate::baseline::IdealNetworks;
     use p3q_trace::{TraceConfig, TraceGenerator};
     use rand::SeedableRng;
 
@@ -433,9 +443,9 @@ mod tests {
             let peer = sim.node(best.index());
             ProfileOffer {
                 user: peer.id,
-                digest: peer.digest().clone(),
+                digest: peer.shared_digest().clone(),
                 version: peer.profile_version(),
-                profile: peer.profile().clone(),
+                profile: peer.shared_profile().clone(),
             }
         };
         let stats = process_offers(sim.node_mut(0), &[offer]);
@@ -459,9 +469,9 @@ mod tests {
             let peer = sim.node(best.index());
             ProfileOffer {
                 user: peer.id,
-                digest: peer.digest().clone(),
+                digest: peer.shared_digest().clone(),
                 version: peer.profile_version(),
-                profile: peer.profile().clone(),
+                profile: peer.shared_profile().clone(),
             }
         };
         let first = process_offers(sim.node_mut(0), std::slice::from_ref(&offer));

@@ -27,7 +27,8 @@
 //! | [`config`] | 2.1, 3.1.2 | protocol parameters (`s`, `r`, `c`, `α`, …) |
 //! | [`storage`] | 3.1.2, Table 1 | uniform / Poisson storage scenarios |
 //! | [`node`] | 2.1, Figure 1 | per-user state (profile, personal network, random view) |
-//! | [`scoring`] | 2.1, 2.3 | similarity and relevance scores |
+//! | [`scoring`] | 2.1, 2.3 | similarity and relevance scores (with buffer-reusing variants) |
+//! | [`similarity`] | 2.1, 3.2.1 | counting inverted index: population-scale similarity sweeps |
 //! | [`lazy`] | 2.2.1, Algorithm 1 | personal-network maintenance |
 //! | [`eager`] | 2.2.2, Algorithms 2–3 | collaborative query processing |
 //! | [`query`] | 2.2.2, 2.3 | querier-side state, remaining lists |
@@ -36,6 +37,27 @@
 //! | [`bandwidth`] | 3.3 | the paper's wire-size model and traffic categories |
 //! | [`analysis`] | 2.4 | Theorems 2.1–2.4 in closed form |
 //! | [`experiment`] | 3.1 | simulator construction and initialisation helpers |
+//!
+//! ## Performance architecture
+//!
+//! Three structural decisions keep the hot paths fast; later scaling work
+//! (sharding, async transports, churn at scale) builds on them:
+//!
+//! * **Counting similarity engine** — [`similarity::ActionIndex`] inverts
+//!   the dataset once ((item, tag) → taggers) and scores one user against
+//!   the whole population in a single dense counting sweep;
+//!   [`baseline::IdealNetworks::compute`] fans the per-user sweeps out over
+//!   all cores with deterministic, thread-count-independent output
+//!   (measured: ~6× over the per-pair-merge reference single-threaded on a
+//!   20k-user trace, before parallel speedup).
+//! * **Zero-copy gossip payloads** — profiles and digests travel as
+//!   [`p3q_trace::SharedProfile`] / [`p3q_bloom::SharedFilter`] handles
+//!   (`Arc`s): offers, view entries, stored copies and simulator
+//!   construction all share one allocation per profile; profile dynamics
+//!   detach via copy-on-write.
+//! * **Buffer-reusing scoring** — [`scoring::partial_result_list_buffered`]
+//!   resolves queries through a caller-owned [`scoring::ScoreBuffer`], so
+//!   steady-state eager cycles allocate nothing per profile.
 //!
 //! ## Quick start
 //!
@@ -86,6 +108,7 @@ pub mod metrics;
 pub mod node;
 pub mod query;
 pub mod scoring;
+pub mod similarity;
 pub mod storage;
 
 /// The most commonly used items, re-exported for convenience.
@@ -93,9 +116,7 @@ pub mod prelude {
     pub use crate::analysis::{cycles_to_completion, OPTIMAL_ALPHA};
     pub use crate::baseline::{centralized_topk, IdealNetworks};
     pub use crate::config::P3qConfig;
-    pub use crate::eager::{
-        issue_query, querier_state, run_eager_cycle, run_eager_until_complete,
-    };
+    pub use crate::eager::{issue_query, querier_state, run_eager_cycle, run_eager_until_complete};
     pub use crate::experiment::{
         build_simulator, build_simulator_with_budgets, full_network_requirements,
         init_ideal_networks, storage_requirements,
@@ -107,10 +128,11 @@ pub mod prelude {
     };
     pub use crate::node::P3qNode;
     pub use crate::query::{QuerierState, QueryId};
+    pub use crate::similarity::{ActionIndex, SimilarityScratch};
     pub use crate::storage::StorageDistribution;
     pub use p3q_sim::Simulator;
     pub use p3q_trace::{
         Dataset, DynamicsConfig, DynamicsGenerator, ItemId, Profile, Query, QueryGenerator,
-        TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,
+        SharedProfile, TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,
     };
 }

@@ -133,8 +133,7 @@ pub fn network_refresh_ratio(
     for node in nodes {
         let old: HashSet<UserId> = old_ideal.neighbours_of(node.id).into_iter().collect();
         let new: Vec<UserId> = new_ideal.neighbours_of(node.id);
-        let fresh_neighbours: Vec<&UserId> =
-            new.iter().filter(|u| !old.contains(u)).collect();
+        let fresh_neighbours: Vec<&UserId> = new.iter().filter(|u| !old.contains(u)).collect();
         if fresh_neighbours.is_empty() {
             continue;
         }

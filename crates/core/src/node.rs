@@ -1,11 +1,17 @@
 //! Per-user protocol state: own profile, personal network, random view and
 //! bounded profile storage.
+//!
+//! Profiles and digests are held as [`SharedProfile`] / [`SharedFilter`]
+//! handles: every copy that travels between nodes inside the simulator is a
+//! reference bump, and the wire-cost accounting stays a separate concern of
+//! the bandwidth model.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use p3q_bloom::BloomFilter;
+use p3q_bloom::{BloomFilter, SharedFilter};
 use p3q_gossip::{AgedView, ScoredView};
-use p3q_trace::{Profile, TaggingAction, UserId};
+use p3q_trace::{Profile, SharedProfile, TaggingAction, UserId};
 
 use crate::query::{QuerierState, QueryId, RemainingTask};
 
@@ -13,7 +19,7 @@ use crate::query::{QuerierState, QueryId, RemainingTask};
 #[derive(Debug, Clone, PartialEq)]
 pub struct DigestInfo {
     /// The peer's profile digest (Bloom filter over its items).
-    pub digest: BloomFilter,
+    pub digest: SharedFilter,
     /// Version of the peer's profile when the digest was taken.
     pub version: u64,
 }
@@ -22,21 +28,21 @@ pub struct DigestInfo {
 #[derive(Debug, Clone, PartialEq)]
 pub struct NeighbourInfo {
     /// The neighbour's profile digest.
-    pub digest: BloomFilter,
+    pub digest: SharedFilter,
     /// Version of the neighbour's profile when the digest was taken.
     pub digest_version: u64,
     /// Cached copy of the neighbour's full profile, present only for the `c`
     /// most similar neighbours (the node's storage budget).
-    pub profile: Option<Profile>,
+    pub profile: Option<SharedProfile>,
     /// Version of the neighbour's profile when the cached copy was taken.
     pub profile_version: u64,
 }
 
 impl NeighbourInfo {
     /// Metadata for a neighbour known only by digest.
-    pub fn digest_only(digest: BloomFilter, version: u64) -> Self {
+    pub fn digest_only(digest: impl Into<SharedFilter>, version: u64) -> Self {
         Self {
-            digest,
+            digest: digest.into(),
             digest_version: version,
             profile: None,
             profile_version: 0,
@@ -49,9 +55,9 @@ impl NeighbourInfo {
 pub struct P3qNode {
     /// The user this node belongs to.
     pub id: UserId,
-    profile: Profile,
+    profile: SharedProfile,
     profile_version: u64,
-    digest: BloomFilter,
+    digest: SharedFilter,
     digest_bits: usize,
     digest_hashes: u32,
     storage_budget: usize,
@@ -74,16 +80,21 @@ impl P3qNode {
     ///   user is willing to store);
     /// * `digest_bits` / `digest_hashes` — Bloom-filter geometry of profile
     ///   digests.
+    ///
+    /// `profile` accepts either an owned [`Profile`] or an already shared
+    /// handle; simulator construction passes the dataset's shared handles so
+    /// no profile bytes are copied.
     pub fn new(
         id: UserId,
-        profile: Profile,
+        profile: impl Into<SharedProfile>,
         personal_network_size: usize,
         random_view_size: usize,
         storage_budget: usize,
         digest_bits: usize,
         digest_hashes: u32,
     ) -> Self {
-        let digest = profile.digest(digest_bits, digest_hashes);
+        let profile: SharedProfile = profile.into();
+        let digest = Arc::new(profile.digest(digest_bits, digest_hashes));
         Self {
             id,
             profile,
@@ -104,6 +115,12 @@ impl P3qNode {
         &self.profile
     }
 
+    /// The node's own profile as a shareable handle (what gossip exchanges
+    /// clone).
+    pub fn shared_profile(&self) -> &SharedProfile {
+        &self.profile
+    }
+
     /// Monotonically increasing version of the node's own profile.
     pub fn profile_version(&self) -> u64 {
         self.profile_version
@@ -111,6 +128,11 @@ impl P3qNode {
 
     /// The node's own profile digest (kept in sync with the profile).
     pub fn digest(&self) -> &BloomFilter {
+        &self.digest
+    }
+
+    /// The node's own digest as a shareable handle.
+    pub fn shared_digest(&self) -> &SharedFilter {
         &self.digest
     }
 
@@ -128,14 +150,18 @@ impl P3qNode {
     /// Adds new tagging actions to the node's own profile (profile dynamics),
     /// bumping its version and refreshing the digest. Returns the number of
     /// genuinely new actions.
+    ///
+    /// If the profile is currently shared (e.g. cached by a neighbour), the
+    /// copy-on-write in [`Arc::make_mut`] detaches this node's copy first,
+    /// leaving the cached snapshots at their recorded versions.
     pub fn add_tagging_actions<I: IntoIterator<Item = TaggingAction>>(
         &mut self,
         actions: I,
     ) -> usize {
-        let added = self.profile.extend(actions);
+        let added = Arc::make_mut(&mut self.profile).extend(actions);
         if added > 0 {
             self.profile_version += 1;
-            self.digest = self.profile.digest(self.digest_bits, self.digest_hashes);
+            self.digest = Arc::new(self.profile.digest(self.digest_bits, self.digest_hashes));
         }
         added
     }
@@ -150,7 +176,7 @@ impl P3qNode {
         &mut self,
         peer: UserId,
         score: u64,
-        digest: BloomFilter,
+        digest: impl Into<SharedFilter>,
         digest_version: u64,
     ) -> bool {
         let (profile, profile_version) = match self.personal_network.get(&peer) {
@@ -161,7 +187,7 @@ impl P3qNode {
             peer,
             score,
             NeighbourInfo {
-                digest,
+                digest: digest.into(),
                 digest_version,
                 profile,
                 profile_version,
@@ -172,11 +198,16 @@ impl P3qNode {
     /// Stores (or refreshes) the full profile of a personal-network
     /// neighbour. The storage rule (only the `c` best neighbours keep a full
     /// profile) is re-applied afterwards; returns `true` if the copy was kept.
-    pub fn store_profile(&mut self, peer: UserId, profile: Profile, version: u64) -> bool {
+    pub fn store_profile(
+        &mut self,
+        peer: UserId,
+        profile: impl Into<SharedProfile>,
+        version: u64,
+    ) -> bool {
         let Some(entry) = self.personal_network.get_mut(&peer) else {
             return false;
         };
-        entry.meta.profile = Some(profile);
+        entry.meta.profile = Some(profile.into());
         entry.meta.profile_version = version;
         self.enforce_storage_budget();
         self.has_stored_profile(&peer)
@@ -211,12 +242,23 @@ impl P3qNode {
     pub fn stored_profile(&self, peer: &UserId) -> Option<&Profile> {
         self.personal_network
             .get(peer)
-            .and_then(|e| e.meta.profile.as_ref())
+            .and_then(|e| e.meta.profile.as_deref())
     }
 
     /// Iterates over `(peer, cached profile, cached version)` for every
     /// stored neighbour profile.
     pub fn stored_profiles(&self) -> impl Iterator<Item = (UserId, &Profile, u64)> {
+        self.personal_network.iter().filter_map(|e| {
+            e.meta
+                .profile
+                .as_deref()
+                .map(|p| (e.peer, p, e.meta.profile_version))
+        })
+    }
+
+    /// Like [`Self::stored_profiles`], but yielding shareable handles — the
+    /// zero-copy source of gossip offers and query resolution.
+    pub fn shared_stored_profiles(&self) -> impl Iterator<Item = (UserId, &SharedProfile, u64)> {
         self.personal_network.iter().filter_map(|e| {
             e.meta
                 .profile
@@ -260,15 +302,7 @@ mod tests {
     }
 
     fn node(c: usize) -> P3qNode {
-        P3qNode::new(
-            UserId(0),
-            profile(&[(1, 1), (2, 2)]),
-            5,
-            3,
-            c,
-            1024,
-            4,
-        )
+        P3qNode::new(UserId(0), profile(&[(1, 1), (2, 2)]), 5, 3, c, 1024, 4)
     }
 
     #[test]
@@ -292,7 +326,7 @@ mod tests {
     #[test]
     fn record_neighbour_preserves_cached_profile() {
         let mut n = node(2);
-        let d = profile(&[(5, 5)]).digest(1024, 4);
+        let d: SharedFilter = Arc::new(profile(&[(5, 5)]).digest(1024, 4));
         assert!(n.record_neighbour(UserId(1), 3, d.clone(), 1));
         assert!(n.store_profile(UserId(1), profile(&[(5, 5)]), 1));
         // Refreshing the score must not drop the stored profile.
@@ -349,5 +383,30 @@ mod tests {
         // s = 5 in the fixture.
         assert_eq!(n.network_peers().len(), 5);
         assert_eq!(n.network_peers()[0], UserId(10));
+    }
+
+    #[test]
+    fn stored_profiles_share_storage_with_their_source() {
+        let mut n = node(2);
+        let p: SharedProfile = Arc::new(profile(&[(5, 5), (6, 6)]));
+        n.record_neighbour(UserId(1), 3, Arc::new(p.digest(1024, 4)), 1);
+        n.store_profile(UserId(1), p.clone(), 1);
+        let (_, stored, _) = n.shared_stored_profiles().next().unwrap();
+        assert!(
+            Arc::ptr_eq(stored, &p),
+            "storing a shared profile must not deep-copy it"
+        );
+    }
+
+    #[test]
+    fn dynamics_detach_shared_own_profile() {
+        let shared: SharedProfile = Arc::new(profile(&[(1, 1)]));
+        let mut n = P3qNode::new(UserId(0), shared.clone(), 5, 3, 2, 1024, 4);
+        assert!(Arc::ptr_eq(n.shared_profile(), &shared));
+        n.add_tagging_actions(vec![TaggingAction::new(ItemId(2), TagId(2))]);
+        // The node's copy grew; the original shared handle is untouched.
+        assert_eq!(n.profile().len(), 2);
+        assert_eq!(shared.len(), 1);
+        assert!(!Arc::ptr_eq(n.shared_profile(), &shared));
     }
 }

@@ -56,11 +56,7 @@ impl QuerierState {
 
     /// Feeds one partial result list (plus the set of profiles it was built
     /// from) into the querier's NRA.
-    pub fn absorb_partial_result(
-        &mut self,
-        list: PartialResultList<ItemId>,
-        used: &[UserId],
-    ) {
+    pub fn absorb_partial_result(&mut self, list: PartialResultList<ItemId>, used: &[UserId]) {
         for &user in used {
             self.used_profiles.insert(user);
         }

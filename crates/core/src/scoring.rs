@@ -28,13 +28,33 @@ pub fn item_score_for_profile(profile: &Profile, query: &Query, item: ItemId) ->
 /// `Score_{u_j, Q}(i)`.
 pub fn profile_contribution(profile: &Profile, query: &Query) -> Vec<(ItemId, u32)> {
     let mut out = Vec::new();
-    for item in profile.items() {
-        let score = item_score_for_profile(profile, query, item);
+    profile_contribution_into(profile, query, &mut out);
+    out
+}
+
+/// Appends one profile's contribution to `out` without allocating.
+///
+/// This is the buffer-reusing core of [`profile_contribution`]: a single
+/// pass over the profile's item-major action list, counting query-tag
+/// matches per item run — no per-item binary searches and no intermediate
+/// vector. Eager query resolution calls this once per stored profile per
+/// cycle, so the allocation and the extra `O(log n)` factor both matter.
+pub fn profile_contribution_into(profile: &Profile, query: &Query, out: &mut Vec<(ItemId, u32)>) {
+    let mut actions = profile.iter().peekable();
+    while let Some(first) = actions.next() {
+        let item = first.item;
+        let mut score = u32::from(query.contains_tag(first.tag));
+        while let Some(next) = actions.peek() {
+            if next.item != item {
+                break;
+            }
+            score += u32::from(query.contains_tag(next.tag));
+            actions.next();
+        }
         if score > 0 {
             out.push((item, score));
         }
     }
-    out
 }
 
 /// Builds the partial result list of a user who holds `profiles`
@@ -45,11 +65,36 @@ pub fn partial_result_list<'a, I>(profiles: I, query: &Query) -> PartialResultLi
 where
     I: IntoIterator<Item = &'a Profile>,
 {
-    let mut scores: Vec<(ItemId, u32)> = Vec::new();
+    let mut scratch = ScoreBuffer::default();
+    partial_result_list_buffered(profiles, query, &mut scratch)
+}
+
+/// Reusable scratch space for [`partial_result_list_buffered`].
+///
+/// One buffer serves any number of calls; the accumulated capacity tracks
+/// the largest contribution seen, so steady-state query resolution runs
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreBuffer {
+    pairs: Vec<(ItemId, u32)>,
+}
+
+/// [`partial_result_list`] with caller-owned scratch space: per-profile
+/// contributions accumulate into `scratch` and the final aggregation happens
+/// in place, leaving `scratch` empty but with its capacity intact.
+pub fn partial_result_list_buffered<'a, I>(
+    profiles: I,
+    query: &Query,
+    scratch: &mut ScoreBuffer,
+) -> PartialResultList<ItemId>
+where
+    I: IntoIterator<Item = &'a Profile>,
+{
+    scratch.pairs.clear();
     for profile in profiles {
-        scores.extend(profile_contribution(profile, query));
+        profile_contribution_into(profile, query, &mut scratch.pairs);
     }
-    PartialResultList::from_scores(scores)
+    PartialResultList::from_scores_buffer(&mut scratch.pairs)
 }
 
 /// The exact relevance score `Score(Q, i)` of every item over a set of
@@ -80,7 +125,11 @@ mod tests {
     }
 
     fn query(tags: &[u32]) -> Query {
-        Query::new(UserId(0), tags.iter().map(|&t| TagId(t)).collect(), ItemId(0))
+        Query::new(
+            UserId(0),
+            tags.iter().map(|&t| TagId(t)).collect(),
+            ItemId(0),
+        )
     }
 
     #[test]

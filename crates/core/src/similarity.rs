@@ -1,0 +1,286 @@
+//! The similarity engine: counting-based, index-backed computation of the
+//! paper's profile-similarity score at population scale.
+//!
+//! `Score_{u}(v) = |Profile(u) ∩ Profile(v)|` is evaluated everywhere in the
+//! P3Q evaluation: once per candidate pair when building the ideal personal
+//! networks (Section 3.2.1) and once per offer on every gossip exchange.
+//! The naive route — a linear merge of the two sorted profiles per pair —
+//! costs `O(|P_u| + |P_v|)` even when the intersection is empty, which is
+//! what capped trace sizes before this module existed.
+//!
+//! [`ActionIndex`] inverts the dataset once: for every distinct tagging
+//! action `(item, tag)` it stores the posting list of users whose profile
+//! contains it. Scoring one user against *everyone* then becomes a counting
+//! sweep: walk her actions, and for each action bump a dense per-user
+//! accumulator for every other user on that posting list. The total work is
+//! proportional to the number of *actually shared* actions — the
+//! intersection mass — instead of the sum of profile lengths over all
+//! candidate pairs.
+//!
+//! The per-user loop is embarrassingly parallel and runs through
+//! [`p3q_sim::parallel_map_chunks`], which guarantees output identical for
+//! every worker-thread count (set `P3Q_THREADS=1` to pin).
+
+use p3q_trace::{Dataset, Profile, TaggingAction, UserId};
+
+/// Scratch space for one scoring sweep: a dense per-user counter plus the
+/// list of touched slots so that clearing costs `O(touched)`, not
+/// `O(num_users)`.
+#[derive(Debug, Clone)]
+pub struct SimilarityScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl SimilarityScratch {
+    /// Creates scratch space for a population of `num_users`.
+    pub fn new(num_users: usize) -> Self {
+        Self {
+            counts: vec![0; num_users],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// A counting inverted index over every distinct tagging action of a
+/// dataset.
+///
+/// Layout is CSR: `keys` holds the distinct `(item, tag)` actions in sorted
+/// order, `offsets[i]..offsets[i + 1]` delimits the posting list of
+/// `keys[i]` inside `users`, and every posting list is in ascending user
+/// order. Building the index costs one sort of the (action, user) pairs —
+/// `O(A log A)` for `A` total actions — and is done once per dataset.
+#[derive(Debug, Clone)]
+pub struct ActionIndex {
+    keys: Vec<u64>,
+    offsets: Vec<u32>,
+    users: Vec<u32>,
+    num_users: usize,
+}
+
+fn action_key(action: &TaggingAction) -> u64 {
+    (u64::from(action.item.0) << 32) | u64::from(action.tag.0)
+}
+
+impl ActionIndex {
+    /// Builds the index over every profile of the dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        let total: usize = dataset.iter().map(|(_, p)| p.len()).sum();
+        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(total);
+        for (user, profile) in dataset.iter() {
+            for action in profile.iter() {
+                pairs.push((action_key(action), user.0));
+            }
+        }
+        // Sorting by (key, user) groups postings and keeps each list in
+        // ascending user order, independent of iteration details.
+        pairs.sort_unstable();
+
+        let mut keys = Vec::new();
+        let mut offsets = Vec::with_capacity(pairs.len() / 2);
+        let mut users = Vec::with_capacity(pairs.len());
+        // Offsets are u32 to halve the index footprint; fail loudly rather
+        // than silently wrapping if a dataset ever exceeds 2^32 actions.
+        let offset_of = |len: usize| {
+            u32::try_from(len).expect("ActionIndex supports at most 2^32 - 1 total actions")
+        };
+        for (key, user) in pairs {
+            if keys.last() != Some(&key) {
+                keys.push(key);
+                offsets.push(offset_of(users.len()));
+            }
+            users.push(user);
+        }
+        offsets.push(offset_of(users.len()));
+        Self {
+            keys,
+            offsets,
+            users,
+            num_users: dataset.num_users(),
+        }
+    }
+
+    /// Number of users covered by the index.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of distinct tagging actions in the index.
+    pub fn distinct_actions(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The users whose profile contains `action`, in ascending order.
+    pub fn taggers_of(&self, action: &TaggingAction) -> &[u32] {
+        match self.keys.binary_search(&action_key(action)) {
+            Ok(pos) => &self.users[self.offsets[pos] as usize..self.offsets[pos + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Scores `profile` against every indexed user in one counting sweep.
+    ///
+    /// After the call, `scratch.counts[v]` holds `|profile ∩ Profile(v)|`
+    /// for every user `v` in `scratch.touched` (slots outside `touched` are
+    /// zero). `exclude` removes one user (the profile's owner) from the
+    /// result. The caller must drain the scratch through
+    /// [`Self::collect_top`] or clear it via the next `accumulate` call —
+    /// the sweep starts by resetting only previously touched slots.
+    pub fn accumulate(&self, profile: &Profile, exclude: UserId, scratch: &mut SimilarityScratch) {
+        debug_assert_eq!(scratch.counts.len(), self.num_users);
+        for &slot in &scratch.touched {
+            scratch.counts[slot as usize] = 0;
+        }
+        scratch.touched.clear();
+
+        // The profile's actions and the index keys are both sorted, so each
+        // posting lookup narrows the remaining search window instead of
+        // re-scanning the whole key space.
+        let mut lo = 0usize;
+        for action in profile.iter() {
+            let key = action_key(action);
+            match self.keys[lo..].binary_search(&key) {
+                Ok(rel) => {
+                    let pos = lo + rel;
+                    lo = pos + 1;
+                    let start = self.offsets[pos] as usize;
+                    let end = self.offsets[pos + 1] as usize;
+                    for &user in &self.users[start..end] {
+                        if user == exclude.0 {
+                            continue;
+                        }
+                        let slot = &mut scratch.counts[user as usize];
+                        if *slot == 0 {
+                            scratch.touched.push(user);
+                        }
+                        *slot += 1;
+                    }
+                }
+                Err(rel) => lo += rel,
+            }
+        }
+    }
+
+    /// Extracts the top-`network_size` scored users from a finished sweep:
+    /// `(user, score)` pairs with positive scores, in descending score order
+    /// with ties broken by ascending user id — exactly the ideal
+    /// personal-network ordering of [`crate::baseline::IdealNetworks`].
+    pub fn collect_top(
+        &self,
+        network_size: usize,
+        scratch: &mut SimilarityScratch,
+    ) -> Vec<(UserId, u64)> {
+        if network_size == 0 {
+            return Vec::new();
+        }
+        let mut scored: Vec<(UserId, u64)> = scratch
+            .touched
+            .iter()
+            .map(|&user| (UserId(user), u64::from(scratch.counts[user as usize])))
+            .collect();
+        let by_rank = |a: &(UserId, u64), b: &(UserId, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        if scored.len() > network_size {
+            // Partial selection: only the retained prefix needs a full sort.
+            scored.select_nth_unstable_by(network_size - 1, by_rank);
+            scored.truncate(network_size);
+        }
+        scored.sort_unstable_by(by_rank);
+        scored
+    }
+
+    /// Convenience wrapper: the top-`network_size` most similar users to
+    /// `user`, using (and resetting) `scratch`.
+    pub fn top_similar(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        network_size: usize,
+        scratch: &mut SimilarityScratch,
+    ) -> Vec<(UserId, u64)> {
+        self.accumulate(dataset.profile(user), user, scratch);
+        self.collect_top(network_size, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p3q_trace::{ItemId, TagId};
+
+    fn act(item: u32, tag: u32) -> TaggingAction {
+        TaggingAction::new(ItemId(item), TagId(tag))
+    }
+
+    fn dataset() -> Dataset {
+        let p0 = Profile::from_actions(vec![act(1, 1), act(2, 2), act(3, 3)]);
+        let p1 = Profile::from_actions(vec![act(1, 1), act(2, 2)]);
+        let p2 = Profile::from_actions(vec![act(3, 3), act(9, 9)]);
+        let p3 = Profile::from_actions(vec![act(100, 100)]);
+        Dataset::new(vec![p0, p1, p2, p3], 200, 200)
+    }
+
+    #[test]
+    fn taggers_lists_are_sorted_and_complete() {
+        let d = dataset();
+        let index = ActionIndex::build(&d);
+        assert_eq!(index.num_users(), 4);
+        assert_eq!(index.distinct_actions(), 5);
+        assert_eq!(index.taggers_of(&act(1, 1)), &[0, 1]);
+        assert_eq!(index.taggers_of(&act(3, 3)), &[0, 2]);
+        assert_eq!(index.taggers_of(&act(100, 100)), &[3]);
+        assert!(index.taggers_of(&act(42, 42)).is_empty());
+    }
+
+    #[test]
+    fn counting_sweep_matches_pairwise_merge() {
+        let d = dataset();
+        let index = ActionIndex::build(&d);
+        let mut scratch = SimilarityScratch::new(d.num_users());
+        for (user, profile) in d.iter() {
+            index.accumulate(profile, user, &mut scratch);
+            for (other, other_profile) in d.iter() {
+                let expected = if other == user {
+                    0
+                } else {
+                    profile.common_actions(other_profile) as u32
+                };
+                assert_eq!(
+                    scratch.counts[other.index()],
+                    expected,
+                    "user {user} vs {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collect_top_orders_by_score_then_id() {
+        let d = dataset();
+        let index = ActionIndex::build(&d);
+        let mut scratch = SimilarityScratch::new(d.num_users());
+        let top = index.top_similar(&d, UserId(0), 10, &mut scratch);
+        assert_eq!(top, vec![(UserId(1), 2), (UserId(2), 1)]);
+        let top1 = index.top_similar(&d, UserId(0), 1, &mut scratch);
+        assert_eq!(top1, vec![(UserId(1), 2)]);
+    }
+
+    #[test]
+    fn zero_network_size_yields_empty_networks() {
+        let d = dataset();
+        let index = ActionIndex::build(&d);
+        let mut scratch = SimilarityScratch::new(d.num_users());
+        assert!(index.top_similar(&d, UserId(0), 0, &mut scratch).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_between_sweeps() {
+        let d = dataset();
+        let index = ActionIndex::build(&d);
+        let mut scratch = SimilarityScratch::new(d.num_users());
+        let first = index.top_similar(&d, UserId(0), 10, &mut scratch);
+        let isolated = index.top_similar(&d, UserId(3), 10, &mut scratch);
+        assert!(isolated.is_empty());
+        let again = index.top_similar(&d, UserId(0), 10, &mut scratch);
+        assert_eq!(first, again);
+    }
+}

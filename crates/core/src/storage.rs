@@ -214,11 +214,9 @@ mod tests {
     #[test]
     fn assign_scales_buckets_to_network_size() {
         let mut rng = StdRng::seed_from_u64(1);
-        let budgets =
-            StorageDistribution::Uniform(10).assign(5, 100, &mut rng);
+        let budgets = StorageDistribution::Uniform(10).assign(5, 100, &mut rng);
         assert_eq!(budgets, vec![1, 1, 1, 1, 1]);
-        let budgets =
-            StorageDistribution::Uniform(1000).assign(3, 100, &mut rng);
+        let budgets = StorageDistribution::Uniform(1000).assign(3, 100, &mut rng);
         assert_eq!(budgets, vec![100, 100, 100]);
     }
 

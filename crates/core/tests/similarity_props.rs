@@ -1,0 +1,147 @@
+//! Property tests pinning the counting-index similarity engine to a naive
+//! O(n²) reference: `IdealNetworks::compute` must be byte-identical to
+//! brute force on random traces — scores, ordering and tie-breaking
+//! included — for every network size and worker-thread count.
+
+use proptest::prelude::*;
+
+use p3q::baseline::IdealNetworks;
+use p3q::similarity::{ActionIndex, SimilarityScratch};
+use p3q_trace::{Dataset, ItemId, Profile, TagId, TaggingAction, TraceConfig, TraceGenerator};
+
+/// Brute force with no index at all: every ordered pair, one merge each.
+/// Deliberately independent of both production implementations.
+fn brute_force(dataset: &Dataset, network_size: usize) -> Vec<Vec<(u32, u64)>> {
+    dataset
+        .iter()
+        .map(|(user, profile)| {
+            let mut scored: Vec<(u32, u64)> = dataset
+                .iter()
+                .filter(|&(other, _)| other != user)
+                .map(|(other, other_profile)| {
+                    (other.0, profile.common_actions(other_profile) as u64)
+                })
+                .filter(|&(_, score)| score > 0)
+                .collect();
+            scored.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            scored.truncate(network_size);
+            scored
+        })
+        .collect()
+}
+
+fn networks_as_vec(ideal: &IdealNetworks, num_users: usize) -> Vec<Vec<(u32, u64)>> {
+    (0..num_users)
+        .map(|idx| {
+            ideal
+                .network_of(p3q_trace::UserId::from_index(idx))
+                .iter()
+                .map(|&(u, s)| (u.0, s))
+                .collect()
+        })
+        .collect()
+}
+
+/// A small random dataset: dense ids so collisions (shared actions, shared
+/// items with different tags, full ties) are common.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec((0u32..12, 0u32..6), 0..30), 2..14).prop_map(
+        |users| {
+            let profiles: Vec<Profile> = users
+                .into_iter()
+                .map(|actions| {
+                    Profile::from_actions(
+                        actions
+                            .into_iter()
+                            .map(|(i, t)| TaggingAction::new(ItemId(i), TagId(t))),
+                    )
+                })
+                .collect();
+            Dataset::new(profiles, 12, 6)
+        },
+    )
+}
+
+proptest! {
+    /// The counting engine equals brute force — including tie-breaking —
+    /// on random datasets, for several network sizes.
+    #[test]
+    fn counting_engine_matches_brute_force(dataset in arb_dataset(), s in 1usize..8) {
+        let expected = brute_force(&dataset, s);
+        let got = networks_as_vec(&IdealNetworks::compute(&dataset, s), dataset.num_users());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The counting engine equals the retained per-pair-merge reference
+    /// implementation (the pre-index production code path).
+    #[test]
+    fn counting_engine_matches_reference_implementation(
+        dataset in arb_dataset(),
+        s in 1usize..8,
+    ) {
+        let reference = networks_as_vec(
+            &IdealNetworks::compute_reference(&dataset, s),
+            dataset.num_users(),
+        );
+        let got = networks_as_vec(&IdealNetworks::compute(&dataset, s), dataset.num_users());
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Thread count must never change the output — chunked parallelism with
+    /// in-order reassembly is the determinism contract of the engine.
+    #[test]
+    fn output_is_identical_across_thread_counts(dataset in arb_dataset(), s in 1usize..6) {
+        let single = networks_as_vec(
+            &IdealNetworks::compute_with_threads(&dataset, s, 1),
+            dataset.num_users(),
+        );
+        for threads in [2, 3, 8] {
+            let multi = networks_as_vec(
+                &IdealNetworks::compute_with_threads(&dataset, s, threads),
+                dataset.num_users(),
+            );
+            prop_assert_eq!(&multi, &single, "threads = {}", threads);
+        }
+    }
+
+    /// The raw accumulator agrees with the pairwise merge count for every
+    /// (user, other) pair — a finer-grained check than the top-s networks.
+    #[test]
+    fn accumulator_counts_match_pairwise_merges(dataset in arb_dataset()) {
+        let index = ActionIndex::build(&dataset);
+        let mut scratch = SimilarityScratch::new(dataset.num_users());
+        for (user, profile) in dataset.iter() {
+            index.accumulate(profile, user, &mut scratch);
+            let top = index.collect_top(dataset.num_users(), &mut scratch);
+            for (other, other_profile) in dataset.iter() {
+                let expected = if other == user {
+                    0
+                } else {
+                    profile.common_actions(other_profile) as u64
+                };
+                let got = top
+                    .iter()
+                    .find(|&&(u, _)| u == other)
+                    .map(|&(_, s)| s)
+                    .unwrap_or(0);
+                prop_assert_eq!(got, expected, "user {} vs {}", user, other);
+            }
+        }
+    }
+}
+
+/// One structured (non-random) cross-check on a generated trace, where the
+/// community structure produces realistic overlap patterns.
+#[test]
+fn counting_engine_matches_reference_on_generated_trace() {
+    let trace = TraceGenerator::new(TraceConfig::tiny(11)).generate();
+    for s in [1, 3, 20] {
+        let fast = IdealNetworks::compute(&trace.dataset, s);
+        let reference = IdealNetworks::compute_reference(&trace.dataset, s);
+        assert_eq!(
+            networks_as_vec(&fast, trace.dataset.num_users()),
+            networks_as_vec(&reference, trace.dataset.num_users()),
+            "network size {s}"
+        );
+    }
+}

@@ -184,9 +184,8 @@ mod tests {
     #[test]
     fn repeated_shuffles_keep_views_full() {
         // In a 4-node clique the views must stay at capacity.
-        let mut views: Vec<AgedView<u32, ()>> = (0..4u32)
-            .map(|i| view_with(2, &[(i + 1) % 4]))
-            .collect();
+        let mut views: Vec<AgedView<u32, ()>> =
+            (0..4u32).map(|i| view_with(2, &[(i + 1) % 4])).collect();
         let mut rng = StdRng::seed_from_u64(3);
         for round in 0..30 {
             let a = (round % 4) as usize;

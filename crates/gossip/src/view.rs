@@ -271,12 +271,7 @@ impl<P: Copy + Eq + Hash + Ord, M: Clone> AgedView<P, M> {
         self.entries.push(AgedEntry { peer, age: 0, meta });
         if self.entries.len() > self.capacity {
             // Evict the oldest entry.
-            if let Some((idx, _)) = self
-                .entries
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, e)| e.age)
-            {
+            if let Some((idx, _)) = self.entries.iter().enumerate().max_by_key(|(_, e)| e.age) {
                 self.entries.remove(idx);
             }
         }
@@ -362,7 +357,11 @@ mod tests {
             selected.push(v.select_oldest_and_reset().unwrap());
         }
         selected.sort_unstable();
-        assert_eq!(selected, vec![1, 2, 3], "selection must rotate over all peers");
+        assert_eq!(
+            selected,
+            vec![1, 2, 3],
+            "selection must rotate over all peers"
+        );
     }
 
     #[test]
@@ -425,9 +424,21 @@ mod tests {
     fn aged_view_replace_truncates_to_capacity() {
         let mut v: AgedView<u32, ()> = AgedView::new(2);
         v.replace_with(vec![
-            AgedEntry { peer: 1, age: 0, meta: () },
-            AgedEntry { peer: 2, age: 0, meta: () },
-            AgedEntry { peer: 3, age: 0, meta: () },
+            AgedEntry {
+                peer: 1,
+                age: 0,
+                meta: (),
+            },
+            AgedEntry {
+                peer: 2,
+                age: 0,
+                meta: (),
+            },
+            AgedEntry {
+                peer: 3,
+                age: 0,
+                meta: (),
+            },
         ]);
         assert_eq!(v.len(), 2);
     }

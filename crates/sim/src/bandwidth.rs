@@ -102,12 +102,7 @@ impl BandwidthRecorder {
     /// `cycles` cycles of `seconds_per_cycle` seconds each — the unit the
     /// paper's summary quotes (e.g. "13.4 Kbps for maintaining the personal
     /// network").
-    pub fn node_bits_per_second(
-        &self,
-        node: usize,
-        cycles: u64,
-        seconds_per_cycle: f64,
-    ) -> f64 {
+    pub fn node_bits_per_second(&self, node: usize, cycles: u64, seconds_per_cycle: f64) -> f64 {
         if cycles == 0 || seconds_per_cycle <= 0.0 {
             return 0.0;
         }

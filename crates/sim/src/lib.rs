@@ -16,7 +16,10 @@
 //!   per-entity distributions, the two shapes every figure in the paper
 //!   takes;
 //! * [`EventQueue`] — "at cycle X, do Y" hooks for dynamics and churn
-//!   scenarios.
+//!   scenarios;
+//! * [`parallel`] — deterministic fork-join over users for the offline
+//!   phases (index building, baseline computation) that surround the
+//!   single-threaded cycle engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +28,12 @@ mod bandwidth;
 mod engine;
 mod membership;
 mod metrics;
+pub mod parallel;
 mod schedule;
 
 pub use bandwidth::{BandwidthRecorder, Category};
 pub use engine::Simulator;
 pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
+pub use parallel::{default_threads, parallel_map_chunks};
 pub use schedule::EventQueue;

@@ -1,0 +1,122 @@
+//! Deterministic fork-join helpers for offline (between-cycle) computation.
+//!
+//! The simulator itself is single-threaded — gossip cycles mutate shared
+//! state pairwise — but the *offline* phases around it (building ideal
+//! personal networks, precomputing indices, scoring baselines) are
+//! embarrassingly parallel over users. This module provides the small
+//! fork-join primitive those phases share, built on `std::thread::scope` so
+//! it needs no external runtime.
+//!
+//! Determinism contract: [`parallel_map_chunks`] splits the index range into
+//! contiguous chunks, processes each chunk independently and reassembles the
+//! results **in index order**, so the output is byte-identical for every
+//! thread count (including 1).
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker-thread count (useful for the
+/// determinism tests and for pinning benchmark runs to one core).
+pub const THREADS_ENV: &str = "P3Q_THREADS";
+
+/// Number of worker threads to use: `P3Q_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over every index in `0..len`, fanning contiguous chunks out to
+/// `threads` workers, and returns the per-index results in index order.
+///
+/// `f` is called as `f(index, &mut chunk_state)` where `chunk_state` is one
+/// `S` built per worker chunk by `make_state` — the hook for reusable
+/// scratch buffers that would be too expensive to allocate per index.
+///
+/// Output is independent of `threads`; passing `threads <= 1` (or a tiny
+/// `len`) runs inline without spawning.
+pub fn parallel_map_chunks<T, S, MS, F>(len: usize, threads: usize, make_state: MS, f: F) -> Vec<T>
+where
+    T: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 {
+        let mut state = make_state();
+        return (0..len).map(|i| f(i, &mut state)).collect();
+    }
+    // Contiguous chunking keeps results trivially reorderable and gives each
+    // worker cache-friendly, index-adjacent work.
+    let chunk_size = len.div_ceil(threads);
+    let mut chunk_results: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = t * chunk_size;
+                let end = ((t + 1) * chunk_size).min(len);
+                let (f, make_state) = (&f, &make_state);
+                scope.spawn(move || {
+                    let mut state = make_state();
+                    (start..end).map(|i| f(i, &mut state)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            chunk_results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunk_results {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = parallel_map_chunks(97, threads, || (), |i, ()| i * i);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u32> = parallel_map_chunks(0, 4, || (), |_, ()| unreachable!());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn chunk_state_is_reused_within_a_chunk() {
+        // With one thread there is exactly one state; each call sees the
+        // increments of its predecessors.
+        let got = parallel_map_chunks(
+            5,
+            1,
+            || 0usize,
+            |_, calls| {
+                *calls += 1;
+                *calls
+            },
+        );
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -54,11 +54,7 @@ impl<E> EventQueue<E> {
     /// scheduling order.
     pub fn pop_due(&mut self, cycle: u64) -> Vec<E> {
         let mut due = Vec::new();
-        let due_cycles: Vec<u64> = self
-            .events
-            .range(..=cycle)
-            .map(|(&c, _)| c)
-            .collect();
+        let due_cycles: Vec<u64> = self.events.range(..=cycle).map(|(&c, _)| c).collect();
         for c in due_cycles {
             if let Some(mut events) = self.events.remove(&c) {
                 self.len -= events.len();

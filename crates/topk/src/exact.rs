@@ -47,8 +47,7 @@ pub fn recall<I: Copy + Eq + Hash + Ord>(result: &[(I, u32)], reference: &[(I, u
     if reference.is_empty() {
         return 1.0;
     }
-    let reference_items: std::collections::HashSet<I> =
-        reference.iter().map(|&(i, _)| i).collect();
+    let reference_items: std::collections::HashSet<I> = reference.iter().map(|&(i, _)| i).collect();
     let hits = result
         .iter()
         .filter(|(i, _)| reference_items.contains(i))

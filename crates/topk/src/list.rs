@@ -36,6 +36,37 @@ impl<I: Copy + Eq + Hash + Ord> PartialResultList<I> {
         Self { entries }
     }
 
+    /// Builds a list by draining `pairs`, leaving its capacity behind for
+    /// the caller to reuse.
+    ///
+    /// Semantics match [`Self::from_scores`] (duplicates summed, zero scores
+    /// dropped, descending score with ascending-item tie-breaks) but the
+    /// aggregation happens in place: one sort by item, one in-place
+    /// run-summing pass, one sort by rank — no hash map, and the only
+    /// allocation is the exact-size entry vector of the result.
+    pub fn from_scores_buffer(pairs: &mut Vec<(I, u32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(item, _)| item);
+        let mut write = 0usize;
+        let mut read = 0usize;
+        while read < pairs.len() {
+            let (item, mut total) = pairs[read];
+            read += 1;
+            while read < pairs.len() && pairs[read].0 == item {
+                total = total.saturating_add(pairs[read].1);
+                read += 1;
+            }
+            if total > 0 {
+                pairs[write] = (item, total);
+                write += 1;
+            }
+        }
+        pairs.truncate(write);
+        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut entries = Vec::with_capacity(pairs.len());
+        entries.append(pairs);
+        Self { entries }
+    }
+
     /// Builds an empty list.
     pub fn empty() -> Self {
         Self {
@@ -129,6 +160,18 @@ mod tests {
         let list = PartialResultList::from_scores(vec![(1u32, 1), (2, 2), (3, 3)]);
         assert_eq!(list.wire_bytes(), 60);
         assert_eq!(PartialResultList::<u32>::empty().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn from_scores_buffer_matches_from_scores_and_keeps_capacity() {
+        let pairs = vec![(1u32, 0), (2, 1), (2, 3), (9, 2), (1, 2), (5, 2)];
+        let mut buffer = pairs.clone();
+        buffer.reserve(100);
+        let capacity = buffer.capacity();
+        let from_buffer = PartialResultList::from_scores_buffer(&mut buffer);
+        assert_eq!(from_buffer, PartialResultList::from_scores(pairs));
+        assert!(buffer.is_empty(), "buffer must be drained");
+        assert_eq!(buffer.capacity(), capacity, "capacity must survive");
     }
 
     #[test]

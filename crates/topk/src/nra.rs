@@ -71,11 +71,7 @@ mod tests {
         ];
         let outcome = nra_topk(&lists, 3);
         let expected = exact_topk(&lists, 3);
-        let got: Vec<(u32, u32)> = outcome
-            .topk
-            .iter()
-            .map(|r| (r.item, r.worst))
-            .collect();
+        let got: Vec<(u32, u32)> = outcome.topk.iter().map(|r| (r.item, r.worst)).collect();
         // With unique totals the item sets must coincide exactly.
         let expected_items: Vec<u32> = expected.iter().map(|&(i, _)| i).collect();
         let got_items: Vec<u32> = got.iter().map(|&(i, _)| i).collect();

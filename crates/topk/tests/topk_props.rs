@@ -5,8 +5,7 @@ use p3q_topk::{exact_topk, nra_topk, IncrementalNra, PartialResultList};
 use proptest::prelude::*;
 
 fn arb_list() -> impl Strategy<Value = PartialResultList<u32>> {
-    prop::collection::vec((0u32..60, 1u32..30), 0..40)
-        .prop_map(PartialResultList::from_scores)
+    prop::collection::vec((0u32..60, 1u32..30), 0..40).prop_map(PartialResultList::from_scores)
 }
 
 fn arb_lists() -> impl Strategy<Value = Vec<PartialResultList<u32>>> {

@@ -57,6 +57,9 @@ mod tests {
 
     #[test]
     fn display_shows_both_components() {
-        assert_eq!(TaggingAction::new(ItemId(3), TagId(4)).to_string(), "(i3, t4)");
+        assert_eq!(
+            TaggingAction::new(ItemId(3), TagId(4)).to_string(),
+            "(i3, t4)"
+        );
     }
 }

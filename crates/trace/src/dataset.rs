@@ -3,10 +3,11 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::action::TaggingAction;
 use crate::ids::{ItemId, TagId, UserId};
-use crate::profile::Profile;
+use crate::profile::{Profile, SharedProfile};
 
 /// A complete collaborative-tagging dataset.
 ///
@@ -15,7 +16,7 @@ use crate::profile::Profile;
 /// user, her profile `{Tagged_u(i, t)}`.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dataset {
-    profiles: Vec<Profile>,
+    profiles: Vec<SharedProfile>,
     num_items: usize,
     num_tags: usize,
 }
@@ -24,7 +25,7 @@ impl Dataset {
     /// Builds a dataset from per-user profiles and the vocabulary sizes.
     pub fn new(profiles: Vec<Profile>, num_items: usize, num_tags: usize) -> Self {
         Self {
-            profiles,
+            profiles: profiles.into_iter().map(Arc::new).collect(),
             num_items,
             num_tags,
         }
@@ -47,7 +48,7 @@ impl Dataset {
 
     /// Total number of tagging actions across all users.
     pub fn total_actions(&self) -> usize {
-        self.profiles.iter().map(Profile::len).sum()
+        self.profiles.iter().map(|p| p.len()).sum()
     }
 
     /// The profile of `user`.
@@ -58,10 +59,21 @@ impl Dataset {
         &self.profiles[user.index()]
     }
 
+    /// The profile of `user` as a shareable handle; cloning the result is a
+    /// reference bump, not a deep copy. Simulator construction hands these
+    /// to the per-user nodes.
+    ///
+    /// # Panics
+    /// Panics if the user does not exist.
+    pub fn shared_profile(&self, user: UserId) -> &SharedProfile {
+        &self.profiles[user.index()]
+    }
+
     /// Mutable access to the profile of `user` (used by the dynamics
-    /// experiments that add new tagging actions).
+    /// experiments that add new tagging actions). Clones the underlying
+    /// storage only if the profile is currently shared.
     pub fn profile_mut(&mut self, user: UserId) -> &mut Profile {
-        &mut self.profiles[user.index()]
+        Arc::make_mut(&mut self.profiles[user.index()])
     }
 
     /// Iterates over `(user, profile)` pairs.
@@ -69,7 +81,7 @@ impl Dataset {
         self.profiles
             .iter()
             .enumerate()
-            .map(|(i, p)| (UserId::from_index(i), p))
+            .map(|(i, p)| (UserId::from_index(i), p.as_ref()))
     }
 
     /// All user identifiers.
@@ -119,7 +131,7 @@ impl Dataset {
         let profiles = self
             .profiles
             .iter()
-            .map(|p| p.iter().filter(|a| keep(a)).copied().collect())
+            .map(|p| Arc::new(p.iter().filter(|a| keep(a)).copied().collect::<Profile>()))
             .collect();
         Dataset {
             profiles,
@@ -138,7 +150,7 @@ impl Dataset {
 
     /// Largest profile length.
     pub fn max_profile_len(&self) -> usize {
-        self.profiles.iter().map(Profile::len).max().unwrap_or(0)
+        self.profiles.iter().map(|p| p.len()).max().unwrap_or(0)
     }
 }
 

@@ -59,8 +59,14 @@ impl DynamicsConfig {
             (0.0..=1.0).contains(&self.fraction_changing),
             "fraction_changing must be a probability"
         );
-        assert!(self.mean_new_actions > 0.0, "mean_new_actions must be positive");
-        assert!(self.max_new_actions >= 1, "max_new_actions must be positive");
+        assert!(
+            self.mean_new_actions > 0.0,
+            "mean_new_actions must be positive"
+        );
+        assert!(
+            self.max_new_actions >= 1,
+            "max_new_actions must be positive"
+        );
     }
 }
 

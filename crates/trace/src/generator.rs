@@ -288,13 +288,12 @@ impl TraceGenerator {
             let characteristic = &world.item_tags[item.index()];
             let pool = &world.topic_tags[topic];
             for _ in 0..tag_count {
-                let tag = if !characteristic.is_empty()
-                    && rng.gen_bool(cfg.canonical_tag_probability)
-                {
-                    characteristic[rng.gen_range(0..characteristic.len())]
-                } else {
-                    pool[tag_sampler.sample(rng) % pool.len()]
-                };
+                let tag =
+                    if !characteristic.is_empty() && rng.gen_bool(cfg.canonical_tag_probability) {
+                        characteristic[rng.gen_range(0..characteristic.len())]
+                    } else {
+                        pool[tag_sampler.sample(rng) % pool.len()]
+                    };
                 actions.push(TaggingAction::new(item, tag));
             }
         }

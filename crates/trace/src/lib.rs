@@ -35,7 +35,7 @@ pub use dataset::Dataset;
 pub use dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator, ProfileChange};
 pub use generator::{SyntheticTrace, TraceConfig, TraceGenerator, World};
 pub use ids::{ItemId, TagId, UserId};
-pub use profile::Profile;
+pub use profile::{Profile, SharedProfile};
 pub use queries::{Query, QueryGenerator};
 pub use stats::DatasetStats;
 pub use zipf::ZipfSampler;

@@ -3,11 +3,21 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use p3q_bloom::BloomFilter;
 
 use crate::action::TaggingAction;
 use crate::ids::{ItemId, TagId};
+
+/// A reference-counted, immutably shared profile.
+///
+/// Profiles are the dominant payload of the gossip stack: every exchange
+/// proposes them, every node caches them, and the simulator holds one per
+/// user. Sharing them as `Arc<Profile>` turns the deep per-exchange copies
+/// into reference bumps; mutation sites (profile dynamics) go through
+/// [`Arc::make_mut`], which clones only when a profile is actually shared.
+pub type SharedProfile = Arc<Profile>;
 
 /// The profile of a user: the set of her tagging actions.
 ///
@@ -53,15 +63,48 @@ impl Profile {
     /// Adds many actions at once (more efficient than repeated [`insert`]
     /// calls for large batches).
     ///
+    /// Only the incoming batch is sorted; it is then merged into the
+    /// existing sorted actions in one backwards in-place pass, so a batch of
+    /// `b` actions against a profile of `n` costs `O(b log b + n)` instead
+    /// of the `O((n + b) log (n + b))` full re-sort (or the `O(n · b)` of
+    /// repeated [`insert`]s) — this is the profile-dynamics hot path.
+    ///
     /// Returns the number of genuinely new actions.
     ///
     /// [`insert`]: Profile::insert
     pub fn extend<I: IntoIterator<Item = TaggingAction>>(&mut self, actions: I) -> usize {
-        let before = self.actions.len();
-        self.actions.extend(actions);
-        self.actions.sort_unstable();
-        self.actions.dedup();
-        self.actions.len() - before
+        let mut incoming: Vec<TaggingAction> = actions.into_iter().collect();
+        incoming.sort_unstable();
+        incoming.dedup();
+        incoming.retain(|a| !self.contains(a));
+        if incoming.is_empty() {
+            return 0;
+        }
+        let added = incoming.len();
+        if self.actions.is_empty() {
+            self.actions = incoming;
+            return added;
+        }
+        // Backwards merge: grow once, then write the larger of the two tails
+        // into the gap until the incoming run is exhausted.
+        let old_len = self.actions.len();
+        self.actions.resize(
+            old_len + added,
+            *incoming.last().expect("incoming checked non-empty"),
+        );
+        let (mut read, mut write) = (old_len, old_len + added);
+        let mut pending = added;
+        while pending > 0 {
+            if read > 0 && self.actions[read - 1] > incoming[pending - 1] {
+                self.actions[write - 1] = self.actions[read - 1];
+                read -= 1;
+            } else {
+                self.actions[write - 1] = incoming[pending - 1];
+                pending -= 1;
+            }
+            write -= 1;
+        }
+        added
     }
 
     /// Returns `true` if the profile contains the given action.
@@ -120,9 +163,7 @@ impl Profile {
 
     /// All tags the user applied to `item`, in ascending tag order.
     pub fn tags_for_item(&self, item: ItemId) -> impl Iterator<Item = TagId> + '_ {
-        let start = self
-            .actions
-            .partition_point(|a| a.item < item);
+        let start = self.actions.partition_point(|a| a.item < item);
         self.actions[start..]
             .iter()
             .take_while(move |a| a.item == item)
@@ -366,6 +407,25 @@ mod tests {
         let added = p.extend(vec![act(1, 1), act(2, 2), act(3, 3)]);
         assert_eq!(added, 2);
         assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn extend_merges_interleaved_batches_in_order() {
+        let mut p = Profile::from_actions(vec![act(2, 0), act(4, 0), act(6, 0)]);
+        // New actions land before, between and after the existing ones, with
+        // one duplicate mixed in.
+        let added = p.extend(vec![act(7, 0), act(1, 0), act(4, 0), act(3, 0), act(5, 0)]);
+        assert_eq!(added, 4);
+        let expected = Profile::from_actions((1..=7).map(|i| act(i, 0)));
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn extend_into_empty_profile() {
+        let mut p = Profile::new();
+        assert_eq!(p.extend(vec![act(3, 1), act(1, 1), act(3, 1)]), 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.extend(Vec::new()), 0);
     }
 
     #[test]

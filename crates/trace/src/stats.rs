@@ -89,9 +89,21 @@ impl fmt::Display for DatasetStats {
         writeln!(f, "items used          : {}", self.items_used)?;
         writeln!(f, "tags used           : {}", self.tags_used)?;
         writeln!(f, "tagging actions     : {}", self.total_actions)?;
-        writeln!(f, "actions per user    : {:.1} (max {})", self.mean_actions_per_user, self.max_actions_per_user)?;
-        writeln!(f, "items per user      : {:.1} (p99 {})", self.mean_items_per_user, self.p99_items_per_user)?;
-        write!(f, "top-decile item load: {:.1}%", self.top_decile_item_share * 100.0)
+        writeln!(
+            f,
+            "actions per user    : {:.1} (max {})",
+            self.mean_actions_per_user, self.max_actions_per_user
+        )?;
+        writeln!(
+            f,
+            "items per user      : {:.1} (p99 {})",
+            self.mean_items_per_user, self.p99_items_per_user
+        )?;
+        write!(
+            f,
+            "top-decile item load: {:.1}%",
+            self.top_decile_item_share * 100.0
+        )
     }
 }
 

@@ -71,7 +71,13 @@ fn main() {
         .expect("some user has neighbours");
     let burst = QueryGenerator::new(9).burst_for_user(&trace.dataset, burst_user, 5);
     for (i, query) in burst.into_iter().enumerate() {
-        issue_query(&mut sim, burst_user.index(), QueryId(1000 + i as u64), query, &cfg);
+        issue_query(
+            &mut sim,
+            burst_user.index(),
+            QueryId(1000 + i as u64),
+            query,
+            &cfg,
+        );
         run_eager_until_complete(&mut sim, &cfg, 20, |_, _| {});
         // AUR restricted to the users this query reached.
         let reached: Vec<&P3qNode> = {

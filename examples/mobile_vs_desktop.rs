@@ -129,22 +129,21 @@ fn main() {
     );
 
     println!();
-    println!("{:<28} {:>18} {:>18}", "metric", mobile.label, desktop.label);
+    println!(
+        "{:<28} {:>18} {:>18}",
+        "metric", mobile.label, desktop.label
+    );
     println!(
         "{:<28} {:>18.0} {:>18.0}",
         "stored actions per user (mean)", mobile.storage.mean, desktop.storage.mean
     );
     println!(
         "{:<28} {:>18.1} {:>18.1}",
-        "users reached per query (mean)",
-        mobile.users_reached.mean,
-        desktop.users_reached.mean
+        "users reached per query (mean)", mobile.users_reached.mean, desktop.users_reached.mean
     );
     println!(
         "{:<28} {:>18.1} {:>18.1}",
-        "cycles to complete (mean)",
-        mobile.completion_cycles.mean,
-        desktop.completion_cycles.mean
+        "cycles to complete (mean)", mobile.completion_cycles.mean, desktop.completion_cycles.mean
     );
     println!(
         "{:<28} {:>18.0} {:>18.0}",

@@ -77,11 +77,7 @@ fn main() {
             .querier_states
             .get_mut(&QueryId(0))
             .unwrap();
-        let items: Vec<ItemId> = state
-            .current_topk(10)
-            .iter()
-            .map(|r| r.item)
-            .collect();
+        let items: Vec<ItemId> = state.current_topk(10).iter().map(|r| r.item).collect();
         println!(
             "cycle {cycle}: recall {:.2}, coverage {:.0}%, users reached {}",
             recall_at_k(&items, &reference),

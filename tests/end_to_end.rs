@@ -47,8 +47,7 @@ fn lazy_mode_builds_personal_networks_from_scratch() {
     // be worse than the first quarter.
     let quarter = trajectory.len() / 4;
     let early: f64 = trajectory[..quarter].iter().sum::<f64>() / quarter as f64;
-    let late: f64 =
-        trajectory[trajectory.len() - quarter..].iter().sum::<f64>() / quarter as f64;
+    let late: f64 = trajectory[trajectory.len() - quarter..].iter().sum::<f64>() / quarter as f64;
     assert!(late >= early);
 }
 
@@ -104,7 +103,13 @@ fn full_pipeline_lazy_then_eager_reaches_good_recall() {
     }
 
     for (i, query) in queries.iter().enumerate() {
-        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            &cfg,
+        );
     }
     run_eager_until_complete(&mut sim, &cfg, 40, |_, _| {});
 
@@ -144,7 +149,11 @@ fn bandwidth_accounting_covers_both_modes() {
     let query = QueryGenerator::new(2)
         .one_query_per_user(&trace.dataset)
         .into_iter()
-        .find(|q| !sim.node(q.querier.index()).unstored_network_peers().is_empty());
+        .find(|q| {
+            !sim.node(q.querier.index())
+                .unstored_network_peers()
+                .is_empty()
+        });
     if let Some(query) = query {
         issue_query(&mut sim, query.querier.index(), QueryId(0), query, &cfg);
         run_eager_until_complete(&mut sim, &cfg, 20, |_, _| {});

@@ -37,7 +37,13 @@ fn run_and_check_recall_one(fx: &Fixture, storage_budget: usize, alpha: f64) {
     let mut sim = build_simulator_with_budgets(&fx.trace.dataset, &cfg, &budgets, 21);
     init_ideal_networks(&mut sim, &fx.ideal);
     for (i, query) in fx.queries.iter().enumerate() {
-        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            &cfg,
+        );
     }
     run_eager_until_complete(&mut sim, &cfg, 80, |_, _| {});
 
@@ -104,7 +110,13 @@ fn per_cycle_recall_is_monotone_and_coverage_never_decreases() {
     init_ideal_networks(&mut sim, &fx.ideal);
     let query = fx.queries[0].clone();
     let reference = centralized_topk(&fx.trace.dataset, &fx.ideal, &query, cfg.top_k);
-    issue_query(&mut sim, query.querier.index(), QueryId(0), query.clone(), cfg);
+    issue_query(
+        &mut sim,
+        query.querier.index(),
+        QueryId(0),
+        query.clone(),
+        cfg,
+    );
 
     let mut last_coverage = 0.0f64;
     let mut last_used = 0usize;
@@ -144,7 +156,13 @@ fn querier_with_full_storage_needs_no_gossip() {
     let mut sim = build_simulator_with_budgets(&fx.trace.dataset, cfg, &budgets, 3);
     init_ideal_networks(&mut sim, &fx.ideal);
     let query = fx.queries[0].clone();
-    issue_query(&mut sim, query.querier.index(), QueryId(0), query.clone(), cfg);
+    issue_query(
+        &mut sim,
+        query.querier.index(),
+        QueryId(0),
+        query.clone(),
+        cfg,
+    );
     let exchanges = run_eager_cycle(&mut sim, cfg);
     assert_eq!(
         exchanges, 0,

@@ -47,7 +47,13 @@ fn run_alpha(fx: &Fixture, alpha: f64) -> (f64, Vec<(f64, f64, f64)>, Vec<f64>) 
         .map(|q| sim.node(q.querier.index()).unstored_network_peers().len() as f64)
         .collect();
     for (i, query) in fx.queries.iter().enumerate() {
-        issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            &cfg,
+        );
     }
     run_eager_until_complete(&mut sim, &cfg, 100, |_, _| {});
 
@@ -155,7 +161,13 @@ fn completion_time_grows_with_the_remaining_list() {
         let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 31);
         init_ideal_networks(&mut sim, &ideal);
         for (i, query) in queries.iter().enumerate() {
-            issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
+            issue_query(
+                &mut sim,
+                query.querier.index(),
+                QueryId(i as u64),
+                query.clone(),
+                &cfg,
+            );
         }
         run_eager_until_complete(&mut sim, &cfg, 100, |_, _| {});
         let mut latencies = Vec::new();
