@@ -1,6 +1,8 @@
 //! Similarity-engine benchmark: ideal-network build time (counting index vs
-//! per-pair-merge reference, single-threaded and parallel) plus lazy-cycle
-//! throughput, at several population scales.
+//! per-pair-merge reference, single-threaded and parallel), the dynamics
+//! scenario (apply K profile-change batches: incremental delta-apply +
+//! dirty re-score vs full rebuild), plus lazy-cycle throughput, at several
+//! population scales.
 //!
 //! Emits `BENCH_similarity.json` in the working directory so the perf
 //! trajectory of the similarity layer is tracked from PR to PR.
@@ -9,6 +11,7 @@
 //! cargo run --release -p p3q-bench --bin bench_similarity [-- OPTIONS]
 //!     --users a,b,c   population scales        (default 1000,5000,20000)
 //!     --cycles N      lazy cycles to time      (default 3)
+//!     --delta-batches N  dynamics batches      (default 3)
 //!     --seed N        master seed              (default 42)
 //!     --skip-reference  skip the slow per-pair-merge baseline
 //!     --out PATH      output path              (default BENCH_similarity.json)
@@ -27,11 +30,12 @@ use p3q::lazy::{bootstrap_random_views, run_lazy_cycles};
 use p3q::similarity::ActionIndex;
 use p3q::storage::StorageDistribution;
 use p3q_sim::default_threads;
-use p3q_trace::{TraceConfig, TraceGenerator};
+use p3q_trace::{DynamicsConfig, DynamicsGenerator, SyntheticTrace, TraceConfig, TraceGenerator};
 
 struct Args {
     users: Vec<usize>,
     cycles: u64,
+    delta_batches: usize,
     seed: u64,
     skip_reference: bool,
     out: String,
@@ -41,6 +45,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         users: vec![1_000, 5_000, 20_000],
         cycles: 3,
+        delta_batches: 3,
         seed: 42,
         skip_reference: false,
         out: "BENCH_similarity.json".to_string(),
@@ -62,6 +67,11 @@ fn parse_args() -> Args {
                 args.cycles = value("--cycles")
                     .parse()
                     .expect("--cycles wants an integer")
+            }
+            "--delta-batches" => {
+                args.delta_batches = value("--delta-batches")
+                    .parse()
+                    .expect("--delta-batches wants an integer")
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
             "--skip-reference" => args.skip_reference = true,
@@ -87,19 +97,95 @@ struct ScaleResult {
     users: usize,
     total_actions: usize,
     distinct_actions: usize,
+    index_shards: usize,
     index_build_ms: f64,
     counting_single_ms: f64,
     counting_parallel_ms: f64,
     parallel_threads: usize,
     reference_ms: Option<f64>,
+    dynamics: Option<DynamicsResult>,
     lazy_cycle_ms: f64,
+}
+
+struct DynamicsResult {
+    batches: usize,
+    mean_changed_users: f64,
+    mean_new_actions: f64,
+    mean_dirty_users: f64,
+    incremental_ms_mean: f64,
+    rebuild_ms_mean: f64,
+    speedup: f64,
+}
+
+/// The dynamics scenario: apply `batches` paper-day change batches and, for
+/// each, time the incremental path (patch the sharded index + re-score only
+/// the dirty users) against a full rebuild (fresh index + full population
+/// sweep), verifying after every batch that both produce identical
+/// networks. Both sides run single-threaded so the ratio is an algorithmic
+/// speedup, not a parallelism artefact.
+fn bench_dynamics(trace: &SyntheticTrace, s: usize, args: &Args) -> Option<DynamicsResult> {
+    if args.delta_batches == 0 {
+        return None;
+    }
+    let mut dataset = trace.dataset.clone();
+    let mut index = ActionIndex::build(&dataset);
+    let mut ideal = IdealNetworks::compute_with_threads(&dataset, s, 1);
+
+    let mut changed_users = 0usize;
+    let mut new_actions = 0usize;
+    let mut dirty_users = 0usize;
+    let mut incremental_ms = 0.0f64;
+    let mut rebuild_ms = 0.0f64;
+    for k in 0..args.delta_batches {
+        let day_seed = args.seed ^ 0xDA7 ^ ((k as u64) << 17);
+        let batch = DynamicsGenerator::new(DynamicsConfig::paper_day(day_seed)).generate(trace);
+        changed_users += batch.len();
+        new_actions += batch.apply(&mut dataset);
+
+        let start = Instant::now();
+        let dirty = ideal.apply_change_batch_with_threads(&dataset, &mut index, &batch, 1);
+        incremental_ms += start.elapsed().as_secs_f64() * 1e3;
+        dirty_users += dirty.len();
+
+        let start = Instant::now();
+        let full = IdealNetworks::compute_with_threads(&dataset, s, 1);
+        rebuild_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        for user in dataset.users() {
+            assert_eq!(
+                ideal.network_of(user),
+                full.network_of(user),
+                "incremental path diverged from full rebuild at batch {k} for {user}"
+            );
+        }
+    }
+    let n = args.delta_batches as f64;
+    let result = DynamicsResult {
+        batches: args.delta_batches,
+        mean_changed_users: changed_users as f64 / n,
+        mean_new_actions: new_actions as f64 / n,
+        mean_dirty_users: dirty_users as f64 / n,
+        incremental_ms_mean: incremental_ms / n,
+        rebuild_ms_mean: rebuild_ms / n,
+        speedup: rebuild_ms / incremental_ms.max(f64::MIN_POSITIVE),
+    };
+    eprintln!(
+        "   dynamics ({} batches): incremental {:.1} ms vs rebuild {:.0} ms ({:.1}x), \
+         {:.0} dirty users/batch",
+        result.batches,
+        result.incremental_ms_mean,
+        result.rebuild_ms_mean,
+        result.speedup,
+        result.mean_dirty_users
+    );
+    Some(result)
 }
 
 fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     eprintln!("== {users} users ==");
     let generation = Instant::now();
     let trace = TraceGenerator::new(trace_config(users, args.seed)).generate();
-    let dataset = trace.dataset;
+    let dataset = &trace.dataset;
     eprintln!(
         "   trace: {} actions in {:.1?}",
         dataset.total_actions(),
@@ -109,18 +195,19 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     let s = cfg.personal_network_size;
 
     let start = Instant::now();
-    let index = ActionIndex::build(&dataset);
+    let index = ActionIndex::build(dataset);
     let index_build_ms = start.elapsed().as_secs_f64() * 1e3;
     let distinct_actions = index.distinct_actions();
+    let index_shards = index.num_shards();
 
     let start = Instant::now();
-    let single = IdealNetworks::compute_with_threads(&dataset, s, 1);
+    let single = IdealNetworks::compute_with_threads(dataset, s, 1);
     let counting_single_ms = start.elapsed().as_secs_f64() * 1e3;
     eprintln!("   counting engine (1 thread): {counting_single_ms:.0} ms");
 
     let parallel_threads = default_threads();
     let start = Instant::now();
-    let parallel = IdealNetworks::compute_with_threads(&dataset, s, parallel_threads);
+    let parallel = IdealNetworks::compute_with_threads(dataset, s, parallel_threads);
     let counting_parallel_ms = start.elapsed().as_secs_f64() * 1e3;
     eprintln!("   counting engine ({parallel_threads} threads): {counting_parallel_ms:.0} ms");
 
@@ -128,7 +215,7 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         None
     } else {
         let start = Instant::now();
-        let reference = IdealNetworks::compute_reference(&dataset, s);
+        let reference = IdealNetworks::compute_reference(dataset, s);
         let ms = start.elapsed().as_secs_f64() * 1e3;
         eprintln!(
             "   per-pair-merge reference:   {ms:.0} ms ({:.1}x slower than counting)",
@@ -151,9 +238,12 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         );
     }
 
+    // The dynamics scenario: incremental delta-apply vs full rebuild.
+    let dynamics = bench_dynamics(&trace, s, args);
+
     // Lazy-cycle throughput over a bootstrapped network.
     let mut sim = build_simulator(
-        &dataset,
+        dataset,
         &cfg,
         &StorageDistribution::Uniform(1000),
         args.seed,
@@ -169,11 +259,13 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         users,
         total_actions: dataset.total_actions(),
         distinct_actions,
+        index_shards,
         index_build_ms,
         counting_single_ms,
         counting_parallel_ms,
         parallel_threads,
         reference_ms,
+        dynamics,
         lazy_cycle_ms,
     }
 }
@@ -197,6 +289,7 @@ fn main() {
         let _ = writeln!(json, "      \"users\": {},", r.users);
         let _ = writeln!(json, "      \"total_actions\": {},", r.total_actions);
         let _ = writeln!(json, "      \"distinct_actions\": {},", r.distinct_actions);
+        let _ = writeln!(json, "      \"index_shards\": {},", r.index_shards);
         let _ = writeln!(json, "      \"index_build_ms\": {:.3},", r.index_build_ms);
         let _ = writeln!(
             json,
@@ -225,6 +318,44 @@ fn main() {
                 json.push_str("      \"ideal_networks_reference_merge_ms\": null,\n");
                 json.push_str("      \"speedup_counting_vs_reference_1_thread\": null,\n");
             }
+        }
+        match &r.dynamics {
+            Some(d) => {
+                json.push_str("      \"dynamics\": {\n");
+                let _ = writeln!(json, "        \"batches\": {},", d.batches);
+                let _ = writeln!(
+                    json,
+                    "        \"mean_changed_users\": {:.1},",
+                    d.mean_changed_users
+                );
+                let _ = writeln!(
+                    json,
+                    "        \"mean_new_actions\": {:.1},",
+                    d.mean_new_actions
+                );
+                let _ = writeln!(
+                    json,
+                    "        \"mean_dirty_users\": {:.1},",
+                    d.mean_dirty_users
+                );
+                let _ = writeln!(
+                    json,
+                    "        \"incremental_update_ms\": {:.3},",
+                    d.incremental_ms_mean
+                );
+                let _ = writeln!(
+                    json,
+                    "        \"full_rebuild_ms\": {:.3},",
+                    d.rebuild_ms_mean
+                );
+                let _ = writeln!(
+                    json,
+                    "        \"speedup_incremental_vs_rebuild\": {:.2}",
+                    d.speedup
+                );
+                json.push_str("      },\n");
+            }
+            None => json.push_str("      \"dynamics\": null,\n"),
         }
         let _ = writeln!(json, "      \"lazy_cycle_ms\": {:.3}", r.lazy_cycle_ms);
         json.push_str(if i + 1 == results.len() {

@@ -62,12 +62,18 @@ fn main() {
     let world = World::build(&args);
     println!("users {}, cycles {}", args.users, args.cycles);
 
-    // A day of profile changes shifts some users' ideal networks.
+    // A day of profile changes shifts some users' ideal networks. The new
+    // ideal state is derived incrementally: patch the action index with the
+    // batch's deltas and re-score only the affected users, instead of
+    // recomputing every personal network from scratch.
     let batch =
         DynamicsGenerator::new(DynamicsConfig::paper_day(args.seed ^ 0xDA7)).generate(&world.trace);
-    let mut changed_dataset = world.trace.dataset.clone();
-    batch.apply(&mut changed_dataset);
-    let new_ideal = IdealNetworks::compute(&changed_dataset, world.cfg.personal_network_size);
+    let (new_ideal, dirty) = world.incremental_ideal_after(&batch);
+    println!(
+        "incremental ideal-network refresh: {} of {} users re-scored",
+        dirty.len(),
+        args.users
+    );
 
     // How many users does the change actually affect?
     let affected = world

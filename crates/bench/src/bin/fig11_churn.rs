@@ -25,7 +25,6 @@ fn main() {
         StorageDistribution::poisson_lambda_1(),
         StorageDistribution::poisson_lambda_4(),
     ];
-
     let mut incomplete_rows = Vec::new();
     for storage in scenarios {
         println!();
@@ -43,13 +42,51 @@ fn main() {
                 .into_iter()
                 .filter(|q| sim.is_alive(q.querier.index()))
                 .collect();
+
+            // How much ideal-network quality did the departures destroy?
+            // Strip the departed users from a clone of the index and
+            // re-score only the affected survivors (the incremental churn
+            // path), then count the queriers whose ideal network shrank.
+            let departed: Vec<UserId> = (0..sim.num_nodes())
+                .filter(|&i| !sim.is_alive(i))
+                .map(UserId::from_index)
+                .collect();
+            let damaged_queriers = if departed.is_empty() {
+                0
+            } else {
+                let mut survivors_dataset = world.trace.dataset.clone();
+                let old_profiles: Vec<(UserId, Profile)> = departed
+                    .iter()
+                    .map(|&u| (u, survivors_dataset.profile(u).clone()))
+                    .collect();
+                for &u in &departed {
+                    *survivors_dataset.profile_mut(u) = Profile::new();
+                }
+                let mut index = world.index.clone();
+                let mut survivor_ideal = world.ideal.clone();
+                survivor_ideal.apply_departures(
+                    &survivors_dataset,
+                    &mut index,
+                    old_profiles.iter().map(|(u, profile)| (*u, profile)),
+                );
+                queries
+                    .iter()
+                    .filter(|q| {
+                        survivor_ideal.network_of(q.querier) != world.ideal.network_of(q.querier)
+                    })
+                    .count()
+            };
+
             let outcome = run_recall_experiment(&mut sim, &world, &queries, args.cycles);
             eprintln!(
-                "  p={:>3.0}%: recall cycle0 {:.3} → final {:.3}, {:.1}% of queries incomplete",
+                "  p={:>3.0}%: recall cycle0 {:.3} → final {:.3}, {:.1}% of queries incomplete, \
+                 {}/{} queriers lost ideal neighbours",
                 p * 100.0,
                 outcome.recall_per_cycle[0],
                 outcome.recall_per_cycle.last().copied().unwrap_or(0.0),
-                outcome.incomplete_fraction * 100.0
+                outcome.incomplete_fraction * 100.0,
+                damaged_queriers,
+                queries.len()
             );
             per_p.push((p, outcome, queries.len()));
         }

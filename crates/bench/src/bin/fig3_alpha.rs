@@ -31,10 +31,12 @@ fn main() {
     let mut results = Vec::new();
     for &alpha in &alphas {
         let cfg = base_cfg.clone().with_alpha(alpha);
+        // Only α differs; the trace, index and ideal networks are shared.
         let scoped_world = World {
             trace: world.trace.clone(),
             cfg: cfg.clone(),
-            ideal: IdealNetworks::compute(&world.trace.dataset, base_cfg.personal_network_size),
+            index: world.index.clone(),
+            ideal: world.ideal.clone(),
             queries: world.queries.clone(),
         };
         let budgets = vec![c; world.trace.dataset.num_users()];

@@ -32,6 +32,23 @@ fn main() {
         batch.mean_new_actions(),
         batch.max_new_actions()
     );
+
+    // How far do the ideal networks themselves shift under the day's
+    // changes? Derived incrementally: patch the action index with the
+    // batch and re-score only the affected users.
+    let (new_ideal, dirty) = world.incremental_ideal_after(&batch);
+    let shifted = world
+        .trace
+        .dataset
+        .users()
+        .filter(|&u| new_ideal.network_of(u) != world.ideal.network_of(u))
+        .count();
+    println!(
+        "ideal networks: {} users re-scored incrementally, {} networks shift ({:.1}%)",
+        dirty.len(),
+        shifted,
+        shifted as f64 * 100.0 / args.users as f64
+    );
     println!();
 
     let mut rows = Vec::new();

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use p3q::prelude::*;
-use p3q_trace::SyntheticTrace;
+use p3q_trace::{ChangeBatch, SyntheticTrace};
 
 /// Command-line options shared by all harness binaries.
 ///
@@ -113,6 +113,9 @@ pub struct World {
     pub trace: SyntheticTrace,
     /// Protocol configuration.
     pub cfg: P3qConfig,
+    /// The counting action index over the trace — the shared base of every
+    /// incremental dynamics/churn path (clone it before patching).
+    pub index: ActionIndex,
     /// Ideal personal networks (global knowledge).
     pub ideal: IdealNetworks,
     /// The query workload (one query per user with a non-empty profile).
@@ -124,7 +127,9 @@ impl World {
     pub fn build(args: &HarnessArgs) -> Self {
         let trace = TraceGenerator::new(args.trace_config()).generate();
         let cfg = args.protocol_config();
-        let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
+        let index = ActionIndex::build(&trace.dataset);
+        let ideal =
+            IdealNetworks::compute_with_index(&trace.dataset, cfg.personal_network_size, &index);
         let queries = QueryGenerator::new(args.seed ^ 0x5EED)
             .one_query_per_user(&trace.dataset)
             .into_iter()
@@ -133,9 +138,28 @@ impl World {
         Self {
             trace,
             cfg,
+            index,
             ideal,
             queries,
         }
+    }
+
+    /// The ideal personal networks after one batch of profile changes,
+    /// derived incrementally: the batch is applied to a dataset clone, and
+    /// `apply_change_batch` patches a clone of the pre-change index and
+    /// re-scores only the affected users (the index must predate the batch
+    /// — the set semantics of `apply_deltas` tolerate re-applied actions,
+    /// but the dirty set would degenerate to empty if the deltas were
+    /// already indexed).
+    ///
+    /// Returns the new networks and the dirty users that were re-scored.
+    pub fn incremental_ideal_after(&self, batch: &ChangeBatch) -> (IdealNetworks, Vec<UserId>) {
+        let mut changed_dataset = self.trace.dataset.clone();
+        batch.apply(&mut changed_dataset);
+        let mut index = self.index.clone();
+        let mut new_ideal = self.ideal.clone();
+        let dirty = new_ideal.apply_change_batch(&changed_dataset, &mut index, batch);
+        (new_ideal, dirty)
     }
 
     /// A deterministic sample of at most `limit` queries (spread over the
@@ -330,9 +354,11 @@ mod tests {
             .filter(|q| !ideal.network_of(q.querier).is_empty())
             .take(5)
             .collect();
+        let index = ActionIndex::build(&trace.dataset);
         let world = World {
             trace,
             cfg: cfg.clone(),
+            index,
             ideal,
             queries: queries.clone(),
         };
@@ -359,9 +385,11 @@ mod tests {
         let cfg = P3qConfig::tiny();
         let ideal = IdealNetworks::compute(&trace.dataset, cfg.personal_network_size);
         let queries = QueryGenerator::new(1).one_query_per_user(&trace.dataset);
+        let index = ActionIndex::build(&trace.dataset);
         let world = World {
             trace,
             cfg,
+            index,
             ideal,
             queries,
         };

@@ -55,11 +55,13 @@ pub fn issue_query(
     let target_profiles = node.network_peers();
     let mut state = QuerierState::new(query.clone(), target_profiles, cycle);
 
-    // Local processing over the stored profiles (all of them belong to the
-    // personal network, so they count towards the target set). Cloning the
-    // handles is reference counting, not profile copying.
+    // Local processing over the *fresh* stored profiles (all of them belong
+    // to the personal network, so they count towards the target set; copies
+    // gone stale after their owner's dynamics are re-fetched via the
+    // remaining list instead of being silently scored). Cloning the handles
+    // is reference counting, not profile copying.
     let stored: Vec<(UserId, SharedProfile)> = node
-        .shared_stored_profiles()
+        .shared_fresh_stored_profiles()
         .map(|(peer, profile, _)| (peer, profile.clone()))
         .collect();
     let used: Vec<UserId> = stored.iter().map(|(peer, _)| *peer).collect();
@@ -68,8 +70,9 @@ pub fn issue_query(
         partial_result_list_buffered(stored.iter().map(|(_, p)| p.as_ref()), &query, &mut scratch);
     state.absorb_partial_result(list, &used);
 
-    // Remaining list: personal-network members without a stored profile.
-    state.remaining = node.unstored_network_peers();
+    // Remaining list: personal-network members without a fresh stored
+    // profile (unstored, or stored but stale).
+    state.remaining = node.peers_missing_fresh_profile();
     state.mark_complete_if_done(cycle);
     let used_count = used.len();
     node.querier_states.insert(query_id, state);
@@ -357,7 +360,8 @@ fn destination_process(
     scratch: &mut ScoreBuffer,
 ) -> DestinationOutcome {
     // Profiles the destination can resolve: its own (if requested) and the
-    // stored copies of requested users.
+    // fresh stored copies of requested users — a stale copy is not an
+    // answer, the query keeps looking for the owner or a fresh replica.
     let requested: HashSet<UserId> = ctx.remaining.iter().copied().collect();
     let mut found: Vec<UserId> = Vec::new();
     let mut profiles: Vec<&Profile> = Vec::new();
@@ -365,7 +369,7 @@ fn destination_process(
         found.push(dest.id);
         profiles.push(dest.profile());
     }
-    for (peer, profile, _) in dest.stored_profiles() {
+    for (peer, profile, _) in dest.fresh_stored_profiles() {
         if requested.contains(&peer) {
             found.push(peer);
             profiles.push(profile);

@@ -68,23 +68,45 @@ pub fn build_simulator_with_budgets(
 /// helper produces exactly that starting point without having to run
 /// hundreds of lazy cycles first.
 pub fn init_ideal_networks(sim: &mut Simulator<P3qNode>, ideal: &IdealNetworks) {
+    /// Digest, profile and their (single) version, read together so no later
+    /// pass can observe the peer at a different version.
+    struct PeerSnapshot {
+        peer: UserId,
+        score: u64,
+        digest: p3q_bloom::SharedFilter,
+        profile: p3q_trace::SharedProfile,
+        version: u64,
+    }
+
     let n = sim.num_nodes();
     for idx in 0..n {
-        let entries: Vec<(UserId, u64)> = ideal.network_of(UserId::from_index(idx)).to_vec();
-        for &(peer, score) in &entries {
-            let (digest, version, profile) = {
+        // Snapshot every ideal neighbour exactly once: the record pass and
+        // the fill-missing pass below both reuse this copy, so a peer whose
+        // profile mutates mid-initialisation can never be stored at a
+        // version its recorded digest does not match.
+        let snapshots: Vec<PeerSnapshot> = ideal
+            .network_of(UserId::from_index(idx))
+            .iter()
+            .map(|&(peer, score)| {
                 let peer_node = sim.node(peer.index());
-                (
-                    peer_node.shared_digest().clone(),
-                    peer_node.profile_version(),
-                    peer_node.shared_profile().clone(),
-                )
-            };
+                PeerSnapshot {
+                    peer,
+                    score,
+                    digest: peer_node.shared_digest().clone(),
+                    profile: peer_node.shared_profile().clone(),
+                    version: peer_node.profile_version(),
+                }
+            })
+            .collect();
+        for snap in &snapshots {
             let node = sim.node_mut(idx);
-            node.record_neighbour(peer, score, digest, version);
-            let rank = node.personal_network.rank_of(&peer).unwrap_or(usize::MAX);
+            node.record_neighbour(snap.peer, snap.score, snap.digest.clone(), snap.version);
+            let rank = node
+                .personal_network
+                .rank_of(&snap.peer)
+                .unwrap_or(usize::MAX);
             if rank < node.storage_budget() {
-                node.store_profile(peer, profile, version);
+                node.store_profile(snap.peer, snap.profile.clone(), snap.version);
             }
         }
         // A second pass to be sure the storage rule holds after all inserts
@@ -99,14 +121,12 @@ pub fn init_ideal_networks(sim: &mut Simulator<P3qNode>, ideal: &IdealNetworks) 
             .filter(|p| !node.has_stored_profile(p))
             .collect();
         for peer in missing {
-            let (profile, version) = {
-                let peer_node = sim.node(peer.index());
-                (
-                    peer_node.shared_profile().clone(),
-                    peer_node.profile_version(),
-                )
-            };
-            sim.node_mut(idx).store_profile(peer, profile, version);
+            let snap = snapshots
+                .iter()
+                .find(|s| s.peer == peer)
+                .expect("every personal-network member came from the snapshot pass");
+            sim.node_mut(idx)
+                .store_profile(peer, snap.profile.clone(), snap.version);
         }
     }
 }

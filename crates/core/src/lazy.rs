@@ -37,6 +37,12 @@ use crate::scoring::similarity;
 /// One profile proposed during a gossip exchange: the owner, her digest and
 /// the proposer's stored copy of her profile.
 ///
+/// The digest and the profile copy are versioned *separately*: a proposer
+/// may know a newer digest (refreshed every exchange) than the profile copy
+/// it stores (refreshed only within the storage budget). Advertising both
+/// versions honestly lets the receiver record the digest at its true
+/// version and still mark the older profile payload as stale.
+///
 /// Both payloads are shared handles: assembling and cloning an offer costs
 /// two reference bumps, never a profile or digest copy. The byte counts the
 /// *network* would pay are still charged by the bandwidth model.
@@ -44,9 +50,11 @@ use crate::scoring::similarity;
 pub struct ProfileOffer {
     /// The user the profile belongs to.
     pub user: UserId,
-    /// Digest of the offered profile copy.
+    /// The proposer's digest for the user.
     pub digest: SharedFilter,
-    /// Version of the offered profile copy.
+    /// Version of the owner's profile when `digest` was taken.
+    pub digest_version: u64,
+    /// Version of the offered profile copy (may lag `digest_version`).
     pub version: u64,
     /// The profile copy itself (available on request in steps 2–3).
     pub profile: SharedProfile,
@@ -79,15 +87,19 @@ impl ExchangeStats {
 pub fn collect_offers(node: &P3qNode, limit: usize, rng: &mut StdRng) -> Vec<ProfileOffer> {
     let mut stored: Vec<ProfileOffer> = node
         .shared_stored_profiles()
-        .map(|(user, profile, version)| ProfileOffer {
-            user,
-            digest: node
+        .map(|(user, profile, version)| {
+            let entry = node
                 .personal_network
                 .get(&user)
-                .map(|e| e.meta.digest.clone())
-                .unwrap_or_else(|| Arc::new(profile.digest(1, 1))),
-            version,
-            profile: profile.clone(),
+                .expect("stored profiles live in personal-network entries");
+            let (digest, digest_version) = (entry.meta.digest.clone(), entry.meta.digest_version);
+            ProfileOffer {
+                user,
+                digest,
+                digest_version,
+                version,
+                profile: profile.clone(),
+            }
         })
         .collect();
     stored.shuffle(rng);
@@ -95,6 +107,7 @@ pub fn collect_offers(node: &P3qNode, limit: usize, rng: &mut StdRng) -> Vec<Pro
     stored.push(ProfileOffer {
         user: node.id,
         digest: node.shared_digest().clone(),
+        digest_version: node.profile_version(),
         version: node.profile_version(),
         profile: node.shared_profile().clone(),
     });
@@ -113,9 +126,20 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
         stats.digest_bytes += offer.digest.size_bytes();
 
         // Lines 4–9: known neighbour with an unchanged digest → drop.
-        // Shared handles make the common case a pointer comparison.
+        // Shared handles make the common case a pointer comparison. The
+        // digest bytes alone are not enough, though: a profile change whose
+        // actions collide with already-set Bloom bits leaves the digest
+        // bytes identical, and a stale stored copy is refreshed by a newer
+        // *payload* under the same digest. So an offer also passes when it
+        // advances the recorded digest version, or carries a newer profile
+        // payload than a copy we store.
         if let Some(entry) = node.personal_network.get(&offer.user) {
-            if Arc::ptr_eq(&entry.meta.digest, &offer.digest) || entry.meta.digest == offer.digest {
+            let same_digest =
+                Arc::ptr_eq(&entry.meta.digest, &offer.digest) || entry.meta.digest == offer.digest;
+            let advances_digest = offer.digest_version > entry.meta.digest_version;
+            let upgrades_copy =
+                entry.meta.profile.is_some() && offer.version > entry.meta.profile_version;
+            if same_digest && !advances_digest && !upgrades_copy {
                 continue;
             }
         }
@@ -140,15 +164,22 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
             // The digest check was a false positive; nothing to add.
             continue;
         }
-        let accepted =
-            node.record_neighbour(offer.user, score, offer.digest.clone(), offer.version);
+        let accepted = node.record_neighbour(
+            offer.user,
+            score,
+            offer.digest.clone(),
+            offer.digest_version,
+        );
         if !accepted {
             continue;
         }
 
         // Step 3 (lines 27–31): fetch the rest of the profile if the
-        // neighbour ranks within the storage budget, or if a stored copy is
-        // stale.
+        // neighbour ranks within the storage budget and the offered copy is
+        // newer than what is cached. A copy at the same version as a stale
+        // cache is *not* re-fetched — it would not make the cache any
+        // fresher; staleness (profile older than the recorded digest) is
+        // resolved only by an offer actually carrying the newer profile.
         let rank = node
             .personal_network
             .rank_of(&offer.user)
@@ -159,9 +190,9 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
                 .get(&offer.user)
                 .map(|e| e.meta.profile_version)
                 .unwrap_or(0);
-            let has_fresh_copy =
-                node.has_stored_profile(&offer.user) && cached_version >= offer.version;
-            if !has_fresh_copy {
+            let offer_improves =
+                !node.has_stored_profile(&offer.user) || cached_version < offer.version;
+            if offer_improves {
                 let rest = offer.profile.len().saturating_sub(common_actions.len());
                 stats.profile_bytes += tagging_actions_bytes(rest);
                 if node.store_profile(offer.user, offer.profile.clone(), offer.version) {
@@ -325,7 +356,16 @@ fn probe_random_view(sim: &mut Simulator<P3qNode>, idx: usize, _cfg: &P3qConfig)
         let mut profile_bytes = 0usize;
         if score > 0 && me.record_neighbour(peer, score, peer_digest, peer_version) {
             let rank = me.personal_network.rank_of(&peer).unwrap_or(usize::MAX);
-            if rank < me.storage_budget() && !me.has_stored_profile(&peer) {
+            // The probe read the peer's *current* profile, so store it not
+            // only when no copy exists but also when it upgrades a cached
+            // copy that just went stale (mirrors `process_offers` step 3).
+            let cached_version = me
+                .personal_network
+                .get(&peer)
+                .map(|e| e.meta.profile_version)
+                .unwrap_or(0);
+            let improves = !me.has_stored_profile(&peer) || cached_version < peer_version;
+            if rank < me.storage_budget() && improves {
                 profile_bytes =
                     tagging_actions_bytes(peer_profile.len().saturating_sub(common.len()));
                 me.store_profile(peer, peer_profile, peer_version);
@@ -444,6 +484,7 @@ mod tests {
             ProfileOffer {
                 user: peer.id,
                 digest: peer.shared_digest().clone(),
+                digest_version: peer.profile_version(),
                 version: peer.profile_version(),
                 profile: peer.shared_profile().clone(),
             }
@@ -470,6 +511,7 @@ mod tests {
             ProfileOffer {
                 user: peer.id,
                 digest: peer.shared_digest().clone(),
+                digest_version: peer.profile_version(),
                 version: peer.profile_version(),
                 profile: peer.shared_profile().clone(),
             }
@@ -480,6 +522,97 @@ mod tests {
         let second = process_offers(sim.node_mut(0), &[offer]);
         assert_eq!(second.candidates_scored, 0);
         assert_eq!(second.common_bytes, 0);
+    }
+
+    #[test]
+    fn stale_copy_is_marked_and_refreshed_only_by_a_newer_profile() {
+        use p3q_trace::{ItemId, TagId, TaggingAction};
+        let (mut sim, _cfg, dataset) = small_sim();
+        let ideal = IdealNetworks::compute(&dataset, 10);
+        let Some(&(best, _)) = ideal.network_of(UserId(0)).first() else {
+            return;
+        };
+        // Step 0: a direct offer stores the peer's profile (fresh, v1).
+        let direct = |sim: &Simulator<P3qNode>| {
+            let peer = sim.node(best.index());
+            ProfileOffer {
+                user: peer.id,
+                digest: peer.shared_digest().clone(),
+                digest_version: peer.profile_version(),
+                version: peer.profile_version(),
+                profile: peer.shared_profile().clone(),
+            }
+        };
+        let old_offer = direct(&sim);
+        process_offers(sim.node_mut(0), std::slice::from_ref(&old_offer));
+        assert!(sim.node(0).has_fresh_stored_profile(&best));
+
+        // The owner changes her profile (v2).
+        sim.node_mut(best.index())
+            .add_tagging_actions(vec![TaggingAction::new(ItemId(3), TagId(1))]);
+        let fresh_offer = direct(&sim);
+        assert_eq!(fresh_offer.version, 2);
+
+        // A relayed offer pairing the *new* digest with the *old* profile
+        // payload marks the copy stale but wastes no profile fetch.
+        let relayed = ProfileOffer {
+            digest: fresh_offer.digest.clone(),
+            digest_version: fresh_offer.digest_version,
+            ..old_offer.clone()
+        };
+        let stats = process_offers(sim.node_mut(0), &[relayed]);
+        assert_eq!(stats.profile_bytes, 0, "an old payload must not be fetched");
+        assert!(sim.node(0).has_stored_profile(&best));
+        assert!(!sim.node(0).has_fresh_stored_profile(&best));
+
+        // A later relay with the old digest must not whitewash the copy.
+        let old_relay = old_offer.clone();
+        process_offers(sim.node_mut(0), &[old_relay]);
+        assert!(!sim.node(0).has_fresh_stored_profile(&best));
+
+        // Only the owner's direct offer — unchanged digest but a newer
+        // profile payload — refreshes the copy.
+        let stats = process_offers(sim.node_mut(0), std::slice::from_ref(&fresh_offer));
+        assert!(stats.profile_bytes > 0);
+        assert!(sim.node(0).has_fresh_stored_profile(&best));
+        assert_eq!(
+            sim.node(0).stored_profile(&best).unwrap(),
+            sim.node(best.index()).profile()
+        );
+    }
+
+    #[test]
+    fn digest_version_advances_even_when_bloom_bytes_collide() {
+        // A profile change whose new actions only hit already-set Bloom
+        // bits leaves the digest bytes identical; the offer's digest
+        // version must still get through and mark the cached copy stale.
+        let (mut sim, _cfg, dataset) = small_sim();
+        let ideal = IdealNetworks::compute(&dataset, 10);
+        let Some(&(best, _)) = ideal.network_of(UserId(0)).first() else {
+            return;
+        };
+        let offer_v1 = {
+            let peer = sim.node(best.index());
+            ProfileOffer {
+                user: peer.id,
+                digest: peer.shared_digest().clone(),
+                digest_version: 1,
+                version: 1,
+                profile: peer.shared_profile().clone(),
+            }
+        };
+        process_offers(sim.node_mut(0), std::slice::from_ref(&offer_v1));
+        assert!(sim.node(0).has_fresh_stored_profile(&best));
+
+        // Same digest bytes (same Arc, even), but the owner is at v2 now.
+        let collided = ProfileOffer {
+            digest_version: 2,
+            ..offer_v1.clone()
+        };
+        process_offers(sim.node_mut(0), &[collided]);
+        let entry = sim.node(0).personal_network.get(&best).unwrap();
+        assert_eq!(entry.meta.digest_version, 2);
+        assert!(!sim.node(0).has_fresh_stored_profile(&best));
     }
 
     #[test]

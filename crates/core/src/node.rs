@@ -7,7 +7,7 @@
 //! the bandwidth model.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use p3q_bloom::{BloomFilter, SharedFilter};
 use p3q_gossip::{AgedView, ScoredView};
@@ -25,6 +25,14 @@ pub struct DigestInfo {
 }
 
 /// Metadata attached to every personal-network neighbour.
+///
+/// The cached profile copy and the digest may legitimately sit at different
+/// versions: gossip refreshes digests (cheap, every exchange) more often
+/// than full profiles (step 3 of Algorithm 1, budget-gated). A copy whose
+/// `profile_version` lags `digest_version` is **stale** — it is kept for
+/// refresh accounting (Table 2, the AUR metric) and as gossip payload, but
+/// query scoring must not silently treat it as current; use
+/// [`Self::has_fresh_profile`] to tell the two states apart.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NeighbourInfo {
     /// The neighbour's profile digest.
@@ -48,6 +56,13 @@ impl NeighbourInfo {
             profile_version: 0,
         }
     }
+
+    /// Returns `true` if a full profile copy is cached **and** it is at
+    /// least as new as the freshest digest seen for this neighbour — i.e.
+    /// the copy is safe to score queries against.
+    pub fn has_fresh_profile(&self) -> bool {
+        self.profile.is_some() && self.profile_version >= self.digest_version
+    }
 }
 
 /// The complete local state of one P3Q user (Figure 1 of the paper).
@@ -57,7 +72,10 @@ pub struct P3qNode {
     pub id: UserId,
     profile: SharedProfile,
     profile_version: u64,
-    digest: SharedFilter,
+    /// Lazily (re)built digest: profile dynamics only clear this cell, and
+    /// the next read rebuilds it — a batch of `add_tagging_actions` calls
+    /// costs one Bloom construction instead of one per call.
+    digest: OnceLock<SharedFilter>,
     digest_bits: usize,
     digest_hashes: u32,
     storage_budget: usize,
@@ -94,12 +112,11 @@ impl P3qNode {
         digest_hashes: u32,
     ) -> Self {
         let profile: SharedProfile = profile.into();
-        let digest = Arc::new(profile.digest(digest_bits, digest_hashes));
         Self {
             id,
             profile,
             profile_version: 1,
-            digest,
+            digest: OnceLock::new(),
             digest_bits,
             digest_hashes,
             storage_budget: storage_budget.max(1),
@@ -126,14 +143,25 @@ impl P3qNode {
         self.profile_version
     }
 
-    /// The node's own profile digest (kept in sync with the profile).
+    /// The node's own profile digest (always in sync with the profile: a
+    /// read after profile dynamics rebuilds it on demand).
     pub fn digest(&self) -> &BloomFilter {
-        &self.digest
+        self.shared_digest()
     }
 
-    /// The node's own digest as a shareable handle.
+    /// The node's own digest as a shareable handle. Like [`Self::digest`],
+    /// rebuilds lazily after profile dynamics invalidated it.
     pub fn shared_digest(&self) -> &SharedFilter {
-        &self.digest
+        self.digest
+            .get_or_init(|| Arc::new(self.profile.digest(self.digest_bits, self.digest_hashes)))
+    }
+
+    /// Forces the pending digest rebuild now (no-op if the digest is
+    /// current). By default the cost lands lazily on the first gossip read
+    /// after a batch of [`Self::add_tagging_actions`]; call this to pin it
+    /// to a deterministic point instead (e.g. when timing a cycle).
+    pub fn flush_digest(&mut self) {
+        let _ = self.shared_digest();
     }
 
     /// The node's storage budget `c`.
@@ -148,8 +176,9 @@ impl P3qNode {
     }
 
     /// Adds new tagging actions to the node's own profile (profile dynamics),
-    /// bumping its version and refreshing the digest. Returns the number of
-    /// genuinely new actions.
+    /// bumping its version and invalidating the digest (rebuilt lazily on
+    /// the next read, so a batch of calls pays for one rebuild). Returns the
+    /// number of genuinely new actions.
     ///
     /// If the profile is currently shared (e.g. cached by a neighbour), the
     /// copy-on-write in [`Arc::make_mut`] detaches this node's copy first,
@@ -161,13 +190,28 @@ impl P3qNode {
         let added = Arc::make_mut(&mut self.profile).extend(actions);
         if added > 0 {
             self.profile_version += 1;
-            self.digest = Arc::new(self.profile.digest(self.digest_bits, self.digest_hashes));
+            self.digest.take();
         }
         added
     }
 
     /// Inserts or refreshes a neighbour in the personal network with a new
     /// similarity score and digest, preserving any cached profile copy.
+    ///
+    /// The digest never regresses: an offer relayed through a third party
+    /// may carry an *older* digest than the one already recorded, and
+    /// accepting it would silently whitewash a known-stale cached profile
+    /// back to fresh. Only a digest at least as new as the recorded one
+    /// replaces it; an older offer still refreshes the score.
+    ///
+    /// The cached copy keeps its own `profile_version`: if the recorded
+    /// `digest_version` is newer, the copy is **stale** (its owner changed
+    /// her profile since it was taken) and stops counting as fresh for
+    /// query scoring ([`NeighbourInfo::has_fresh_profile`],
+    /// [`Self::fresh_stored_profiles`]) until [`Self::store_profile`]
+    /// refreshes it. It is deliberately *not* dropped — stale copies are
+    /// what the refresh metrics (Table 2, AUR) measure, and they still feed
+    /// the common-item exchanges of lazy gossip.
     ///
     /// Returns `true` if the neighbour is part of the personal network after
     /// the call (it may be rejected if the network is full of better
@@ -179,15 +223,23 @@ impl P3qNode {
         digest: impl Into<SharedFilter>,
         digest_version: u64,
     ) -> bool {
+        let mut digest = digest.into();
+        let mut digest_version = digest_version;
         let (profile, profile_version) = match self.personal_network.get(&peer) {
-            Some(entry) => (entry.meta.profile.clone(), entry.meta.profile_version),
+            Some(entry) => {
+                if entry.meta.digest_version > digest_version {
+                    digest = entry.meta.digest.clone();
+                    digest_version = entry.meta.digest_version;
+                }
+                (entry.meta.profile.clone(), entry.meta.profile_version)
+            }
             None => (None, 0),
         };
         self.personal_network.upsert(
             peer,
             score,
             NeighbourInfo {
-                digest: digest.into(),
+                digest,
                 digest_version,
                 profile,
                 profile_version,
@@ -272,12 +324,63 @@ impl P3qNode {
         self.stored_profiles().count()
     }
 
+    /// Like [`Self::stored_profiles`], but yielding only **fresh** copies
+    /// (at least as new as the freshest digest seen for their owner) — the
+    /// set query scoring is allowed to resolve from.
+    pub fn fresh_stored_profiles(&self) -> impl Iterator<Item = (UserId, &Profile, u64)> {
+        self.personal_network.iter().filter_map(|e| {
+            if !e.meta.has_fresh_profile() {
+                return None;
+            }
+            e.meta
+                .profile
+                .as_deref()
+                .map(|p| (e.peer, p, e.meta.profile_version))
+        })
+    }
+
+    /// [`Self::fresh_stored_profiles`] with shareable handles.
+    pub fn shared_fresh_stored_profiles(
+        &self,
+    ) -> impl Iterator<Item = (UserId, &SharedProfile, u64)> {
+        self.personal_network.iter().filter_map(|e| {
+            if !e.meta.has_fresh_profile() {
+                return None;
+            }
+            e.meta
+                .profile
+                .as_ref()
+                .map(|p| (e.peer, p, e.meta.profile_version))
+        })
+    }
+
+    /// Returns `true` if a fresh (non-stale) profile copy of `peer` is
+    /// stored locally.
+    pub fn has_fresh_stored_profile(&self, peer: &UserId) -> bool {
+        self.personal_network
+            .get(peer)
+            .is_some_and(|e| e.meta.has_fresh_profile())
+    }
+
     /// Personal-network neighbours whose profiles are *not* stored locally —
     /// the initial remaining list of any query this node issues.
     pub fn unstored_network_peers(&self) -> Vec<UserId> {
         self.personal_network
             .iter()
             .filter(|e| e.meta.profile.is_none())
+            .map(|e| e.peer)
+            .collect()
+    }
+
+    /// Personal-network neighbours without a *fresh* stored profile copy:
+    /// the unstored ones plus those whose cached copy went stale after the
+    /// owner's profile dynamics. This is the remaining list of a query
+    /// issued after dynamics — a stale copy must be re-fetched, not silently
+    /// scored.
+    pub fn peers_missing_fresh_profile(&self) -> Vec<UserId> {
+        self.personal_network
+            .iter()
+            .filter(|e| !e.meta.has_fresh_profile())
             .map(|e| e.peer)
             .collect()
     }
@@ -396,6 +499,63 @@ mod tests {
             Arc::ptr_eq(stored, &p),
             "storing a shared profile must not deep-copy it"
         );
+    }
+
+    #[test]
+    fn digest_rebuild_is_batched_across_adds() {
+        let mut n = node(2);
+        n.flush_digest();
+        let before = n.shared_digest().clone();
+        // Two adds without an intervening read: the digest cell stays cold
+        // (no rebuild per call) …
+        n.add_tagging_actions(vec![TaggingAction::new(ItemId(7), TagId(7))]);
+        n.add_tagging_actions(vec![TaggingAction::new(ItemId(8), TagId(8))]);
+        // … and the next read sees both actions at once.
+        assert!(n.digest().contains(ItemId(7).as_key()));
+        assert!(n.digest().contains(ItemId(8).as_key()));
+        assert!(
+            !Arc::ptr_eq(n.shared_digest(), &before),
+            "the digest must be a fresh filter after dynamics"
+        );
+        let flushed = n.shared_digest().clone();
+        n.flush_digest();
+        assert!(
+            Arc::ptr_eq(n.shared_digest(), &flushed),
+            "flushing a current digest must not rebuild it"
+        );
+    }
+
+    #[test]
+    fn newer_digest_version_marks_cached_profile_stale() {
+        let mut n = node(2);
+        let d: SharedFilter = Arc::new(profile(&[(5, 5)]).digest(1024, 4));
+        n.record_neighbour(UserId(1), 3, d.clone(), 1);
+        n.store_profile(UserId(1), profile(&[(5, 5)]), 1);
+        assert!(n.has_fresh_stored_profile(&UserId(1)));
+        assert!(n.peers_missing_fresh_profile().is_empty());
+
+        // The owner changed her profile: a newer digest arrives. The copy is
+        // kept (refresh accounting needs it) but no longer counts as fresh.
+        let d2: SharedFilter = Arc::new(profile(&[(5, 5), (6, 6)]).digest(1024, 4));
+        n.record_neighbour(UserId(1), 4, d2.clone(), 2);
+        assert!(n.has_stored_profile(&UserId(1)));
+        assert!(!n.has_fresh_stored_profile(&UserId(1)));
+        assert_eq!(n.fresh_stored_profiles().count(), 0);
+        assert_eq!(n.peers_missing_fresh_profile(), vec![UserId(1)]);
+
+        // A relayed offer carrying the *old* digest must not whitewash the
+        // stale copy back to fresh: the recorded digest never regresses.
+        n.record_neighbour(UserId(1), 5, d, 1);
+        assert!(!n.has_fresh_stored_profile(&UserId(1)));
+        let entry = n.personal_network.get(&UserId(1)).unwrap();
+        assert_eq!(entry.meta.digest_version, 2);
+        assert!(Arc::ptr_eq(&entry.meta.digest, &d2));
+        assert_eq!(entry.score, 5, "an older digest still refreshes the score");
+
+        // Storing the refreshed copy makes it fresh again.
+        n.store_profile(UserId(1), profile(&[(5, 5), (6, 6)]), 2);
+        assert!(n.has_fresh_stored_profile(&UserId(1)));
+        assert_eq!(n.shared_fresh_stored_profiles().count(), 1);
     }
 
     #[test]

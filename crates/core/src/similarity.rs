@@ -1,5 +1,6 @@
 //! The similarity engine: counting-based, index-backed computation of the
-//! paper's profile-similarity score at population scale.
+//! paper's profile-similarity score at population scale — with incremental
+//! maintenance under profile dynamics.
 //!
 //! `Score_{u}(v) = |Profile(u) ∩ Profile(v)|` is evaluated everywhere in the
 //! P3Q evaluation: once per candidate pair when building the ideal personal
@@ -17,11 +18,52 @@
 //! intersection mass — instead of the sum of profile lengths over all
 //! candidate pairs.
 //!
+//! ## Sharding and the delta-apply cost model
+//!
+//! The index is split into key-range **shards** (contiguous runs of sorted
+//! `(item, tag)` keys, each a small CSR block). Profile dynamics
+//! (Section 3.4.1: users keep tagging) no longer force a rebuild:
+//!
+//! * [`ActionIndex::apply_deltas`] patches only the shards containing the
+//!   new actions' keys. A batch of `D` new actions costs
+//!   `O(D log D + Σ |touched shard|)` — untouched shards are never read,
+//!   so a small batch touches a small fraction of the index instead of
+//!   paying the `O(A log A)` sort of a full rebuild over all `A` actions.
+//! * [`ActionIndex::remove_user`] handles churn (departures) the same way:
+//!   only the shards holding the departed profile's keys are compacted, and
+//!   the **dirty set** (everyone who shared an action with the departed
+//!   user) comes back for re-scoring through
+//!   [`crate::baseline::IdealNetworks::recompute_dirty`].
+//! * [`ActionIndex::apply_deltas`] goes further and returns a
+//!   [`DeltaOutcome`]: the changing users plus the exact `(affected,
+//!   changed)` pairs whose score grew. Because additions only *increase*
+//!   scores, [`crate::baseline::IdealNetworks::apply_change_batch`] can
+//!   patch a lightly affected user's network from a few pair merges and
+//!   reserve full counting sweeps for the changing users — provably
+//!   matching a from-scratch
+//!   [`crate::baseline::IdealNetworks::compute`].
+//!
 //! The per-user loop is embarrassingly parallel and runs through
 //! [`p3q_sim::parallel_map_chunks`], which guarantees output identical for
 //! every worker-thread count (set `P3Q_THREADS=1` to pin).
 
 use p3q_trace::{Dataset, Profile, TaggingAction, UserId};
+
+/// Distinct keys a shard aims to hold when the shard count is derived from
+/// the dataset size ([`ActionIndex::build`]).
+const TARGET_KEYS_PER_SHARD: usize = 1024;
+
+/// Upper bound on the number of shards, so shard routing stays cheap even
+/// for very large traces.
+const MAX_SHARDS: usize = 1024;
+
+/// Per-key bound on `|affected members| × |gainers|` pair emission in
+/// [`ActionIndex::apply_deltas`] (affected members = posting-list members
+/// that are not themselves gainers of the key). A very popular gained
+/// action would emit a quadratic number of `(member, gainer)` pairs;
+/// beyond this bound its posting members go to [`DeltaOutcome::resweep`]
+/// (full re-score) instead, which costs only the posting length.
+const PAIR_EMISSION_CAP: usize = 4096;
 
 /// Scratch space for one scoring sweep: a dense per-user counter plus the
 /// list of touched slots so that clearing costs `O(touched)`, not
@@ -42,19 +84,89 @@ impl SimilarityScratch {
     }
 }
 
-/// A counting inverted index over every distinct tagging action of a
-/// dataset.
+/// The exact effect of one delta batch on pairwise similarity scores,
+/// returned by [`ActionIndex::apply_deltas`].
 ///
-/// Layout is CSR: `keys` holds the distinct `(item, tag)` actions in sorted
-/// order, `offsets[i]..offsets[i + 1]` delimits the posting list of
-/// `keys[i]` inside `users`, and every posting list is in ascending user
-/// order. Building the index costs one sort of the (action, user) pairs —
-/// `O(A log A)` for `A` total actions — and is done once per dataset.
-#[derive(Debug, Clone)]
-pub struct ActionIndex {
+/// Additions can only increase scores, so this is a complete description of
+/// what moved: a changing user's score may have grown against anyone, while
+/// a non-changing user's score grew only against the partners listed for
+/// her in `pairs` — which is what lets
+/// [`crate::baseline::IdealNetworks::apply_change_batch`] patch most
+/// networks from a few exact pair merges instead of full sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Users that genuinely gained at least one new action, sorted by id.
+    pub changed: Vec<UserId>,
+    /// `(affected, changed)` pairs whose similarity score increased, sorted
+    /// and deduplicated. Pairs whose affected side is itself a changing
+    /// user are omitted — changing users are fully re-swept anyway.
+    pub pairs: Vec<(UserId, UserId)>,
+    /// Users affected through a *very popular* gained action (posting list
+    /// × gainers beyond [`PAIR_EMISSION_CAP`]), reported for full
+    /// re-scoring instead of per-pair emission — this bounds the outcome's
+    /// size by the touched posting mass rather than its square. Sorted and
+    /// deduplicated.
+    pub resweep: Vec<UserId>,
+}
+
+impl DeltaOutcome {
+    /// Every user whose similarity score against someone changed (the
+    /// changing users plus every affected partner), sorted by id. These are
+    /// exactly the users whose ideal personal network may differ from
+    /// before the batch.
+    pub fn dirty_users(&self) -> Vec<UserId> {
+        let mut dirty: Vec<UserId> = self
+            .changed
+            .iter()
+            .copied()
+            .chain(self.resweep.iter().copied())
+            .chain(self.pairs.iter().map(|&(affected, _)| affected))
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Returns `true` if the batch changed nothing (every delta action was
+    /// already present).
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
+/// One key-range shard: a CSR block over a contiguous run of sorted keys.
+/// `keys` are the distinct `(item, tag)` actions of the range,
+/// `offsets[i]..offsets[i + 1]` delimits the posting list of `keys[i]`
+/// inside `users`, and every posting list is in ascending user order.
+#[derive(Debug, Clone, Default)]
+struct IndexShard {
     keys: Vec<u64>,
     offsets: Vec<u32>,
     users: Vec<u32>,
+}
+
+impl IndexShard {
+    fn posting(&self, pos: usize) -> &[u32] {
+        &self.users[self.offsets[pos] as usize..self.offsets[pos + 1] as usize]
+    }
+}
+
+/// A counting inverted index over every distinct tagging action of a
+/// dataset, sharded by key range for incremental maintenance.
+///
+/// Building the index costs one sort of the (action, user) pairs —
+/// `O(A log A)` for `A` total actions — after which profile dynamics are
+/// absorbed by [`Self::apply_deltas`] / [`Self::remove_user`] at the cost
+/// of patching only the affected shards (see the module docs for the cost
+/// model).
+#[derive(Debug, Clone)]
+pub struct ActionIndex {
+    shards: Vec<IndexShard>,
+    /// `shard_starts[i]` is the smallest key routed to shard `i`;
+    /// `shard_starts[0]` is always 0 so every key has a home shard. Routing
+    /// is stable under inserts: a new key lands in the shard whose range
+    /// covers it, never creating or re-balancing shards.
+    shard_starts: Vec<u64>,
     num_users: usize,
 }
 
@@ -62,9 +174,24 @@ fn action_key(action: &TaggingAction) -> u64 {
     (u64::from(action.item.0) << 32) | u64::from(action.tag.0)
 }
 
+/// Offsets are u32 to halve the index footprint; fail loudly rather than
+/// silently wrapping if a shard ever exceeds 2^32 postings.
+fn offset_of(len: usize) -> u32 {
+    u32::try_from(len).expect("ActionIndex shards support at most 2^32 - 1 postings")
+}
+
 impl ActionIndex {
-    /// Builds the index over every profile of the dataset.
+    /// Builds the index over every profile of the dataset, choosing the
+    /// shard count from the number of distinct actions (about
+    /// [`TARGET_KEYS_PER_SHARD`] keys per shard, at most [`MAX_SHARDS`]).
     pub fn build(dataset: &Dataset) -> Self {
+        Self::build_with_shards(dataset, 0)
+    }
+
+    /// [`Self::build`] with an explicit shard count (`0` derives it from the
+    /// dataset size). Exposed for tests and tuning; the shard count changes
+    /// only the incremental-update granularity, never any query result.
+    pub fn build_with_shards(dataset: &Dataset, num_shards: usize) -> Self {
         let total: usize = dataset.iter().map(|(_, p)| p.len()).sum();
         let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(total);
         for (user, profile) in dataset.iter() {
@@ -77,25 +204,52 @@ impl ActionIndex {
         pairs.sort_unstable();
 
         let mut keys = Vec::new();
-        let mut offsets = Vec::with_capacity(pairs.len() / 2);
+        let mut key_offsets: Vec<usize> = Vec::new();
         let mut users = Vec::with_capacity(pairs.len());
-        // Offsets are u32 to halve the index footprint; fail loudly rather
-        // than silently wrapping if a dataset ever exceeds 2^32 actions.
-        let offset_of = |len: usize| {
-            u32::try_from(len).expect("ActionIndex supports at most 2^32 - 1 total actions")
-        };
         for (key, user) in pairs {
             if keys.last() != Some(&key) {
                 keys.push(key);
-                offsets.push(offset_of(users.len()));
+                key_offsets.push(users.len());
             }
             users.push(user);
         }
-        offsets.push(offset_of(users.len()));
+        key_offsets.push(users.len());
+
+        let requested = if num_shards > 0 {
+            num_shards
+        } else {
+            keys.len()
+                .div_ceil(TARGET_KEYS_PER_SHARD)
+                .clamp(1, MAX_SHARDS)
+        };
+        let keys_per_shard = keys.len().div_ceil(requested).max(1);
+        // Never create empty trailing shards (a request larger than the key
+        // count collapses to one shard per key).
+        let num_shards = keys.len().div_ceil(keys_per_shard).max(1);
+
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut shard_starts = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let lo = (s * keys_per_shard).min(keys.len());
+            let hi = ((s + 1) * keys_per_shard).min(keys.len());
+            let user_lo = key_offsets[lo];
+            shards.push(IndexShard {
+                keys: keys[lo..hi].to_vec(),
+                // Rebase in usize before narrowing so the per-shard u32
+                // limit applies to shard-local offsets, not global ones.
+                offsets: key_offsets[lo..=hi]
+                    .iter()
+                    .map(|&o| offset_of(o - user_lo))
+                    .collect(),
+                users: users[user_lo..key_offsets[hi]].to_vec(),
+            });
+            // The first shard's range is open below so that keys smaller
+            // than any indexed one still route somewhere.
+            shard_starts.push(if s == 0 { 0 } else { keys[lo] });
+        }
         Self {
-            keys,
-            offsets,
-            users,
+            shards,
+            shard_starts,
             num_users: dataset.num_users(),
         }
     }
@@ -107,15 +261,153 @@ impl ActionIndex {
 
     /// Number of distinct tagging actions in the index.
     pub fn distinct_actions(&self) -> usize {
-        self.keys.len()
+        self.shards.iter().map(|s| s.keys.len()).sum()
+    }
+
+    /// Number of key-range shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to.
+    fn shard_of(&self, key: u64) -> usize {
+        self.shard_starts.partition_point(|&s| s <= key) - 1
     }
 
     /// The users whose profile contains `action`, in ascending order.
     pub fn taggers_of(&self, action: &TaggingAction) -> &[u32] {
-        match self.keys.binary_search(&action_key(action)) {
-            Ok(pos) => &self.users[self.offsets[pos] as usize..self.offsets[pos + 1] as usize],
+        let key = action_key(action);
+        let shard = &self.shards[self.shard_of(key)];
+        match shard.keys.binary_search(&key) {
+            Ok(pos) => shard.posting(pos),
             Err(_) => &[],
         }
+    }
+
+    /// Patches the index with one user's newly added tagging actions and
+    /// returns the effects (see [`Self::apply_deltas`]).
+    pub fn apply_delta(&mut self, user: UserId, new_actions: &[TaggingAction]) -> DeltaOutcome {
+        self.apply_deltas(std::iter::once((user, new_actions)))
+    }
+
+    /// Patches the index with a batch of profile additions: for every
+    /// `(user, new_actions)` pair the user is inserted into the posting
+    /// lists of her new actions. Actions the user already has in the index
+    /// are skipped (set semantics, matching [`Profile::extend`]), so the
+    /// deltas may safely repeat existing actions.
+    ///
+    /// Only the shards whose key range contains a delta are touched; each
+    /// is patched by a single linear merge.
+    ///
+    /// Returns a [`DeltaOutcome`] describing exactly which pairwise scores
+    /// changed: the changing users themselves (every one of their scores
+    /// may have moved) and, for everyone else, the `(affected, changed)`
+    /// pairs whose overlap grew. Since additions can only *increase*
+    /// scores, that is all the information needed to update the ideal
+    /// networks exactly — see
+    /// [`crate::baseline::IdealNetworks::apply_change_batch`].
+    ///
+    /// # Panics
+    /// Panics if a delta names a user outside the indexed population.
+    pub fn apply_deltas<'a, I>(&mut self, deltas: I) -> DeltaOutcome
+    where
+        I: IntoIterator<Item = (UserId, &'a [TaggingAction])>,
+    {
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        for (user, actions) in deltas {
+            assert!(
+                user.index() < self.num_users,
+                "delta for unknown user {user}"
+            );
+            for action in actions {
+                pairs.push((action_key(action), user.0));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        if pairs.is_empty() {
+            return DeltaOutcome::default();
+        }
+
+        let mut changed: Vec<u32> = Vec::new();
+        let mut score_pairs: Vec<(u32, u32)> = Vec::new();
+        let mut resweep: Vec<u32> = Vec::new();
+        let mut start = 0usize;
+        for sidx in 0..self.shards.len() {
+            if start >= pairs.len() {
+                break;
+            }
+            let end = match self.shard_starts.get(sidx + 1) {
+                Some(&hi) => start + pairs[start..].partition_point(|&(k, _)| k < hi),
+                None => pairs.len(),
+            };
+            if end > start {
+                merge_into_shard(
+                    &mut self.shards[sidx],
+                    &pairs[start..end],
+                    &mut changed,
+                    &mut score_pairs,
+                    &mut resweep,
+                );
+            }
+            start = end;
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        // The per-key emission already skips members that gained the same
+        // key; drop the pairs whose affected side changed via *another* key
+        // too — changing users are fully re-swept downstream regardless.
+        score_pairs.retain(|&(affected, _)| changed.binary_search(&affected).is_err());
+        score_pairs.sort_unstable();
+        score_pairs.dedup();
+        resweep.sort_unstable();
+        resweep.dedup();
+        DeltaOutcome {
+            changed: changed.into_iter().map(UserId).collect(),
+            pairs: score_pairs
+                .into_iter()
+                .map(|(v, u)| (UserId(v), UserId(u)))
+                .collect(),
+            resweep: resweep.into_iter().map(UserId).collect(),
+        }
+    }
+
+    /// Removes a departed user from the index (churn). `profile` must be the
+    /// profile the index currently holds for her — her posting entries are
+    /// deleted from exactly those actions' lists, and keys whose posting
+    /// list empties are dropped (a from-scratch build would not contain
+    /// them). Only the shards covering her keys are compacted.
+    ///
+    /// Returns the dirty users: everyone who shared an action with her (her
+    /// score against each of them drops), plus the user herself.
+    pub fn remove_user(&mut self, user: UserId, profile: &Profile) -> Vec<UserId> {
+        // Profiles are item-major sorted, which `action_key` preserves, so
+        // the keys arrive sorted and split into shard runs in one pass.
+        let keys: Vec<u64> = profile.iter().map(action_key).collect();
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let mut dirty: Vec<u32> = Vec::new();
+        let mut start = 0usize;
+        for sidx in 0..self.shards.len() {
+            if start >= keys.len() {
+                break;
+            }
+            let end = match self.shard_starts.get(sidx + 1) {
+                Some(&hi) => start + keys[start..].partition_point(|&k| k < hi),
+                None => keys.len(),
+            };
+            if end > start {
+                strip_user_from_shard(
+                    &mut self.shards[sidx],
+                    &keys[start..end],
+                    user.0,
+                    &mut dirty,
+                );
+            }
+            start = end;
+        }
+        finish_dirty(dirty)
     }
 
     /// Scores `profile` against every indexed user in one counting sweep.
@@ -133,19 +425,24 @@ impl ActionIndex {
         }
         scratch.touched.clear();
 
-        // The profile's actions and the index keys are both sorted, so each
-        // posting lookup narrows the remaining search window instead of
-        // re-scanning the whole key space.
+        // The profile's actions, the shard ranges and each shard's keys are
+        // all sorted, so the walk advances a shard cursor monotonically and
+        // each in-shard lookup narrows the remaining search window instead
+        // of re-scanning the whole key space.
+        let mut shard_idx = 0usize;
         let mut lo = 0usize;
         for action in profile.iter() {
             let key = action_key(action);
-            match self.keys[lo..].binary_search(&key) {
+            while shard_idx + 1 < self.shards.len() && self.shard_starts[shard_idx + 1] <= key {
+                shard_idx += 1;
+                lo = 0;
+            }
+            let shard = &self.shards[shard_idx];
+            match shard.keys[lo..].binary_search(&key) {
                 Ok(rel) => {
                     let pos = lo + rel;
                     lo = pos + 1;
-                    let start = self.offsets[pos] as usize;
-                    let end = self.offsets[pos + 1] as usize;
-                    for &user in &self.users[start..end] {
+                    for &user in shard.posting(pos) {
                         if user == exclude.0 {
                             continue;
                         }
@@ -202,6 +499,157 @@ impl ActionIndex {
     }
 }
 
+/// Sorts, dedups and wraps a raw dirty-user accumulation.
+fn finish_dirty(mut dirty: Vec<u32>) -> Vec<UserId> {
+    dirty.sort_unstable();
+    dirty.dedup();
+    dirty.into_iter().map(UserId).collect()
+}
+
+/// Merges sorted, deduplicated delta `(key, user)` pairs into one shard with
+/// a single linear pass. Every key that genuinely gains a tagger reports its
+/// gainers into `changed` and the `(posting member, gainer)` pairs whose
+/// score grew into `score_pairs` — unless the key is so popular that the
+/// pair product exceeds [`PAIR_EMISSION_CAP`], in which case its posting
+/// members go to `resweep` instead.
+fn merge_into_shard(
+    shard: &mut IndexShard,
+    pairs: &[(u64, u32)],
+    changed: &mut Vec<u32>,
+    score_pairs: &mut Vec<(u32, u32)>,
+    resweep: &mut Vec<u32>,
+) {
+    let mut keys = Vec::with_capacity(shard.keys.len() + pairs.len());
+    let mut offsets = Vec::with_capacity(shard.keys.len() + pairs.len() + 1);
+    let mut users = Vec::with_capacity(shard.users.len() + pairs.len());
+    offsets.push(0u32);
+    let mut gainers: Vec<u32> = Vec::new();
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < shard.keys.len() || j < pairs.len() {
+        let key = match (shard.keys.get(i), pairs.get(j)) {
+            (Some(&ok), Some(&(dk, _))) => ok.min(dk),
+            (Some(&ok), None) => ok,
+            (None, Some(&(dk, _))) => dk,
+            (None, None) => unreachable!("loop condition guarantees a side"),
+        };
+        let key_start = users.len();
+        let old = if shard.keys.get(i) == Some(&key) {
+            let range = shard.offsets[i] as usize..shard.offsets[i + 1] as usize;
+            i += 1;
+            range
+        } else {
+            0..0
+        };
+        let delta_lo = j;
+        while j < pairs.len() && pairs[j].0 == key {
+            j += 1;
+        }
+        let delta = &pairs[delta_lo..j];
+
+        // Two-pointer union of the old posting list and the delta users;
+        // a delta user already present is a duplicate action and adds
+        // nothing.
+        gainers.clear();
+        let (mut a, mut b) = (old.start, 0usize);
+        while a < old.end || b < delta.len() {
+            match (
+                (a < old.end).then(|| shard.users[a]),
+                (b < delta.len()).then(|| delta[b].1),
+            ) {
+                (Some(x), Some(y)) if x < y => {
+                    users.push(x);
+                    a += 1;
+                }
+                (Some(x), Some(y)) if x > y => {
+                    users.push(y);
+                    b += 1;
+                    gainers.push(y);
+                }
+                (Some(x), Some(_)) => {
+                    users.push(x);
+                    a += 1;
+                    b += 1;
+                }
+                (Some(x), None) => {
+                    users.push(x);
+                    a += 1;
+                }
+                (None, Some(y)) => {
+                    users.push(y);
+                    b += 1;
+                    gainers.push(y);
+                }
+                (None, None) => unreachable!("loop condition guarantees a side"),
+            }
+        }
+        keys.push(key);
+        offsets.push(offset_of(users.len()));
+        if !gainers.is_empty() {
+            changed.extend_from_slice(&gainers);
+            // Everyone on the final posting list now overlaps each gainer
+            // on this key; their pairwise scores grew by one. Pairs whose
+            // affected side is itself a gainer are skipped — gainers get a
+            // full sweep downstream anyway — so they neither bloat the
+            // outcome nor count toward the emission cap.
+            let posting = &users[key_start..];
+            let affected_members = posting.len() - gainers.len();
+            if affected_members.saturating_mul(gainers.len()) > PAIR_EMISSION_CAP {
+                resweep.extend_from_slice(posting);
+            } else {
+                for &member in posting {
+                    // `gainers` is in ascending user order (it follows the
+                    // sorted delta pairs), so membership is a binary search.
+                    if gainers.binary_search(&member).is_ok() {
+                        continue;
+                    }
+                    for &gainer in &gainers {
+                        score_pairs.push((member, gainer));
+                    }
+                }
+            }
+        }
+    }
+    shard.keys = keys;
+    shard.offsets = offsets;
+    shard.users = users;
+}
+
+/// Removes `user` from the posting lists of `keys` (sorted) inside one
+/// shard, dropping keys whose posting list empties. Every posting list the
+/// user was actually on contributes its pre-removal members to `dirty`.
+fn strip_user_from_shard(shard: &mut IndexShard, keys: &[u64], user: u32, dirty: &mut Vec<u32>) {
+    let mut new_keys = Vec::with_capacity(shard.keys.len());
+    let mut new_offsets = Vec::with_capacity(shard.offsets.len());
+    let mut new_users = Vec::with_capacity(shard.users.len());
+    new_offsets.push(0u32);
+
+    let mut k = 0usize;
+    for (i, &key) in shard.keys.iter().enumerate() {
+        while k < keys.len() && keys[k] < key {
+            k += 1;
+        }
+        let posting = shard.posting(i);
+        let targeted = keys.get(k) == Some(&key);
+        if targeted && posting.binary_search(&user).is_ok() {
+            dirty.extend_from_slice(posting);
+            if posting.len() > 1 {
+                new_keys.push(key);
+                new_users.extend(posting.iter().copied().filter(|&u| u != user));
+                new_offsets.push(offset_of(new_users.len()));
+            }
+            // A posting list of just the departed user drops the key.
+        } else {
+            new_keys.push(key);
+            new_users.extend_from_slice(posting);
+            new_offsets.push(offset_of(new_users.len()));
+        }
+    }
+    shard.keys = new_keys;
+    shard.offsets = new_offsets;
+    shard.users = new_users;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +667,22 @@ mod tests {
         Dataset::new(vec![p0, p1, p2, p3], 200, 200)
     }
 
+    /// Semantic equality with a freshly built index, independent of shard
+    /// layout: same distinct actions and same posting list per action.
+    fn assert_matches_fresh_build(index: &ActionIndex, dataset: &Dataset) {
+        let fresh = ActionIndex::build(dataset);
+        assert_eq!(index.distinct_actions(), fresh.distinct_actions());
+        for (_, profile) in dataset.iter() {
+            for action in profile.iter() {
+                assert_eq!(
+                    index.taggers_of(action),
+                    fresh.taggers_of(action),
+                    "posting list diverged for {action}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn taggers_lists_are_sorted_and_complete() {
         let d = dataset();
@@ -232,23 +696,39 @@ mod tests {
     }
 
     #[test]
+    fn sharded_build_answers_identically() {
+        let d = dataset();
+        for shards in 1..=6 {
+            let index = ActionIndex::build_with_shards(&d, shards);
+            assert!((1..=shards).contains(&index.num_shards()));
+            assert_eq!(index.distinct_actions(), 5);
+            assert_eq!(index.taggers_of(&act(1, 1)), &[0, 1]);
+            assert_eq!(index.taggers_of(&act(100, 100)), &[3]);
+            assert!(index.taggers_of(&act(0, 0)).is_empty());
+            assert!(index.taggers_of(&act(150, 150)).is_empty());
+        }
+    }
+
+    #[test]
     fn counting_sweep_matches_pairwise_merge() {
         let d = dataset();
-        let index = ActionIndex::build(&d);
-        let mut scratch = SimilarityScratch::new(d.num_users());
-        for (user, profile) in d.iter() {
-            index.accumulate(profile, user, &mut scratch);
-            for (other, other_profile) in d.iter() {
-                let expected = if other == user {
-                    0
-                } else {
-                    profile.common_actions(other_profile) as u32
-                };
-                assert_eq!(
-                    scratch.counts[other.index()],
-                    expected,
-                    "user {user} vs {other}"
-                );
+        for shards in [1, 3] {
+            let index = ActionIndex::build_with_shards(&d, shards);
+            let mut scratch = SimilarityScratch::new(d.num_users());
+            for (user, profile) in d.iter() {
+                index.accumulate(profile, user, &mut scratch);
+                for (other, other_profile) in d.iter() {
+                    let expected = if other == user {
+                        0
+                    } else {
+                        profile.common_actions(other_profile) as u32
+                    };
+                    assert_eq!(
+                        scratch.counts[other.index()],
+                        expected,
+                        "user {user} vs {other} ({shards} shards)"
+                    );
+                }
             }
         }
     }
@@ -282,5 +762,152 @@ mod tests {
         assert!(isolated.is_empty());
         let again = index.top_similar(&d, UserId(0), 10, &mut scratch);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn apply_delta_patches_postings_and_reports_dirty() {
+        let mut d = dataset();
+        for shards in [1, 2, 4] {
+            let mut index = ActionIndex::build_with_shards(&d, shards);
+            // User 3 adds an action user 2 already has, plus a brand-new key.
+            let delta = [act(9, 9), act(50, 50)];
+            let outcome = index.apply_delta(UserId(3), &delta);
+            d.profile_mut(UserId(3)).extend(delta);
+            assert_eq!(outcome.changed, vec![UserId(3)]);
+            // u2's score against u3 grew via act(9,9); act(50,50) is hers
+            // alone and affects nobody else.
+            assert_eq!(outcome.pairs, vec![(UserId(2), UserId(3))]);
+            assert_eq!(outcome.dirty_users(), vec![UserId(2), UserId(3)]);
+            assert_eq!(index.taggers_of(&act(9, 9)), &[2, 3]);
+            assert_eq!(index.taggers_of(&act(50, 50)), &[3]);
+            assert_matches_fresh_build(&index, &d);
+            // Reset for the next shard count.
+            d = dataset();
+        }
+    }
+
+    #[test]
+    fn duplicate_deltas_are_noops_with_empty_dirty_set() {
+        let d = dataset();
+        let mut index = ActionIndex::build(&d);
+        // Every action already in the profile: nothing changes.
+        let outcome = index.apply_delta(UserId(0), &[act(1, 1), act(2, 2)]);
+        assert!(outcome.is_empty());
+        assert!(outcome.dirty_users().is_empty());
+        assert_matches_fresh_build(&index, &d);
+        assert!(index.apply_delta(UserId(1), &[]).is_empty());
+    }
+
+    #[test]
+    fn batched_deltas_touch_multiple_users_and_shards() {
+        let mut d = dataset();
+        let mut index = ActionIndex::build_with_shards(&d, 3);
+        let d0 = [act(9, 9)];
+        let d3 = [act(1, 1), act(200, 5)];
+        let outcome = index.apply_deltas(vec![(UserId(0), &d0[..]), (UserId(3), &d3[..])]);
+        d.profile_mut(UserId(0)).extend(d0);
+        d.profile_mut(UserId(3)).extend(d3);
+        // act(9,9) gains u0 (affecting u2); act(1,1) gains u3 (affecting
+        // u0 and u1); act(200,5) is brand new and affects nobody. The
+        // (u0, u3) pair is omitted: u0 is itself a changing user.
+        assert_eq!(outcome.changed, vec![UserId(0), UserId(3)]);
+        assert_eq!(
+            outcome.pairs,
+            vec![(UserId(1), UserId(3)), (UserId(2), UserId(0))]
+        );
+        assert_eq!(
+            outcome.dirty_users(),
+            vec![UserId(0), UserId(1), UserId(2), UserId(3)]
+        );
+        assert_matches_fresh_build(&index, &d);
+    }
+
+    #[test]
+    fn remove_user_strips_postings_and_drops_empty_keys() {
+        let mut d = dataset();
+        for shards in [1, 2, 5] {
+            let mut index = ActionIndex::build_with_shards(&d, shards);
+            let old = d.profile(UserId(2)).clone();
+            let dirty = index.remove_user(UserId(2), &old);
+            *d.profile_mut(UserId(2)) = Profile::new();
+            // u2 shared act(3,3) with u0; act(9,9) was hers alone.
+            assert_eq!(dirty, vec![UserId(0), UserId(2)]);
+            assert_eq!(index.taggers_of(&act(3, 3)), &[0]);
+            assert!(index.taggers_of(&act(9, 9)).is_empty());
+            assert_matches_fresh_build(&index, &d);
+            d = dataset();
+        }
+    }
+
+    #[test]
+    fn remove_then_re_add_round_trips() {
+        let d = dataset();
+        let mut index = ActionIndex::build_with_shards(&d, 2);
+        let profile = d.profile(UserId(0)).clone();
+        let actions: Vec<TaggingAction> = profile.iter().copied().collect();
+        index.remove_user(UserId(0), &profile);
+        let outcome = index.apply_delta(UserId(0), &actions);
+        assert_eq!(outcome.changed, vec![UserId(0)]);
+        assert!(outcome.dirty_users().contains(&UserId(0)));
+        assert_matches_fresh_build(&index, &d);
+    }
+
+    #[test]
+    fn very_popular_gained_keys_use_resweep_instead_of_pairs() {
+        // 130 users already share act(1,1); 65 more add it in one batch, so
+        // affected members × gainers = 130 × 65 far exceeds
+        // PAIR_EMISSION_CAP and pair emission must give way to a resweep
+        // report.
+        let profiles: Vec<Profile> = (0..195u32)
+            .map(|i| {
+                let mut actions = vec![act(200 + i, 1)];
+                if i < 130 {
+                    actions.push(act(1, 1));
+                }
+                Profile::from_actions(actions)
+            })
+            .collect();
+        let mut d = Dataset::new(profiles, 400, 10);
+        let mut index = ActionIndex::build(&d);
+        let mut ideal = crate::baseline::IdealNetworks::compute_with_threads(&d, 5, 1);
+
+        let deltas: Vec<(UserId, Vec<TaggingAction>)> =
+            (130..195).map(|i| (UserId(i), vec![act(1, 1)])).collect();
+        let outcome = index.apply_deltas(deltas.iter().map(|(u, a)| (*u, a.as_slice())));
+        for (u, a) in &deltas {
+            d.profile_mut(*u).extend(a.iter().copied());
+        }
+        assert_eq!(outcome.changed.len(), 65);
+        assert!(
+            outcome.pairs.is_empty(),
+            "the capped key must not emit pairs"
+        );
+        assert_eq!(outcome.resweep.len(), 195);
+        assert_matches_fresh_build(&index, &d);
+
+        // The resweep path still reproduces a from-scratch compute.
+        ideal.apply_delta_outcome(&d, &index, &outcome, 1);
+        let oracle = crate::baseline::IdealNetworks::compute_with_threads(&d, 5, 1);
+        for user in d.users() {
+            assert_eq!(ideal.network_of(user), oracle.network_of(user), "{user}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown user")]
+    fn delta_for_out_of_range_user_is_rejected() {
+        let d = dataset();
+        let mut index = ActionIndex::build(&d);
+        let _ = index.apply_delta(UserId(99), &[act(1, 1)]);
+    }
+
+    #[test]
+    fn empty_dataset_builds_an_empty_index() {
+        let d = Dataset::default();
+        let mut index = ActionIndex::build(&d);
+        assert_eq!(index.distinct_actions(), 0);
+        assert_eq!(index.num_shards(), 1);
+        assert!(index.taggers_of(&act(1, 1)).is_empty());
+        assert!(index.apply_deltas(std::iter::empty()).is_empty());
     }
 }

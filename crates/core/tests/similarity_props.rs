@@ -1,13 +1,21 @@
 //! Property tests pinning the counting-index similarity engine to a naive
 //! O(n²) reference: `IdealNetworks::compute` must be byte-identical to
 //! brute force on random traces — scores, ordering and tie-breaking
-//! included — for every network size and worker-thread count.
+//! included — for every network size and worker-thread count. The
+//! incremental path (`ActionIndex::apply_deltas` / `remove_user` +
+//! `IdealNetworks::recompute_dirty`) is pinned the same way: after any
+//! sequence of random profile-change batches and departures it must equal
+//! a from-scratch `compute` over the mutated dataset, for every shard
+//! layout and worker-thread count.
 
 use proptest::prelude::*;
 
 use p3q::baseline::IdealNetworks;
 use p3q::similarity::{ActionIndex, SimilarityScratch};
-use p3q_trace::{Dataset, ItemId, Profile, TagId, TaggingAction, TraceConfig, TraceGenerator};
+use p3q_trace::{
+    ChangeBatch, Dataset, ItemId, Profile, ProfileChange, TagId, TaggingAction, TraceConfig,
+    TraceGenerator, UserId,
+};
 
 /// Brute force with no index at all: every ordered pair, one merge each.
 /// Deliberately independent of both production implementations.
@@ -126,6 +134,164 @@ proptest! {
                     .unwrap_or(0);
                 prop_assert_eq!(got, expected, "user {} vs {}", user, other);
             }
+        }
+    }
+}
+
+/// Raw material for one random dynamics step: either a profile-change batch
+/// (user selectors + new actions) or the departure of one user.
+type RawBatch = Vec<(usize, Vec<(u32, u32)>)>;
+
+/// A sequence of 1–3 random change batches. User indices are selectors to be
+/// reduced modulo the population; actions use the same dense id space as
+/// `arb_dataset` so deltas frequently duplicate existing actions (exercising
+/// the set semantics of `apply_deltas`).
+fn arb_batches() -> impl Strategy<Value = Vec<RawBatch>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (0usize..64, prop::collection::vec((0u32..12, 0u32..6), 0..8)),
+            1..5,
+        ),
+        1..4,
+    )
+}
+
+/// Reduces a raw batch to a `ChangeBatch` with at most one entry per user.
+fn change_batch(raw: &RawBatch, num_users: usize) -> ChangeBatch {
+    let mut changes: Vec<ProfileChange> = Vec::new();
+    for &(user_sel, ref actions) in raw {
+        let user = UserId::from_index(user_sel % num_users);
+        let new_actions: Vec<TaggingAction> = actions
+            .iter()
+            .map(|&(i, t)| TaggingAction::new(ItemId(i), TagId(t)))
+            .collect();
+        match changes.iter_mut().find(|c| c.user == user) {
+            Some(change) => change.new_actions.extend(new_actions),
+            None => changes.push(ProfileChange { user, new_actions }),
+        }
+    }
+    ChangeBatch { changes }
+}
+
+proptest! {
+    /// The incremental path — patch the index, re-score only the dirty
+    /// users — equals a from-scratch `compute` over the mutated dataset
+    /// after every batch, for several shard layouts.
+    #[test]
+    fn incremental_recompute_matches_from_scratch_oracle(
+        dataset in arb_dataset(),
+        batches in arb_batches(),
+        s in 1usize..6,
+        shards in 1usize..5,
+    ) {
+        let mut dataset = dataset;
+        let mut index = ActionIndex::build_with_shards(&dataset, shards);
+        let mut ideal = IdealNetworks::compute(&dataset, s);
+        for (step, raw) in batches.iter().enumerate() {
+            let batch = change_batch(raw, dataset.num_users());
+            batch.apply(&mut dataset);
+            ideal.apply_change_batch(&dataset, &mut index, &batch);
+            let oracle = IdealNetworks::compute(&dataset, s);
+            prop_assert_eq!(
+                networks_as_vec(&ideal, dataset.num_users()),
+                networks_as_vec(&oracle, dataset.num_users()),
+                "diverged at step {} ({} shards)", step, shards
+            );
+        }
+    }
+
+    /// Churn: removing users from the index (and emptying their profiles)
+    /// equals a from-scratch `compute` over the post-departure dataset,
+    /// with departures and change batches interleaved.
+    #[test]
+    fn incremental_churn_matches_from_scratch_oracle(
+        dataset in arb_dataset(),
+        raw in arb_batches(),
+        departures in prop::collection::vec(0usize..64, 1..5),
+        s in 1usize..6,
+        shards in 1usize..5,
+    ) {
+        let mut dataset = dataset;
+        let mut index = ActionIndex::build_with_shards(&dataset, shards);
+        let mut ideal = IdealNetworks::compute(&dataset, s);
+
+        // One change batch first, so departures hit freshly patched shards.
+        let batch = change_batch(&raw[0], dataset.num_users());
+        batch.apply(&mut dataset);
+        ideal.apply_change_batch(&dataset, &mut index, &batch);
+
+        let mut departed: Vec<UserId> = departures
+            .iter()
+            .map(|&sel| UserId::from_index(sel % dataset.num_users()))
+            .collect();
+        departed.sort_unstable();
+        departed.dedup();
+        let old_profiles: Vec<(UserId, Profile)> = departed
+            .iter()
+            .map(|&u| (u, dataset.profile(u).clone()))
+            .collect();
+        for &u in &departed {
+            *dataset.profile_mut(u) = Profile::new();
+        }
+        ideal.apply_departures(
+            &dataset,
+            &mut index,
+            old_profiles.iter().map(|(u, p)| (*u, p)),
+        );
+
+        let oracle = IdealNetworks::compute(&dataset, s);
+        prop_assert_eq!(
+            networks_as_vec(&ideal, dataset.num_users()),
+            networks_as_vec(&oracle, dataset.num_users())
+        );
+        for &u in &departed {
+            prop_assert!(ideal.network_of(u).is_empty());
+        }
+    }
+
+    /// The incremental path shares the determinism contract of the full
+    /// computation: the worker-thread count must never change the output.
+    #[test]
+    fn incremental_recompute_is_thread_count_independent(
+        dataset in arb_dataset(),
+        raw in arb_batches(),
+        s in 1usize..6,
+    ) {
+        let mut single_dataset = dataset.clone();
+        let mut single_index = ActionIndex::build(&single_dataset);
+        let mut single = IdealNetworks::compute_with_threads(&single_dataset, s, 1);
+        let mut dirty_per_step = Vec::new();
+        for raw_batch in &raw {
+            let batch = change_batch(raw_batch, single_dataset.num_users());
+            batch.apply(&mut single_dataset);
+            let dirty = single.apply_change_batch_with_threads(
+                &single_dataset,
+                &mut single_index,
+                &batch,
+                1,
+            );
+            dirty_per_step.push(dirty);
+        }
+        for threads in [2, 3, 8] {
+            let mut multi_dataset = dataset.clone();
+            let mut multi_index = ActionIndex::build(&multi_dataset);
+            let mut multi = IdealNetworks::compute_with_threads(&multi_dataset, s, threads);
+            for (raw_batch, expected_dirty) in raw.iter().zip(&dirty_per_step) {
+                let batch = change_batch(raw_batch, multi_dataset.num_users());
+                batch.apply(&mut multi_dataset);
+                let dirty = multi.apply_change_batch_with_threads(
+                    &multi_dataset,
+                    &mut multi_index,
+                    &batch,
+                    threads,
+                );
+                prop_assert_eq!(&dirty, expected_dirty, "dirty sets must be deterministic");
+            }
+            prop_assert_eq!(
+                networks_as_vec(&multi, dataset.num_users()),
+                networks_as_vec(&single, dataset.num_users()),
+                "threads = {}", threads
+            );
         }
     }
 }
