@@ -1,0 +1,277 @@
+//! Gossip-cycle throughput benchmark: cycles/sec of the plan/commit
+//! exchange engine at several population scales, sequential reference vs.
+//! the parallel engine at 1/2/4/8 worker threads — with a byte-equality
+//! check across every configuration (the engine's determinism contract).
+//!
+//! Emits `BENCH_cycles.json` in the working directory so the cycle-engine
+//! trajectory is tracked from PR to PR. The file also records the host's
+//! available parallelism: on a single-core container the parallel numbers
+//! measure engine overhead, not speedup — the determinism property suite is
+//! what guarantees the same bytes come out when cores are available.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_cycles [-- OPTIONS]
+//!     --users a,b,c   population scales      (default 10000,50000,100000)
+//!     --cycles N      lazy cycles to time    (default 3)
+//!     --warmup N      untimed warmup cycles  (default 2)
+//!     --threads a,b   thread counts to time  (default 1,2,4,8)
+//!     --seed N        master seed            (default 42)
+//!     --out PATH      output path            (default BENCH_cycles.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p3q::config::P3qConfig;
+use p3q::experiment::build_simulator;
+use p3q::lazy::{
+    bootstrap_random_views, run_lazy_cycle, run_lazy_cycle_reference, run_lazy_cycle_with_threads,
+};
+use p3q::node::P3qNode;
+use p3q::storage::StorageDistribution;
+use p3q_sim::Simulator;
+use p3q_trace::{TraceConfig, TraceGenerator};
+
+struct Args {
+    users: Vec<usize>,
+    cycles: u64,
+    warmup: u64,
+    threads: Vec<usize>,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: vec![10_000, 50_000, 100_000],
+        cycles: 3,
+        warmup: 2,
+        threads: vec![1, 2, 4, 8],
+        seed: 42,
+        out: "BENCH_cycles.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let parse_list = |value: String, name: &str| -> Vec<usize> {
+        value
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} wants integers"))
+            })
+            .collect()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--users" => args.users = parse_list(value("--users"), "--users"),
+            "--threads" => args.threads = parse_list(value("--threads"), "--threads"),
+            "--cycles" => {
+                args.cycles = value("--cycles")
+                    .parse()
+                    .expect("--cycles wants an integer")
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup")
+                    .parse()
+                    .expect("--warmup wants an integer")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Scales the laptop trace shape to an arbitrary population, keeping the
+/// items-per-user density (and therefore the overlap structure) constant —
+/// the same shaping rule as `bench_similarity`.
+fn trace_config(users: usize, seed: u64) -> TraceConfig {
+    let mut cfg = TraceConfig::laptop_scale(seed);
+    cfg.num_users = users;
+    cfg.num_items = users * 12;
+    cfg.num_tags = (users * 3).max(300);
+    cfg.num_topics = (users / 40).clamp(10, 200);
+    cfg
+}
+
+/// One timed configuration: how the cycles were executed.
+struct Mode {
+    label: String,
+    /// `None` = sequential reference; `Some(t)` = parallel engine.
+    threads: Option<usize>,
+}
+
+struct ModeResult {
+    label: String,
+    elapsed_s: f64,
+    cycles_per_sec: f64,
+    speedup_vs_reference: f64,
+    /// Bandwidth totals after the timed run — must be identical across all
+    /// modes (byte-identical execution).
+    checksum: (u64, u64),
+}
+
+struct ScaleResult {
+    users: usize,
+    total_actions: usize,
+    warmup_cycles: u64,
+    timed_cycles: u64,
+    modes: Vec<ModeResult>,
+}
+
+fn bench_scale(users: usize, args: &Args) -> ScaleResult {
+    eprintln!("== {users} users ==");
+    let start = Instant::now();
+    let trace = TraceGenerator::new(trace_config(users, args.seed)).generate();
+    eprintln!(
+        "   trace: {} actions, generated in {:.1} s",
+        trace.dataset.total_actions(),
+        start.elapsed().as_secs_f64()
+    );
+    let cfg = P3qConfig::laptop_scale();
+    let mut sim = build_simulator(
+        &trace.dataset,
+        &cfg,
+        &StorageDistribution::Uniform(100),
+        args.seed,
+    );
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xB007);
+    bootstrap_random_views(&mut sim, &cfg, &mut rng);
+
+    // Warm the network up so timed cycles exercise populated personal
+    // networks (stored profiles, offers, probes) rather than cold views.
+    // The engine is thread-count independent, so warming up with the
+    // default worker count leaves the same bytes for every timed mode.
+    for _ in 0..args.warmup {
+        run_lazy_cycle(&mut sim, &cfg);
+    }
+
+    let mut modes = vec![Mode {
+        label: "sequential_reference".to_string(),
+        threads: None,
+    }];
+    for &t in &args.threads {
+        modes.push(Mode {
+            label: format!("parallel_{t}_threads"),
+            threads: Some(t),
+        });
+    }
+
+    let mut results: Vec<ModeResult> = Vec::new();
+    let mut reference_elapsed = None;
+    for mode in &modes {
+        let mut timed: Simulator<P3qNode> = sim.clone();
+        let start = Instant::now();
+        for _ in 0..args.cycles {
+            match mode.threads {
+                None => run_lazy_cycle_reference(&mut timed, &cfg),
+                Some(t) => run_lazy_cycle_with_threads(&mut timed, &cfg, t),
+            };
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let checksum = timed.bandwidth.totals();
+        if reference_elapsed.is_none() {
+            reference_elapsed = Some(elapsed);
+        }
+        let speedup = reference_elapsed.unwrap() / elapsed;
+        eprintln!(
+            "   {:<24} {:>7.2} s  {:>6.3} cycles/s  ({speedup:.2}x vs reference)",
+            mode.label,
+            elapsed,
+            args.cycles as f64 / elapsed
+        );
+        results.push(ModeResult {
+            label: mode.label.clone(),
+            elapsed_s: elapsed,
+            cycles_per_sec: args.cycles as f64 / elapsed,
+            speedup_vs_reference: speedup,
+            checksum,
+        });
+    }
+
+    // Determinism spot check: every mode must have produced byte-identical
+    // traffic (full state equality is pinned by the property suites).
+    let reference_checksum = results[0].checksum;
+    for r in &results {
+        assert_eq!(
+            r.checksum, reference_checksum,
+            "mode {} diverged from the sequential reference",
+            r.label
+        );
+    }
+
+    ScaleResult {
+        users,
+        total_actions: trace.dataset.total_actions(),
+        warmup_cycles: args.warmup,
+        timed_cycles: args.cycles,
+        modes: results,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("host parallelism: {host_parallelism} core(s)");
+    let results: Vec<ScaleResult> = args.users.iter().map(|&u| bench_scale(u, &args)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"cycles\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(
+        json,
+        "  \"host_available_parallelism\": {host_parallelism},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"cycles/sec of the plan/commit lazy-gossip engine; all modes are byte-identical (checksum-asserted); parallel speedup requires cores — on a 1-core host these numbers measure engine overhead\","
+    );
+    json.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"users\": {},", r.users);
+        let _ = writeln!(json, "      \"total_actions\": {},", r.total_actions);
+        let _ = writeln!(json, "      \"warmup_cycles\": {},", r.warmup_cycles);
+        let _ = writeln!(json, "      \"timed_cycles\": {},", r.timed_cycles);
+        json.push_str("      \"modes\": [\n");
+        for (j, m) in r.modes.iter().enumerate() {
+            json.push_str("        {\n");
+            let _ = writeln!(json, "          \"mode\": \"{}\",", m.label);
+            let _ = writeln!(json, "          \"elapsed_s\": {:.3},", m.elapsed_s);
+            let _ = writeln!(
+                json,
+                "          \"cycles_per_sec\": {:.4},",
+                m.cycles_per_sec
+            );
+            let _ = writeln!(
+                json,
+                "          \"speedup_vs_reference\": {:.3},",
+                m.speedup_vs_reference
+            );
+            let _ = writeln!(
+                json,
+                "          \"traffic_checksum\": [{}, {}]",
+                m.checksum.0, m.checksum.1
+            );
+            json.push_str("        }");
+            json.push_str(if j + 1 < r.modes.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ]\n    }");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).expect("writing the benchmark output");
+    eprintln!("wrote {}", args.out);
+}

@@ -12,6 +12,15 @@ use p3q_sim::SeriesRecorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Everything this figure does on the cycle axis, as scheduled events: the
+/// day of profile changes lands at cycle 0, and the refresh ratio is
+/// sampled at fixed cycles — no hand-rolled "if cycle % n == 0" logic in
+/// the run loop.
+enum Fig10Event<'a> {
+    ApplyChanges(&'a p3q_trace::ChangeBatch),
+    Sample,
+}
+
 fn run_scenario(
     world: &World,
     new_ideal: &IdealNetworks,
@@ -29,26 +38,34 @@ fn run_scenario(
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x10_10);
     bootstrap_random_views(&mut sim, cfg, &mut rng);
 
-    for change in &batch.changes {
-        sim.node_mut(change.user.index())
-            .add_tagging_actions(change.new_actions.iter().copied());
-    }
-
     let sample_every = (args.cycles / 20).max(1);
-    recorder.record(
-        label,
-        0,
-        network_refresh_ratio(sim.nodes(), &world.ideal, new_ideal) * 100.0,
-    );
-    run_lazy_cycles(&mut sim, cfg, args.cycles, |sim, cycle| {
-        if cycle % sample_every == 0 || cycle == args.cycles {
-            recorder.record(
+    let mut events = EventQueue::new();
+    // The change batch fires before the first cycle; the cycle-0 sample is
+    // scheduled after it (FIFO within a cycle), so it sees the post-change,
+    // pre-gossip state, exactly like the paper's measurement.
+    events.schedule(0, Fig10Event::ApplyChanges(batch));
+    for cycle in (0..=args.cycles).step_by(sample_every as usize) {
+        events.schedule(cycle, Fig10Event::Sample);
+    }
+    if !args.cycles.is_multiple_of(sample_every) {
+        events.schedule(args.cycles, Fig10Event::Sample);
+    }
+    run_lazy_cycles_with_events(
+        &mut sim,
+        cfg,
+        args.cycles,
+        &mut events,
+        |sim, event| match event {
+            Fig10Event::ApplyChanges(batch) => {
+                apply_profile_changes(sim, batch);
+            }
+            Fig10Event::Sample => recorder.record(
                 label,
-                cycle,
+                sim.cycle(),
                 network_refresh_ratio(sim.nodes(), &world.ideal, new_ideal) * 100.0,
-            );
-        }
-    });
+            ),
+        },
+    );
     eprintln!(
         "  {label}: {:.1}% of affected users fully refreshed after {} cycles",
         recorder.last(label).unwrap_or(0.0),

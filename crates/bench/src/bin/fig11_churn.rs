@@ -8,7 +8,10 @@
 //! ```
 
 use p3q::prelude::*;
-use p3q_bench::{fmt, print_table, run_recall_experiment, HarnessArgs, World};
+use p3q_bench::{
+    fire_due_sim_events, fmt, print_table, run_recall_experiment_with_events, HarnessArgs,
+    SimEvent, World,
+};
 
 fn main() {
     let args = HarnessArgs::parse(10);
@@ -33,9 +36,14 @@ fn main() {
         for &p in &departure_fractions {
             let mut sim = build_simulator(&world.trace.dataset, cfg, &storage, args.seed);
             init_ideal_networks(&mut sim, &world.ideal);
+            // The paper's churn scenario is an "at cycle 0" event: the
+            // departures are scheduled in the queue and fired through it
+            // (before queries are issued — survivors query survivors).
+            let mut churn = EventQueue::new();
             if p > 0.0 {
-                sim.mass_departure(p);
+                churn.schedule(0, SimEvent::MassDeparture(p));
             }
+            fire_due_sim_events(&mut sim, &mut churn);
             // Only surviving queriers issue queries.
             let queries: Vec<Query> = world
                 .sample_queries(args.queries)
@@ -77,7 +85,13 @@ fn main() {
                     .count()
             };
 
-            let outcome = run_recall_experiment(&mut sim, &world, &queries, args.cycles);
+            let outcome = run_recall_experiment_with_events(
+                &mut sim,
+                &world,
+                &queries,
+                args.cycles,
+                &mut churn,
+            );
             eprintln!(
                 "  p={:>3.0}%: recall cycle0 {:.3} → final {:.3}, {:.1}% of queries incomplete, \
                  {}/{} queriers lost ideal neighbours",

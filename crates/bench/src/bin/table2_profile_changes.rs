@@ -58,12 +58,16 @@ fn main() {
         let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, args.seed);
         init_ideal_networks(&mut sim, &world.ideal);
 
-        // Apply the change batch to the owners' profiles (bumping versions);
-        // the cached copies in other users' personal networks become stale.
-        for change in &batch.changes {
-            sim.node_mut(change.user.index())
-                .add_tagging_actions(change.new_actions.iter().copied());
-        }
+        // The day of changes is an "at cycle 0" event fired through the run
+        // loop (with zero gossip cycles: the table measures the stale copies
+        // immediately after the changes, before any refresh can happen). The
+        // owners' profiles grow and their versions bump; the cached copies in
+        // other users' personal networks become stale.
+        let mut events = EventQueue::new();
+        events.schedule(0, &batch);
+        run_lazy_cycles_with_events(&mut sim, cfg, 0, &mut events, |sim, batch| {
+            apply_profile_changes(sim, batch);
+        });
         let versions: Vec<u64> = (0..sim.num_nodes())
             .map(|i| sim.node(i).profile_version())
             .collect();

@@ -175,6 +175,37 @@ impl World {
     }
 }
 
+/// A simulation-level event on the cycle axis — the vocabulary the dynamics
+/// and churn figures schedule in an [`EventQueue`] instead of hand-rolling
+/// "at cycle X, do Y" conditions in their run loops.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// A fraction of the alive population departs simultaneously
+    /// (Section 3.4.2).
+    MassDeparture(f64),
+    /// A batch of profile changes hits the owners' nodes (Section 3.4.1).
+    ProfileChanges(ChangeBatch),
+}
+
+/// Applies one [`SimEvent`] to the simulation.
+pub fn apply_sim_event(sim: &mut Simulator<P3qNode>, event: &SimEvent) {
+    match event {
+        SimEvent::MassDeparture(fraction) => {
+            sim.mass_departure(*fraction);
+        }
+        SimEvent::ProfileChanges(batch) => {
+            apply_profile_changes(sim, batch);
+        }
+    }
+}
+
+/// Fires every scheduled [`SimEvent`] due at the simulator's current cycle.
+pub fn fire_due_sim_events(sim: &mut Simulator<P3qNode>, events: &mut EventQueue<SimEvent>) {
+    for event in events.pop_due(sim.cycle()) {
+        apply_sim_event(sim, &event);
+    }
+}
+
 /// Per-cycle average recall of a batch of queries processed simultaneously in
 /// eager mode — the measurement behind Figures 3, 4 and 11.
 pub struct RecallExperiment {
@@ -195,6 +226,20 @@ pub fn run_recall_experiment(
     world: &World,
     queries: &[Query],
     cycles: u64,
+) -> RecallExperiment {
+    run_recall_experiment_with_events(sim, world, queries, cycles, &mut EventQueue::new())
+}
+
+/// Like [`run_recall_experiment`], with [`SimEvent`]s scheduled on the cycle
+/// axis: events due at the current cycle fire **before** that cycle's eager
+/// gossip (so a departure scheduled at cycle `c` hits queries in flight),
+/// and events due at the final boundary fire after the loop.
+pub fn run_recall_experiment_with_events(
+    sim: &mut Simulator<P3qNode>,
+    world: &World,
+    queries: &[Query],
+    cycles: u64,
+    events: &mut EventQueue<SimEvent>,
 ) -> RecallExperiment {
     let cfg = &world.cfg;
     let references: HashMap<usize, Vec<(ItemId, u32)>> = queries
@@ -238,9 +283,11 @@ pub fn run_recall_experiment(
 
     let mut recall_per_cycle = vec![average_recall(sim)];
     for _ in 0..cycles {
+        fire_due_sim_events(sim, events);
         run_eager_cycle(sim, cfg);
         recall_per_cycle.push(average_recall(sim));
     }
+    fire_due_sim_events(sim, events);
 
     let mut incomplete = 0usize;
     let mut reached_total = 0usize;

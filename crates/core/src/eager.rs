@@ -1,5 +1,5 @@
 //! The eager gossip mode: collaborative query processing (Section 2.2.2,
-//! Algorithms 2 and 3).
+//! Algorithms 2 and 3), expressed as a plan/commit [`GossipProtocol`].
 //!
 //! The querier first answers her query locally from the profiles she stores,
 //! then gossips the query together with her **remaining list** (the
@@ -16,6 +16,16 @@
 //!    what refreshes the personal networks of the users reached by queries
 //!    (Section 3.4.1, Figure 9).
 //!
+//! [`EagerProtocol`] maps this onto the engine's phases: destination
+//! selection (Algorithm 3, lines 4–9) happens in the read-only **plan**
+//! phase; the remaining-list split, task updates and the piggybacked profile
+//! exchange happen in the pairwise **commit**; the partial-result delivery
+//! to the querier — a third party — travels as a deferred **effect**,
+//! applied in deterministic plan order after each conflict-free batch. One
+//! gossip hop therefore takes exactly one cycle, matching the synchronous
+//! rounds of the paper's analysis (Section 2.4), and the cycle is
+//! byte-identical for every worker-thread count.
+//!
 //! The process continues, cycle after cycle, until no reached user has a
 //! non-empty remaining list; the querier merges the asynchronously arriving
 //! partial result lists with the incremental NRA and can display a top-k at
@@ -23,15 +33,20 @@
 
 use std::collections::HashSet;
 
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use p3q_sim::Simulator;
-use p3q_trace::{Profile, Query, SharedProfile, UserId};
+use p3q_sim::{
+    CommitOutcome, CycleContext, CycleReport, EffectContext, ExchangePlan, GossipProtocol,
+    Simulator,
+};
+use p3q_topk::PartialResultList;
+use p3q_trace::{ItemId, Profile, Query, SharedProfile, UserId};
 
 use crate::bandwidth::{category, partial_result_bytes, remaining_list_bytes};
 use crate::config::P3qConfig;
-use crate::lazy::gossip_pair;
+use crate::lazy::exchange_profiles;
 use crate::node::P3qNode;
 use crate::query::{QuerierState, QueryId, RemainingTask};
 use crate::scoring::{partial_result_list_buffered, ScoreBuffer};
@@ -79,88 +94,60 @@ pub fn issue_query(
     used_count
 }
 
-/// One gossip context owned by a node: either the querier's own remaining
-/// list or a task delegated to it.
+/// One planned eager exchange: which query context the initiator gossips
+/// for, and how the destination was selected. The remaining list itself is
+/// *not* snapshotted — the commit re-reads the context's current list so
+/// that shares delegated by earlier batches of the same cycle are never
+/// lost.
 #[derive(Debug, Clone)]
-struct GossipContext {
+pub struct EagerTask {
+    /// The query being gossiped.
+    pub query_id: QueryId,
+    /// The user who issued it (partial results are delivered to her).
+    pub querier: UserId,
+    /// The query itself.
+    pub query: Query,
+    /// `true` if the initiator gossips its own querier-side state,
+    /// `false` for a delegated task.
+    pub is_querier: bool,
+    /// `true` if the destination was picked as a personal-network member
+    /// (its staleness timestamp is reset at commit, Algorithm 3 line 6).
+    pub via_network: bool,
+}
+
+/// A partial-result delivery to the querier — the one mutation of an eager
+/// exchange that crosses the committed pair, deferred as an engine effect.
+#[derive(Debug, Clone)]
+pub struct EagerDelivery {
     query_id: QueryId,
     querier: UserId,
-    query: Query,
-    remaining: Vec<UserId>,
-    /// `true` if this context is the querier's own state.
-    is_querier: bool,
+    /// The destination that processed the query.
+    dest: UserId,
+    partial: PartialResultList<ItemId>,
+    found: Vec<UserId>,
+    forwarded_bytes: u64,
+    returned_bytes: u64,
+    partial_bytes: u64,
 }
 
 /// Result of destination-side processing (Algorithm 3, lines 16–25).
 struct DestinationOutcome {
-    partial: p3q_topk::PartialResultList<p3q_trace::ItemId>,
+    partial: PartialResultList<ItemId>,
     found: Vec<UserId>,
     dest_share: Vec<UserId>,
     initiator_share: Vec<UserId>,
 }
 
-/// Runs one eager-mode cycle over every alive node holding an unfinished
-/// gossip context. Returns the number of gossip exchanges performed.
-pub fn run_eager_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
-    let mut exchanges = 0usize;
-    // One scoring buffer serves every exchange of the cycle.
-    let mut scratch = ScoreBuffer::default();
-    sim.run_cycle(|sim, idx| {
-        exchanges += eager_step(sim, idx, cfg, &mut scratch);
-    });
-    // End-of-cycle bookkeeping: the querier updates completion status.
-    let cycle = sim.cycle();
-    for idx in 0..sim.num_nodes() {
-        let node = sim.node_mut(idx);
-        for state in node.querier_states.values_mut() {
-            state.mark_complete_if_done(cycle);
-        }
-    }
-    exchanges
+/// Snapshot of a node's active gossip contexts (non-empty remaining lists),
+/// used by the plan phase.
+struct GossipContext {
+    query_id: QueryId,
+    querier: UserId,
+    query: Query,
+    remaining: Vec<UserId>,
+    is_querier: bool,
 }
 
-/// Runs eager cycles until every tracked query has completed or `max_cycles`
-/// have elapsed, invoking `on_cycle_end` after each cycle. Returns the number
-/// of cycles run.
-pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    max_cycles: u64,
-    mut on_cycle_end: F,
-) -> u64 {
-    for round in 0..max_cycles {
-        let exchanges = run_eager_cycle(sim, cfg);
-        let cycle = sim.cycle();
-        on_cycle_end(sim, cycle);
-        if exchanges == 0 {
-            return round + 1;
-        }
-    }
-    max_cycles
-}
-
-/// Executes the eager-mode step of one node: one gossip per active context
-/// (Algorithm 3, initiator side).
-fn eager_step(
-    sim: &mut Simulator<P3qNode>,
-    idx: usize,
-    cfg: &P3qConfig,
-    scratch: &mut ScoreBuffer,
-) -> usize {
-    let contexts = collect_contexts(sim.node(idx));
-    if contexts.is_empty() {
-        return 0;
-    }
-    let mut exchanges = 0usize;
-    for ctx in contexts {
-        if gossip_one_context(sim, idx, &ctx, cfg, scratch) {
-            exchanges += 1;
-        }
-    }
-    exchanges
-}
-
-/// Snapshot of the node's active gossip contexts (non-empty remaining lists).
 fn collect_contexts(node: &P3qNode) -> Vec<GossipContext> {
     let mut contexts = Vec::new();
     for (&query_id, state) in &node.querier_states {
@@ -189,172 +176,306 @@ fn collect_contexts(node: &P3qNode) -> Vec<GossipContext> {
     contexts
 }
 
-/// Performs one gossip exchange for one context. Returns `false` if no alive
-/// destination could be selected (the context stalls for this cycle).
-fn gossip_one_context(
-    sim: &mut Simulator<P3qNode>,
-    idx: usize,
-    ctx: &GossipContext,
-    cfg: &P3qConfig,
-    scratch: &mut ScoreBuffer,
-) -> bool {
-    let cycle = sim.cycle();
-    let mut rng = sim.derived_rng(0xEA6E_0000 ^ (idx as u64) ^ (ctx.query_id.0 << 20));
+/// The eager mode as a plan/commit protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct EagerProtocol<'a> {
+    cfg: &'a P3qConfig,
+}
 
-    let Some(dest_idx) = select_destination(sim, idx, &ctx.remaining, &mut rng) else {
-        return false;
-    };
+impl<'a> EagerProtocol<'a> {
+    /// Creates the protocol over a configuration.
+    pub fn new(cfg: &'a P3qConfig) -> Self {
+        Self { cfg }
+    }
+}
 
-    // Destination-side processing (Algorithm 3, destination).
-    let outcome = destination_process(sim.node(dest_idx), ctx, cfg, &mut rng, scratch);
+impl GossipProtocol for EagerProtocol<'_> {
+    type Node = P3qNode;
+    type Payload = EagerTask;
+    type Effect = EagerDelivery;
+    type Scratch = ScoreBuffer;
 
-    // Traffic: forwarded remaining list (initiator pays), returned remaining
-    // list (destination pays), partial results to the querier (destination
-    // pays).
-    let forwarded = remaining_list_bytes(ctx.remaining.len());
-    sim.bandwidth
-        .record(idx, cycle, category::EAGER_FORWARDED, forwarded);
-    let returned = remaining_list_bytes(outcome.initiator_share.len());
-    sim.bandwidth
-        .record(dest_idx, cycle, category::EAGER_RETURNED, returned);
-
-    let partial_bytes = if outcome.found.is_empty() {
-        0
-    } else {
-        partial_result_bytes(outcome.partial.len(), outcome.found.len())
-    };
-    if partial_bytes > 0 {
-        sim.bandwidth.record(
-            dest_idx,
-            cycle,
-            category::EAGER_PARTIAL_RESULTS,
-            partial_bytes,
-        );
+    fn scratch(&self) -> ScoreBuffer {
+        ScoreBuffer::default()
     }
 
-    // Update the destination's task (merge with an existing share if it
-    // already helps this query).
-    {
-        let dest_node = sim.node_mut(dest_idx);
-        if !outcome.dest_share.is_empty() || dest_node.tasks.contains_key(&ctx.query_id) {
-            let task = dest_node
-                .tasks
-                .entry(ctx.query_id)
-                .or_insert_with(|| RemainingTask {
+    fn plan(
+        &self,
+        world: &CycleContext<'_, P3qNode>,
+        idx: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<ExchangePlan<EagerTask>>,
+    ) {
+        let node = world.node(idx);
+        let contexts = collect_contexts(node);
+        if contexts.is_empty() {
+            return;
+        }
+        // One node may gossip several contexts in one cycle. The plan phase
+        // sees one immutable snapshot, so the staleness resets the commits
+        // will apply are emulated with a local overlay: a peer picked for an
+        // earlier context counts as staleness 0 for the later ones.
+        let mut locally_reset: HashSet<UserId> = HashSet::new();
+        for ctx in contexts {
+            let alive_remaining: Vec<UserId> = ctx
+                .remaining
+                .iter()
+                .copied()
+                .filter(|u| u.index() != idx && world.is_alive(u.index()))
+                .collect();
+
+            // Preferred (Algorithm 3, lines 4–6): the remaining-list member
+            // of the personal network with the oldest timestamp — the
+            // view's own selection order, with the overlay supplying the
+            // pending resets.
+            let from_network = node.personal_network.oldest_matching_with(
+                |e| alive_remaining.contains(&e.peer),
+                |e| {
+                    if locally_reset.contains(&e.peer) {
+                        0
+                    } else {
+                        e.staleness
+                    }
+                },
+            );
+
+            let (destination, via_network) = if let Some(peer) = from_network {
+                (Some(peer), true)
+            } else if let Some(peer) = alive_remaining.choose(rng) {
+                // Otherwise: any alive remaining-list member.
+                (Some(*peer), false)
+            } else {
+                // Fallback under churn: an alive personal-network neighbour
+                // that may hold replicas of the departed users' profiles.
+                let alive_neighbours: Vec<UserId> = node
+                    .network_peers()
+                    .into_iter()
+                    .filter(|u| u.index() != idx && world.is_alive(u.index()))
+                    .collect();
+                (alive_neighbours.choose(rng).copied(), false)
+            };
+            let Some(destination) = destination else {
+                continue;
+            };
+            if via_network {
+                locally_reset.insert(destination);
+            }
+            out.push(ExchangePlan {
+                initiator: idx,
+                destination: Some(destination.index()),
+                payload: EagerTask {
                     query_id: ctx.query_id,
                     querier: ctx.querier,
-                    query: ctx.query.clone(),
+                    query: ctx.query,
+                    is_querier: ctx.is_querier,
+                    via_network,
+                },
+            });
+        }
+    }
+
+    fn commit(
+        &self,
+        _cycle: u64,
+        plan: &ExchangePlan<EagerTask>,
+        initiator: &mut P3qNode,
+        destination: Option<&mut P3qNode>,
+        rng: &mut StdRng,
+        scratch: &mut ScoreBuffer,
+    ) -> CommitOutcome<EagerDelivery> {
+        let cfg = self.cfg;
+        let task = &plan.payload;
+        let dest_idx = plan.destination.expect("eager plans are pairwise");
+        let dest = destination.expect("eager plans are pairwise");
+        let mut outcome = CommitOutcome::empty();
+
+        // Re-read the context's *current* remaining list: an earlier batch
+        // of this cycle may have delegated more users to this node, and a
+        // snapshot would silently drop them. Note the list cannot have
+        // *shrunk* since planning — each (node, query) context commits at
+        // most once per cycle and mid-cycle updates only append — so a plan
+        // always commits a real exchange and the early return below is pure
+        // defence (it keeps `CycleReport::pair_exchanges` an exact count of
+        // performed exchanges).
+        let remaining: Vec<UserId> = if task.is_querier {
+            initiator
+                .querier_states
+                .get(&task.query_id)
+                .map(|s| s.remaining.clone())
+                .unwrap_or_default()
+        } else {
+            initiator
+                .tasks
+                .get(&task.query_id)
+                .map(|t| t.remaining.clone())
+                .unwrap_or_default()
+        };
+        if remaining.is_empty() {
+            return outcome;
+        }
+        if task.via_network {
+            initiator.personal_network.reset_staleness(&dest.id);
+        }
+
+        // Destination-side processing (Algorithm 3, destination).
+        let processed = destination_process(dest, &task.query, &remaining, cfg, rng, scratch);
+
+        // Traffic: forwarded remaining list (initiator pays), returned
+        // remaining list (destination pays), partial results to the querier
+        // (destination pays).
+        let forwarded = remaining_list_bytes(remaining.len());
+        outcome.charge(plan.initiator, category::EAGER_FORWARDED, forwarded);
+        let returned = remaining_list_bytes(processed.initiator_share.len());
+        outcome.charge(dest_idx, category::EAGER_RETURNED, returned);
+        let partial_bytes = if processed.found.is_empty() {
+            0
+        } else {
+            partial_result_bytes(processed.partial.len(), processed.found.len())
+        };
+        if partial_bytes > 0 {
+            outcome.charge(dest_idx, category::EAGER_PARTIAL_RESULTS, partial_bytes);
+        }
+
+        // Update the destination's task (merge with an existing share if it
+        // already helps this query).
+        if !processed.dest_share.is_empty() || dest.tasks.contains_key(&task.query_id) {
+            let dest_task = dest
+                .tasks
+                .entry(task.query_id)
+                .or_insert_with(|| RemainingTask {
+                    query_id: task.query_id,
+                    querier: task.querier,
+                    query: task.query.clone(),
                     remaining: Vec::new(),
                 });
-            for user in &outcome.dest_share {
-                if !task.remaining.contains(user) {
-                    task.remaining.push(*user);
+            for user in &processed.dest_share {
+                if !dest_task.remaining.contains(user) {
+                    dest_task.remaining.push(*user);
                 }
             }
         }
-    }
 
-    // Update the initiator's context with the returned remaining list.
-    {
-        let init_node = sim.node_mut(idx);
-        if ctx.is_querier {
-            if let Some(state) = init_node.querier_states.get_mut(&ctx.query_id) {
-                state.remaining = outcome.initiator_share.clone();
-                state.traffic.forwarded_remaining += forwarded as u64;
-                state.traffic.returned_remaining += returned as u64;
+        // Update the initiator's context with the returned remaining list.
+        if task.is_querier {
+            if let Some(state) = initiator.querier_states.get_mut(&task.query_id) {
+                state.remaining = processed.initiator_share.clone();
             }
-        } else if let Some(task) = init_node.tasks.get_mut(&ctx.query_id) {
-            task.remaining = outcome.initiator_share.clone();
+        } else if let Some(t) = initiator.tasks.get_mut(&task.query_id) {
+            t.remaining = processed.initiator_share.clone();
         }
-    }
 
-    // Deliver the partial result to the querier.
-    let querier_idx = ctx.querier.index();
-    {
-        let dest_id = sim.node(dest_idx).id;
-        let querier_node = sim.node_mut(querier_idx);
-        if let Some(state) = querier_node.querier_states.get_mut(&ctx.query_id) {
-            state.reached_users.insert(dest_id);
-            if !outcome.found.is_empty() {
-                state.absorb_partial_result(outcome.partial.clone(), &outcome.found);
-                state.traffic.partial_results += partial_bytes as u64;
-                state.traffic.partial_result_messages += 1;
+        // The delivery to the querier (possibly a third node) is deferred:
+        // the engine applies it in plan order after this batch commits.
+        outcome.effect(EagerDelivery {
+            query_id: task.query_id,
+            querier: task.querier,
+            dest: dest.id,
+            partial: processed.partial,
+            found: processed.found,
+            forwarded_bytes: forwarded as u64,
+            returned_bytes: returned as u64,
+            partial_bytes: partial_bytes as u64,
+        });
+
+        // Piggybacked personal-network maintenance between initiator and
+        // destination (the "maintain personal network as in lazy mode" lines
+        // of Algorithm 3).
+        let (a_stats, b_stats) = exchange_profiles(initiator, dest, cfg, rng);
+        for (node_idx, stats) in [(plan.initiator, a_stats), (dest_idx, b_stats)] {
+            outcome.charge(node_idx, category::EAGER_MAINTENANCE, stats.digest_bytes);
+            if stats.common_bytes > 0 {
+                outcome.charge(node_idx, category::EAGER_MAINTENANCE, stats.common_bytes);
             }
-            if !ctx.is_querier {
-                // Remaining-list traffic of helper-to-helper gossip also
-                // belongs to this query's bill (Figure 6 sums over all users
-                // reached by the query).
-                state.traffic.forwarded_remaining += forwarded as u64;
-                state.traffic.returned_remaining += returned as u64;
+            if stats.profile_bytes > 0 {
+                outcome.charge(node_idx, category::EAGER_MAINTENANCE, stats.profile_bytes);
             }
-            state.traffic.users_reached = state.reached_users.len() as u64;
         }
+        outcome
     }
 
-    // Piggybacked personal-network maintenance between initiator and
-    // destination (the "maintain personal network as in lazy mode" lines of
-    // Algorithm 3).
-    gossip_pair(
-        sim,
-        idx,
-        dest_idx,
-        cfg,
-        &mut rng,
-        category::EAGER_MAINTENANCE,
-        category::EAGER_MAINTENANCE,
-        category::EAGER_MAINTENANCE,
-    );
-
-    true
+    fn apply_effect(&self, world: &mut EffectContext<'_, P3qNode>, delivery: EagerDelivery) {
+        let querier_node = world.node_mut(delivery.querier.index());
+        let Some(state) = querier_node.querier_states.get_mut(&delivery.query_id) else {
+            return;
+        };
+        state.reached_users.insert(delivery.dest);
+        if !delivery.found.is_empty() {
+            state.absorb_partial_result(delivery.partial, &delivery.found);
+            state.traffic.partial_results += delivery.partial_bytes;
+            state.traffic.partial_result_messages += 1;
+        }
+        // Remaining-list traffic of every hop belongs to this query's bill
+        // (Figure 6 sums over all users reached by the query).
+        state.traffic.forwarded_remaining += delivery.forwarded_bytes;
+        state.traffic.returned_remaining += delivery.returned_bytes;
+        state.traffic.users_reached = state.reached_users.len() as u64;
+    }
 }
 
-/// Selects the gossip destination for a remaining list (Algorithm 3, lines
-/// 4–9): prefer the remaining-list member of the initiator's personal network
-/// with the oldest timestamp; otherwise a random remaining-list member; fall
-/// back to a random alive personal-network neighbour (who may store replicas)
-/// when no remaining-list member is alive.
-fn select_destination(
-    sim: &mut Simulator<P3qNode>,
-    idx: usize,
-    remaining: &[UserId],
-    rng: &mut impl Rng,
-) -> Option<usize> {
-    let alive_remaining: Vec<UserId> = remaining
-        .iter()
-        .copied()
-        .filter(|u| u.index() != idx && sim.is_alive(u.index()))
-        .collect();
+/// Runs one eager-mode cycle over every alive node holding an unfinished
+/// gossip context, through the parallel plan/commit engine. Returns the
+/// number of gossip exchanges performed.
+pub fn run_eager_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
+    let report = sim.run_cycle(&EagerProtocol::new(cfg));
+    finish_eager_cycle(sim, report).pair_exchanges
+}
 
-    // Preferred: a remaining-list member of the personal network, oldest
-    // timestamp first.
-    let from_network = {
-        let node = sim.node_mut(idx);
-        node.personal_network
-            .select_oldest_among_and_reset(&alive_remaining)
-    };
-    if let Some(peer) = from_network {
-        return Some(peer.index());
+/// Like [`run_eager_cycle`] with an explicit worker-thread count.
+pub fn run_eager_cycle_with_threads(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    threads: usize,
+) -> usize {
+    let report = sim.run_cycle_with_threads(&EagerProtocol::new(cfg), threads);
+    finish_eager_cycle(sim, report).pair_exchanges
+}
+
+/// Runs one eager cycle through the sequential reference engine — the
+/// byte-identical oracle the property suites pin [`run_eager_cycle`]
+/// against.
+pub fn run_eager_cycle_reference(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
+    let report = sim.run_cycle_reference(&EagerProtocol::new(cfg));
+    finish_eager_cycle(sim, report).pair_exchanges
+}
+
+/// End-of-cycle bookkeeping shared by all execution paths: the queriers
+/// update their completion status.
+fn finish_eager_cycle(sim: &mut Simulator<P3qNode>, report: CycleReport) -> CycleReport {
+    let cycle = sim.cycle();
+    for node in sim.nodes_mut() {
+        for state in node.querier_states.values_mut() {
+            state.mark_complete_if_done(cycle);
+        }
     }
-    // Otherwise: any alive remaining-list member.
-    if let Some(peer) = alive_remaining.choose(rng) {
-        return Some(peer.index());
+    report
+}
+
+/// Runs eager cycles until every tracked query has completed or `max_cycles`
+/// have elapsed, invoking `on_cycle_end` after each cycle. Returns the number
+/// of cycles run.
+pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    max_cycles: u64,
+    mut on_cycle_end: F,
+) -> u64 {
+    for round in 0..max_cycles {
+        let exchanges = run_eager_cycle(sim, cfg);
+        let cycle = sim.cycle();
+        on_cycle_end(sim, cycle);
+        if exchanges == 0 {
+            return round + 1;
+        }
     }
-    // Fallback under churn: an alive personal-network neighbour that may hold
-    // replicas of the departed users' profiles.
-    let alive_neighbours: Vec<UserId> = sim
-        .node(idx)
-        .network_peers()
-        .into_iter()
-        .filter(|u| u.index() != idx && sim.is_alive(u.index()))
-        .collect();
-    alive_neighbours.choose(rng).map(|u| u.index())
+    max_cycles
 }
 
 /// Destination-side processing of a received query + remaining list
 /// (Algorithm 3, lines 16–23).
 fn destination_process(
     dest: &P3qNode,
-    ctx: &GossipContext,
+    query: &Query,
+    remaining: &[UserId],
     cfg: &P3qConfig,
     rng: &mut impl Rng,
     scratch: &mut ScoreBuffer,
@@ -362,7 +483,7 @@ fn destination_process(
     // Profiles the destination can resolve: its own (if requested) and the
     // fresh stored copies of requested users — a stale copy is not an
     // answer, the query keeps looking for the owner or a fresh replica.
-    let requested: HashSet<UserId> = ctx.remaining.iter().copied().collect();
+    let requested: HashSet<UserId> = remaining.iter().copied().collect();
     let mut found: Vec<UserId> = Vec::new();
     let mut profiles: Vec<&Profile> = Vec::new();
     if requested.contains(&dest.id) {
@@ -376,12 +497,11 @@ fn destination_process(
         }
     }
 
-    let partial = partial_result_list_buffered(profiles.iter().copied(), &ctx.query, scratch);
+    let partial = partial_result_list_buffered(profiles.iter().copied(), query, scratch);
 
     // Updated remaining list, split by α: the destination keeps a (1 − α)
     // share, the initiator gets the rest back.
-    let mut updated: Vec<UserId> = ctx
-        .remaining
+    let mut updated: Vec<UserId> = remaining
         .iter()
         .copied()
         .filter(|u| !found.contains(u))
@@ -576,6 +696,48 @@ mod tests {
             .bandwidth
             .category_bytes(category::EAGER_PARTIAL_RESULTS);
         assert!(total_partial >= state.traffic.partial_results);
+    }
+
+    #[test]
+    fn parallel_eager_cycles_match_the_sequential_reference() {
+        for threads in [2, 3, 8] {
+            let issue_all = |fx: &mut Fixture| {
+                let sample: Vec<Query> = fx.queries.iter().take(6).cloned().collect();
+                for (i, query) in sample.iter().enumerate() {
+                    issue_query(
+                        &mut fx.sim,
+                        query.querier.index(),
+                        QueryId(i as u64),
+                        query.clone(),
+                        &fx.cfg,
+                    );
+                }
+            };
+            let mut reference = fixture(1);
+            let mut parallel = fixture(1);
+            issue_all(&mut reference);
+            issue_all(&mut parallel);
+            for cycle in 0..8 {
+                let r = run_eager_cycle_reference(&mut reference.sim, &reference.cfg);
+                let p = run_eager_cycle_with_threads(&mut parallel.sim, &parallel.cfg, threads);
+                assert_eq!(r, p, "exchange counts diverged at cycle {cycle}");
+            }
+            for idx in 0..reference.sim.num_nodes() {
+                let (a, b) = (reference.sim.node(idx), parallel.sim.node(idx));
+                assert_eq!(a.personal_network, b.personal_network, "node {idx}");
+                for (qid, state) in &a.querier_states {
+                    let other = &b.querier_states[qid];
+                    assert_eq!(state.remaining, other.remaining);
+                    assert_eq!(state.used_profiles, other.used_profiles);
+                    assert_eq!(state.reached_users, other.reached_users);
+                    assert_eq!(state.completed_cycle, other.completed_cycle);
+                }
+            }
+            assert_eq!(
+                reference.sim.bandwidth.totals(),
+                parallel.sim.bandwidth.totals()
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use p3q_sim::Simulator;
-use p3q_trace::{Dataset, UserId};
+use p3q_trace::{ChangeBatch, Dataset, UserId};
 
 use crate::baseline::IdealNetworks;
 use crate::config::P3qConfig;
@@ -129,6 +129,24 @@ pub fn init_ideal_networks(sim: &mut Simulator<P3qNode>, ideal: &IdealNetworks) 
                 .store_profile(peer, snap.profile.clone(), snap.version);
         }
     }
+}
+
+/// Applies one batch of profile changes to the owners' nodes (profile
+/// dynamics): every changing user's own profile grows and her version bumps,
+/// turning the copies cached in other users' personal networks stale.
+///
+/// This is the canonical "one day of activity happens at cycle X" event of
+/// the dynamics experiments (Figures 7, 9, 10, Table 2) — schedule it in an
+/// [`p3q_sim::EventQueue`] and fire it through the run loop. Returns the
+/// number of genuinely new actions applied.
+pub fn apply_profile_changes(sim: &mut Simulator<P3qNode>, batch: &ChangeBatch) -> usize {
+    let mut added = 0;
+    for change in &batch.changes {
+        added += sim
+            .node_mut(change.user.index())
+            .add_tagging_actions(change.new_actions.iter().copied());
+    }
+    added
 }
 
 /// Per-user storage requirement (Figure 5): total length, in tagging

@@ -1,22 +1,27 @@
 //! The lazy gossip mode: personal-network maintenance (Section 2.2.1,
-//! Algorithm 1).
+//! Algorithm 1), expressed as a plan/commit [`GossipProtocol`].
 //!
 //! Every lazy cycle a node runs two layers in parallel:
 //!
 //! * the **bottom layer** (random peer sampling) shuffles its random view
 //!   with a uniformly random member of that view, keeping the overlay
 //!   connected and exposing fresh candidate neighbours;
-//! * the **top layer** gossips with the personal-network neighbour it has
-//!   not contacted for the longest time and exchanges a random subset of its
-//!   stored profiles, following the 3-step protocol of Algorithm 1 (digests →
-//!   tagging actions on common items → full profiles for the top-`c`
-//!   neighbours), and probes the random-view members whose digest reveals a
-//!   shared item.
+//! * the **top layer** gossips with the alive personal-network neighbour it
+//!   has not contacted for the longest time and exchanges a random subset of
+//!   its stored profiles, following the 3-step protocol of Algorithm 1
+//!   (digests → tagging actions on common items → full profiles for the
+//!   top-`c` neighbours), and probes the random-view members whose digest
+//!   reveals a shared item.
 //!
-//! All functions operate on a [`Simulator<P3qNode>`] so the same code is used
-//! by the convergence experiment (Figure 2), the dynamics experiments
-//! (Figures 7, 9, 10, Table 2) and — with different traffic categories — by
-//! the maintenance piggybacked on eager gossip.
+//! [`LazyProtocol`] splits each of those into the engine's phases: partner
+//! choices and probe reads happen in the read-only **plan** phase against
+//! the cycle-start snapshot; view mutations, offer exchanges and profile
+//! stores happen in the **commit** phase, which touches only the planned
+//! pair (or, for probes, only the probing node). Timer ticks live in the
+//! per-node **prepare** phase. The engine batches the resulting plans
+//! conflict-free and commits them in parallel with byte-identical output
+//! for every thread count — `run_lazy_cycle` (parallel) and
+//! `run_lazy_cycle_reference` (the sequential oracle) are interchangeable.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -26,7 +31,9 @@ use std::sync::Arc;
 
 use p3q_bloom::SharedFilter;
 use p3q_gossip::peer_sampling;
-use p3q_sim::Simulator;
+use p3q_sim::{
+    CommitOutcome, CycleContext, CycleReport, EventQueue, ExchangePlan, GossipProtocol, Simulator,
+};
 use p3q_trace::{SharedProfile, UserId};
 
 use crate::bandwidth::{category, digest_bytes, tagging_actions_bytes};
@@ -204,193 +211,281 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
     stats
 }
 
-/// Runs the bottom layer (random peer sampling) step of one node.
-fn bottom_layer_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) {
-    let mut rng = sim.derived_rng(idx as u64);
-    let partner = {
-        let node = sim.node(idx);
-        peer_sampling::pick_partner(&node.random_view, &mut rng)
-    };
-    let Some(partner) = partner else { return };
-    let partner_idx = partner.index();
-    if partner_idx == idx || !sim.is_alive(partner_idx) {
-        return;
-    }
-    let cycle = sim.cycle();
-    {
-        let (a, b) = sim.pair_mut(idx, partner_idx);
-        let a_info = DigestInfo {
-            digest: a.shared_digest().clone(),
-            version: a.profile_version(),
-        };
-        let b_info = DigestInfo {
-            digest: b.shared_digest().clone(),
-            version: b.profile_version(),
-        };
-        a.random_view.tick();
-        b.random_view.tick();
-        peer_sampling::shuffle(
-            a.id,
-            &mut a.random_view,
-            b.id,
-            &mut b.random_view,
-            a_info,
-            b_info,
-            &mut rng,
-        );
-    }
-    // Each side ships r digests (paper: "10 profile digests of 25K bytes").
-    let payload = cfg.random_view_size * digest_bytes(cfg.digest_bits);
-    sim.bandwidth
-        .record(idx, cycle, category::RPS_DIGESTS, payload);
-    sim.bandwidth
-        .record(partner_idx, cycle, category::RPS_DIGESTS, payload);
-}
-
-/// Runs the top layer (similarity gossip, Algorithm 1) step of one node.
-/// Returns the partner index if a gossip exchange took place.
-fn top_layer_step(sim: &mut Simulator<P3qNode>, idx: usize, cfg: &P3qConfig) -> Option<usize> {
-    let mut rng = sim.derived_rng(0x7070_0000 ^ idx as u64);
-    let partner = {
-        let node = sim.node_mut(idx);
-        node.personal_network.tick();
-        node.personal_network.select_oldest_and_reset()
-    };
-    let Some(partner) = partner else {
-        probe_random_view(sim, idx, cfg);
-        return None;
-    };
-    let partner_idx = partner.index();
-    if partner_idx == idx || !sim.is_alive(partner_idx) {
-        probe_random_view(sim, idx, cfg);
-        return None;
-    }
-
-    gossip_pair(
-        sim,
-        idx,
-        partner_idx,
-        cfg,
-        &mut rng,
-        category::LAZY_DIGESTS,
-        category::LAZY_COMMON,
-        category::LAZY_PROFILES,
-    );
-    probe_random_view(sim, idx, cfg);
-    Some(partner_idx)
-}
-
-/// Performs a symmetric profile-gossip exchange between two nodes and records
-/// the traffic under the given categories. Used by both the lazy mode and the
-/// maintenance piggybacked on eager gossip.
-#[allow(clippy::too_many_arguments)]
-pub fn gossip_pair(
-    sim: &mut Simulator<P3qNode>,
-    a_idx: usize,
-    b_idx: usize,
+/// Performs a symmetric profile-gossip exchange between two nodes: both
+/// sides collect offers and process the other side's. Returns the byte
+/// counts each side incurred. Used by the lazy top layer and by the
+/// maintenance piggybacked on eager gossip — always from a commit, where
+/// both `&mut` sides are available.
+pub fn exchange_profiles(
+    a: &mut P3qNode,
+    b: &mut P3qNode,
     cfg: &P3qConfig,
     rng: &mut StdRng,
-    digest_cat: &'static str,
-    common_cat: &'static str,
-    profile_cat: &'static str,
-) {
-    let cycle = sim.cycle();
-    let (a_stats, b_stats) = {
-        let (a, b) = sim.pair_mut(a_idx, b_idx);
-        let offers_from_a = collect_offers(a, cfg.profiles_per_gossip, rng);
-        let offers_from_b = collect_offers(b, cfg.profiles_per_gossip, rng);
-        let a_stats = process_offers(a, &offers_from_b);
-        let b_stats = process_offers(b, &offers_from_a);
-        (a_stats, b_stats)
-    };
-    for (node_idx, stats) in [(a_idx, a_stats), (b_idx, b_stats)] {
-        sim.bandwidth
-            .record(node_idx, cycle, digest_cat, stats.digest_bytes);
-        if stats.common_bytes > 0 {
-            sim.bandwidth
-                .record(node_idx, cycle, common_cat, stats.common_bytes);
-        }
-        if stats.profile_bytes > 0 {
-            sim.bandwidth
-                .record(node_idx, cycle, profile_cat, stats.profile_bytes);
-        }
+) -> (ExchangeStats, ExchangeStats) {
+    let offers_from_a = collect_offers(a, cfg.profiles_per_gossip, rng);
+    let offers_from_b = collect_offers(b, cfg.profiles_per_gossip, rng);
+    let a_stats = process_offers(a, &offers_from_b);
+    let b_stats = process_offers(b, &offers_from_a);
+    (a_stats, b_stats)
+}
+
+/// A random-view member worth probing, snapshotted during the plan phase:
+/// the digest check already passed, and the peer's profile/digest/version
+/// were read together from the cycle-start state so the commit stores a
+/// consistent snapshot.
+#[derive(Debug, Clone)]
+pub struct ProbeCandidate {
+    /// The probed peer.
+    pub peer: UserId,
+    /// The peer's digest at the snapshot.
+    pub digest: SharedFilter,
+    /// The peer's profile at the snapshot.
+    pub profile: SharedProfile,
+    /// The peer's profile version at the snapshot.
+    pub version: u64,
+}
+
+/// One planned lazy step.
+#[derive(Debug, Clone)]
+pub enum LazyStep {
+    /// Bottom layer: symmetric random-view shuffle with the destination.
+    Shuffle,
+    /// Top layer: Algorithm 1 profile gossip with the destination (the
+    /// stalest alive personal-network neighbour).
+    NetworkGossip,
+    /// Solo step: probe the random-view members whose digest shares an item
+    /// with the initiator (candidates snapshotted at plan time).
+    Probe(Vec<ProbeCandidate>),
+}
+
+/// The lazy mode as a plan/commit protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyProtocol<'a> {
+    cfg: &'a P3qConfig,
+}
+
+impl<'a> LazyProtocol<'a> {
+    /// Creates the protocol over a configuration.
+    pub fn new(cfg: &'a P3qConfig) -> Self {
+        Self { cfg }
     }
 }
 
-/// Probes the random view: any member whose digest shares an item with the
-/// node is contacted directly for her profile and considered as a
-/// personal-network candidate (Section 2.2.1).
-fn probe_random_view(sim: &mut Simulator<P3qNode>, idx: usize, _cfg: &P3qConfig) {
-    let cycle = sim.cycle();
-    let candidates: Vec<(UserId, SharedFilter)> = sim
-        .node(idx)
-        .random_view
-        .iter()
-        .map(|e| (e.peer, e.meta.digest.clone()))
-        .collect();
-    for (peer, digest) in candidates {
-        let peer_idx = peer.index();
-        if peer_idx == idx || peer_idx >= sim.num_nodes() || !sim.is_alive(peer_idx) {
-            continue;
-        }
-        let shares_item = sim
-            .node(idx)
-            .profile()
-            .items()
-            .any(|item| digest.contains(item.as_key()));
-        if !shares_item {
-            continue;
-        }
-        let (peer_profile, peer_digest, peer_version) = {
-            let peer_node = sim.node(peer_idx);
-            (
-                peer_node.shared_profile().clone(),
-                peer_node.shared_digest().clone(),
-                peer_node.profile_version(),
-            )
-        };
-        let me = sim.node_mut(idx);
-        let common = me.profile().common_action_list(&peer_profile);
-        let score = common.len() as u64;
-        let mut common_bytes = tagging_actions_bytes(common.len());
-        let mut profile_bytes = 0usize;
-        if score > 0 && me.record_neighbour(peer, score, peer_digest, peer_version) {
-            let rank = me.personal_network.rank_of(&peer).unwrap_or(usize::MAX);
-            // The probe read the peer's *current* profile, so store it not
-            // only when no copy exists but also when it upgrades a cached
-            // copy that just went stale (mirrors `process_offers` step 3).
-            let cached_version = me
-                .personal_network
-                .get(&peer)
-                .map(|e| e.meta.profile_version)
-                .unwrap_or(0);
-            let improves = !me.has_stored_profile(&peer) || cached_version < peer_version;
-            if rank < me.storage_budget() && improves {
-                profile_bytes =
-                    tagging_actions_bytes(peer_profile.len().saturating_sub(common.len()));
-                me.store_profile(peer, peer_profile, peer_version);
+impl GossipProtocol for LazyProtocol<'_> {
+    type Node = P3qNode;
+    type Payload = LazyStep;
+    type Effect = ();
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn prepare(&self, node: &mut P3qNode, _cycle: u64) {
+        // Timers advance once per cycle per alive node ("other neighbours
+        // increment their timestamps by 1").
+        node.random_view.tick();
+        node.personal_network.tick();
+    }
+
+    fn plan(
+        &self,
+        world: &CycleContext<'_, P3qNode>,
+        idx: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<ExchangePlan<LazyStep>>,
+    ) {
+        let node = world.node(idx);
+        let valid_partner = |peer: UserId| peer.index() != idx && world.is_alive(peer.index());
+
+        // Bottom layer: one uniformly random member of the random view.
+        if let Some(partner) = peer_sampling::pick_partner(&node.random_view, rng) {
+            if valid_partner(partner) {
+                out.push(ExchangePlan {
+                    initiator: idx,
+                    destination: Some(partner.index()),
+                    payload: LazyStep::Shuffle,
+                });
             }
-        } else {
-            // The digest matched but the profiles share nothing: the step-2
-            // exchange still happened (false positive cost).
-            common_bytes = common_bytes.max(tagging_actions_bytes(1));
         }
-        sim.bandwidth
-            .record(idx, cycle, category::LAZY_COMMON, common_bytes);
-        if profile_bytes > 0 {
-            sim.bandwidth
-                .record(idx, cycle, category::LAZY_PROFILES, profile_bytes);
+
+        // Top layer: the stalest *alive* personal-network neighbour (the
+        // staleness reset is deferred to the commit).
+        let top = node
+            .personal_network
+            .oldest_matching(|e| valid_partner(e.peer));
+        if let Some(partner) = top {
+            out.push(ExchangePlan {
+                initiator: idx,
+                destination: Some(partner.index()),
+                payload: LazyStep::NetworkGossip,
+            });
         }
+
+        // Probe: random-view members whose digest reveals a shared item.
+        // All peer reads happen here, against the snapshot, so the commit
+        // only touches the probing node.
+        let candidates: Vec<ProbeCandidate> = node
+            .random_view
+            .iter()
+            .filter(|e| valid_partner(e.peer))
+            .filter(|e| {
+                node.profile()
+                    .items()
+                    .any(|item| e.meta.digest.contains(item.as_key()))
+            })
+            .map(|e| {
+                let peer_node = world.node(e.peer.index());
+                ProbeCandidate {
+                    peer: e.peer,
+                    digest: peer_node.shared_digest().clone(),
+                    profile: peer_node.shared_profile().clone(),
+                    version: peer_node.profile_version(),
+                }
+            })
+            .collect();
+        if !candidates.is_empty() {
+            out.push(ExchangePlan {
+                initiator: idx,
+                destination: None,
+                payload: LazyStep::Probe(candidates),
+            });
+        }
+    }
+
+    fn commit(
+        &self,
+        _cycle: u64,
+        plan: &ExchangePlan<LazyStep>,
+        initiator: &mut P3qNode,
+        destination: Option<&mut P3qNode>,
+        rng: &mut StdRng,
+        _scratch: &mut (),
+    ) -> CommitOutcome<()> {
+        let cfg = self.cfg;
+        let mut outcome = CommitOutcome::empty();
+        match &plan.payload {
+            LazyStep::Shuffle => {
+                let dest_idx = plan.destination.expect("shuffles are pairwise");
+                let b = destination.expect("shuffles are pairwise");
+                let a = initiator;
+                let a_info = DigestInfo {
+                    digest: a.shared_digest().clone(),
+                    version: a.profile_version(),
+                };
+                let b_info = DigestInfo {
+                    digest: b.shared_digest().clone(),
+                    version: b.profile_version(),
+                };
+                peer_sampling::shuffle(
+                    a.id,
+                    &mut a.random_view,
+                    b.id,
+                    &mut b.random_view,
+                    a_info,
+                    b_info,
+                    rng,
+                );
+                // Each side ships r digests (paper: "10 profile digests of
+                // 25K bytes").
+                let payload = cfg.random_view_size * digest_bytes(cfg.digest_bits);
+                outcome.charge(plan.initiator, category::RPS_DIGESTS, payload);
+                outcome.charge(dest_idx, category::RPS_DIGESTS, payload);
+            }
+            LazyStep::NetworkGossip => {
+                let dest_idx = plan.destination.expect("network gossip is pairwise");
+                let b = destination.expect("network gossip is pairwise");
+                initiator.personal_network.reset_staleness(&b.id);
+                let (a_stats, b_stats) = exchange_profiles(initiator, b, cfg, rng);
+                for (node_idx, stats) in [(plan.initiator, a_stats), (dest_idx, b_stats)] {
+                    outcome.charge(node_idx, category::LAZY_DIGESTS, stats.digest_bytes);
+                    if stats.common_bytes > 0 {
+                        outcome.charge(node_idx, category::LAZY_COMMON, stats.common_bytes);
+                    }
+                    if stats.profile_bytes > 0 {
+                        outcome.charge(node_idx, category::LAZY_PROFILES, stats.profile_bytes);
+                    }
+                }
+            }
+            LazyStep::Probe(candidates) => {
+                for candidate in candidates {
+                    probe_candidate(initiator, plan.initiator, candidate, &mut outcome);
+                }
+            }
+        }
+        outcome
     }
 }
 
-/// Runs one full lazy-mode cycle: every alive node executes the bottom and
-/// top layers.
-pub fn run_lazy_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) {
-    sim.run_cycle(|sim, idx| {
-        bottom_layer_step(sim, idx, cfg);
-        let _ = top_layer_step(sim, idx, cfg);
-    });
+/// Applies one snapshotted probe to the probing node (Section 2.2.1: any
+/// random-view member whose digest shares an item is contacted directly for
+/// her profile and considered as a personal-network candidate).
+fn probe_candidate(
+    me: &mut P3qNode,
+    my_idx: usize,
+    candidate: &ProbeCandidate,
+    outcome: &mut CommitOutcome<()>,
+) {
+    let common = me.profile().common_action_list(&candidate.profile);
+    let score = common.len() as u64;
+    let mut common_bytes = tagging_actions_bytes(common.len());
+    let mut profile_bytes = 0usize;
+    if score > 0
+        && me.record_neighbour(
+            candidate.peer,
+            score,
+            candidate.digest.clone(),
+            candidate.version,
+        )
+    {
+        let rank = me
+            .personal_network
+            .rank_of(&candidate.peer)
+            .unwrap_or(usize::MAX);
+        // The probe read the peer's snapshot profile, so store it not only
+        // when no copy exists but also when it upgrades a cached copy that
+        // just went stale (mirrors `process_offers` step 3).
+        let cached_version = me
+            .personal_network
+            .get(&candidate.peer)
+            .map(|e| e.meta.profile_version)
+            .unwrap_or(0);
+        let improves =
+            !me.has_stored_profile(&candidate.peer) || cached_version < candidate.version;
+        if rank < me.storage_budget() && improves {
+            profile_bytes =
+                tagging_actions_bytes(candidate.profile.len().saturating_sub(common.len()));
+            me.store_profile(candidate.peer, candidate.profile.clone(), candidate.version);
+        }
+    } else {
+        // The digest matched but the profiles share nothing: the step-2
+        // exchange still happened (false positive cost).
+        common_bytes = common_bytes.max(tagging_actions_bytes(1));
+    }
+    outcome.charge(my_idx, category::LAZY_COMMON, common_bytes);
+    if profile_bytes > 0 {
+        outcome.charge(my_idx, category::LAZY_PROFILES, profile_bytes);
+    }
+}
+
+/// Runs one full lazy-mode cycle through the parallel plan/commit engine
+/// (worker count from `P3Q_THREADS` / available parallelism).
+pub fn run_lazy_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> CycleReport {
+    sim.run_cycle(&LazyProtocol::new(cfg))
+}
+
+/// Like [`run_lazy_cycle`] with an explicit worker-thread count.
+pub fn run_lazy_cycle_with_threads(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    threads: usize,
+) -> CycleReport {
+    sim.run_cycle_with_threads(&LazyProtocol::new(cfg), threads)
+}
+
+/// Runs one lazy cycle through the sequential reference engine — the
+/// byte-identical oracle the property suites pin [`run_lazy_cycle`]
+/// against.
+pub fn run_lazy_cycle_reference(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> CycleReport {
+    sim.run_cycle_reference(&LazyProtocol::new(cfg))
 }
 
 /// Runs `cycles` lazy-mode cycles, invoking `on_cycle_end(sim, cycle_index)`
@@ -406,6 +501,21 @@ pub fn run_lazy_cycles<F: FnMut(&mut Simulator<P3qNode>, u64)>(
         let cycle = sim.cycle();
         on_cycle_end(sim, cycle);
     }
+}
+
+/// Runs `cycles` lazy-mode cycles with an [`EventQueue`] on the cycle axis:
+/// events due at the current cycle fire **before** that cycle executes, and
+/// events due at the final boundary fire after the loop — the engine-level
+/// replacement for hand-rolled "at cycle X, do Y" driver logic (profile
+/// change batches, churn injections, metric samples).
+pub fn run_lazy_cycles_with_events<E, F: FnMut(&mut Simulator<P3qNode>, E)>(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    cycles: u64,
+    events: &mut EventQueue<E>,
+    on_event: F,
+) -> CycleReport {
+    sim.run_cycles_with_events(&LazyProtocol::new(cfg), cycles, events, on_event)
 }
 
 /// Seeds every node's random view with `r` uniformly random alive peers (the
@@ -641,6 +751,35 @@ mod tests {
         assert!(bytes > 0);
         assert!(messages > 0);
         assert!(sim.bandwidth.category_bytes(category::RPS_DIGESTS) > 0);
+    }
+
+    #[test]
+    fn parallel_lazy_cycles_match_the_sequential_reference() {
+        for threads in [2, 3, 8] {
+            let build = || {
+                let (mut sim, cfg, _) = small_sim();
+                let mut rng = StdRng::seed_from_u64(5);
+                bootstrap_random_views(&mut sim, &cfg, &mut rng);
+                (sim, cfg)
+            };
+            let (mut reference, cfg) = build();
+            let (mut parallel, _) = build();
+            for _ in 0..4 {
+                let r = run_lazy_cycle_reference(&mut reference, &cfg);
+                let p = run_lazy_cycle_with_threads(&mut parallel, &cfg, threads);
+                assert_eq!(r, p, "cycle reports diverged at {threads} threads");
+            }
+            for idx in 0..reference.num_nodes() {
+                let (a, b) = (reference.node(idx), parallel.node(idx));
+                assert_eq!(a.personal_network, b.personal_network, "node {idx}");
+                assert_eq!(
+                    a.random_view.snapshot(),
+                    b.random_view.snapshot(),
+                    "node {idx}"
+                );
+            }
+            assert_eq!(reference.bandwidth.totals(), parallel.bandwidth.totals());
+        }
     }
 
     #[test]

@@ -40,9 +40,21 @@
 //!
 //! ## Performance architecture
 //!
-//! Three structural decisions keep the hot paths fast; later scaling work
+//! Four structural decisions keep the hot paths fast; later scaling work
 //! (sharding, async transports, churn at scale) builds on them:
 //!
+//! * **Plan/commit cycle engine** — gossip cycles no longer mutate the
+//!   simulator through a sequential callback: [`lazy::LazyProtocol`] and
+//!   [`eager::EagerProtocol`] express every protocol step as a read-only
+//!   *plan* (partner choice, probe reads against the cycle-start snapshot)
+//!   plus a pairwise *commit* (view updates, offer exchanges), with
+//!   cross-pair mutations (partial-result deliveries to queriers) deferred
+//!   as effects. The engine batches plans conflict-free and commits each
+//!   batch across all cores — **byte-identical output for every
+//!   `P3Q_THREADS`**, pinned against the sequential
+//!   `run_lazy_cycle_reference` / `run_eager_cycle_reference` oracles by
+//!   the `engine_props` property suite. One gossip hop per cycle matches
+//!   the synchronous rounds of the paper's Section 2.4 analysis.
 //! * **Counting similarity engine** — [`similarity::ActionIndex`] inverts
 //!   the dataset once ((item, tag) → taggers) and scores one user against
 //!   the whole population in a single dense counting sweep;
@@ -122,12 +134,18 @@ pub mod prelude {
     pub use crate::analysis::{cycles_to_completion, OPTIMAL_ALPHA};
     pub use crate::baseline::{centralized_topk, IdealNetworks};
     pub use crate::config::P3qConfig;
-    pub use crate::eager::{issue_query, querier_state, run_eager_cycle, run_eager_until_complete};
-    pub use crate::experiment::{
-        build_simulator, build_simulator_with_budgets, full_network_requirements,
-        init_ideal_networks, storage_requirements,
+    pub use crate::eager::{
+        issue_query, querier_state, run_eager_cycle, run_eager_cycle_reference,
+        run_eager_cycle_with_threads, run_eager_until_complete, EagerProtocol,
     };
-    pub use crate::lazy::{bootstrap_random_views, run_lazy_cycle, run_lazy_cycles};
+    pub use crate::experiment::{
+        apply_profile_changes, build_simulator, build_simulator_with_budgets,
+        full_network_requirements, init_ideal_networks, storage_requirements,
+    };
+    pub use crate::lazy::{
+        bootstrap_random_views, run_lazy_cycle, run_lazy_cycle_reference,
+        run_lazy_cycle_with_threads, run_lazy_cycles, run_lazy_cycles_with_events, LazyProtocol,
+    };
     pub use crate::metrics::{
         average_success_ratio, average_update_rate, network_refresh_ratio, recall_at_k,
         success_ratio,
@@ -136,7 +154,7 @@ pub mod prelude {
     pub use crate::query::{QuerierState, QueryId};
     pub use crate::similarity::{ActionIndex, DeltaOutcome, SimilarityScratch};
     pub use crate::storage::StorageDistribution;
-    pub use p3q_sim::Simulator;
+    pub use p3q_sim::{EventQueue, Simulator};
     pub use p3q_trace::{
         Dataset, DynamicsConfig, DynamicsGenerator, ItemId, Profile, Query, QueryGenerator,
         SharedProfile, TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,

@@ -31,6 +31,47 @@ where
     peers.choose(rng).copied()
 }
 
+/// Builds the payload one side ships in a shuffle: its current view entries
+/// plus a fresh (age 0) descriptor of itself.
+///
+/// This is the *plan* half of a plan/commit shuffle — it only reads the
+/// view, so it can run against shared immutable state.
+pub fn shuffle_payload<P, M>(
+    view: &AgedView<P, M>,
+    self_id: P,
+    self_meta: M,
+) -> Vec<AgedEntry<P, M>>
+where
+    P: Copy + Eq + Hash + Ord,
+    M: Clone,
+{
+    let mut payload = view.snapshot();
+    payload.push(AgedEntry {
+        peer: self_id,
+        age: 0,
+        meta: self_meta,
+    });
+    payload
+}
+
+/// Absorbs a received shuffle payload into a view: merges it with the
+/// current entries, strips self-references and duplicates (keeping the
+/// youngest copy) and keeps a uniformly random subset of at most `capacity`
+/// entries. The *commit* half of a plan/commit shuffle.
+pub fn absorb_shuffle<P, M, R>(
+    view: &mut AgedView<P, M>,
+    self_id: P,
+    received: &[AgedEntry<P, M>],
+    rng: &mut R,
+) where
+    P: Copy + Eq + Hash + Ord,
+    M: Clone,
+    R: Rng + ?Sized,
+{
+    let merged = select_random_subset(view.snapshot(), received, self_id, view.capacity(), rng);
+    view.replace_with(merged);
+}
+
 /// Performs one symmetric peer-sampling exchange between the views of two
 /// live nodes.
 ///
@@ -38,7 +79,8 @@ where
 /// `b_self`), receive the other side's current entries and keep a uniformly
 /// random subset of the union (minus themselves, minus duplicates), exactly
 /// as in the paper's description. Entry ages are incremented by the caller
-/// ([`AgedView::tick`]) once per cycle, not here.
+/// ([`AgedView::tick`]) once per cycle, not here. Composed from
+/// [`shuffle_payload`] and [`absorb_shuffle`].
 pub fn shuffle<P, M, R>(
     a_id: P,
     a_view: &mut AgedView<P, M>,
@@ -52,29 +94,10 @@ pub fn shuffle<P, M, R>(
     M: Clone,
     R: Rng + ?Sized,
 {
-    let a_payload = {
-        let mut snapshot = a_view.snapshot();
-        snapshot.push(AgedEntry {
-            peer: a_id,
-            age: 0,
-            meta: a_self,
-        });
-        snapshot
-    };
-    let b_payload = {
-        let mut snapshot = b_view.snapshot();
-        snapshot.push(AgedEntry {
-            peer: b_id,
-            age: 0,
-            meta: b_self,
-        });
-        snapshot
-    };
-
-    let new_a = select_random_subset(a_view.snapshot(), &b_payload, a_id, a_view.capacity(), rng);
-    let new_b = select_random_subset(b_view.snapshot(), &a_payload, b_id, b_view.capacity(), rng);
-    a_view.replace_with(new_a);
-    b_view.replace_with(new_b);
+    let a_payload = shuffle_payload(a_view, a_id, a_self);
+    let b_payload = shuffle_payload(b_view, b_id, b_self);
+    absorb_shuffle(a_view, a_id, &b_payload, rng);
+    absorb_shuffle(b_view, b_id, &a_payload, rng);
 }
 
 /// Merges own entries with the received payload, removes self-references and

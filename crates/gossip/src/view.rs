@@ -150,25 +150,65 @@ impl<P: Copy + Eq + Hash + Ord, M> ScoredView<P, M> {
         }
     }
 
+    /// Read-only peek at the peer [`Self::select_oldest_and_reset`] would
+    /// pick — the plan phase of a plan/commit protocol step, where partner
+    /// choice happens against immutable state and the staleness reset is
+    /// deferred to the commit ([`Self::reset_staleness`]).
+    pub fn oldest(&self) -> Option<P> {
+        self.oldest_matching(|_| true)
+    }
+
+    /// Read-only peek at the stalest entry satisfying `pred` (e.g. "is an
+    /// alive remaining-list member"). Returns `None` if nothing matches.
+    pub fn oldest_matching(&self, pred: impl Fn(&ScoredEntry<P, M>) -> bool) -> Option<P> {
+        self.oldest_matching_with(pred, |e| e.staleness)
+    }
+
+    /// Like [`Self::oldest_matching`], but with the staleness of each entry
+    /// supplied by `staleness_of` instead of read from the entry — the hook
+    /// for plan phases that must overlay pending (not yet committed)
+    /// staleness resets on an immutable view. Ties follow the same
+    /// deterministic order as every other selection: score (higher first),
+    /// then peer id (smaller first).
+    pub fn oldest_matching_with(
+        &self,
+        pred: impl Fn(&ScoredEntry<P, M>) -> bool,
+        staleness_of: impl Fn(&ScoredEntry<P, M>) -> u32,
+    ) -> Option<P> {
+        self.entries
+            .iter()
+            .filter(|e| pred(e))
+            .max_by(|a, b| {
+                staleness_of(a)
+                    .cmp(&staleness_of(b))
+                    .then(a.score.cmp(&b.score))
+                    .then(b.peer.cmp(&a.peer))
+            })
+            .map(|e| e.peer)
+    }
+
+    /// Resets a peer's staleness to zero (the commit half of a partner
+    /// selection planned via [`Self::oldest`]). Returns `true` if the peer
+    /// was present.
+    pub fn reset_staleness(&mut self, peer: &P) -> bool {
+        match self.get_mut(peer) {
+            Some(entry) => {
+                entry.staleness = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Selects the peer with the largest staleness (the one the owner has not
     /// gossiped with for the longest time) and resets its staleness to zero.
     ///
     /// Ties are broken by score (higher first) then peer id, so selection is
-    /// deterministic. Returns `None` if the view is empty.
+    /// deterministic. Returns `None` if the view is empty. Equivalent to
+    /// [`Self::oldest`] followed by [`Self::reset_staleness`].
     pub fn select_oldest_and_reset(&mut self) -> Option<P> {
-        let peer = self
-            .entries
-            .iter()
-            .max_by(|a, b| {
-                a.staleness
-                    .cmp(&b.staleness)
-                    .then(a.score.cmp(&b.score))
-                    .then(b.peer.cmp(&a.peer))
-            })
-            .map(|e| e.peer)?;
-        if let Some(entry) = self.get_mut(&peer) {
-            entry.staleness = 0;
-        }
+        let peer = self.oldest()?;
+        self.reset_staleness(&peer);
         Some(peer)
     }
 
@@ -177,20 +217,8 @@ impl<P: Copy + Eq + Hash + Ord, M> ScoredView<P, M> {
     /// the remaining-list user with the maximum timestamp). Returns `None`
     /// if no candidate is in the view.
     pub fn select_oldest_among_and_reset(&mut self, candidates: &[P]) -> Option<P> {
-        let peer = self
-            .entries
-            .iter()
-            .filter(|e| candidates.contains(&e.peer))
-            .max_by(|a, b| {
-                a.staleness
-                    .cmp(&b.staleness)
-                    .then(a.score.cmp(&b.score))
-                    .then(b.peer.cmp(&a.peer))
-            })
-            .map(|e| e.peer)?;
-        if let Some(entry) = self.get_mut(&peer) {
-            entry.staleness = 0;
-        }
+        let peer = self.oldest_matching(|e| candidates.contains(&e.peer))?;
+        self.reset_staleness(&peer);
         Some(peer)
     }
 

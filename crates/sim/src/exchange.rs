@@ -1,0 +1,419 @@
+//! The plan/commit exchange model: protocol steps as data.
+//!
+//! The original engine handed every protocol step a `&mut Simulator` and let
+//! it mutate anything; that shape is inherently sequential. This module
+//! defines the replacement contract, [`GossipProtocol`], which splits one
+//! gossip cycle into phases the engine can parallelize without changing the
+//! result:
+//!
+//! 1. **prepare** — a per-node mutation (age counters, timers) touching only
+//!    that node, applied to every alive node;
+//! 2. **plan** — every alive node observes a *read-only* [`CycleContext`]
+//!    (all node states, membership, cycle number) and emits
+//!    [`ExchangePlan`]s: "I gossip with that destination" (pairwise) or "I
+//!    update myself from what I read" (solo, `destination: None`);
+//! 3. **commit** — the engine groups the plans into conflict-free batches
+//!    ([`conflict_free_batches`]: no node appears twice in a batch) and
+//!    executes each batch; a commit may mutate only the plan's initiator and
+//!    destination, and *describes* everything else as data: bandwidth
+//!    [`Charge`]s and third-party [`GossipProtocol::Effect`]s;
+//! 4. **effects** — charges and effects are applied sequentially, in plan
+//!    order, after each batch commits.
+//!
+//! Because a batch's commits touch disjoint node pairs and everything that
+//! crosses a pair boundary is deferred to phase 4, committing a batch in
+//! parallel is byte-identical to committing it sequentially — the engine
+//! exploits exactly that (see `Simulator::run_cycle` vs.
+//! `Simulator::run_cycle_reference`).
+//!
+//! Randomness is derived per node (planning) and per plan (committing) from
+//! a single per-cycle seed, so no RNG stream depends on execution order or
+//! thread count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bandwidth::{BandwidthRecorder, Category};
+use crate::membership::Membership;
+
+/// One planned protocol step: an initiator and, for pairwise gossip, the
+/// destination it wants to exchange with.
+///
+/// Plans with `destination: None` are *solo* steps: the commit may mutate
+/// only the initiator (everything it needs from other nodes must have been
+/// copied into `payload` during the read-only plan phase).
+#[derive(Debug, Clone)]
+pub struct ExchangePlan<P> {
+    /// Node that planned the step.
+    pub initiator: usize,
+    /// Gossip partner, or `None` for a solo step.
+    pub destination: Option<usize>,
+    /// Protocol-specific data carried from the plan phase to the commit.
+    pub payload: P,
+}
+
+/// A deferred bandwidth record: "charge `bytes` to `node` under `category`".
+///
+/// Commits cannot reach the [`BandwidthRecorder`] (it is shared state); they
+/// return charges instead, and the engine applies them in plan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Charge {
+    /// The node paying for the message.
+    pub node: usize,
+    /// Traffic category.
+    pub category: Category,
+    /// Message size in bytes.
+    pub bytes: usize,
+}
+
+/// What one committed exchange produced: bandwidth charges plus protocol
+/// effects on nodes *outside* the exchanged pair (e.g. delivering a partial
+/// result list to a querier).
+#[derive(Debug)]
+pub struct CommitOutcome<E> {
+    /// Deferred bandwidth records, applied in plan order after the batch.
+    pub charges: Vec<Charge>,
+    /// Deferred third-party mutations, applied in plan order after the
+    /// batch via [`GossipProtocol::apply_effect`].
+    pub effects: Vec<E>,
+}
+
+impl<E> Default for CommitOutcome<E> {
+    fn default() -> Self {
+        Self {
+            charges: Vec::new(),
+            effects: Vec::new(),
+        }
+    }
+}
+
+impl<E> CommitOutcome<E> {
+    /// An outcome with no charges and no effects.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Records a bandwidth charge.
+    pub fn charge(&mut self, node: usize, category: Category, bytes: usize) {
+        self.charges.push(Charge {
+            node,
+            category,
+            bytes,
+        });
+    }
+
+    /// Records a deferred third-party effect.
+    pub fn effect(&mut self, effect: E) {
+        self.effects.push(effect);
+    }
+}
+
+/// The read-only world a node observes while planning its step.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleContext<'a, N> {
+    nodes: &'a [N],
+    membership: &'a Membership,
+    cycle: u64,
+}
+
+impl<'a, N> CycleContext<'a, N> {
+    /// Creates a context over explicit parts (the engine's constructor).
+    pub fn new(nodes: &'a [N], membership: &'a Membership, cycle: u64) -> Self {
+        Self {
+            nodes,
+            membership,
+            cycle,
+        }
+    }
+
+    /// One node's state.
+    pub fn node(&self, idx: usize) -> &'a N {
+        &self.nodes[idx]
+    }
+
+    /// All node states.
+    pub fn nodes(&self) -> &'a [N] {
+        self.nodes
+    }
+
+    /// Number of nodes (alive or departed).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if node `idx` is alive this cycle.
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.membership.is_alive(idx)
+    }
+
+    /// The membership (who is alive).
+    pub fn membership(&self) -> &'a Membership {
+        self.membership
+    }
+
+    /// The cycle being planned.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// Mutable access handed to [`GossipProtocol::apply_effect`]: the full node
+/// array plus the bandwidth recorder. Effects run strictly sequentially, in
+/// plan order, so they may touch any node.
+#[derive(Debug)]
+pub struct EffectContext<'a, N> {
+    nodes: &'a mut [N],
+    bandwidth: &'a mut BandwidthRecorder,
+    cycle: u64,
+}
+
+impl<'a, N> EffectContext<'a, N> {
+    /// Creates a context over explicit parts (the engine's constructor).
+    pub fn new(nodes: &'a mut [N], bandwidth: &'a mut BandwidthRecorder, cycle: u64) -> Self {
+        Self {
+            nodes,
+            bandwidth,
+            cycle,
+        }
+    }
+
+    /// One node's state.
+    pub fn node(&self, idx: usize) -> &N {
+        &self.nodes[idx]
+    }
+
+    /// Mutable access to one node's state.
+    pub fn node_mut(&mut self, idx: usize) -> &mut N {
+        &mut self.nodes[idx]
+    }
+
+    /// Records bandwidth attributed to `node` in the committing cycle.
+    pub fn record_bandwidth(&mut self, node: usize, category: Category, bytes: usize) {
+        self.bandwidth.record(node, self.cycle, category, bytes);
+    }
+
+    /// The cycle being committed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// A gossip protocol expressed as plan + commit, executable by the engine
+/// with any number of worker threads without changing the result.
+///
+/// # Determinism contract
+///
+/// * `plan` must derive everything from the [`CycleContext`] and the given
+///   RNG (seeded per node from the cycle seed) — never from global state;
+/// * `commit` may mutate **only** the initiator and destination it is
+///   given; anything else must be returned as a [`Charge`] or an effect;
+/// * `Scratch` is reusable scratch memory only — results must not depend on
+///   what a previous commit left in it.
+pub trait GossipProtocol: Sync {
+    /// Per-node protocol state.
+    type Node: Send + Sync;
+    /// Plan payload carried from the plan phase to the commit.
+    type Payload: Send + Sync;
+    /// Deferred third-party mutation produced by commits.
+    type Effect: Send;
+    /// Per-worker scratch memory (buffers), built via [`Self::scratch`].
+    type Scratch: Send;
+
+    /// Builds one scratch instance (one per worker chunk per batch).
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Per-node preparation applied to every alive node before planning
+    /// (tick timers, age views). Must touch only `node`.
+    fn prepare(&self, node: &mut Self::Node, cycle: u64) {
+        let _ = (node, cycle);
+    }
+
+    /// Plans node `idx`'s step(s) against the read-only world, appending any
+    /// number of [`ExchangePlan`]s to `out`. Destinations must be alive,
+    /// distinct from `idx` and in bounds.
+    fn plan(
+        &self,
+        world: &CycleContext<'_, Self::Node>,
+        idx: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<ExchangePlan<Self::Payload>>,
+    );
+
+    /// Commits one planned step. `destination` is `Some` exactly when the
+    /// plan named one. Mutations beyond the given pair must be deferred via
+    /// the returned [`CommitOutcome`].
+    fn commit(
+        &self,
+        cycle: u64,
+        plan: &ExchangePlan<Self::Payload>,
+        initiator: &mut Self::Node,
+        destination: Option<&mut Self::Node>,
+        rng: &mut StdRng,
+        scratch: &mut Self::Scratch,
+    ) -> CommitOutcome<Self::Effect>;
+
+    /// Applies one deferred effect. Runs sequentially, in plan order.
+    fn apply_effect(&self, world: &mut EffectContext<'_, Self::Node>, effect: Self::Effect) {
+        let _ = (world, effect);
+    }
+}
+
+/// Groups plan indices into conflict-free batches with a deterministic
+/// greedy first-fit on the `(initiator, destination)` pairs: walking plans
+/// in order, each plan lands in the earliest batch where neither of its
+/// endpoints already appears. Within a batch, plan order is preserved.
+///
+/// The result is independent of thread count by construction (it never
+/// looks at anything but the plan list), and committing a batch in parallel
+/// is safe because all its `&mut` node borrows are disjoint.
+///
+/// # Panics
+/// Panics if a plan names itself as destination or an out-of-bounds node.
+pub fn conflict_free_batches<P>(plans: &[ExchangePlan<P>], num_nodes: usize) -> Vec<Vec<usize>> {
+    // Per-node occupancy of the first 128 batches as a bitmask (greedy edge
+    // colouring needs at most 2·max-degree − 1 batches, so 128 covers any
+    // realistic cycle); the rare spill beyond that falls back to
+    // "first batch after the node's last appearance".
+    const MASK_BATCHES: usize = u128::BITS as usize;
+    let mut used_mask = vec![0u128; num_nodes];
+    let mut spill_free = vec![MASK_BATCHES as u32; num_nodes];
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    for (plan_idx, plan) in plans.iter().enumerate() {
+        assert!(plan.initiator < num_nodes, "plan initiator out of bounds");
+        let mut combined = used_mask[plan.initiator];
+        let mut spill = spill_free[plan.initiator];
+        if let Some(dest) = plan.destination {
+            assert!(dest < num_nodes, "plan destination out of bounds");
+            assert!(
+                dest != plan.initiator,
+                "a gossip exchange needs two distinct nodes"
+            );
+            combined |= used_mask[dest];
+            spill = spill.max(spill_free[dest]);
+        }
+        let batch = match (!combined).trailing_zeros() as usize {
+            free if free < MASK_BATCHES => free,
+            _ => spill as usize,
+        };
+        if batches.len() <= batch {
+            batches.resize_with(batch + 1, Vec::new);
+        }
+        batches[batch].push(plan_idx);
+        for node in std::iter::once(plan.initiator).chain(plan.destination) {
+            if batch < MASK_BATCHES {
+                used_mask[node] |= 1u128 << batch;
+            } else {
+                spill_free[node] = batch as u32 + 1;
+            }
+        }
+    }
+    batches
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG a node plans with: derived from the cycle seed and the node
+/// index only, so planning order and thread count cannot influence it.
+pub fn plan_rng(cycle_seed: u64, node: usize) -> StdRng {
+    StdRng::seed_from_u64(splitmix(
+        cycle_seed ^ (node as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+    ))
+}
+
+/// The RNG a commit runs with: derived from the cycle seed and the plan's
+/// position in the global plan order only.
+pub fn commit_rng(cycle_seed: u64, plan_index: usize) -> StdRng {
+    StdRng::seed_from_u64(splitmix(
+        !cycle_seed ^ (plan_index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn plan(initiator: usize, destination: Option<usize>) -> ExchangePlan<()> {
+        ExchangePlan {
+            initiator,
+            destination,
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn batches_never_repeat_a_node_and_preserve_plan_order() {
+        let plans = vec![
+            plan(0, Some(1)),
+            plan(2, Some(3)),
+            plan(1, Some(2)), // conflicts with both earlier plans
+            plan(4, None),
+            plan(4, Some(0)), // conflicts with its own solo step
+            plan(5, Some(6)),
+        ];
+        let batches = conflict_free_batches(&plans, 7);
+        assert_eq!(batches, vec![vec![0, 1, 3, 5], vec![2, 4]]);
+        for batch in &batches {
+            let mut seen = std::collections::HashSet::new();
+            for &i in batch {
+                assert!(seen.insert(plans[i].initiator));
+                if let Some(d) = plans[i].destination {
+                    assert!(seen.insert(d));
+                }
+            }
+            // Plan order within the batch.
+            assert!(batch.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn chained_conflicts_serialize() {
+        // 0-1, 1-2, 2-3, 3-0: greedy first-fit gives two batches.
+        let plans = vec![
+            plan(0, Some(1)),
+            plan(1, Some(2)),
+            plan(2, Some(3)),
+            plan(3, Some(0)),
+        ];
+        let batches = conflict_free_batches(&plans, 4);
+        assert_eq!(batches, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn empty_plan_list_yields_no_batches() {
+        let batches = conflict_free_batches::<()>(&[], 10);
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn self_exchange_is_rejected() {
+        let _ = conflict_free_batches(&[plan(1, Some(1))], 3);
+    }
+
+    #[test]
+    fn derived_rngs_are_stable_and_distinct() {
+        let a: u64 = plan_rng(7, 3).gen();
+        let b: u64 = plan_rng(7, 3).gen();
+        assert_eq!(a, b);
+        let c: u64 = plan_rng(7, 4).gen();
+        let d: u64 = commit_rng(7, 3).gen();
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn commit_outcome_collects_charges_and_effects() {
+        let mut outcome: CommitOutcome<&'static str> = CommitOutcome::empty();
+        outcome.charge(3, "digest", 100);
+        outcome.effect("deliver");
+        assert_eq!(outcome.charges.len(), 1);
+        assert_eq!(outcome.charges[0].node, 3);
+        assert_eq!(outcome.effects, vec!["deliver"]);
+    }
+}

@@ -4,35 +4,48 @@
 //! The paper (Bai et al., EDBT 2010, Section 3.1.1) evaluates P3Q in PeerSim,
 //! using its cycle-driven execution model: in every gossip cycle each alive
 //! node runs one protocol step and pairwise gossip exchanges complete within
-//! the cycle. This crate implements that model from scratch:
+//! the cycle. This crate implements that model from scratch, with a twist:
+//! cycles execute in a **plan/commit** architecture that makes them parallel
+//! *and* deterministic:
 //!
-//! * [`Simulator`] — the engine: per-node protocol state, shuffled per-cycle
-//!   scheduling, pairwise mutable access for exchanges, seeded determinism;
+//! * [`Simulator`] — the engine: per-node protocol state, seeded
+//!   determinism, and the four-phase plan/commit cycle executor
+//!   ([`Simulator::run_cycle`] fans out over worker threads;
+//!   [`Simulator::run_cycle_reference`] is the independently written
+//!   sequential oracle — byte-identical for any `P3Q_THREADS`);
+//! * [`exchange`] — the [`GossipProtocol`] contract (prepare / plan /
+//!   commit / effects), [`ExchangePlan`]s and the deterministic greedy
+//!   conflict-free batching;
 //! * [`Membership`] — alive/departed bookkeeping with the paper's "p% of
-//!   users leave simultaneously" churn model;
+//!   users leave simultaneously" churn model (O(1) alive count);
 //! * [`BandwidthRecorder`] — per-node, per-category, per-cycle byte and
 //!   message accounting (the basis of the paper's cost analysis);
 //! * [`SeriesRecorder`] / [`DistributionSummary`] — per-cycle series and
 //!   per-entity distributions, the two shapes every figure in the paper
 //!   takes;
-//! * [`EventQueue`] — "at cycle X, do Y" hooks for dynamics and churn
-//!   scenarios;
-//! * [`parallel`] — deterministic fork-join over users for the offline
-//!   phases (index building, baseline computation) that surround the
-//!   single-threaded cycle engine.
+//! * [`EventQueue`] — "at cycle X, do Y" hooks, wired into the run loop via
+//!   [`Simulator::run_cycles_with_events`];
+//! * [`parallel`] — the deterministic fork-join primitives shared by the
+//!   cycle engine and the offline phases (index building, baseline
+//!   computation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bandwidth;
 mod engine;
+pub mod exchange;
 mod membership;
 mod metrics;
 pub mod parallel;
 mod schedule;
 
 pub use bandwidth::{BandwidthRecorder, Category};
-pub use engine::Simulator;
+pub use engine::{CycleReport, Simulator};
+pub use exchange::{
+    conflict_free_batches, Charge, CommitOutcome, CycleContext, EffectContext, ExchangePlan,
+    GossipProtocol,
+};
 pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
 pub use parallel::{default_threads, parallel_map_chunks};

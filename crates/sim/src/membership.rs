@@ -11,9 +11,14 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Alive/departed status of every node in the simulation.
+///
+/// The alive count is maintained incrementally so that the per-cycle
+/// scheduling of large populations (100k+ nodes) never has to re-scan the
+/// whole vector just to size its work lists.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Membership {
     alive: Vec<bool>,
+    alive_count: usize,
 }
 
 impl Membership {
@@ -21,6 +26,7 @@ impl Membership {
     pub fn all_alive(n: usize) -> Self {
         Self {
             alive: vec![true; n],
+            alive_count: n,
         }
     }
 
@@ -39,20 +45,25 @@ impl Membership {
         self.alive.get(idx).copied().unwrap_or(false)
     }
 
-    /// Number of alive nodes.
+    /// Number of alive nodes (O(1); the count is maintained incrementally).
     pub fn alive_count(&self) -> usize {
-        self.alive.iter().filter(|&&a| a).count()
+        self.alive_count
     }
 
     /// Indices of alive nodes, in ascending order.
     pub fn alive_nodes(&self) -> Vec<usize> {
-        (0..self.alive.len()).filter(|&i| self.alive[i]).collect()
+        let mut out = Vec::with_capacity(self.alive_count);
+        out.extend((0..self.alive.len()).filter(|&i| self.alive[i]));
+        out
     }
 
     /// Marks one node as departed. Returns `true` if it was alive.
     pub fn depart(&mut self, idx: usize) -> bool {
         let was_alive = self.alive[idx];
         self.alive[idx] = false;
+        if was_alive {
+            self.alive_count -= 1;
+        }
         was_alive
     }
 
@@ -60,6 +71,9 @@ impl Membership {
     pub fn rejoin(&mut self, idx: usize) -> bool {
         let was_departed = !self.alive[idx];
         self.alive[idx] = true;
+        if was_departed {
+            self.alive_count += 1;
+        }
         was_departed
     }
 
@@ -79,7 +93,7 @@ impl Membership {
         let count = (candidates.len() as f64 * fraction).round() as usize;
         let departed: Vec<usize> = candidates.into_iter().take(count).collect();
         for &idx in &departed {
-            self.alive[idx] = false;
+            self.depart(idx);
         }
         departed
     }
@@ -138,6 +152,20 @@ mod tests {
     fn out_of_range_index_is_not_alive() {
         let m = Membership::all_alive(2);
         assert!(!m.is_alive(99));
+    }
+
+    #[test]
+    fn cached_alive_count_stays_consistent() {
+        let mut m = Membership::all_alive(50);
+        let mut rng = StdRng::seed_from_u64(9);
+        m.mass_departure(0.4, &mut rng);
+        m.depart(0);
+        m.depart(0); // double departure must not double-count
+        m.rejoin(0);
+        m.rejoin(0);
+        let recount = (0..m.len()).filter(|&i| m.is_alive(i)).count();
+        assert_eq!(m.alive_count(), recount);
+        assert_eq!(m.alive_nodes().len(), recount);
     }
 
     #[test]

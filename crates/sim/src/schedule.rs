@@ -52,14 +52,20 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns every event due at or before `cycle`, in
     /// scheduling order.
+    ///
+    /// Single pass: the tree is split at `cycle + 1` — the not-yet-due tail
+    /// stays, the due head is drained by value — instead of collecting the
+    /// due keys first and removing them one lookup at a time.
     pub fn pop_due(&mut self, cycle: u64) -> Vec<E> {
+        let not_due = match cycle.checked_add(1) {
+            Some(next) => self.events.split_off(&next),
+            None => BTreeMap::new(), // u64::MAX: everything is due
+        };
+        let due_map = std::mem::replace(&mut self.events, not_due);
         let mut due = Vec::new();
-        let due_cycles: Vec<u64> = self.events.range(..=cycle).map(|(&c, _)| c).collect();
-        for c in due_cycles {
-            if let Some(mut events) = self.events.remove(&c) {
-                self.len -= events.len();
-                due.append(&mut events);
-            }
+        for (_, mut events) in due_map {
+            self.len -= events.len();
+            due.append(&mut events);
         }
         due
     }
@@ -96,5 +102,15 @@ mod tests {
         assert!(q.pop_due(9).is_empty());
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_due(10), vec![1]);
+    }
+
+    #[test]
+    fn pop_due_at_u64_max_drains_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(0, "a");
+        q.schedule(u64::MAX, "b");
+        assert_eq!(q.pop_due(u64::MAX), vec!["a", "b"]);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
     }
 }
