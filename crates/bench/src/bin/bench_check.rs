@@ -1,0 +1,576 @@
+//! Perf-regression gate: compares a freshly produced `BENCH_*.json` against
+//! a committed baseline and fails when the fresh numbers regress beyond a
+//! tolerance band.
+//!
+//! Comparison rules, applied while walking both documents in lockstep:
+//!
+//! * **times** (keys ending in `_s` or `_ms`) — fresh may be at most
+//!   `tolerance × baseline + 250 ms` (faster is always fine; absolute
+//!   clocks differ between hosts, and the absolute slack keeps one-off
+//!   scheduler blips on sub-100 ms measurements from flapping the gate
+//!   while still catching real regressions at the seconds scale);
+//! * **throughputs** (keys containing `per_sec`) — judged on the implied
+//!   per-unit time (`1 / rate`) with the same band and slack;
+//! * **ratios** (keys containing `speedup`) — informational only: they are
+//!   quotients of two measurements with no absolute magnitude to anchor a
+//!   noise slack to, so at smoke scale they carry no reliable signal (the
+//!   underlying times and throughputs are what gate);
+//! * **checksums** (keys containing `checksum`) — exact equality: same
+//!   code + same seed must produce the same bytes on any host, so a
+//!   mismatch is a determinism regression, not noise;
+//! * **everything else** — exact equality (counts, labels, structure), and
+//!   keys added or removed relative to the baseline are violations; a
+//!   changed `total_actions` or mode list means the benchmark itself
+//!   changed and the baseline must be regenerated deliberately;
+//! * **host-dependent keys** (`host_available_parallelism`,
+//!   `parallel_threads`, `note`) — ignored.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_check -- \
+//!     --baseline ci/baselines/BENCH_cycles_smoke.json \
+//!     --fresh BENCH_cycles_smoke.json [--tolerance 4.0]
+//! ```
+//!
+//! Exit code 0 when every comparison passes, 1 otherwise.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. The benchmark files are small and machine-written,
+/// so a minimal recursive-descent parser keeps the gate dependency-free
+/// (the workspace's serde is an offline stub without JSON support).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("JSON parse error at byte {}: {message}", self.pos)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {text}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("dangling escape"))?;
+                    out.push(match escaped {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => other as char,
+                    });
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing garbage"));
+    }
+    Ok(value)
+}
+
+/// Absolute noise slack for time-like measurements, in seconds: scheduler
+/// blips on shared CI runners dominate sub-100 ms measurements, so the
+/// relative band alone would flap on them. A fresh time only fails when it
+/// exceeds `baseline × tolerance + slack` — big-scale regressions still
+/// trip the gate, one-off 10 ms → 40 ms noise does not.
+const TIME_SLACK_SECONDS: f64 = 0.25;
+
+/// How a numeric key is judged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KeyClass {
+    /// Smaller is better; fresh ≤ baseline × tolerance + slack. The factor
+    /// converts the key's unit to seconds (1.0 for `_s`, 1e-3 for `_ms`).
+    Time { to_seconds: f64 },
+    /// A reciprocal time (throughput): judged on the implied per-unit time,
+    /// with the same tolerance band and noise slack.
+    PerSec,
+    /// Must match exactly (determinism / structure).
+    Exact,
+    /// Host-dependent; skipped.
+    Ignored,
+}
+
+fn classify(key: &str) -> KeyClass {
+    if key == "host_available_parallelism" || key == "parallel_threads" || key == "note" {
+        KeyClass::Ignored
+    } else if key.contains("checksum") {
+        KeyClass::Exact
+    } else if key.ends_with("_s") {
+        KeyClass::Time { to_seconds: 1.0 }
+    } else if key.ends_with("_ms") || key.ends_with("_ms_mean") {
+        KeyClass::Time { to_seconds: 1e-3 }
+    } else if key.contains("per_sec") {
+        KeyClass::PerSec
+    } else if key.contains("speedup") {
+        // A quotient of two measurements: no absolute magnitude to anchor
+        // the noise slack to, so it cannot gate reliably at smoke scale.
+        KeyClass::Ignored
+    } else {
+        KeyClass::Exact
+    }
+}
+
+struct Report {
+    violations: Vec<String>,
+    compared: usize,
+}
+
+impl Report {
+    fn fail(&mut self, path: &str, message: String) {
+        self.violations.push(format!("{path}: {message}"));
+    }
+}
+
+/// Walks baseline and fresh in lockstep, judging leaves by their key class.
+fn compare(baseline: &Json, fresh: &Json, path: &str, class: KeyClass, tol: f64, rep: &mut Report) {
+    if class == KeyClass::Ignored {
+        return;
+    }
+    match (baseline, fresh) {
+        (Json::Object(b), Json::Object(f)) => {
+            for (key, bv) in b {
+                match f.get(key) {
+                    Some(fv) => compare(bv, fv, &format!("{path}.{key}"), classify(key), tol, rep),
+                    None => rep.fail(path, format!("missing key \"{key}\" in fresh output")),
+                }
+            }
+            // Keys only in the fresh output mean the benchmark's shape
+            // changed without regenerating the baseline — flag them too.
+            for key in f.keys() {
+                if !b.contains_key(key) {
+                    rep.fail(path, format!("key \"{key}\" is not in the baseline"));
+                }
+            }
+        }
+        (Json::Array(b), Json::Array(f)) => {
+            if b.len() != f.len() {
+                rep.fail(
+                    path,
+                    format!("array length changed: {} -> {}", b.len(), f.len()),
+                );
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                compare(bv, fv, &format!("{path}[{i}]"), class, tol, rep);
+            }
+        }
+        (Json::Number(b), Json::Number(f)) => {
+            rep.compared += 1;
+            match class {
+                KeyClass::Time { to_seconds } => {
+                    let slack = TIME_SLACK_SECONDS / to_seconds;
+                    if *f > *b * tol + slack {
+                        rep.fail(
+                            path,
+                            format!("regressed: {f:.3} > {b:.3} x tolerance {tol} + slack {slack}"),
+                        );
+                    }
+                }
+                KeyClass::PerSec => {
+                    // Judge the implied per-unit time: 1/rate in seconds.
+                    if *f > 0.0 && *b > 0.0 && 1.0 / f > (1.0 / b) * tol + TIME_SLACK_SECONDS {
+                        rep.fail(
+                            path,
+                            format!("regressed: {f:.4}/s is beyond {b:.4}/s x tolerance {tol}"),
+                        );
+                    }
+                }
+                KeyClass::Exact | KeyClass::Ignored => {
+                    if (b - f).abs() > 1e-9 * b.abs().max(1.0) {
+                        rep.fail(path, format!("exact value changed: {b} -> {f}"));
+                    }
+                }
+            }
+        }
+        _ => {
+            rep.compared += 1;
+            if baseline != fresh {
+                rep.fail(path, format!("value changed: {baseline:?} -> {fresh:?}"));
+            }
+        }
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn main() {
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut tolerance = 4.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--fresh" => fresh_path = Some(value("--fresh")),
+            "--tolerance" => {
+                tolerance = value("--tolerance")
+                    .parse()
+                    .expect("--tolerance wants a number");
+                assert!(tolerance >= 1.0, "--tolerance must be >= 1");
+            }
+            other => {
+                panic!("unknown flag {other}; usage: --baseline PATH --fresh PATH [--tolerance F]")
+            }
+        }
+    }
+    let baseline_path = baseline_path.expect("--baseline is required");
+    let fresh_path = fresh_path.expect("--fresh is required");
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+    let mut report = Report {
+        violations: Vec::new(),
+        compared: 0,
+    };
+    compare(
+        &baseline,
+        &fresh,
+        "$",
+        KeyClass::Exact,
+        tolerance,
+        &mut report,
+    );
+
+    println!(
+        "bench_check: {} leaves compared against {baseline_path} (tolerance {tolerance}x)",
+        report.compared
+    );
+    if report.violations.is_empty() {
+        println!("bench_check: OK — no regression");
+        return;
+    }
+    eprintln!("bench_check: {} violation(s):", report.violations.len());
+    for violation in &report.violations {
+        eprintln!("  {violation}");
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Json)]) -> Json {
+        Json::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    fn check(baseline: &Json, fresh: &Json, tol: f64) -> Vec<String> {
+        let mut report = Report {
+            violations: Vec::new(),
+            compared: 0,
+        };
+        compare(baseline, fresh, "$", KeyClass::Exact, tol, &mut report);
+        report.violations
+    }
+
+    #[test]
+    fn parser_round_trips_a_bench_file() {
+        let text = r#"{
+            "benchmark": "cycles",
+            "seed": 42,
+            "note": "text with \"quotes\"",
+            "scales": [
+                {"users": 1000, "elapsed_s": 1.25, "ok": true, "none": null},
+                {"users": 2000, "elapsed_s": -3e2}
+            ]
+        }"#;
+        let parsed = parse_json(text).unwrap();
+        let Json::Object(map) = &parsed else {
+            panic!("expected object")
+        };
+        assert_eq!(map["seed"], Json::Number(42.0));
+        let Json::Array(scales) = &map["scales"] else {
+            panic!("expected array")
+        };
+        assert_eq!(scales.len(), 2);
+        let Json::Object(second) = &scales[1] else {
+            panic!("expected object")
+        };
+        assert_eq!(second["elapsed_s"], Json::Number(-300.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("nope").is_err());
+    }
+
+    #[test]
+    fn times_use_the_tolerance_band_plus_slack() {
+        let baseline = obj(&[("elapsed_s", Json::Number(1.0))]);
+        assert!(check(&baseline, &obj(&[("elapsed_s", Json::Number(3.9))]), 4.0).is_empty());
+        assert!(check(&baseline, &obj(&[("elapsed_s", Json::Number(0.01))]), 4.0).is_empty());
+        // 4.1 is within band + 250 ms slack; 4.3 is beyond it.
+        assert!(check(&baseline, &obj(&[("elapsed_s", Json::Number(4.1))]), 4.0).is_empty());
+        assert_eq!(
+            check(&baseline, &obj(&[("elapsed_s", Json::Number(4.3))]), 4.0).len(),
+            1
+        );
+        // Millisecond keys get the same slack in their own unit.
+        let small = obj(&[("index_build_ms", Json::Number(5.0))]);
+        assert!(check(
+            &small,
+            &obj(&[("index_build_ms", Json::Number(100.0))]),
+            4.0
+        )
+        .is_empty());
+        let big = obj(&[("index_build_ms", Json::Number(500.0))]);
+        assert_eq!(
+            check(&big, &obj(&[("index_build_ms", Json::Number(2600.0))]), 4.0).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn tiny_time_measurements_do_not_flap() {
+        // 9 ms baseline: a one-off 40 ms scheduler blip must not fail the
+        // gate even though it is 4.4x the baseline.
+        let baseline = obj(&[("elapsed_s", Json::Number(0.009))]);
+        assert!(check(&baseline, &obj(&[("elapsed_s", Json::Number(0.04))]), 4.0).is_empty());
+    }
+
+    #[test]
+    fn rates_judge_the_implied_time() {
+        // 10/s = 0.1 s per unit; band + slack allows down to 1/0.65 = ~1.54/s.
+        let baseline = obj(&[("cycles_per_sec", Json::Number(10.0))]);
+        assert!(check(
+            &baseline,
+            &obj(&[("cycles_per_sec", Json::Number(3.0))]),
+            4.0
+        )
+        .is_empty());
+        assert_eq!(
+            check(
+                &baseline,
+                &obj(&[("cycles_per_sec", Json::Number(1.0))]),
+                4.0
+            )
+            .len(),
+            1
+        );
+        // Speedup ratios are informational — two same-run measurements
+        // with no absolute anchor for a noise slack.
+        let ratio = obj(&[("speedup_vs_reference", Json::Number(2.0))]);
+        assert!(check(
+            &ratio,
+            &obj(&[("speedup_vs_reference", Json::Number(0.1))]),
+            4.0
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn fresh_only_keys_are_flagged() {
+        let baseline = obj(&[("users", Json::Number(7.0))]);
+        let fresh = obj(&[("users", Json::Number(7.0)), ("p99_ms", Json::Number(9.0))]);
+        assert_eq!(check(&baseline, &fresh, 4.0).len(), 1);
+    }
+
+    #[test]
+    fn checksums_and_counts_are_exact() {
+        let baseline = obj(&[
+            ("trace_checksum", Json::String("0xabc".into())),
+            ("total_actions", Json::Number(500.0)),
+        ]);
+        assert!(check(&baseline, &baseline.clone(), 4.0).is_empty());
+        let diverged = obj(&[
+            ("trace_checksum", Json::String("0xdef".into())),
+            ("total_actions", Json::Number(501.0)),
+        ]);
+        assert_eq!(check(&baseline, &diverged, 4.0).len(), 2);
+    }
+
+    #[test]
+    fn host_dependent_keys_are_ignored_and_missing_keys_flagged() {
+        let baseline = obj(&[
+            ("host_available_parallelism", Json::Number(1.0)),
+            ("users", Json::Number(7.0)),
+        ]);
+        let fresh = obj(&[
+            ("host_available_parallelism", Json::Number(64.0)),
+            ("users", Json::Number(7.0)),
+        ]);
+        assert!(check(&baseline, &fresh, 4.0).is_empty());
+        let missing = obj(&[("host_available_parallelism", Json::Number(64.0))]);
+        assert_eq!(check(&baseline, &missing, 4.0).len(), 1);
+    }
+
+    #[test]
+    fn nested_structures_walk_in_lockstep() {
+        let baseline = obj(&[(
+            "scales",
+            Json::Array(vec![obj(&[
+                ("users", Json::Number(1000.0)),
+                ("elapsed_s", Json::Number(2.0)),
+            ])]),
+        )]);
+        let ok = obj(&[(
+            "scales",
+            Json::Array(vec![obj(&[
+                ("users", Json::Number(1000.0)),
+                ("elapsed_s", Json::Number(2.5)),
+            ])]),
+        )]);
+        assert!(check(&baseline, &ok, 4.0).is_empty());
+        let shrunk = obj(&[("scales", Json::Array(vec![]))]);
+        assert_eq!(check(&baseline, &shrunk, 4.0).len(), 1);
+    }
+}

@@ -11,12 +11,13 @@
 //!
 //! ```text
 //! cargo run --release -p p3q-bench --bin bench_cycles [-- OPTIONS]
-//!     --users a,b,c   population scales      (default 10000,50000,100000)
-//!     --cycles N      lazy cycles to time    (default 3)
-//!     --warmup N      untimed warmup cycles  (default 2)
-//!     --threads a,b   thread counts to time  (default 1,2,4,8)
-//!     --seed N        master seed            (default 42)
-//!     --out PATH      output path            (default BENCH_cycles.json)
+//!     --users a,b,c    population scales      (default 10000,50000,100000)
+//!     --cycles N       lazy cycles to time    (default 3)
+//!     --warmup N       untimed warmup cycles  (default 2)
+//!     --threads a,b    thread counts to time  (default 1,2,4,8)
+//!     --seed N         master seed            (default 42)
+//!     --scenario NAME  workload preset        (default paper-delicious)
+//!     --out PATH       output path            (default BENCH_cycles.json)
 //! ```
 
 use std::fmt::Write as _;
@@ -34,7 +35,7 @@ use p3q::lazy::{
 use p3q::node::P3qNode;
 use p3q::storage::StorageDistribution;
 use p3q_sim::Simulator;
-use p3q_trace::{TraceConfig, TraceGenerator};
+use p3q_trace::{Scenario, ScenarioConfig, TraceGenerator};
 
 struct Args {
     users: Vec<usize>,
@@ -42,6 +43,7 @@ struct Args {
     warmup: u64,
     threads: Vec<usize>,
     seed: u64,
+    scenario: Scenario,
     out: String,
 }
 
@@ -52,6 +54,7 @@ fn parse_args() -> Args {
         warmup: 2,
         threads: vec![1, 2, 4, 8],
         seed: 42,
+        scenario: Scenario::PaperDelicious,
         out: "BENCH_cycles.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -84,23 +87,12 @@ fn parse_args() -> Args {
                     .expect("--warmup wants an integer")
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--scenario" => args.scenario = Scenario::from_flag(&value("--scenario")),
             "--out" => args.out = value("--out"),
             other => panic!("unknown flag {other}"),
         }
     }
     args
-}
-
-/// Scales the laptop trace shape to an arbitrary population, keeping the
-/// items-per-user density (and therefore the overlap structure) constant —
-/// the same shaping rule as `bench_similarity`.
-fn trace_config(users: usize, seed: u64) -> TraceConfig {
-    let mut cfg = TraceConfig::laptop_scale(seed);
-    cfg.num_users = users;
-    cfg.num_items = users * 12;
-    cfg.num_tags = (users * 3).max(300);
-    cfg.num_topics = (users / 40).clamp(10, 200);
-    cfg
 }
 
 /// One timed configuration: how the cycles were executed.
@@ -131,7 +123,12 @@ struct ScaleResult {
 fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     eprintln!("== {users} users ==");
     let start = Instant::now();
-    let trace = TraceGenerator::new(trace_config(users, args.seed)).generate();
+    // The scenario layer's density-preserving shape: items-per-user density
+    // (and therefore the overlap structure) stays constant across scales.
+    // Only the trace is generated — this benchmark times gossip cycles, so
+    // materializing the scenario's event schedule would be wasted work.
+    let scenario = ScenarioConfig::new(args.scenario, users, args.seed);
+    let trace = TraceGenerator::new(scenario.trace_config()).generate();
     eprintln!(
         "   trace: {} actions, generated in {:.1} s",
         trace.dataset.total_actions(),

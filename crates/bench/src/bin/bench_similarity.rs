@@ -13,6 +13,7 @@
 //!     --cycles N      lazy cycles to time      (default 3)
 //!     --delta-batches N  dynamics batches      (default 3)
 //!     --seed N        master seed              (default 42)
+//!     --scenario NAME workload preset          (default paper-delicious)
 //!     --skip-reference  skip the slow per-pair-merge baseline
 //!     --out PATH      output path              (default BENCH_similarity.json)
 //! ```
@@ -30,13 +31,16 @@ use p3q::lazy::{bootstrap_random_views, run_lazy_cycles};
 use p3q::similarity::ActionIndex;
 use p3q::storage::StorageDistribution;
 use p3q_sim::default_threads;
-use p3q_trace::{DynamicsConfig, DynamicsGenerator, SyntheticTrace, TraceConfig, TraceGenerator};
+use p3q_trace::{
+    DynamicsConfig, DynamicsGenerator, Scenario, ScenarioConfig, SyntheticTrace, TraceGenerator,
+};
 
 struct Args {
     users: Vec<usize>,
     cycles: u64,
     delta_batches: usize,
     seed: u64,
+    scenario: Scenario,
     skip_reference: bool,
     out: String,
 }
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         cycles: 3,
         delta_batches: 3,
         seed: 42,
+        scenario: Scenario::PaperDelicious,
         skip_reference: false,
         out: "BENCH_similarity.json".to_string(),
     };
@@ -74,23 +79,13 @@ fn parse_args() -> Args {
                     .expect("--delta-batches wants an integer")
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--scenario" => args.scenario = Scenario::from_flag(&value("--scenario")),
             "--skip-reference" => args.skip_reference = true,
             "--out" => args.out = value("--out"),
             other => panic!("unknown flag {other}"),
         }
     }
     args
-}
-
-/// Scales the laptop trace shape to an arbitrary population, keeping the
-/// items-per-user density (and therefore the overlap structure) constant.
-fn trace_config(users: usize, seed: u64) -> TraceConfig {
-    let mut cfg = TraceConfig::laptop_scale(seed);
-    cfg.num_users = users;
-    cfg.num_items = users * 12;
-    cfg.num_tags = (users * 3).max(300);
-    cfg.num_topics = (users / 40).clamp(10, 200);
-    cfg
 }
 
 struct ScaleResult {
@@ -184,7 +179,12 @@ fn bench_dynamics(trace: &SyntheticTrace, s: usize, args: &Args) -> Option<Dynam
 fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     eprintln!("== {users} users ==");
     let generation = Instant::now();
-    let trace = TraceGenerator::new(trace_config(users, args.seed)).generate();
+    // The scenario layer's density-preserving shape: items-per-user density
+    // (and therefore the overlap structure) stays constant across scales.
+    // Only the trace is generated — this benchmark rolls its own dynamics
+    // batches below, so materializing the scenario schedule would be waste.
+    let scenario = ScenarioConfig::new(args.scenario, users, args.seed);
+    let trace = TraceGenerator::new(scenario.trace_config()).generate();
     let dataset = &trace.dataset;
     eprintln!(
         "   trace: {} actions in {:.1?}",

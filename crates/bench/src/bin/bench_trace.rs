@@ -1,0 +1,322 @@
+//! Trace-generator benchmark and determinism checker: wall-clock of the
+//! parallel generator (per worker-thread count) against the retained
+//! sequential reference, with a content checksum asserted byte-identical
+//! across every mode — and, in `--check` mode, the CI gate that regenerates
+//! a trace plus its scenario schedule under several thread counts and fails
+//! on any divergence.
+//!
+//! Emits `BENCH_trace.json` in the working directory so generator
+//! throughput is tracked from PR to PR. The file records the host's
+//! available parallelism: on a single-core container the "parallel" numbers
+//! measure fan-out overhead (the chunked path must be no slower than the
+//! reference), while real speedup is harvested on multi-core hosts — safe,
+//! because thread count provably cannot change the bytes.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_trace [-- OPTIONS]
+//!     --users a,b      population scales     (default 10000,100000)
+//!     --threads a,b    thread counts to time (default 1,2,4,8)
+//!     --seed N         master seed           (default 42)
+//!     --scenario NAME  workload preset       (default paper-delicious)
+//!     --check          determinism mode: compare all modes, print checksums
+//!     --out PATH       output path           (default BENCH_trace.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use p3q_trace::{Scenario, ScenarioConfig, ScenarioEvent, SyntheticTrace, TraceGenerator};
+
+struct Args {
+    users: Vec<usize>,
+    threads: Vec<usize>,
+    seed: u64,
+    scenario: Scenario,
+    check: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: vec![10_000, 100_000],
+        threads: vec![1, 2, 4, 8],
+        seed: 42,
+        scenario: Scenario::PaperDelicious,
+        check: false,
+        out: "BENCH_trace.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    let parse_list = |value: String, name: &str| -> Vec<usize> {
+        value
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{name} wants integers"))
+            })
+            .collect()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--users" => args.users = parse_list(value("--users"), "--users"),
+            "--threads" => args.threads = parse_list(value("--threads"), "--threads"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--scenario" => args.scenario = Scenario::from_flag(&value("--scenario")),
+            "--check" => args.check = true,
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// FNV-1a over a stream of u64 words — an explicit, rust-version-stable
+/// content hash (unlike `DefaultHasher`, whose keys are unspecified), so
+/// checksums can be compared across builds and hosts.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Content checksum of a trace: the latent world plus every profile byte.
+fn trace_checksum(trace: &SyntheticTrace) -> u64 {
+    let mut h = Fnv::new();
+    for &topic in &trace.world.item_topic {
+        h.word(topic as u64);
+    }
+    for tags in &trace.world.item_tags {
+        h.word(tags.len() as u64);
+        for tag in tags {
+            h.word(tag.as_key());
+        }
+    }
+    for topics in &trace.world.user_topics {
+        h.word(topics.len() as u64);
+        for &t in topics {
+            h.word(t as u64);
+        }
+    }
+    for (user, profile) in trace.dataset.iter() {
+        h.word(user.as_key());
+        h.word(profile.len() as u64);
+        for action in profile.iter() {
+            h.word(action.item.as_key());
+            h.word(action.tag.as_key());
+        }
+    }
+    h.0
+}
+
+/// Content checksum of a scenario schedule (batches and departures).
+fn schedule_checksum(schedule: &[(u64, ScenarioEvent)]) -> u64 {
+    let mut h = Fnv::new();
+    for (cycle, event) in schedule {
+        h.word(*cycle);
+        match event {
+            ScenarioEvent::ProfileChanges(batch) => {
+                h.word(batch.len() as u64);
+                for change in &batch.changes {
+                    h.word(change.user.as_key());
+                    for action in &change.new_actions {
+                        h.word(action.item.as_key());
+                        h.word(action.tag.as_key());
+                    }
+                }
+            }
+            ScenarioEvent::MassDeparture(fraction) => {
+                h.word(u64::MAX);
+                h.word(fraction.to_bits());
+            }
+        }
+    }
+    h.0
+}
+
+struct ModeResult {
+    label: String,
+    elapsed_s: f64,
+    speedup_vs_reference: f64,
+    checksum: u64,
+}
+
+struct ScaleResult {
+    users: usize,
+    total_actions: usize,
+    checksum: u64,
+    modes: Vec<ModeResult>,
+}
+
+fn bench_scale(users: usize, args: &Args) -> ScaleResult {
+    eprintln!("== {users} users ==");
+    let scenario = ScenarioConfig::new(args.scenario, users, args.seed);
+    let generator = TraceGenerator::new(scenario.trace_config());
+
+    let start = Instant::now();
+    let reference = generator.generate_reference();
+    let reference_elapsed = start.elapsed().as_secs_f64();
+    let reference_checksum = trace_checksum(&reference);
+    let total_actions = reference.dataset.total_actions();
+    drop(reference);
+    eprintln!(
+        "   sequential_reference     {reference_elapsed:>6.2} s  ({total_actions} actions, \
+         checksum {reference_checksum:#018x})"
+    );
+
+    let mut modes = vec![ModeResult {
+        label: "sequential_reference".to_string(),
+        elapsed_s: reference_elapsed,
+        speedup_vs_reference: 1.0,
+        checksum: reference_checksum,
+    }];
+    for &threads in &args.threads {
+        let start = Instant::now();
+        let trace = generator.generate_with_threads(threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        let checksum = trace_checksum(&trace);
+        drop(trace);
+        let speedup = reference_elapsed / elapsed;
+        eprintln!(
+            "   parallel_{threads}_threads       {elapsed:>6.2} s  ({speedup:.2}x vs reference)"
+        );
+        assert_eq!(
+            checksum, reference_checksum,
+            "parallel generation with {threads} threads diverged from the reference"
+        );
+        modes.push(ModeResult {
+            label: format!("parallel_{threads}_threads"),
+            elapsed_s: elapsed,
+            speedup_vs_reference: speedup,
+            checksum,
+        });
+    }
+
+    ScaleResult {
+        users,
+        total_actions,
+        checksum: reference_checksum,
+        modes,
+    }
+}
+
+/// The CI determinism gate: regenerate trace + scenario schedule under
+/// every requested thread count and fail loudly on checksum divergence.
+fn check_scale(users: usize, args: &Args) {
+    println!(
+        "== determinism check: {users} users, scenario {} ==",
+        args.scenario.name()
+    );
+    let scenario = ScenarioConfig::new(args.scenario, users, args.seed);
+    let generator = TraceGenerator::new(scenario.trace_config());
+
+    let reference = generator.generate_reference();
+    let reference_checksum = trace_checksum(&reference);
+    let reference_schedule = schedule_checksum(
+        &scenario
+            .dynamics_plan()
+            .materialize_with_threads(&reference, 1),
+    );
+    println!(
+        "   reference: trace {reference_checksum:#018x}, schedule {reference_schedule:#018x} \
+         ({} actions)",
+        reference.dataset.total_actions()
+    );
+    drop(reference);
+
+    let mut failures = 0usize;
+    for &threads in &args.threads {
+        let workload = scenario.build_with_threads(threads);
+        let trace = trace_checksum(&workload.trace);
+        let schedule = schedule_checksum(&workload.schedule);
+        let trace_ok = trace == reference_checksum;
+        let schedule_ok = schedule == reference_schedule;
+        println!(
+            "   threads {threads}: trace {trace:#018x} [{}], schedule {schedule:#018x} [{}]",
+            if trace_ok { "ok" } else { "DIVERGED" },
+            if schedule_ok { "ok" } else { "DIVERGED" },
+        );
+        failures += usize::from(!trace_ok) + usize::from(!schedule_ok);
+    }
+    if failures > 0 {
+        eprintln!("{failures} checksum divergence(s) — trace generation is not deterministic");
+        std::process::exit(1);
+    }
+    println!("   all modes byte-identical");
+}
+
+fn main() {
+    let args = parse_args();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("host parallelism: {host_parallelism} core(s)");
+
+    if args.check {
+        for &users in &args.users {
+            check_scale(users, &args);
+        }
+        return;
+    }
+
+    let results: Vec<ScaleResult> = args.users.iter().map(|&u| bench_scale(u, &args)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"trace\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", args.scenario.name());
+    let _ = writeln!(
+        json,
+        "  \"host_available_parallelism\": {host_parallelism},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"synthetic trace generation wall-clock; all modes byte-identical \
+         (checksum-asserted); on a 1-core host the parallel numbers measure fan-out overhead, \
+         not speedup\","
+    );
+    json.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"users\": {},", r.users);
+        let _ = writeln!(json, "      \"total_actions\": {},", r.total_actions);
+        let _ = writeln!(json, "      \"trace_checksum\": \"{:#018x}\",", r.checksum);
+        json.push_str("      \"modes\": [\n");
+        for (j, m) in r.modes.iter().enumerate() {
+            json.push_str("        {\n");
+            let _ = writeln!(json, "          \"mode\": \"{}\",", m.label);
+            let _ = writeln!(json, "          \"elapsed_s\": {:.3},", m.elapsed_s);
+            let _ = writeln!(
+                json,
+                "          \"speedup_vs_reference\": {:.3},",
+                m.speedup_vs_reference
+            );
+            let _ = writeln!(
+                json,
+                "          \"trace_checksum\": \"{:#018x}\"",
+                m.checksum
+            );
+            json.push_str("        }");
+            json.push_str(if j + 1 < r.modes.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ]\n    }");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).expect("writing the benchmark output");
+    eprintln!("wrote {}", args.out);
+}

@@ -38,6 +38,7 @@ fn main() {
             index: world.index.clone(),
             ideal: world.ideal.clone(),
             queries: world.queries.clone(),
+            schedule: world.schedule.clone(),
         };
         let budgets = vec![c; world.trace.dataset.num_users()];
         let mut sim = build_simulator_with_budgets(&world.trace.dataset, &cfg, &budgets, args.seed);

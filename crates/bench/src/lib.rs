@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use p3q::prelude::*;
-use p3q_trace::{ChangeBatch, SyntheticTrace};
+use p3q_trace::{ChangeBatch, Scenario, ScenarioConfig, ScenarioEvent, SyntheticTrace, TraceShape};
 
 /// Command-line options shared by all harness binaries.
 ///
@@ -22,6 +22,7 @@ use p3q_trace::{ChangeBatch, SyntheticTrace};
 /// --cycles N       number of gossip cycles            (binary-specific default)
 /// --queries N      number of tracked queries          (default 200)
 /// --paper-scale    use the paper's 10,000-user scale  (slow!)
+/// --scenario NAME  workload preset                    (default paper-delicious)
 /// ```
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
@@ -35,6 +36,8 @@ pub struct HarnessArgs {
     pub queries: usize,
     /// Use the paper's full 10,000-user configuration.
     pub paper_scale: bool,
+    /// The workload preset the world is built from.
+    pub scenario: Scenario,
 }
 
 impl Default for HarnessArgs {
@@ -45,6 +48,7 @@ impl Default for HarnessArgs {
             cycles: 0,
             queries: 200,
             paper_scale: false,
+            scenario: Scenario::PaperDelicious,
         }
     }
 }
@@ -75,8 +79,15 @@ impl HarnessArgs {
                 "--cycles" => parsed.cycles = take_value("--cycles").parse().expect("--cycles"),
                 "--queries" => parsed.queries = take_value("--queries").parse().expect("--queries"),
                 "--paper-scale" => parsed.paper_scale = true,
+                "--scenario" => parsed.scenario = Scenario::from_flag(&take_value("--scenario")),
                 "--help" | "-h" => {
-                    println!("options: --users N --seed N --cycles N --queries N --paper-scale");
+                    println!(
+                        "options: --users N --seed N --cycles N --queries N --paper-scale --scenario NAME"
+                    );
+                    println!("scenarios:");
+                    for s in Scenario::ALL {
+                        println!("  {:<16} {}", s.name(), s.description());
+                    }
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
@@ -94,20 +105,31 @@ impl HarnessArgs {
         }
     }
 
-    /// The trace configuration implied by the scale flags.
-    pub fn trace_config(&self) -> TraceConfig {
-        let mut cfg = if self.paper_scale {
-            TraceConfig::paper_scale(self.seed)
+    /// The scenario instance implied by the flags — the single entry point
+    /// every harness binary builds its world from.
+    pub fn scenario_config(&self) -> ScenarioConfig {
+        let shape = if self.paper_scale {
+            TraceShape::FixedPaper
         } else {
-            TraceConfig::laptop_scale(self.seed)
+            TraceShape::FixedLaptop
         };
-        cfg.num_users = self.users;
-        cfg
+        // The horizon equals the run length, so every scheduled event fires
+        // within the run (the run loops flush end-boundary events).
+        ScenarioConfig::new(self.scenario, self.users, self.seed)
+            .with_shape(shape)
+            .with_horizon(self.cycles)
+    }
+
+    /// The trace configuration implied by the flags (the trace half of
+    /// [`scenario_config`](Self::scenario_config)).
+    pub fn trace_config(&self) -> TraceConfig {
+        self.scenario_config().trace_config()
     }
 }
 
 /// Everything an experiment needs: the trace, the protocol configuration, the
-/// offline ideal networks and the one-query-per-user workload.
+/// offline ideal networks, the one-query-per-user workload and the
+/// scenario's event schedule.
 pub struct World {
     /// The generated trace (dataset + latent topic model).
     pub trace: SyntheticTrace,
@@ -120,12 +142,23 @@ pub struct World {
     pub ideal: IdealNetworks,
     /// The query workload (one query per user with a non-empty profile).
     pub queries: Vec<Query>,
+    /// The scenario's concrete event schedule (change batches, departures),
+    /// ordered by firing cycle. Convert with [`scenario_event_queue`] to
+    /// feed a run loop.
+    pub schedule: Vec<(u64, ScenarioEvent)>,
 }
 
 impl World {
-    /// Builds the world for the given harness arguments.
+    /// Builds the world for the given harness arguments, through the
+    /// scenario entry point ([`HarnessArgs::scenario_config`]).
+    ///
+    /// The scenario's event schedule is materialized eagerly so every
+    /// driver sees the same workload object; batch generation is parallel
+    /// and per-user-streamed, so this costs ~2 ms at the default 1k-user
+    /// scale (~0.2% of a paper-scale build, dominated by `IdealNetworks`).
     pub fn build(args: &HarnessArgs) -> Self {
-        let trace = TraceGenerator::new(args.trace_config()).generate();
+        let workload = args.scenario_config().build();
+        let trace = workload.trace;
         let cfg = args.protocol_config();
         let index = ActionIndex::build(&trace.dataset);
         let ideal =
@@ -141,6 +174,7 @@ impl World {
             index,
             ideal,
             queries,
+            schedule: workload.schedule,
         }
     }
 
@@ -185,6 +219,26 @@ pub enum SimEvent {
     MassDeparture(f64),
     /// A batch of profile changes hits the owners' nodes (Section 3.4.1).
     ProfileChanges(ChangeBatch),
+}
+
+impl From<ScenarioEvent> for SimEvent {
+    fn from(event: ScenarioEvent) -> Self {
+        match event {
+            ScenarioEvent::ProfileChanges(batch) => SimEvent::ProfileChanges(batch),
+            ScenarioEvent::MassDeparture(fraction) => SimEvent::MassDeparture(fraction),
+        }
+    }
+}
+
+/// Converts a scenario's event schedule into a ready-to-run [`EventQueue`]
+/// — the bridge between [`ScenarioConfig::build`]'s output and the
+/// engine's `run_*_with_events` loops.
+pub fn scenario_event_queue(schedule: &[(u64, ScenarioEvent)]) -> EventQueue<SimEvent> {
+    let mut queue = EventQueue::new();
+    for (cycle, event) in schedule {
+        queue.schedule(*cycle, SimEvent::from(event.clone()));
+    }
+    queue
 }
 
 /// Applies one [`SimEvent`] to the simulation.
@@ -408,6 +462,7 @@ mod tests {
             index,
             ideal,
             queries: queries.clone(),
+            schedule: Vec::new(),
         };
 
         let budgets = vec![2usize; world.trace.dataset.num_users()];
@@ -439,6 +494,7 @@ mod tests {
             index,
             ideal,
             queries,
+            schedule: Vec::new(),
         };
         let sample = world.sample_queries(10);
         assert_eq!(sample.len(), 10);

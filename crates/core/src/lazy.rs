@@ -25,14 +25,16 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use std::sync::Arc;
 
 use p3q_bloom::SharedFilter;
 use p3q_gossip::peer_sampling;
+use p3q_sim::parallel::parallel_for_each_mut;
 use p3q_sim::{
-    CommitOutcome, CycleContext, CycleReport, EventQueue, ExchangePlan, GossipProtocol, Simulator,
+    parallel_map_chunks, stream_seed, CommitOutcome, CycleContext, CycleReport, EventQueue,
+    ExchangePlan, GossipProtocol, Simulator,
 };
 use p3q_trace::{SharedProfile, UserId};
 
@@ -521,32 +523,102 @@ pub fn run_lazy_cycles_with_events<E, F: FnMut(&mut Simulator<P3qNode>, E)>(
 /// Seeds every node's random view with `r` uniformly random alive peers (the
 /// paper assumes users first discover arbitrary contacts through the peer
 /// sampling service).
+///
+/// Each node's picks come from a private RNG stream derived from one master
+/// seed drawn from `rng`, and the view fill fans out over the default
+/// worker-thread count (`P3Q_THREADS` override) — output is byte-identical
+/// for every thread count (oracle: [`bootstrap_random_views_reference`]).
 pub fn bootstrap_random_views(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig, rng: &mut StdRng) {
+    bootstrap_random_views_with_threads(sim, cfg, rng, p3q_sim::default_threads());
+}
+
+/// [`bootstrap_random_views`] with an explicit worker-thread count.
+pub fn bootstrap_random_views_with_threads(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    rng: &mut StdRng,
+    threads: usize,
+) {
+    let master: u64 = rng.gen();
+    // Read-only phase: every node's picks and the digest snapshots of the
+    // picked peers, from per-node streams of the master seed.
+    let picks = {
+        let sim = &*sim;
+        parallel_map_chunks(
+            sim.num_nodes(),
+            threads,
+            || (),
+            |idx, ()| bootstrap_node_picks(sim, cfg, master, idx),
+        )
+    };
+    // Write phase: each node only touches its own view, so the fill is
+    // trivially conflict-free.
+    parallel_for_each_mut(sim.nodes_mut(), threads, |idx, node| {
+        for (user, info) in &picks[idx] {
+            node.random_view.insert(*user, info.clone());
+        }
+    });
+}
+
+/// The retained sequential oracle for [`bootstrap_random_views`]: a plain
+/// loop over nodes with the same per-node streams, no fork-join machinery.
+pub fn bootstrap_random_views_reference(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    rng: &mut StdRng,
+) {
+    let master: u64 = rng.gen();
+    for idx in 0..sim.num_nodes() {
+        let picks = bootstrap_node_picks(sim, cfg, master, idx);
+        for (user, info) in picks {
+            sim.node_mut(idx).random_view.insert(user, info);
+        }
+    }
+}
+
+/// One node's bootstrap contacts: `r` distinct uniformly random alive peers
+/// drawn from the node's private stream of `master`, snapshotted as
+/// `(user, digest)` pairs. Depends only on the master seed and the node
+/// index, never on visit order.
+fn bootstrap_node_picks(
+    sim: &Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    master: u64,
+    idx: usize,
+) -> Vec<(UserId, DigestInfo)> {
+    if !sim.is_alive(idx) {
+        return Vec::new();
+    }
     let n = sim.num_nodes();
-    for idx in 0..n {
-        if !sim.is_alive(idx) {
-            continue;
+    // The view can hold at most every *other alive* peer — without this
+    // bound the rejection sampling below would spin forever on a heavily
+    // churned population (fewer alive peers than the view size).
+    let alive_others = sim.membership().alive_count().saturating_sub(1);
+    let target = cfg
+        .random_view_size
+        .min(n.saturating_sub(1))
+        .min(alive_others);
+    let mut rng = StdRng::seed_from_u64(stream_seed(master, idx as u64));
+    let mut picked = Vec::new();
+    while picked.len() < target {
+        let other = rng.gen_range(0..n);
+        if other != idx && !picked.contains(&other) && sim.is_alive(other) {
+            picked.push(other);
         }
-        let mut picked = Vec::new();
-        while picked.len() < cfg.random_view_size.min(n.saturating_sub(1)) {
-            let other = rng.gen_range(0..n);
-            if other != idx && !picked.contains(&other) && sim.is_alive(other) {
-                picked.push(other);
-            }
-        }
-        for other in picked {
-            let info = {
-                let peer = sim.node(other);
+    }
+    picked
+        .into_iter()
+        .map(|other| {
+            let peer = sim.node(other);
+            (
+                UserId::from_index(other),
                 DigestInfo {
                     digest: peer.shared_digest().clone(),
                     version: peer.profile_version(),
-                }
-            };
-            sim.node_mut(idx)
-                .random_view
-                .insert(UserId::from_index(other), info);
-        }
-    }
+                },
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -569,6 +641,33 @@ mod tests {
             99,
         );
         (sim, cfg, trace.dataset)
+    }
+
+    #[test]
+    fn bootstrap_survives_a_starved_population() {
+        // More view slots than alive peers: the fill must cap at the alive
+        // population instead of spinning forever in rejection sampling.
+        let (mut sim, cfg, _) = small_sim();
+        sim.mass_departure(0.95);
+        let alive = sim.membership().alive_count();
+        assert!(alive > 0, "departure must leave someone alive");
+        assert!(
+            alive.saturating_sub(1) < cfg.random_view_size,
+            "the scenario must actually starve the view"
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        for idx in 0..sim.num_nodes() {
+            if !sim.is_alive(idx) {
+                continue;
+            }
+            let view: Vec<_> = sim.node(idx).random_view.iter().collect();
+            assert_eq!(view.len(), alive - 1, "node {idx}");
+            for entry in view {
+                assert!(sim.is_alive(entry.peer.index()));
+                assert_ne!(entry.peer.index(), idx);
+            }
+        }
     }
 
     #[test]

@@ -143,7 +143,8 @@ pub mod prelude {
         full_network_requirements, init_ideal_networks, storage_requirements,
     };
     pub use crate::lazy::{
-        bootstrap_random_views, run_lazy_cycle, run_lazy_cycle_reference,
+        bootstrap_random_views, bootstrap_random_views_reference,
+        bootstrap_random_views_with_threads, run_lazy_cycle, run_lazy_cycle_reference,
         run_lazy_cycle_with_threads, run_lazy_cycles, run_lazy_cycles_with_events, LazyProtocol,
     };
     pub use crate::metrics::{

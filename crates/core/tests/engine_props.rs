@@ -260,6 +260,52 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Bootstrap is thread-count independent: filling the random views with
+    /// any worker-thread count leaves the whole simulation byte-identical
+    /// to the sequential reference — including over churned membership
+    /// (departed nodes are skipped, alive picks unchanged) — and the
+    /// resulting state is a valid base for identical gossip cycles.
+    #[test]
+    fn bootstrap_parallel_equals_reference(
+        seed in 0u64..1000,
+        threads in 1usize..9,
+        departed in 0u32..3,
+    ) {
+        let w = world(seed ^ 0xB0075);
+        let build = |which: u32| {
+            let mut sim = build_simulator(
+                &w.trace.dataset,
+                &w.cfg,
+                &StorageDistribution::Uniform(300),
+                seed,
+            );
+            if departed > 0 {
+                sim.mass_departure(departed as f64 * 0.1);
+            }
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB007);
+            match which {
+                0 => bootstrap_random_views_reference(&mut sim, &w.cfg, &mut rng),
+                _ => bootstrap_random_views_with_threads(&mut sim, &w.cfg, &mut rng, threads),
+            }
+            sim
+        };
+        let mut reference = build(0);
+        let mut parallel = build(1);
+        prop_assert_eq!(
+            sim_fingerprint(&reference),
+            sim_fingerprint(&parallel),
+            "bootstrap diverged with {} threads", threads
+        );
+        // And the bootstrapped states behave identically under gossip.
+        run_lazy_cycle_reference(&mut reference, &w.cfg);
+        run_lazy_cycle(&mut parallel, &w.cfg);
+        prop_assert_eq!(sim_fingerprint(&reference), sim_fingerprint(&parallel));
+    }
+}
+
 /// The event-queue integration drives the same engine: scheduling dynamics
 /// and churn as events must equal applying them by hand between cycles.
 #[test]

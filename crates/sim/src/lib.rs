@@ -48,5 +48,5 @@ pub use exchange::{
 };
 pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
-pub use parallel::{default_threads, parallel_map_chunks};
+pub use parallel::{default_threads, parallel_map_chunks, stream_seed};
 pub use schedule::EventQueue;

@@ -21,6 +21,20 @@ use std::num::NonZeroUsize;
 /// determinism tests and for pinning benchmark runs to one core).
 pub const THREADS_ENV: &str = "P3Q_THREADS";
 
+/// Derives an independent RNG seed for stream `stream` of a `master` seed
+/// (SplitMix64 finalizer). This is the split-seed trick behind every
+/// deterministic fan-out in the workspace: give each unit of work (a node's
+/// plan, a user's profile, an item's tag set) its own seed derived from the
+/// master seed and the unit's index alone, and the produced bytes cannot
+/// depend on chunking, scheduling or thread count.
+pub fn stream_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Number of worker threads to use: `P3Q_THREADS` if set and positive,
 /// otherwise the machine's available parallelism.
 pub fn default_threads() -> usize {
@@ -242,6 +256,16 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_and_stable() {
+        let a = stream_seed(42, 0);
+        let b = stream_seed(42, 1);
+        let c = stream_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, stream_seed(42, 0));
     }
 
     #[test]

@@ -18,19 +18,36 @@
 //!   log-normal distribution (mean 249 items at paper scale, 99th percentile
 //!   below 2000, as reported in Section 3.3.1).
 //!
-//! All randomness is driven by a single seed, so every experiment in the
-//! benchmark harness is reproducible.
+//! All randomness is driven by a single seed, and every independent unit of
+//! work (one user's profile, one item's characteristic tags, one user's
+//! topic set) draws from its **own RNG stream** derived from that seed and
+//! the unit's index alone ([`p3q_sim::stream_seed`] — the same split-seed
+//! trick as the plan/commit cycle engine). Generation therefore fans out
+//! over worker threads ([`TraceGenerator::generate_with_threads`]) with
+//! output **byte-identical for every thread count**, pinned against the
+//! retained sequential oracle [`TraceGenerator::generate_reference`].
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use p3q_sim::{default_threads, parallel_map_chunks, stream_seed};
+
 use crate::action::TaggingAction;
 use crate::dataset::Dataset;
 use crate::ids::{ItemId, TagId, UserId};
 use crate::profile::Profile;
 use crate::zipf::ZipfSampler;
+
+/// Salt for the per-user profile streams (size + tagging actions).
+const STREAM_PROFILE: u64 = 0x7052_0F11_E000_0001;
+/// Salt for the world-structure stream (item/tag partition shuffles).
+const STREAM_WORLD: u64 = 0x3057_0A7E_0000_0002;
+/// Salt for the per-item characteristic-tag streams.
+const STREAM_ITEM_TAGS: u64 = 0x17A6_5000_0000_0003;
+/// Salt for the per-user topic-interest streams.
+const STREAM_USER_TOPICS: u64 = 0x5709_1C50_0000_0004;
 
 /// Configuration of the synthetic trace generator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -223,33 +240,49 @@ impl TraceGenerator {
         Self { config }
     }
 
-    /// Generates the full trace.
+    /// Generates the full trace, fanning per-user profile construction (and
+    /// the per-item/per-user world loops) out over the default worker-thread
+    /// count (`P3Q_THREADS` override). Output is byte-identical for every
+    /// thread count — see [`generate_reference`](Self::generate_reference).
     pub fn generate(&self) -> SyntheticTrace {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        self.generate_with_threads(default_threads())
+    }
 
-        let world = self.build_world(&mut rng);
-        let item_sampler = ZipfSampler::new(
-            world.topic_items.iter().map(Vec::len).max().unwrap_or(1),
-            cfg.item_zipf_exponent,
+    /// Generates the full trace with an explicit worker-thread count.
+    ///
+    /// Every user's profile is drawn from an RNG stream derived from the
+    /// master seed and the user index alone, so the produced bytes cannot
+    /// depend on how users are chunked across threads.
+    pub fn generate_with_threads(&self, threads: usize) -> SyntheticTrace {
+        let cfg = &self.config;
+        let world = self.build_world_with_threads(threads);
+        let (item_sampler, tag_sampler) = self.samplers(&world);
+
+        let profiles = parallel_map_chunks(
+            cfg.num_users,
+            threads,
+            || (),
+            |user, ()| self.user_profile(&world, user, &item_sampler, &tag_sampler),
         );
-        let tag_sampler = ZipfSampler::new(
-            world.topic_tags.iter().map(Vec::len).max().unwrap_or(1),
-            cfg.tag_zipf_exponent,
-        );
+
+        SyntheticTrace {
+            dataset: Dataset::new(profiles, cfg.num_items, cfg.num_tags),
+            world,
+            config: cfg.clone(),
+        }
+    }
+
+    /// The retained sequential oracle: a plain loop over users (and items)
+    /// that never touches the fork-join machinery, against which the
+    /// parallel generator is property-tested byte-identical.
+    pub fn generate_reference(&self) -> SyntheticTrace {
+        let cfg = &self.config;
+        let world = self.build_world_reference();
+        let (item_sampler, tag_sampler) = self.samplers(&world);
 
         let mut profiles = Vec::with_capacity(cfg.num_users);
         for user in 0..cfg.num_users {
-            let target_items = self.sample_profile_size(&mut rng);
-            let actions = self.actions_for_user(
-                &world,
-                UserId::from_index(user),
-                target_items,
-                &item_sampler,
-                &tag_sampler,
-                &mut rng,
-            );
-            profiles.push(Profile::from_actions(actions));
+            profiles.push(self.user_profile(&world, user, &item_sampler, &tag_sampler));
         }
 
         SyntheticTrace {
@@ -257,6 +290,28 @@ impl TraceGenerator {
             world,
             config: cfg.clone(),
         }
+    }
+
+    /// Builds one user's initial profile from her private RNG stream.
+    fn user_profile(
+        &self,
+        world: &World,
+        user: usize,
+        item_sampler: &ZipfSampler,
+        tag_sampler: &ZipfSampler,
+    ) -> Profile {
+        let mut rng =
+            StdRng::seed_from_u64(stream_seed(self.config.seed ^ STREAM_PROFILE, user as u64));
+        let target_items = self.sample_profile_size(&mut rng);
+        let actions = self.actions_for_user(
+            world,
+            UserId::from_index(user),
+            target_items,
+            item_sampler,
+            tag_sampler,
+            &mut rng,
+        );
+        Profile::from_actions(actions)
     }
 
     /// Generates `target_items` new item-tagging events for `user`,
@@ -271,8 +326,31 @@ impl TraceGenerator {
         tag_sampler: &ZipfSampler,
         rng: &mut R,
     ) -> Vec<TaggingAction> {
+        self.actions_in_topics(
+            world,
+            &world.user_topics[user.index()],
+            target_items,
+            item_sampler,
+            tag_sampler,
+            rng,
+        )
+    }
+
+    /// Generates `target_items` item-tagging events drawn from an explicit
+    /// topic list (primary topic first). This is the raw form behind
+    /// [`actions_for_user`](Self::actions_for_user); the dynamics generator
+    /// uses it to model *drifted* interests that differ from the topics a
+    /// user started with.
+    pub fn actions_in_topics<R: Rng + ?Sized>(
+        &self,
+        world: &World,
+        topics: &[u32],
+        target_items: usize,
+        item_sampler: &ZipfSampler,
+        tag_sampler: &ZipfSampler,
+        rng: &mut R,
+    ) -> Vec<TaggingAction> {
         let cfg = &self.config;
-        let topics = &world.user_topics[user.index()];
         let mut actions = Vec::with_capacity(target_items * 2);
         for _ in 0..target_items {
             let topic = if topics.len() == 1 || rng.gen_bool(cfg.primary_topic_affinity) {
@@ -283,21 +361,36 @@ impl TraceGenerator {
             let items = &world.topic_items[topic];
             let rank = item_sampler.sample(rng) % items.len();
             let item = items[rank];
-
-            let tag_count = 1 + rng.gen_range(0..cfg.max_tags_per_item);
-            let characteristic = &world.item_tags[item.index()];
-            let pool = &world.topic_tags[topic];
-            for _ in 0..tag_count {
-                let tag =
-                    if !characteristic.is_empty() && rng.gen_bool(cfg.canonical_tag_probability) {
-                        characteristic[rng.gen_range(0..characteristic.len())]
-                    } else {
-                        pool[tag_sampler.sample(rng) % pool.len()]
-                    };
-                actions.push(TaggingAction::new(item, tag));
-            }
+            self.tag_item(world, item, tag_sampler, rng, &mut actions);
         }
         actions
+    }
+
+    /// Pushes the tagging actions of one user tagging one `item` (1 to
+    /// `max_tags_per_item` tags, biased towards the item's characteristic
+    /// tags). Exposed so workload layers (flash crowds) can target specific
+    /// items while staying consistent with the trace's tag model.
+    pub fn tag_item<R: Rng + ?Sized>(
+        &self,
+        world: &World,
+        item: ItemId,
+        tag_sampler: &ZipfSampler,
+        rng: &mut R,
+        actions: &mut Vec<TaggingAction>,
+    ) {
+        let cfg = &self.config;
+        let topic = world.item_topic[item.index()] as usize;
+        let tag_count = 1 + rng.gen_range(0..cfg.max_tags_per_item);
+        let characteristic = &world.item_tags[item.index()];
+        let pool = &world.topic_tags[topic];
+        for _ in 0..tag_count {
+            let tag = if !characteristic.is_empty() && rng.gen_bool(cfg.canonical_tag_probability) {
+                characteristic[rng.gen_range(0..characteristic.len())]
+            } else {
+                pool[tag_sampler.sample(rng) % pool.len()]
+            };
+            actions.push(TaggingAction::new(item, tag));
+        }
     }
 
     /// Samples the number of distinct items a user tags (log-normal,
@@ -331,13 +424,17 @@ impl TraceGenerator {
         &self.config
     }
 
-    fn build_world<R: Rng + ?Sized>(&self, rng: &mut R) -> World {
+    /// The sequential part of world construction: item/tag partitions,
+    /// driven by the dedicated world RNG stream. `O(items + tags)` shuffles
+    /// — cheap next to the per-item and per-user loops that build on it.
+    fn world_partitions(&self) -> (Vec<u32>, Vec<Vec<ItemId>>, Vec<Vec<TagId>>) {
         let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed ^ STREAM_WORLD, 0));
 
         // Partition items across topics (shuffled so topic membership is not
         // correlated with the numeric id).
         let mut item_ids: Vec<ItemId> = (0..cfg.num_items).map(ItemId::from_index).collect();
-        item_ids.shuffle(rng);
+        item_ids.shuffle(&mut rng);
         let mut topic_items: Vec<Vec<ItemId>> = vec![Vec::new(); cfg.num_topics];
         let mut item_topic = vec![0u32; cfg.num_items];
         for (idx, item) in item_ids.into_iter().enumerate() {
@@ -349,7 +446,7 @@ impl TraceGenerator {
         // Partition tags: a shared pool used by every topic plus
         // topic-specific pools.
         let mut tag_ids: Vec<TagId> = (0..cfg.num_tags).map(TagId::from_index).collect();
-        tag_ids.shuffle(rng);
+        tag_ids.shuffle(&mut rng);
         let shared_count =
             ((cfg.num_tags as f64 * cfg.shared_tag_fraction) as usize).min(cfg.num_tags);
         let (shared, specific) = tag_ids.split_at(shared_count);
@@ -366,39 +463,99 @@ impl TraceGenerator {
             }
         }
 
-        // Characteristic tags of each item, drawn from its topic's pool with
-        // a Zipf bias so that popular tags describe many items.
+        (item_topic, topic_items, topic_tags)
+    }
+
+    /// Characteristic tags of one item, drawn from its private RNG stream
+    /// with a Zipf bias so that popular tags describe many items.
+    fn item_characteristic_tags(
+        &self,
+        item: usize,
+        item_topic: &[u32],
+        topic_tags: &[Vec<TagId>],
+        tag_sampler: &ZipfSampler,
+    ) -> Vec<TagId> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed ^ STREAM_ITEM_TAGS, item as u64));
+        let pool = &topic_tags[item_topic[item] as usize];
+        let mut tags = Vec::with_capacity(cfg.characteristic_tags_per_item);
+        while tags.len() < cfg.characteristic_tags_per_item.min(pool.len()) {
+            let tag = pool[tag_sampler.sample(&mut rng) % pool.len()];
+            if !tags.contains(&tag) {
+                tags.push(tag);
+            }
+        }
+        tags
+    }
+
+    /// The topic interests of one user (1..=`topics_per_user_max` distinct
+    /// topics, primary first), drawn from her private RNG stream.
+    fn user_topic_set(&self, user: usize) -> Vec<u32> {
+        let cfg = &self.config;
+        let mut rng =
+            StdRng::seed_from_u64(stream_seed(cfg.seed ^ STREAM_USER_TOPICS, user as u64));
+        let count = 1 + rng.gen_range(0..cfg.topics_per_user_max);
+        let mut topics = Vec::with_capacity(count);
+        while topics.len() < count.min(cfg.num_topics) {
+            let t = rng.gen_range(0..cfg.num_topics) as u32;
+            if !topics.contains(&t) {
+                topics.push(t);
+            }
+        }
+        topics
+    }
+
+    fn build_world_with_threads(&self, threads: usize) -> World {
+        let cfg = &self.config;
+        let (item_topic, topic_items, topic_tags) = self.world_partitions();
         let tag_sampler = ZipfSampler::new(
             topic_tags.iter().map(Vec::len).max().unwrap_or(1),
             cfg.tag_zipf_exponent,
         );
-        let mut item_tags = vec![Vec::new(); cfg.num_items];
+        let item_tags = parallel_map_chunks(
+            cfg.num_items,
+            threads,
+            || (),
+            |item, ()| self.item_characteristic_tags(item, &item_topic, &topic_tags, &tag_sampler),
+        );
+        let user_topics = parallel_map_chunks(
+            cfg.num_users,
+            threads,
+            || (),
+            |user, ()| self.user_topic_set(user),
+        );
+        World {
+            item_topic,
+            item_tags,
+            user_topics,
+            topic_items,
+            topic_tags,
+        }
+    }
+
+    /// Sequential world construction — plain loops over the same per-unit
+    /// RNG streams, part of the [`generate_reference`](Self::generate_reference)
+    /// oracle.
+    fn build_world_reference(&self) -> World {
+        let cfg = &self.config;
+        let (item_topic, topic_items, topic_tags) = self.world_partitions();
+        let tag_sampler = ZipfSampler::new(
+            topic_tags.iter().map(Vec::len).max().unwrap_or(1),
+            cfg.tag_zipf_exponent,
+        );
+        let mut item_tags = Vec::with_capacity(cfg.num_items);
         for item in 0..cfg.num_items {
-            let pool = &topic_tags[item_topic[item] as usize];
-            let mut tags = Vec::with_capacity(cfg.characteristic_tags_per_item);
-            while tags.len() < cfg.characteristic_tags_per_item.min(pool.len()) {
-                let tag = pool[tag_sampler.sample(rng) % pool.len()];
-                if !tags.contains(&tag) {
-                    tags.push(tag);
-                }
-            }
-            item_tags[item] = tags;
+            item_tags.push(self.item_characteristic_tags(
+                item,
+                &item_topic,
+                &topic_tags,
+                &tag_sampler,
+            ));
         }
-
-        // User interests: 1..=topics_per_user_max distinct topics.
         let mut user_topics = Vec::with_capacity(cfg.num_users);
-        for _ in 0..cfg.num_users {
-            let count = 1 + rng.gen_range(0..cfg.topics_per_user_max);
-            let mut topics = Vec::with_capacity(count);
-            while topics.len() < count.min(cfg.num_topics) {
-                let t = rng.gen_range(0..cfg.num_topics) as u32;
-                if !topics.contains(&t) {
-                    topics.push(t);
-                }
-            }
-            user_topics.push(topics);
+        for user in 0..cfg.num_users {
+            user_topics.push(self.user_topic_set(user));
         }
-
         World {
             item_topic,
             item_tags,
@@ -433,6 +590,28 @@ mod tests {
         assert_eq!(a.dataset.total_actions(), b.dataset.total_actions());
         for user in a.dataset.users() {
             assert_eq!(a.dataset.profile(user), b.dataset.profile(user));
+        }
+    }
+
+    #[test]
+    fn parallel_generation_matches_reference_for_any_thread_count() {
+        let generator = TraceGenerator::new(TraceConfig::tiny(21));
+        let reference = generator.generate_reference();
+        for threads in [1, 2, 3, 8] {
+            let parallel = generator.generate_with_threads(threads);
+            assert_eq!(
+                parallel.world.item_topic, reference.world.item_topic,
+                "threads = {threads}"
+            );
+            assert_eq!(parallel.world.item_tags, reference.world.item_tags);
+            assert_eq!(parallel.world.user_topics, reference.world.user_topics);
+            for user in reference.dataset.users() {
+                assert_eq!(
+                    parallel.dataset.profile(user),
+                    reference.dataset.profile(user),
+                    "threads = {threads}, user = {user}"
+                );
+            }
         }
     }
 

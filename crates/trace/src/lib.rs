@@ -9,11 +9,22 @@
 //! * a **synthetic trace generator** ([`TraceGenerator`]) that reproduces the
 //!   structural properties of the crawl (interest communities, Zipf
 //!   popularity, log-normal profile sizes, consistent item tags) because the
-//!   original crawl is not redistributable;
+//!   original crawl is not redistributable — generation is **parallel and
+//!   deterministic**: every user, item and topic set draws from its own RNG
+//!   stream derived from the master seed, so the output is byte-identical
+//!   for every worker-thread count (`P3Q_THREADS`), pinned against the
+//!   retained sequential oracle [`TraceGenerator::generate_reference`];
 //! * the **query workload** of the paper ([`QueryGenerator`]) — one query per
 //!   user, built from a random item of her own profile;
 //! * **profile dynamics** ([`DynamicsGenerator`]) — batches of new tagging
-//!   actions mirroring the weekly activity analysed in Section 3.4.1;
+//!   actions mirroring the weekly activity analysed in Section 3.4.1, plus
+//!   the [`DynamicsMode`] axis (topic drift, flash crowds) the paper never
+//!   explored — also parallel with a sequential oracle;
+//! * the **scenario layer** ([`Scenario`], [`ScenarioConfig`]) — named
+//!   workload presets (`paper-delicious`, `flash-crowd`, `topic-drift`,
+//!   `churn-heavy`, `uniform-control`) materialized as a trace plus a
+//!   [`DynamicsPlan`] and a concrete event schedule, the single entry point
+//!   the benchmark harness builds every experiment from;
 //! * summary [`DatasetStats`] to compare a generated trace against the
 //!   paper's crawl statistics.
 
@@ -27,15 +38,20 @@ mod generator;
 mod ids;
 mod profile;
 mod queries;
+mod scenario;
 mod stats;
 mod zipf;
 
 pub use action::TaggingAction;
 pub use dataset::Dataset;
-pub use dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator, ProfileChange};
+pub use dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator, DynamicsMode, ProfileChange};
 pub use generator::{SyntheticTrace, TraceConfig, TraceGenerator, World};
 pub use ids::{ItemId, TagId, UserId};
 pub use profile::{Profile, SharedProfile};
 pub use queries::{Query, QueryGenerator};
+pub use scenario::{
+    DynamicsPlan, PlanKind, PlanStep, Scenario, ScenarioConfig, ScenarioEvent, ScenarioWorkload,
+    TraceShape,
+};
 pub use stats::DatasetStats;
 pub use zipf::ZipfSampler;

@@ -1,0 +1,462 @@
+//! Scenario presets: one entry point from a named workload shape to a full
+//! experiment substrate.
+//!
+//! The paper evaluates P3Q on a single workload — the delicious crawl — but
+//! gossip systems differ most under *diverse* workloads: churn and dynamics
+//! change both utility and privacy leakage, and personalization quality is
+//! highly sensitive to the interest-distribution shape. A [`Scenario`] names
+//! one such shape; [`ScenarioConfig::build`] turns it into a
+//! [`ScenarioWorkload`]: the generated trace, the [`DynamicsPlan`] that
+//! describes what happens on the cycle axis, and the materialized event
+//! [`schedule`](ScenarioWorkload::schedule) the simulation layer feeds into
+//! its `EventQueue`.
+//!
+//! The five presets:
+//!
+//! * [`Scenario::PaperDelicious`] — the paper's evaluation substrate:
+//!   Zipf popularity, interest communities, log-normal profile sizes, and
+//!   two organic paper-day change batches (Section 3.4.1);
+//! * [`Scenario::FlashCrowd`] — a burst of activity concentrated on a small
+//!   hot item set mid-run (viral items, breaking news);
+//! * [`Scenario::TopicDrift`] — changing users abandon their original
+//!   interests, the workload under which cached similarity decays fastest;
+//! * [`Scenario::ChurnHeavy`] — organic dynamics plus escalating mass
+//!   departures (Section 3.4.2's churn axis, pushed harder);
+//! * [`Scenario::UniformControl`] — the null model: one topic, exponent-0
+//!   popularity, no scheduled events. Any personalization benefit measured
+//!   here is noise, which is exactly what a control is for.
+//!
+//! Generation is parallel and deterministic: the trace and every scheduled
+//! change batch are fanned out over worker threads with byte-identical
+//! output for every thread count (see [`crate::TraceGenerator`]).
+
+use serde::{Deserialize, Serialize};
+
+use p3q_sim::{default_threads, stream_seed};
+
+use crate::dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator};
+use crate::generator::{SyntheticTrace, TraceConfig, TraceGenerator};
+
+/// Salt for per-plan-step batch seeds.
+const STREAM_PLAN: u64 = 0x5CE0_A210_0000_0007;
+
+/// A named workload preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// The paper's delicious-like substrate with organic daily dynamics.
+    PaperDelicious,
+    /// A mid-run burst of tagging concentrated on a few hot items.
+    FlashCrowd,
+    /// Changing users drift to new topics, decaying all cached similarity.
+    TopicDrift,
+    /// Organic dynamics plus escalating mass departures.
+    ChurnHeavy,
+    /// No communities, no popularity skew, no events — the control.
+    UniformControl,
+}
+
+impl Scenario {
+    /// Every preset, in presentation order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::PaperDelicious,
+        Scenario::FlashCrowd,
+        Scenario::TopicDrift,
+        Scenario::ChurnHeavy,
+        Scenario::UniformControl,
+    ];
+
+    /// The preset's kebab-case command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::PaperDelicious => "paper-delicious",
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::TopicDrift => "topic-drift",
+            Scenario::ChurnHeavy => "churn-heavy",
+            Scenario::UniformControl => "uniform-control",
+        }
+    }
+
+    /// Resolves a command-line name (as produced by [`name`](Self::name)).
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Resolves a `--scenario` flag value, panicking with the list of valid
+    /// names on a typo — the shared flag handler of the bench binaries.
+    pub fn from_flag(name: &str) -> Scenario {
+        Scenario::from_name(name).unwrap_or_else(|| {
+            let names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+            panic!("unknown scenario {name}; one of: {}", names.join(", "))
+        })
+    }
+
+    /// One-line description for `--help` output and reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::PaperDelicious => {
+                "paper-scale delicious shape: Zipf popularity, communities, organic daily changes"
+            }
+            Scenario::FlashCrowd => "mid-run tagging burst concentrated on a small hot item set",
+            Scenario::TopicDrift => {
+                "changing users drift to new topics, decaying cached similarity"
+            }
+            Scenario::ChurnHeavy => "organic dynamics plus escalating mass departures",
+            Scenario::UniformControl => "one topic, no popularity skew, no events (null model)",
+        }
+    }
+}
+
+/// How the trace vocabulary scales with the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceShape {
+    /// The laptop vocabulary (12k items / 3k tags / 25 topics) regardless of
+    /// population — the shape of the figure drivers, where changing `--users`
+    /// should change only the population.
+    FixedLaptop,
+    /// The paper vocabulary (101k items / 32k tags / 80 topics).
+    FixedPaper,
+    /// Density-preserving scaling: items, tags and topics grow with the
+    /// population so the per-user overlap structure stays constant — the
+    /// shape of the throughput benchmarks.
+    DensityScaled,
+}
+
+/// A fully specified scenario instance: preset + population + seed +
+/// schedule horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// The workload preset.
+    pub scenario: Scenario,
+    /// Population size.
+    pub num_users: usize,
+    /// Master seed; the trace and every scheduled batch derive their streams
+    /// from it.
+    pub seed: u64,
+    /// Number of gossip cycles the event schedule spreads over.
+    pub horizon: u64,
+    /// Vocabulary scaling rule.
+    pub shape: TraceShape,
+}
+
+impl ScenarioConfig {
+    /// A scenario over a density-scaled trace with a 60-cycle horizon.
+    pub fn new(scenario: Scenario, num_users: usize, seed: u64) -> Self {
+        Self {
+            scenario,
+            num_users,
+            seed,
+            horizon: 60,
+            shape: TraceShape::DensityScaled,
+        }
+    }
+
+    /// Replaces the vocabulary scaling rule.
+    pub fn with_shape(mut self, shape: TraceShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Replaces the schedule horizon.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// The trace configuration this scenario generates from: the shape rule
+    /// applied to the population, then the preset's structural overrides.
+    pub fn trace_config(&self) -> TraceConfig {
+        let mut cfg = match self.shape {
+            TraceShape::FixedLaptop => TraceConfig::laptop_scale(self.seed),
+            TraceShape::FixedPaper => TraceConfig::paper_scale(self.seed),
+            TraceShape::DensityScaled => {
+                let mut cfg = TraceConfig::laptop_scale(self.seed);
+                cfg.num_items = self.num_users * 12;
+                cfg.num_tags = (self.num_users * 3).max(300);
+                cfg.num_topics = (self.num_users / 40).clamp(10, 200);
+                cfg
+            }
+        };
+        cfg.num_users = self.num_users;
+        if self.scenario == Scenario::UniformControl {
+            // The null model: one global topic (no communities) and
+            // exponent-0 Zipf (uniform popularity). Tag consistency is kept
+            // so queries still mean something.
+            cfg.num_topics = 1;
+            cfg.item_zipf_exponent = 0.0;
+            cfg.tag_zipf_exponent = 0.0;
+            cfg.shared_tag_fraction = 1.0;
+        }
+        cfg
+    }
+
+    /// What happens on the cycle axis, before any batch is materialized.
+    /// Every step fires at a cycle within `[0, horizon]`, so a run of
+    /// `horizon` cycles (with an end-boundary event flush) delivers the
+    /// whole schedule even for tiny horizons.
+    pub fn dynamics_plan(&self) -> DynamicsPlan {
+        let h = self.horizon;
+        let step_seed = |index: usize| stream_seed(self.seed ^ STREAM_PLAN, index as u64);
+        let steps = match self.scenario {
+            Scenario::PaperDelicious => vec![
+                PlanStep::changes(h / 3, DynamicsConfig::paper_day(step_seed(0))),
+                PlanStep::changes(2 * h / 3, DynamicsConfig::paper_day(step_seed(1))),
+            ],
+            Scenario::FlashCrowd => {
+                let hot_items = (self.num_users / 100).clamp(5, 50);
+                // One hot seed across the whole burst: different users tag
+                // on each cycle, but the *same* items stay viral.
+                let hot_seed = step_seed(usize::MAX);
+                (0..3)
+                    .map(|k| {
+                        PlanStep::changes(
+                            (h / 3 + k).min(h),
+                            DynamicsConfig::flash_crowd(
+                                step_seed(k as usize),
+                                hot_seed,
+                                0.4,
+                                hot_items,
+                                0.9,
+                            ),
+                        )
+                    })
+                    .collect()
+            }
+            Scenario::TopicDrift => (0..3)
+                .map(|k| {
+                    PlanStep::changes(
+                        (k + 1) * h / 4,
+                        DynamicsConfig::topic_drift(step_seed(k as usize), 0.8),
+                    )
+                })
+                .collect(),
+            Scenario::ChurnHeavy => vec![
+                PlanStep::departure(h / 4, 0.10),
+                PlanStep::changes(h / 3, DynamicsConfig::paper_day(step_seed(0))),
+                PlanStep::departure(h / 2, 0.20),
+                PlanStep::changes(2 * h / 3, DynamicsConfig::paper_day(step_seed(1))),
+                PlanStep::departure(3 * h / 4, 0.30),
+            ],
+            Scenario::UniformControl => Vec::new(),
+        };
+        DynamicsPlan { steps }
+    }
+
+    /// Materializes the scenario with the default worker-thread count
+    /// (`P3Q_THREADS` override).
+    pub fn build(&self) -> ScenarioWorkload {
+        self.build_with_threads(default_threads())
+    }
+
+    /// Materializes the scenario with an explicit worker-thread count:
+    /// generates the trace, then every planned change batch. Output is
+    /// byte-identical for every thread count.
+    pub fn build_with_threads(&self, threads: usize) -> ScenarioWorkload {
+        let trace = TraceGenerator::new(self.trace_config()).generate_with_threads(threads);
+        let plan = self.dynamics_plan();
+        let schedule = plan.materialize_with_threads(&trace, threads);
+        ScenarioWorkload {
+            config: self.clone(),
+            trace,
+            plan,
+            schedule,
+        }
+    }
+}
+
+/// One step of a [`DynamicsPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// The cycle at which the step fires.
+    pub cycle: u64,
+    /// What fires.
+    pub kind: PlanKind,
+}
+
+impl PlanStep {
+    fn changes(cycle: u64, config: DynamicsConfig) -> Self {
+        Self {
+            cycle,
+            kind: PlanKind::Changes(config),
+        }
+    }
+
+    fn departure(cycle: u64, fraction: f64) -> Self {
+        Self {
+            cycle,
+            kind: PlanKind::Departure(fraction),
+        }
+    }
+}
+
+/// The kind of a plan step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// A batch of profile changes with the given configuration.
+    Changes(DynamicsConfig),
+    /// A mass departure of the given fraction of alive users.
+    Departure(f64),
+}
+
+/// The cycle-axis plan of a scenario: which change batches and departures
+/// fire when. This is the *description*; [`DynamicsPlan::materialize`] turns
+/// it into concrete events against a generated trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsPlan {
+    /// The steps, in firing order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl DynamicsPlan {
+    /// Number of planned steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if nothing is planned.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Generates the concrete event schedule for `trace` (default threads).
+    pub fn materialize(&self, trace: &SyntheticTrace) -> Vec<(u64, ScenarioEvent)> {
+        self.materialize_with_threads(trace, default_threads())
+    }
+
+    /// Generates the concrete event schedule for `trace` with an explicit
+    /// worker-thread count.
+    pub fn materialize_with_threads(
+        &self,
+        trace: &SyntheticTrace,
+        threads: usize,
+    ) -> Vec<(u64, ScenarioEvent)> {
+        self.steps
+            .iter()
+            .map(|step| {
+                let event = match &step.kind {
+                    PlanKind::Changes(cfg) => ScenarioEvent::ProfileChanges(
+                        DynamicsGenerator::new(cfg.clone()).generate_with_threads(trace, threads),
+                    ),
+                    PlanKind::Departure(fraction) => ScenarioEvent::MassDeparture(*fraction),
+                };
+                (step.cycle, event)
+            })
+            .collect()
+    }
+}
+
+/// A concrete scheduled event: what the simulation layer applies at a cycle
+/// boundary. The bench crate converts these 1:1 into its `EventQueue`
+/// vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// A batch of profile changes hits the owners' nodes.
+    ProfileChanges(ChangeBatch),
+    /// A fraction of the alive population departs simultaneously.
+    MassDeparture(f64),
+}
+
+/// A materialized scenario: the trace, the plan, and the concrete schedule.
+#[derive(Debug, Clone)]
+pub struct ScenarioWorkload {
+    /// The configuration that produced this workload.
+    pub config: ScenarioConfig,
+    /// The generated trace (dataset + latent topic model).
+    pub trace: SyntheticTrace,
+    /// The cycle-axis plan.
+    pub plan: DynamicsPlan,
+    /// The concrete events, ordered by firing cycle.
+    pub schedule: Vec<(u64, ScenarioEvent)>,
+}
+
+impl ScenarioWorkload {
+    /// Total number of new tagging actions across all scheduled change
+    /// batches.
+    pub fn scheduled_actions(&self) -> usize {
+        self.schedule
+            .iter()
+            .map(|(_, event)| match event {
+                ScenarioEvent::ProfileChanges(batch) => batch
+                    .changes
+                    .iter()
+                    .map(|c| c.new_actions.len())
+                    .sum::<usize>(),
+                ScenarioEvent::MassDeparture(_) => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scenario: Scenario) -> ScenarioConfig {
+        ScenarioConfig::new(scenario, 80, 11).with_horizon(12)
+    }
+
+    #[test]
+    fn every_preset_builds_and_round_trips_names() {
+        for scenario in Scenario::ALL {
+            assert_eq!(Scenario::from_name(scenario.name()), Some(scenario));
+            let workload = tiny(scenario).build();
+            assert_eq!(workload.trace.dataset.num_users(), 80);
+            assert!(workload.trace.dataset.total_actions() > 0);
+            for (cycle, _) in &workload.schedule {
+                assert!(*cycle <= 12);
+            }
+        }
+        assert_eq!(Scenario::from_name("no-such"), None);
+    }
+
+    #[test]
+    fn build_is_byte_identical_for_any_thread_count() {
+        for scenario in [Scenario::FlashCrowd, Scenario::ChurnHeavy] {
+            let cfg = tiny(scenario);
+            let reference = cfg.build_with_threads(1);
+            for threads in [2, 3, 8] {
+                let parallel = cfg.build_with_threads(threads);
+                assert_eq!(parallel.schedule, reference.schedule, "threads = {threads}");
+                for user in reference.trace.dataset.users() {
+                    assert_eq!(
+                        parallel.trace.dataset.profile(user),
+                        reference.trace.dataset.profile(user)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_heavy_schedules_departures() {
+        let workload = tiny(Scenario::ChurnHeavy).build();
+        let departures: Vec<f64> = workload
+            .schedule
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ScenarioEvent::MassDeparture(f) => Some(*f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(departures.len(), 3);
+        assert!(departures.iter().all(|f| (0.0..1.0).contains(f)));
+        assert!(workload.scheduled_actions() > 0);
+    }
+
+    #[test]
+    fn uniform_control_has_no_events_and_one_topic() {
+        let cfg = tiny(Scenario::UniformControl);
+        assert!(cfg.dynamics_plan().is_empty());
+        assert_eq!(cfg.trace_config().num_topics, 1);
+        let workload = cfg.build();
+        assert!(workload.schedule.is_empty());
+        assert_eq!(workload.scheduled_actions(), 0);
+    }
+
+    #[test]
+    fn shapes_scale_the_vocabulary_differently() {
+        let fixed = tiny(Scenario::PaperDelicious).with_shape(TraceShape::FixedLaptop);
+        assert_eq!(fixed.trace_config().num_items, 12_000);
+        let scaled = tiny(Scenario::PaperDelicious);
+        assert_eq!(scaled.trace_config().num_items, 80 * 12);
+    }
+}

@@ -93,3 +93,65 @@ fn query_wire_size_never_less_than_id() {
     let q = Query::new(UserId(0), vec![], ItemId(0));
     assert_eq!(q.wire_bytes(), 4);
 }
+
+/// Asserts two traces are byte-identical: same latent world, same profile
+/// bytes for every user.
+fn assert_traces_identical(
+    a: &p3q_trace::SyntheticTrace,
+    b: &p3q_trace::SyntheticTrace,
+    context: &str,
+) {
+    assert_eq!(a.world.item_topic, b.world.item_topic, "{context}");
+    assert_eq!(a.world.item_tags, b.world.item_tags, "{context}");
+    assert_eq!(a.world.user_topics, b.world.user_topics, "{context}");
+    assert_eq!(a.world.topic_items, b.world.topic_items, "{context}");
+    assert_eq!(a.world.topic_tags, b.world.topic_tags, "{context}");
+    assert_eq!(a.dataset.num_users(), b.dataset.num_users(), "{context}");
+    for user in a.dataset.users() {
+        assert_eq!(
+            a.dataset.profile(user),
+            b.dataset.profile(user),
+            "{context}, user = {user}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The parallel generator is byte-identical to the retained sequential
+    /// reference for every thread count, across random seeds and populations
+    /// — the determinism contract of the trace layer.
+    #[test]
+    fn prop_parallel_generation_matches_reference(seed in 0u64..10_000, users in 30usize..120) {
+        let mut cfg = TraceConfig::tiny(seed);
+        cfg.num_users = users;
+        let generator = TraceGenerator::new(cfg);
+        let reference = generator.generate_reference();
+        for threads in [1, 3, 8] {
+            let parallel = generator.generate_with_threads(threads);
+            assert_traces_identical(&parallel, &reference, &format!("threads = {threads}"));
+        }
+    }
+
+    /// Parallel dynamics batches are byte-identical to the sequential
+    /// reference for every thread count, in every mode.
+    #[test]
+    fn prop_parallel_dynamics_matches_reference(seed in 0u64..10_000) {
+        use p3q_trace::{DynamicsConfig, DynamicsGenerator};
+        let trace = TraceGenerator::new(TraceConfig::tiny(seed)).generate();
+        for cfg in [
+            DynamicsConfig::paper_day(seed ^ 1),
+            DynamicsConfig::all_users(seed ^ 2),
+            DynamicsConfig::topic_drift(seed ^ 3, 0.7),
+            DynamicsConfig::flash_crowd(seed ^ 4, seed, 0.6, 5, 0.9),
+        ] {
+            let generator = DynamicsGenerator::new(cfg);
+            let reference = generator.generate_reference(&trace);
+            for threads in [1, 3, 8] {
+                let parallel = generator.generate_with_threads(&trace, threads);
+                prop_assert_eq!(&parallel, &reference, "threads = {}", threads);
+            }
+        }
+    }
+}
