@@ -18,6 +18,10 @@
 //! * **checksums** (keys containing `checksum`) — exact equality: same
 //!   code + same seed must produce the same bytes on any host, so a
 //!   mismatch is a determinism regression, not noise;
+//! * **memory** (keys starting with `bytes_`) — exact-or-below-baseline:
+//!   resident byte counts are deterministic for a given seed, so growth
+//!   beyond the committed baseline is a memory regression (shrinking is
+//!   always fine and simply means the baseline can be re-blessed);
 //! * **everything else** — exact equality (counts, labels, structure), and
 //!   keys added or removed relative to the baseline are violations; a
 //!   changed `total_actions` or mode list means the benchmark itself
@@ -32,6 +36,20 @@
 //! ```
 //!
 //! Exit code 0 when every comparison passes, 1 otherwise.
+//!
+//! ## Bless mode
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_check -- --bless [--dir ci/baselines]
+//! ```
+//!
+//! Regenerates every smoke baseline by running the sibling benchmark
+//! binaries with the canonical smoke flags ([`SMOKE_JOBS`] — the same ones
+//! the CI `bench-smoke` job uses, since that job also drives its fresh
+//! runs through `--bless --dir .`). This retires the old hand-regeneration
+//! step: whenever a benchmark's output shape or the trace bytes change
+//! deliberately, `--bless` rewrites `ci/baselines/` in one command, with
+//! no flag drift possible between CI and the committed files.
 
 use std::collections::BTreeMap;
 
@@ -228,6 +246,9 @@ enum KeyClass {
     /// A reciprocal time (throughput): judged on the implied per-unit time,
     /// with the same tolerance band and noise slack.
     PerSec,
+    /// Deterministic resident-byte count: fresh must be at most the
+    /// baseline (exact-or-≤; smaller means the baseline can be re-blessed).
+    Bytes,
     /// Must match exactly (determinism / structure).
     Exact,
     /// Host-dependent; skipped.
@@ -239,6 +260,8 @@ fn classify(key: &str) -> KeyClass {
         KeyClass::Ignored
     } else if key.contains("checksum") {
         KeyClass::Exact
+    } else if key.starts_with("bytes_") {
+        KeyClass::Bytes
     } else if key.ends_with("_s") {
         KeyClass::Time { to_seconds: 1.0 }
     } else if key.ends_with("_ms") || key.ends_with("_ms_mean") {
@@ -319,6 +342,14 @@ fn compare(baseline: &Json, fresh: &Json, path: &str, class: KeyClass, tol: f64,
                         );
                     }
                 }
+                KeyClass::Bytes => {
+                    if *f > *b {
+                        rep.fail(
+                            path,
+                            format!("memory regressed: {f:.0} bytes > baseline {b:.0}"),
+                        );
+                    }
+                }
                 KeyClass::Exact | KeyClass::Ignored => {
                     if (b - f).abs() > 1e-9 * b.abs().max(1.0) {
                         rep.fail(path, format!("exact value changed: {b} -> {f}"));
@@ -340,10 +371,67 @@ fn load(path: &str) -> Json {
     parse_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
 }
 
+/// The canonical smoke configuration: one entry per benchmark, giving the
+/// sibling binary name, its flags and the output file name. This table is
+/// the **single source of truth** for both the committed baselines
+/// (`--bless`, default `--dir ci/baselines`) and CI's fresh smoke runs
+/// (`--bless --dir .` in the `bench-smoke` job) — the two can never drift.
+const SMOKE_JOBS: &[(&str, &[&str], &str)] = &[
+    (
+        "bench_similarity",
+        &["--users", "1000", "--cycles", "2", "--memory-users", "0"],
+        "BENCH_similarity_smoke.json",
+    ),
+    (
+        "bench_cycles",
+        &["--users", "1000", "--cycles", "2", "--warmup", "1"],
+        "BENCH_cycles_smoke.json",
+    ),
+    (
+        "bench_trace",
+        &["--users", "1000"],
+        "BENCH_trace_smoke.json",
+    ),
+];
+
+/// Runs every [`SMOKE_JOBS`] entry with the sibling benchmark binaries
+/// (built alongside this one) and writes the outputs into `dir`.
+fn bless(dir: &str) {
+    let own = std::env::current_exe().expect("cannot locate the running binary");
+    let bin_dir = own.parent().expect("binary has a parent directory");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {dir}: {e}"));
+    for (bin, flags, out_name) in SMOKE_JOBS {
+        let bin_path = bin_dir.join(bin);
+        assert!(
+            bin_path.exists(),
+            "{} not found next to bench_check — build the whole bench crate first \
+             (cargo build --release -p p3q-bench)",
+            bin_path.display()
+        );
+        let out_path = format!("{dir}/{out_name}");
+        println!(
+            "bench_check: blessing {out_path} ({bin} {})",
+            flags.join(" ")
+        );
+        let status = std::process::Command::new(&bin_path)
+            .args(*flags)
+            .args(["--out", &out_path])
+            .status()
+            .unwrap_or_else(|e| panic!("cannot run {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!(
+        "bench_check: blessed {} baseline(s) into {dir}",
+        SMOKE_JOBS.len()
+    );
+}
+
 fn main() {
     let mut baseline_path = None;
     let mut fresh_path = None;
     let mut tolerance = 4.0f64;
+    let mut do_bless = false;
+    let mut bless_dir = "ci/baselines".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -353,6 +441,8 @@ fn main() {
         match flag.as_str() {
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--fresh" => fresh_path = Some(value("--fresh")),
+            "--bless" => do_bless = true,
+            "--dir" => bless_dir = value("--dir"),
             "--tolerance" => {
                 tolerance = value("--tolerance")
                     .parse()
@@ -360,9 +450,16 @@ fn main() {
                 assert!(tolerance >= 1.0, "--tolerance must be >= 1");
             }
             other => {
-                panic!("unknown flag {other}; usage: --baseline PATH --fresh PATH [--tolerance F]")
+                panic!(
+                    "unknown flag {other}; usage: --baseline PATH --fresh PATH [--tolerance F] \
+                     | --bless [--dir DIR]"
+                )
             }
         }
+    }
+    if do_bless {
+        bless(&bless_dir);
+        return;
     }
     let baseline_path = baseline_path.expect("--baseline is required");
     let fresh_path = fresh_path.expect("--fresh is required");
@@ -515,6 +612,29 @@ mod tests {
             4.0
         )
         .is_empty());
+    }
+
+    #[test]
+    fn bytes_keys_gate_exact_or_below() {
+        let baseline = obj(&[("bytes_index", Json::Number(1000.0))]);
+        assert!(check(&baseline, &baseline.clone(), 4.0).is_empty());
+        // Smaller is fine (an improvement waiting to be re-blessed)…
+        assert!(check(
+            &baseline,
+            &obj(&[("bytes_index", Json::Number(900.0))]),
+            4.0
+        )
+        .is_empty());
+        // …but any growth is a memory regression, no tolerance band.
+        assert_eq!(
+            check(
+                &baseline,
+                &obj(&[("bytes_index", Json::Number(1001.0))]),
+                4.0
+            )
+            .len(),
+            1
+        );
     }
 
     #[test]

@@ -15,8 +15,17 @@
 //!     --seed N        master seed              (default 42)
 //!     --scenario NAME workload preset          (default paper-delicious)
 //!     --skip-reference  skip the slow per-pair-merge baseline
+//!     --memory-users N  index-memory probe scale (default 100000; 0 = off)
 //!     --out PATH      output path              (default BENCH_similarity.json)
 //! ```
+//!
+//! Every scale reports the resident bytes of the compressed columnar index
+//! (`bytes_index*`) next to the uncompressed CSR layout the first index
+//! generation used, and of the decoded vs packed profile columns; the
+//! `index_memory` block repeats the accounting at the `--memory-users`
+//! scale (the 100k-user paper-delicious scenario by default), where memory
+//! — not CPU — is the binding constraint. `bench_check` gates all `bytes_*`
+//! keys exact-or-below-baseline.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,6 +51,7 @@ struct Args {
     seed: u64,
     scenario: Scenario,
     skip_reference: bool,
+    memory_users: usize,
     out: String,
 }
 
@@ -53,6 +63,7 @@ fn parse_args() -> Args {
         seed: 42,
         scenario: Scenario::PaperDelicious,
         skip_reference: false,
+        memory_users: 100_000,
         out: "BENCH_similarity.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -81,6 +92,11 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
             "--scenario" => args.scenario = Scenario::from_flag(&value("--scenario")),
             "--skip-reference" => args.skip_reference = true,
+            "--memory-users" => {
+                args.memory_users = value("--memory-users")
+                    .parse()
+                    .expect("--memory-users wants an integer")
+            }
             "--out" => args.out = value("--out"),
             other => panic!("unknown flag {other}"),
         }
@@ -93,6 +109,7 @@ struct ScaleResult {
     total_actions: usize,
     distinct_actions: usize,
     index_shards: usize,
+    memory: MemoryResult,
     index_build_ms: f64,
     counting_single_ms: f64,
     counting_parallel_ms: f64,
@@ -100,6 +117,80 @@ struct ScaleResult {
     reference_ms: Option<f64>,
     dynamics: Option<DynamicsResult>,
     lazy_cycle_ms: f64,
+}
+
+/// Resident-byte columns of one scale: the compressed index next to its
+/// uncompressed CSR equivalent, and the decoded vs packed profile store.
+struct MemoryResult {
+    users: usize,
+    total_actions: usize,
+    distinct_actions: usize,
+    bytes_index: usize,
+    bytes_index_dictionary: usize,
+    bytes_index_postings: usize,
+    bytes_index_directory: usize,
+    bytes_index_csr_equivalent: usize,
+    bytes_profiles_decoded: usize,
+    bytes_profiles_packed: usize,
+}
+
+impl MemoryResult {
+    fn measure(dataset: &p3q_trace::Dataset, index: &ActionIndex) -> Self {
+        let memory = index.memory();
+        Self {
+            users: dataset.num_users(),
+            total_actions: dataset.total_actions(),
+            distinct_actions: memory.distinct_actions,
+            bytes_index: memory.total_bytes,
+            bytes_index_dictionary: memory.dictionary_bytes,
+            bytes_index_postings: memory.postings_bytes,
+            bytes_index_directory: memory.directory_bytes,
+            bytes_index_csr_equivalent: memory.csr_equivalent_bytes,
+            bytes_profiles_decoded: dataset.profile_heap_bytes(),
+            bytes_profiles_packed: dataset.packed_profile_bytes(),
+        }
+    }
+
+    fn reduction_percent(&self) -> f64 {
+        if self.bytes_index_csr_equivalent == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.bytes_index as f64 / self.bytes_index_csr_equivalent as f64)
+    }
+
+    fn write_fields(&self, json: &mut String, indent: &str) {
+        let _ = writeln!(json, "{indent}\"bytes_index\": {},", self.bytes_index);
+        let _ = writeln!(
+            json,
+            "{indent}\"bytes_index_dictionary\": {},",
+            self.bytes_index_dictionary
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"bytes_index_postings\": {},",
+            self.bytes_index_postings
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"bytes_index_directory\": {},",
+            self.bytes_index_directory
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"bytes_index_csr_equivalent\": {},",
+            self.bytes_index_csr_equivalent
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"bytes_profiles_decoded\": {},",
+            self.bytes_profiles_decoded
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"bytes_profiles_packed\": {},",
+            self.bytes_profiles_packed
+        );
+    }
 }
 
 struct DynamicsResult {
@@ -199,6 +290,13 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     let index_build_ms = start.elapsed().as_secs_f64() * 1e3;
     let distinct_actions = index.distinct_actions();
     let index_shards = index.num_shards();
+    let memory = MemoryResult::measure(dataset, &index);
+    eprintln!(
+        "   index memory: {:.1} MiB compressed vs {:.1} MiB CSR ({:.0}% less)",
+        memory.bytes_index as f64 / (1 << 20) as f64,
+        memory.bytes_index_csr_equivalent as f64 / (1 << 20) as f64,
+        memory.reduction_percent()
+    );
 
     let start = Instant::now();
     let single = IdealNetworks::compute_with_threads(dataset, s, 1);
@@ -260,6 +358,7 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         total_actions: dataset.total_actions(),
         distinct_actions,
         index_shards,
+        memory,
         index_build_ms,
         counting_single_ms,
         counting_parallel_ms,
@@ -270,9 +369,31 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     }
 }
 
+/// Index-only memory probe at a large scale: generate the trace, build the
+/// compressed index, account both layouts — no ideal-network computation,
+/// so the 100k paper-delicious scenario stays cheap enough to run on every
+/// benchmark invocation.
+fn memory_probe(users: usize, args: &Args) -> MemoryResult {
+    eprintln!("== index-memory probe: {users} users ==");
+    let scenario = ScenarioConfig::new(args.scenario, users, args.seed);
+    let trace = TraceGenerator::new(scenario.trace_config()).generate();
+    let index = ActionIndex::build(&trace.dataset);
+    let memory = MemoryResult::measure(&trace.dataset, &index);
+    eprintln!(
+        "   {} actions, {} distinct: {:.1} MiB compressed vs {:.1} MiB CSR ({:.0}% less)",
+        memory.total_actions,
+        memory.distinct_actions,
+        memory.bytes_index as f64 / (1 << 20) as f64,
+        memory.bytes_index_csr_equivalent as f64 / (1 << 20) as f64,
+        memory.reduction_percent()
+    );
+    memory
+}
+
 fn main() {
     let args = parse_args();
     let results: Vec<ScaleResult> = args.users.iter().map(|&u| bench_scale(u, &args)).collect();
+    let probe = (args.memory_users > 0).then(|| memory_probe(args.memory_users, &args));
 
     let mut json = String::new();
     json.push_str("{\n  \"benchmark\": \"similarity\",\n");
@@ -290,6 +411,7 @@ fn main() {
         let _ = writeln!(json, "      \"total_actions\": {},", r.total_actions);
         let _ = writeln!(json, "      \"distinct_actions\": {},", r.distinct_actions);
         let _ = writeln!(json, "      \"index_shards\": {},", r.index_shards);
+        r.memory.write_fields(&mut json, "      ");
         let _ = writeln!(json, "      \"index_build_ms\": {:.3},", r.index_build_ms);
         let _ = writeln!(
             json,
@@ -364,7 +486,24 @@ fn main() {
             "    },\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    match &probe {
+        Some(m) => {
+            json.push_str("  \"index_memory\": {\n");
+            let _ = writeln!(json, "    \"users\": {},", m.users);
+            let _ = writeln!(json, "    \"total_actions\": {},", m.total_actions);
+            let _ = writeln!(json, "    \"distinct_actions\": {},", m.distinct_actions);
+            m.write_fields(&mut json, "    ");
+            let _ = writeln!(
+                json,
+                "    \"note\": \"compressed columnar index vs uncompressed CSR: {:.1}% smaller\"",
+                m.reduction_percent()
+            );
+            json.push_str("  }\n");
+        }
+        None => json.push_str("  \"index_memory\": null\n"),
+    }
+    json.push_str("}\n");
 
     std::fs::write(&args.out, &json).expect("writing benchmark output");
     eprintln!("wrote {}", args.out);

@@ -158,6 +158,12 @@ struct ScaleResult {
     users: usize,
     total_actions: usize,
     checksum: u64,
+    /// Resident bytes of the decoded profile store (8 bytes per action)...
+    bytes_profiles_decoded: usize,
+    /// ...the same profiles in the packed columnar at-rest form...
+    bytes_profiles_packed: usize,
+    /// ...and the interned action dictionary built over the trace.
+    bytes_dictionary: usize,
     modes: Vec<ModeResult>,
 }
 
@@ -171,10 +177,19 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     let reference_elapsed = start.elapsed().as_secs_f64();
     let reference_checksum = trace_checksum(&reference);
     let total_actions = reference.dataset.total_actions();
+    let bytes_profiles_decoded = reference.dataset.profile_heap_bytes();
+    let bytes_profiles_packed = reference.dataset.packed_profile_bytes();
+    let bytes_dictionary = reference.dataset.action_dictionary().heap_bytes();
     drop(reference);
     eprintln!(
         "   sequential_reference     {reference_elapsed:>6.2} s  ({total_actions} actions, \
          checksum {reference_checksum:#018x})"
+    );
+    eprintln!(
+        "   profile storage: {:.1} MiB decoded, {:.1} MiB packed, {:.1} MiB dictionary",
+        bytes_profiles_decoded as f64 / (1 << 20) as f64,
+        bytes_profiles_packed as f64 / (1 << 20) as f64,
+        bytes_dictionary as f64 / (1 << 20) as f64,
     );
 
     let mut modes = vec![ModeResult {
@@ -209,6 +224,9 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         users,
         total_actions,
         checksum: reference_checksum,
+        bytes_profiles_decoded,
+        bytes_profiles_packed,
+        bytes_dictionary,
         modes,
     }
 }
@@ -294,6 +312,17 @@ fn main() {
         let _ = writeln!(json, "      \"users\": {},", r.users);
         let _ = writeln!(json, "      \"total_actions\": {},", r.total_actions);
         let _ = writeln!(json, "      \"trace_checksum\": \"{:#018x}\",", r.checksum);
+        let _ = writeln!(
+            json,
+            "      \"bytes_profiles_decoded\": {},",
+            r.bytes_profiles_decoded
+        );
+        let _ = writeln!(
+            json,
+            "      \"bytes_profiles_packed\": {},",
+            r.bytes_profiles_packed
+        );
+        let _ = writeln!(json, "      \"bytes_dictionary\": {},", r.bytes_dictionary);
         json.push_str("      \"modes\": [\n");
         for (j, m) in r.modes.iter().enumerate() {
             json.push_str("        {\n");

@@ -14,9 +14,11 @@ use crate::{PAPER_FILTER_BITS, PAPER_FILTER_HASHES};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BloomFilter {
     bits: Vec<u64>,
-    bit_len: usize,
+    /// Stored as `u32` (filters are tens of kilobits; the simulator holds
+    /// one per node, so the struct stays at 32 bytes instead of 48).
+    bit_len: u32,
     num_hashes: u32,
-    inserted: usize,
+    inserted: u32,
 }
 
 impl BloomFilter {
@@ -31,7 +33,7 @@ impl BloomFilter {
         let words = bit_len.div_ceil(64);
         Self {
             bits: vec![0; words],
-            bit_len,
+            bit_len: u32::try_from(bit_len).expect("filters are at most 2^32 - 1 bits"),
             num_hashes,
             inserted: 0,
         }
@@ -70,12 +72,12 @@ impl BloomFilter {
 
     /// Number of `insert` calls performed (counting duplicates).
     pub fn inserted_keys(&self) -> usize {
-        self.inserted
+        self.inserted as usize
     }
 
     /// Capacity of the filter in bits.
     pub fn bit_len(&self) -> usize {
-        self.bit_len
+        self.bit_len as usize
     }
 
     /// Number of hash functions.
@@ -88,7 +90,13 @@ impl BloomFilter {
     /// This is the figure P3Q's bandwidth accounting charges for every digest
     /// exchanged in lazy-mode gossip.
     pub fn size_bytes(&self) -> usize {
-        self.bit_len.div_ceil(8)
+        self.bit_len().div_ceil(8)
+    }
+
+    /// Resident heap bytes of the in-memory bit array (whole `u64` words,
+    /// so usually slightly above [`Self::size_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len() * std::mem::size_of::<u64>()
     }
 
     /// Number of bits currently set to one.

@@ -101,7 +101,10 @@ pub fn collect_offers(node: &P3qNode, limit: usize, rng: &mut StdRng) -> Vec<Pro
                 .personal_network
                 .get(&user)
                 .expect("stored profiles live in personal-network entries");
-            let (digest, digest_version) = (entry.meta.digest.clone(), entry.meta.digest_version);
+            let (digest, digest_version) = (
+                entry.meta.digest.clone(),
+                u64::from(entry.meta.digest_version),
+            );
             ProfileOffer {
                 user,
                 digest,
@@ -145,9 +148,9 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
         if let Some(entry) = node.personal_network.get(&offer.user) {
             let same_digest =
                 Arc::ptr_eq(&entry.meta.digest, &offer.digest) || entry.meta.digest == offer.digest;
-            let advances_digest = offer.digest_version > entry.meta.digest_version;
-            let upgrades_copy =
-                entry.meta.profile.is_some() && offer.version > entry.meta.profile_version;
+            let advances_digest = offer.digest_version > u64::from(entry.meta.digest_version);
+            let upgrades_copy = entry.meta.profile.is_some()
+                && offer.version > u64::from(entry.meta.profile_version);
             if same_digest && !advances_digest && !upgrades_copy {
                 continue;
             }
@@ -197,7 +200,7 @@ pub fn process_offers(node: &mut P3qNode, offers: &[ProfileOffer]) -> ExchangeSt
             let cached_version = node
                 .personal_network
                 .get(&offer.user)
-                .map(|e| e.meta.profile_version)
+                .map(|e| u64::from(e.meta.profile_version))
                 .unwrap_or(0);
             let offer_improves =
                 !node.has_stored_profile(&offer.user) || cached_version < offer.version;
@@ -448,7 +451,7 @@ fn probe_candidate(
         let cached_version = me
             .personal_network
             .get(&candidate.peer)
-            .map(|e| e.meta.profile_version)
+            .map(|e| u64::from(e.meta.profile_version))
             .unwrap_or(0);
         let improves =
             !me.has_stored_profile(&candidate.peer) || cached_version < candidate.version;

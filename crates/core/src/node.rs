@@ -24,6 +24,140 @@ pub struct DigestInfo {
     pub version: u64,
 }
 
+/// Narrows a protocol-level `u64` profile version to the compact `u32` the
+/// view entries store. Versions bump once per profile-dynamics batch, so
+/// `u32` is ample; fail loudly rather than silently wrapping.
+#[inline]
+fn compact_version(version: u64) -> u32 {
+    u32::try_from(version).expect("profile versions are bounded by dynamics batches (u32)")
+}
+
+/// A `HashMap` that allocates only on first write.
+///
+/// Query state (`querier_states`, `tasks`) is empty on the overwhelming
+/// majority of nodes at any instant — a plain `HashMap` still costs 48
+/// bytes of struct per map per node. `LazyMap` boxes the map behind an
+/// `Option` (8 bytes when empty) and exposes the `HashMap` subset the
+/// query drivers use, so the call sites read exactly like before.
+#[derive(Debug, Clone, Default)]
+pub struct LazyMap<K, V> {
+    // The Box is deliberate: Option<HashMap> would keep the full 48-byte
+    // map struct inline in every node; the pointer keeps the empty (and
+    // overwhelmingly common) case at 8 bytes.
+    #[allow(clippy::box_collection)]
+    inner: Option<Box<HashMap<K, V>>>,
+}
+
+impl<K: std::hash::Hash + Eq, V> LazyMap<K, V> {
+    /// Creates an empty map (no allocation).
+    pub fn new() -> Self {
+        Self { inner: None }
+    }
+
+    fn force(&mut self) -> &mut HashMap<K, V> {
+        self.inner.get_or_insert_with(Box::default)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// Returns `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a key/value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.force().insert(key, value)
+    }
+
+    /// The value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.as_ref()?.get(key)
+    }
+
+    /// Mutable value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.inner.as_mut()?.get_mut(key)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.as_mut()?.remove(key)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.as_ref().is_some_and(|m| m.contains_key(key))
+    }
+
+    /// Iterates over `(key, value)` pairs (arbitrary order, like `HashMap`).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.inner.iter().flat_map(|m| m.iter())
+    }
+
+    /// Iterates over the keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over the values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates over the values, mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.inner.iter_mut().flat_map(|m| m.values_mut())
+    }
+
+    /// The entry API of the underlying map (allocates it if needed).
+    pub fn entry(&mut self, key: K) -> std::collections::hash_map::Entry<'_, K, V> {
+        self.force().entry(key)
+    }
+
+    /// Keeps only the entries `pred` approves.
+    pub fn retain(&mut self, pred: impl FnMut(&K, &mut V) -> bool) {
+        if let Some(m) = self.inner.as_mut() {
+            m.retain(pred);
+        }
+    }
+
+    /// Resident bytes: the boxed map's entry array (approximated by the
+    /// entry count) when allocated, nothing otherwise.
+    pub fn storage_bytes(&self) -> usize {
+        match &self.inner {
+            Some(m) => {
+                std::mem::size_of::<HashMap<K, V>>() + m.len() * std::mem::size_of::<(K, V)>()
+            }
+            None => 0,
+        }
+    }
+}
+
+impl<'a, K: std::hash::Hash + Eq, V> IntoIterator for &'a LazyMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = std::iter::FlatMap<
+        std::option::Iter<'a, Box<HashMap<K, V>>>,
+        std::collections::hash_map::Iter<'a, K, V>,
+        fn(&'a Box<HashMap<K, V>>) -> std::collections::hash_map::Iter<'a, K, V>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter().flat_map(|m| m.iter())
+    }
+}
+
+impl<K: std::hash::Hash + Eq, V> std::ops::Index<&K> for LazyMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry found for key")
+    }
+}
+
 /// Metadata attached to every personal-network neighbour.
 ///
 /// The cached profile copy and the digest may legitimately sit at different
@@ -33,17 +167,22 @@ pub struct DigestInfo {
 /// refresh accounting (Table 2, the AUR metric) and as gossip payload, but
 /// query scoring must not silently treat it as current; use
 /// [`Self::has_fresh_profile`] to tell the two states apart.
+///
+/// Versions are stored as `u32` (they bump once per dynamics batch), which
+/// packs one personal-network entry into 40 bytes instead of the 48 of the
+/// previous `u64` layout — at `s = 1000` paper scale that is the dominant
+/// term of a node's protocol-state footprint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NeighbourInfo {
     /// The neighbour's profile digest.
     pub digest: SharedFilter,
     /// Version of the neighbour's profile when the digest was taken.
-    pub digest_version: u64,
+    pub digest_version: u32,
     /// Cached copy of the neighbour's full profile, present only for the `c`
     /// most similar neighbours (the node's storage budget).
     pub profile: Option<SharedProfile>,
     /// Version of the neighbour's profile when the cached copy was taken.
-    pub profile_version: u64,
+    pub profile_version: u32,
 }
 
 impl NeighbourInfo {
@@ -51,7 +190,7 @@ impl NeighbourInfo {
     pub fn digest_only(digest: impl Into<SharedFilter>, version: u64) -> Self {
         Self {
             digest: digest.into(),
-            digest_version: version,
+            digest_version: compact_version(version),
             profile: None,
             profile_version: 0,
         }
@@ -71,22 +210,24 @@ pub struct P3qNode {
     /// The user this node belongs to.
     pub id: UserId,
     profile: SharedProfile,
-    profile_version: u64,
+    /// Stored compact (`u32`): versions bump once per dynamics batch.
+    profile_version: u32,
     /// Lazily (re)built digest: profile dynamics only clear this cell, and
     /// the next read rebuilds it — a batch of `add_tagging_actions` calls
     /// costs one Bloom construction instead of one per call.
     digest: OnceLock<SharedFilter>,
-    digest_bits: usize,
+    digest_bits: u32,
     digest_hashes: u32,
-    storage_budget: usize,
+    storage_budget: u32,
     /// The personal network: up to `s` most similar neighbours.
     pub personal_network: ScoredView<UserId, NeighbourInfo>,
     /// The random view maintained by the peer-sampling layer.
     pub random_view: AgedView<UserId, DigestInfo>,
-    /// Queries this node issued and is still collecting results for.
-    pub querier_states: HashMap<QueryId, QuerierState>,
+    /// Queries this node issued and is still collecting results for
+    /// (allocated on first query — empty on most nodes at any instant).
+    pub querier_states: LazyMap<QueryId, QuerierState>,
     /// Remaining-list shares this node took over for other users' queries.
-    pub tasks: HashMap<QueryId, RemainingTask>,
+    pub tasks: LazyMap<QueryId, RemainingTask>,
 }
 
 impl P3qNode {
@@ -117,13 +258,13 @@ impl P3qNode {
             profile,
             profile_version: 1,
             digest: OnceLock::new(),
-            digest_bits,
+            digest_bits: u32::try_from(digest_bits).expect("digest size fits u32"),
             digest_hashes,
-            storage_budget: storage_budget.max(1),
+            storage_budget: u32::try_from(storage_budget.max(1)).expect("storage budget fits u32"),
             personal_network: ScoredView::new(personal_network_size.max(1)),
             random_view: AgedView::new(random_view_size.max(1)),
-            querier_states: HashMap::new(),
-            tasks: HashMap::new(),
+            querier_states: LazyMap::new(),
+            tasks: LazyMap::new(),
         }
     }
 
@@ -140,7 +281,7 @@ impl P3qNode {
 
     /// Monotonically increasing version of the node's own profile.
     pub fn profile_version(&self) -> u64 {
-        self.profile_version
+        u64::from(self.profile_version)
     }
 
     /// The node's own profile digest (always in sync with the profile: a
@@ -152,8 +293,12 @@ impl P3qNode {
     /// The node's own digest as a shareable handle. Like [`Self::digest`],
     /// rebuilds lazily after profile dynamics invalidated it.
     pub fn shared_digest(&self) -> &SharedFilter {
-        self.digest
-            .get_or_init(|| Arc::new(self.profile.digest(self.digest_bits, self.digest_hashes)))
+        self.digest.get_or_init(|| {
+            Arc::new(
+                self.profile
+                    .digest(self.digest_bits as usize, self.digest_hashes),
+            )
+        })
     }
 
     /// Forces the pending digest rebuild now (no-op if the digest is
@@ -166,12 +311,12 @@ impl P3qNode {
 
     /// The node's storage budget `c`.
     pub fn storage_budget(&self) -> usize {
-        self.storage_budget
+        self.storage_budget as usize
     }
 
     /// Changes the storage budget and re-applies the storage rule.
     pub fn set_storage_budget(&mut self, budget: usize) {
-        self.storage_budget = budget.max(1);
+        self.storage_budget = u32::try_from(budget.max(1)).expect("storage budget fits u32");
         self.enforce_storage_budget();
     }
 
@@ -224,7 +369,7 @@ impl P3qNode {
         digest_version: u64,
     ) -> bool {
         let mut digest = digest.into();
-        let mut digest_version = digest_version;
+        let mut digest_version = compact_version(digest_version);
         let (profile, profile_version) = match self.personal_network.get(&peer) {
             Some(entry) => {
                 if entry.meta.digest_version > digest_version {
@@ -260,7 +405,7 @@ impl P3qNode {
             return false;
         };
         entry.meta.profile = Some(profile.into());
-        entry.meta.profile_version = version;
+        entry.meta.profile_version = compact_version(version);
         self.enforce_storage_budget();
         self.has_stored_profile(&peer)
     }
@@ -268,7 +413,9 @@ impl P3qNode {
     /// Applies the storage rule: only the `c` most similar neighbours keep a
     /// cached profile copy.
     pub fn enforce_storage_budget(&mut self) {
-        let keep: Vec<UserId> = self.personal_network.top_peers(self.storage_budget);
+        let keep: Vec<UserId> = self
+            .personal_network
+            .top_peers(self.storage_budget as usize);
         let drop_peers: Vec<UserId> = self
             .personal_network
             .iter()
@@ -304,7 +451,7 @@ impl P3qNode {
             e.meta
                 .profile
                 .as_deref()
-                .map(|p| (e.peer, p, e.meta.profile_version))
+                .map(|p| (e.peer, p, u64::from(e.meta.profile_version)))
         })
     }
 
@@ -315,7 +462,7 @@ impl P3qNode {
             e.meta
                 .profile
                 .as_ref()
-                .map(|p| (e.peer, p, e.meta.profile_version))
+                .map(|p| (e.peer, p, u64::from(e.meta.profile_version)))
         })
     }
 
@@ -335,7 +482,7 @@ impl P3qNode {
             e.meta
                 .profile
                 .as_deref()
-                .map(|p| (e.peer, p, e.meta.profile_version))
+                .map(|p| (e.peer, p, u64::from(e.meta.profile_version)))
         })
     }
 
@@ -350,7 +497,7 @@ impl P3qNode {
             e.meta
                 .profile
                 .as_ref()
-                .map(|p| (e.peer, p, e.meta.profile_version))
+                .map(|p| (e.peer, p, u64::from(e.meta.profile_version)))
         })
     }
 
@@ -388,6 +535,53 @@ impl P3qNode {
     /// All personal-network neighbours (descending similarity).
     pub fn network_peers(&self) -> Vec<UserId> {
         self.personal_network.peers().collect()
+    }
+
+    /// Resident bytes of this node's protocol state: the struct itself, the
+    /// materialized own digest, the personal-network / random-view entries
+    /// and any allocated query books. Shared payloads behind `Arc` handles
+    /// (profiles, neighbour digests) are *not* counted — they are
+    /// deduplicated across the whole simulation and accounted once at
+    /// their owner.
+    pub fn storage_bytes(&self) -> usize {
+        let digest = self
+            .digest
+            .get()
+            .map(|d| d.heap_bytes() + std::mem::size_of::<BloomFilter>())
+            .unwrap_or(0);
+        std::mem::size_of::<Self>()
+            + digest
+            + self.personal_network.len()
+                * std::mem::size_of::<p3q_gossip::ScoredEntry<UserId, NeighbourInfo>>()
+            + self.random_view.len()
+                * std::mem::size_of::<p3q_gossip::AgedEntry<UserId, DigestInfo>>()
+            + self.querier_states.storage_bytes()
+            + self.tasks.storage_bytes()
+    }
+
+    /// What [`Self::storage_bytes`] would report under the pre-refactor
+    /// layout — the baseline the benchmark memory accounting compares the
+    /// compacted layout against. The constants are the measured sizes of
+    /// the seed structs: a 216-byte node (u64 profile version, usize
+    /// geometry fields, two always-inline 48-byte `HashMap`s), a 48-byte
+    /// `BloomFilter` header (usize `bit_len`/`inserted`) and 48-byte
+    /// personal-network entries (u64 digest/profile versions).
+    pub fn previous_layout_bytes(&self) -> usize {
+        const SEED_NODE_STRUCT: usize = 216;
+        const SEED_BLOOM_STRUCT: usize = 48;
+        const SEED_NETWORK_ENTRY: usize = 48;
+        let digest = self
+            .digest
+            .get()
+            .map(|d| d.heap_bytes() + SEED_BLOOM_STRUCT)
+            .unwrap_or(0);
+        SEED_NODE_STRUCT
+            + digest
+            + self.personal_network.len() * SEED_NETWORK_ENTRY
+            + self.random_view.len()
+                * std::mem::size_of::<p3q_gossip::AgedEntry<UserId, DigestInfo>>()
+            + self.querier_states.len() * std::mem::size_of::<(QueryId, QuerierState)>()
+            + self.tasks.len() * std::mem::size_of::<(QueryId, RemainingTask)>()
     }
 }
 

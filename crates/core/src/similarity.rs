@@ -1,6 +1,7 @@
-//! The similarity engine: counting-based, index-backed computation of the
-//! paper's profile-similarity score at population scale — with incremental
-//! maintenance under profile dynamics.
+//! The similarity engine: counting-based, dictionary-keyed computation of
+//! the paper's profile-similarity score at population scale — with
+//! incremental maintenance under profile dynamics and delta-varint
+//! compressed storage.
 //!
 //! `Score_{u}(v) = |Profile(u) ∩ Profile(v)|` is evaluated everywhere in the
 //! P3Q evaluation: once per candidate pair when building the ideal personal
@@ -10,28 +11,47 @@
 //! what capped trace sizes before this module existed.
 //!
 //! [`ActionIndex`] inverts the dataset once: for every distinct tagging
-//! action `(item, tag)` it stores the posting list of users whose profile
-//! contains it. Scoring one user against *everyone* then becomes a counting
-//! sweep: walk her actions, and for each action bump a dense per-user
-//! accumulator for every other user on that posting list. The total work is
-//! proportional to the number of *actually shared* actions — the
-//! intersection mass — instead of the sum of profile lengths over all
-//! candidate pairs.
+//! action it stores the posting list of users whose profile contains it.
+//! Scoring one user against *everyone* then becomes a counting sweep: walk
+//! her actions, and for each action bump a dense per-user accumulator for
+//! every other user on that posting list. The total work is proportional to
+//! the number of *actually shared* actions — the intersection mass —
+//! instead of the sum of profile lengths over all candidate pairs.
+//!
+//! ## Storage model: interned keys, compressed postings
+//!
+//! Since the columnar-storage refactor the index is keyed by the **interned
+//! action dictionary** ([`p3q_trace::ActionDictionary`]): every distinct
+//! `(item, tag)` action is a dense [`p3q_trace::ActionId`] (`u32`), assigned
+//! in key order at build time, so
+//!
+//! * the key column is the dictionary itself — delta-varint compressed,
+//!   ~2–3 bytes per key instead of the 8-byte packed `u64`s of the first
+//!   index generation;
+//! * posting lookup is *positional*: an action id maps straight to its slot
+//!   in an id-range shard, no per-action key search;
+//! * each posting list is stored as a **delta-varint run** of ascending
+//!   user ids (`[byte-length][deltas…]`), ~1–3 bytes per posting instead
+//!   of 4, with a group offset directory every [`IDS_PER_GROUP`] slots for
+//!   random access.
+//!
+//! [`ActionIndex::memory`] reports the resident bytes of this layout next
+//! to what the uncompressed CSR equivalent would take; the benchmark
+//! harness (`bench_similarity`) tracks both.
 //!
 //! ## Sharding and the delta-apply cost model
 //!
-//! The index is split into key-range **shards** (contiguous runs of sorted
-//! `(item, tag)` keys, each a small CSR block). Profile dynamics
-//! (Section 3.4.1: users keep tagging) no longer force a rebuild:
+//! The id space is split into contiguous **shards** (about
+//! [`TARGET_KEYS_PER_SHARD`] ids each). Profile dynamics (Section 3.4.1:
+//! users keep tagging) no longer force a rebuild:
 //!
-//! * [`ActionIndex::apply_deltas`] patches only the shards containing the
-//!   new actions' keys. A batch of `D` new actions costs
-//!   `O(D log D + Σ |touched shard|)` — untouched shards are never read,
-//!   so a small batch touches a small fraction of the index instead of
-//!   paying the `O(A log A)` sort of a full rebuild over all `A` actions.
+//! * [`ActionIndex::apply_deltas`] interns any genuinely new actions into
+//!   the dictionary tail, then decodes, patches and **recompresses only the
+//!   shards containing the touched ids**. A batch of `D` new actions costs
+//!   `O(D log D + Σ |touched shard|)` — untouched shards are never read.
 //! * [`ActionIndex::remove_user`] handles churn (departures) the same way:
-//!   only the shards holding the departed profile's keys are compacted, and
-//!   the **dirty set** (everyone who shared an action with the departed
+//!   only the shards holding the departed profile's ids are recompressed,
+//!   and the **dirty set** (everyone who shared an action with the departed
 //!   user) comes back for re-scoring through
 //!   [`crate::baseline::IdealNetworks::recompute_dirty`].
 //! * [`ActionIndex::apply_deltas`] goes further and returns a
@@ -47,15 +67,22 @@
 //! [`p3q_sim::parallel_map_chunks`], which guarantees output identical for
 //! every worker-thread count (set `P3Q_THREADS=1` to pin).
 
-use p3q_trace::{Dataset, Profile, TaggingAction, UserId};
+use p3q_trace::codec::{read_varint, write_varint, VarintReader};
+use p3q_trace::{ActionDictionary, Dataset, Profile, TaggingAction, UserId};
 
-/// Distinct keys a shard aims to hold when the shard count is derived from
-/// the dataset size ([`ActionIndex::build`]).
+/// Distinct action ids a shard aims to hold when the shard count is derived
+/// from the dataset size ([`ActionIndex::build`]).
 const TARGET_KEYS_PER_SHARD: usize = 1024;
 
 /// Upper bound on the number of shards, so shard routing stays cheap even
 /// for very large traces.
 const MAX_SHARDS: usize = 1024;
+
+/// Posting slots per offset-directory group: random access decodes at most
+/// this many byte-length prefixes before reaching its posting. 8 keeps the
+/// directory at ~0.5 bytes per key (the offset column was the largest
+/// remaining index column at 4) for a few extra varint reads per lookup.
+const IDS_PER_GROUP: usize = 8;
 
 /// Per-key bound on `|affected members| × |gainers|` pair emission in
 /// [`ActionIndex::apply_deltas`] (affected members = posting-list members
@@ -65,13 +92,14 @@ const MAX_SHARDS: usize = 1024;
 /// (full re-score) instead, which costs only the posting length.
 const PAIR_EMISSION_CAP: usize = 4096;
 
-/// Scratch space for one scoring sweep: a dense per-user counter plus the
-/// list of touched slots so that clearing costs `O(touched)`, not
-/// `O(num_users)`.
+/// Scratch space for one scoring sweep: a dense per-user counter, the list
+/// of touched slots so that clearing costs `O(touched)`, and a reusable
+/// action-id buffer for the profile being scored.
 #[derive(Debug, Clone)]
 pub struct SimilarityScratch {
     counts: Vec<u32>,
     touched: Vec<u32>,
+    ids: Vec<u32>,
 }
 
 impl SimilarityScratch {
@@ -80,6 +108,7 @@ impl SimilarityScratch {
         Self {
             counts: vec![0; num_users],
             touched: Vec::new(),
+            ids: Vec::new(),
         }
     }
 }
@@ -134,56 +163,135 @@ impl DeltaOutcome {
     }
 }
 
-/// One key-range shard: a CSR block over a contiguous run of sorted keys.
-/// `keys` are the distinct `(item, tag)` actions of the range,
-/// `offsets[i]..offsets[i + 1]` delimits the posting list of `keys[i]`
-/// inside `users`, and every posting list is in ascending user order.
-#[derive(Debug, Clone, Default)]
-struct IndexShard {
-    keys: Vec<u64>,
-    offsets: Vec<u32>,
-    users: Vec<u32>,
+/// Resident-byte report of one [`ActionIndex`], split by column, next to
+/// the uncompressed CSR layout the first index generation used (plain
+/// `u64` keys, `u32` offsets, `u32` posting entries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexMemory {
+    /// Bytes of the interned dictionary (compressed keys + dynamics tail).
+    pub dictionary_bytes: usize,
+    /// Bytes of the per-shard group offset directories.
+    pub directory_bytes: usize,
+    /// Bytes of the compressed posting blobs (length prefixes + delta runs).
+    pub postings_bytes: usize,
+    /// Total resident bytes of the index.
+    pub total_bytes: usize,
+    /// Bytes the same content would take in the uncompressed CSR layout:
+    /// 8 per distinct key, 4 per key of offsets, 4 per posting entry.
+    pub csr_equivalent_bytes: usize,
+    /// Number of posting entries (total actions indexed).
+    pub postings: usize,
+    /// Number of distinct actions with a non-empty posting list.
+    pub distinct_actions: usize,
 }
 
-impl IndexShard {
-    fn posting(&self, pos: usize) -> &[u32] {
-        &self.users[self.offsets[pos] as usize..self.offsets[pos + 1] as usize]
+/// One id-range shard: a compressed posting block over the contiguous
+/// action-id run `start_id .. start_id + num_ids`.
+///
+/// `blob` holds, per id in order, `[byte-length varint][delta-varint run of
+/// ascending user ids]` (length 0 = empty posting); `group_offsets[g]` is
+/// the byte offset of slot `g * IDS_PER_GROUP`.
+#[derive(Debug, Clone, Default)]
+struct PostingShard {
+    start_id: usize,
+    num_ids: usize,
+    group_offsets: Vec<u32>,
+    blob: Vec<u8>,
+}
+
+impl PostingShard {
+    /// Builds a shard from decoded posting lists (empty lists allowed).
+    fn encode(start_id: usize, postings: &[Vec<u32>]) -> Self {
+        let mut group_offsets = Vec::with_capacity(postings.len().div_ceil(IDS_PER_GROUP));
+        let mut blob = Vec::new();
+        let mut run = Vec::new();
+        for (rel, posting) in postings.iter().enumerate() {
+            if rel % IDS_PER_GROUP == 0 {
+                group_offsets.push(u32::try_from(blob.len()).expect("shard blob exceeds 4 GiB"));
+            }
+            run.clear();
+            p3q_trace::codec::encode_sorted_u32s(posting, &mut run);
+            write_varint(run.len() as u64, &mut blob);
+            blob.extend_from_slice(&run);
+        }
+        Self {
+            start_id,
+            num_ids: postings.len(),
+            group_offsets,
+            blob,
+        }
+    }
+
+    /// Byte range of the posting at relative slot `rel`, plus nothing else:
+    /// walks at most `IDS_PER_GROUP - 1` length prefixes from the group
+    /// start.
+    fn posting_bytes(&self, rel: usize) -> &[u8] {
+        debug_assert!(rel < self.num_ids);
+        let group_start = self.group_offsets[rel / IDS_PER_GROUP] as usize;
+        let mut reader = VarintReader::new(&self.blob[group_start..]);
+        for _ in 0..rel % IDS_PER_GROUP {
+            let len = reader.next_varint().expect("slot inside the shard") as usize;
+            reader.skip(len);
+        }
+        let len = reader.next_varint().expect("slot inside the shard") as usize;
+        let pos = self.blob.len() - reader.remaining();
+        &self.blob[pos..pos + len]
+    }
+
+    /// Decodes the posting at relative slot `rel`.
+    fn posting(&self, rel: usize) -> impl Iterator<Item = u32> + '_ {
+        let bytes = self.posting_bytes(rel);
+        decode_run(bytes)
+    }
+
+    /// Decodes every posting list into owned vectors (the mutation path).
+    fn decode_all(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.num_ids);
+        let mut pos = 0usize;
+        for _ in 0..self.num_ids {
+            let len = read_varint(&self.blob, &mut pos) as usize;
+            out.push(decode_run(&self.blob[pos..pos + len]).collect());
+            pos += len;
+        }
+        out
     }
 }
 
+/// Decodes one `[deltas…]` run (the byte-length prefix already consumed)
+/// into ascending user ids — the shared codec decoder, narrowed to `u32`.
+fn decode_run(bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
+    p3q_trace::codec::decode_sorted_u64s(bytes).map(|v| v as u32)
+}
+
 /// A counting inverted index over every distinct tagging action of a
-/// dataset, sharded by key range for incremental maintenance.
+/// dataset: dictionary-keyed, sharded by id range, postings delta-varint
+/// compressed (see the module docs for the storage model).
 ///
-/// Building the index costs one sort of the (action, user) pairs —
+/// Building the index costs one sort of the `(action, user)` pairs —
 /// `O(A log A)` for `A` total actions — after which profile dynamics are
 /// absorbed by [`Self::apply_deltas`] / [`Self::remove_user`] at the cost
-/// of patching only the affected shards (see the module docs for the cost
-/// model).
+/// of recompressing only the affected shards.
 #[derive(Debug, Clone)]
 pub struct ActionIndex {
-    shards: Vec<IndexShard>,
-    /// `shard_starts[i]` is the smallest key routed to shard `i`;
-    /// `shard_starts[0]` is always 0 so every key has a home shard. Routing
-    /// is stable under inserts: a new key lands in the shard whose range
-    /// covers it, never creating or re-balancing shards.
-    shard_starts: Vec<u64>,
+    dict: ActionDictionary,
+    shards: Vec<PostingShard>,
+    /// Ids per shard, frozen at build time; the last shard absorbs ids
+    /// interned later (dictionary tail).
+    span: usize,
     num_users: usize,
-}
-
-fn action_key(action: &TaggingAction) -> u64 {
-    (u64::from(action.item.0) << 32) | u64::from(action.tag.0)
-}
-
-/// Offsets are u32 to halve the index footprint; fail loudly rather than
-/// silently wrapping if a shard ever exceeds 2^32 postings.
-fn offset_of(len: usize) -> u32 {
-    u32::try_from(len).expect("ActionIndex shards support at most 2^32 - 1 postings")
+    /// Number of ids with a non-empty posting list (removals leave empty
+    /// slots behind, which a fresh build would not contain).
+    live_keys: usize,
+    /// Total posting entries, maintained across mutations so the memory
+    /// report never has to decode the blobs.
+    num_postings: usize,
 }
 
 impl ActionIndex {
-    /// Builds the index over every profile of the dataset, choosing the
-    /// shard count from the number of distinct actions (about
-    /// [`TARGET_KEYS_PER_SHARD`] keys per shard, at most [`MAX_SHARDS`]).
+    /// Builds the index over every profile of the dataset, interning the
+    /// action dictionary and choosing the shard count from the number of
+    /// distinct actions (about [`TARGET_KEYS_PER_SHARD`] ids per shard, at
+    /// most [`MAX_SHARDS`]).
     pub fn build(dataset: &Dataset) -> Self {
         Self::build_with_shards(dataset, 0)
     }
@@ -192,65 +300,60 @@ impl ActionIndex {
     /// dataset size). Exposed for tests and tuning; the shard count changes
     /// only the incremental-update granularity, never any query result.
     pub fn build_with_shards(dataset: &Dataset, num_shards: usize) -> Self {
+        // One sort of the (key, user) pairs yields everything at once: the
+        // sorted distinct keys *are* the dictionary (rank = id), and
+        // replacing each key by its running rank turns the pairs into
+        // (id, user) postings — no per-action dictionary lookups.
         let total: usize = dataset.iter().map(|(_, p)| p.len()).sum();
-        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(total);
+        let mut key_pairs: Vec<(u64, u32)> = Vec::with_capacity(total);
         for (user, profile) in dataset.iter() {
             for action in profile.iter() {
-                pairs.push((action_key(action), user.0));
+                key_pairs.push((p3q_trace::action_key(action), user.0));
             }
         }
-        // Sorting by (key, user) groups postings and keeps each list in
-        // ascending user order, independent of iteration details.
-        pairs.sort_unstable();
+        key_pairs.sort_unstable();
 
-        let mut keys = Vec::new();
-        let mut key_offsets: Vec<usize> = Vec::new();
-        let mut users = Vec::with_capacity(pairs.len());
-        for (key, user) in pairs {
+        let mut keys: Vec<u64> = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(key_pairs.len());
+        for (key, user) in key_pairs {
             if keys.last() != Some(&key) {
                 keys.push(key);
-                key_offsets.push(users.len());
             }
-            users.push(user);
+            pairs.push((u32::try_from(keys.len() - 1).expect("id overflow"), user));
         }
-        key_offsets.push(users.len());
+        let dict = ActionDictionary::from_sorted_keys(&keys);
+        let distinct = dict.len();
 
         let requested = if num_shards > 0 {
             num_shards
         } else {
-            keys.len()
+            distinct
                 .div_ceil(TARGET_KEYS_PER_SHARD)
                 .clamp(1, MAX_SHARDS)
         };
-        let keys_per_shard = keys.len().div_ceil(requested).max(1);
-        // Never create empty trailing shards (a request larger than the key
-        // count collapses to one shard per key).
-        let num_shards = keys.len().div_ceil(keys_per_shard).max(1);
+        let span = distinct.div_ceil(requested).max(1);
+        let shard_count = distinct.div_ceil(span).max(1);
 
-        let mut shards = Vec::with_capacity(num_shards);
-        let mut shard_starts = Vec::with_capacity(num_shards);
-        for s in 0..num_shards {
-            let lo = (s * keys_per_shard).min(keys.len());
-            let hi = ((s + 1) * keys_per_shard).min(keys.len());
-            let user_lo = key_offsets[lo];
-            shards.push(IndexShard {
-                keys: keys[lo..hi].to_vec(),
-                // Rebase in usize before narrowing so the per-shard u32
-                // limit applies to shard-local offsets, not global ones.
-                offsets: key_offsets[lo..=hi]
-                    .iter()
-                    .map(|&o| offset_of(o - user_lo))
-                    .collect(),
-                users: users[user_lo..key_offsets[hi]].to_vec(),
-            });
-            // The first shard's range is open below so that keys smaller
-            // than any indexed one still route somewhere.
-            shard_starts.push(if s == 0 { 0 } else { keys[lo] });
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut cursor = 0usize;
+        for s in 0..shard_count {
+            let lo = (s * span).min(distinct);
+            let hi = ((s + 1) * span).min(distinct);
+            let mut postings: Vec<Vec<u32>> = vec![Vec::new(); hi - lo];
+            while cursor < pairs.len() && (pairs[cursor].0 as usize) < hi {
+                let (id, user) = pairs[cursor];
+                postings[id as usize - lo].push(user);
+                cursor += 1;
+            }
+            shards.push(PostingShard::encode(lo, &postings));
         }
         Self {
+            dict,
             shards,
-            shard_starts,
+            span,
             num_users: dataset.num_users(),
+            live_keys: distinct,
+            num_postings: pairs.len(),
         }
     }
 
@@ -259,29 +362,39 @@ impl ActionIndex {
         self.num_users
     }
 
-    /// Number of distinct tagging actions in the index.
+    /// Number of distinct tagging actions with a non-empty posting list —
+    /// exactly what a fresh build over the current profiles would contain.
     pub fn distinct_actions(&self) -> usize {
-        self.shards.iter().map(|s| s.keys.len()).sum()
+        self.live_keys
     }
 
-    /// Number of key-range shards.
+    /// Number of id-range shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// The shard a key routes to.
-    fn shard_of(&self, key: u64) -> usize {
-        self.shard_starts.partition_point(|&s| s <= key) - 1
+    /// The interned action dictionary backing the index.
+    pub fn dictionary(&self) -> &ActionDictionary {
+        &self.dict
+    }
+
+    /// The shard an action id routes to (the last shard is open above, so
+    /// dictionary-tail ids always have a home).
+    fn shard_of(&self, id: usize) -> usize {
+        (id / self.span).min(self.shards.len() - 1)
     }
 
     /// The users whose profile contains `action`, in ascending order.
-    pub fn taggers_of(&self, action: &TaggingAction) -> &[u32] {
-        let key = action_key(action);
-        let shard = &self.shards[self.shard_of(key)];
-        match shard.keys.binary_search(&key) {
-            Ok(pos) => shard.posting(pos),
-            Err(_) => &[],
+    pub fn taggers_of(&self, action: &TaggingAction) -> Vec<u32> {
+        let Some(id) = self.dict.id_of(action) else {
+            return Vec::new();
+        };
+        let shard = &self.shards[self.shard_of(id.index())];
+        let rel = id.index() - shard.start_id;
+        if rel >= shard.num_ids {
+            return Vec::new();
         }
+        shard.posting(rel).collect()
     }
 
     /// Patches the index with one user's newly added tagging actions and
@@ -292,12 +405,13 @@ impl ActionIndex {
 
     /// Patches the index with a batch of profile additions: for every
     /// `(user, new_actions)` pair the user is inserted into the posting
-    /// lists of her new actions. Actions the user already has in the index
-    /// are skipped (set semantics, matching [`Profile::extend`]), so the
-    /// deltas may safely repeat existing actions.
+    /// lists of her new actions (genuinely new actions are interned into
+    /// the dictionary tail first). Actions the user already has in the
+    /// index are skipped (set semantics, matching [`Profile::extend`]), so
+    /// the deltas may safely repeat existing actions.
     ///
-    /// Only the shards whose key range contains a delta are touched; each
-    /// is patched by a single linear merge.
+    /// Only the shards whose id range contains a delta are decoded and
+    /// recompressed; untouched shards are never read.
     ///
     /// Returns a [`DeltaOutcome`] describing exactly which pairwise scores
     /// changed: the changing users themselves (every one of their scores
@@ -313,14 +427,15 @@ impl ActionIndex {
     where
         I: IntoIterator<Item = (UserId, &'a [TaggingAction])>,
     {
-        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (user, actions) in deltas {
             assert!(
                 user.index() < self.num_users,
                 "delta for unknown user {user}"
             );
             for action in actions {
-                pairs.push((action_key(action), user.0));
+                let id = self.dict.intern(action);
+                pairs.push((id.0, user.0));
             }
         }
         pairs.sort_unstable();
@@ -333,23 +448,32 @@ impl ActionIndex {
         let mut score_pairs: Vec<(u32, u32)> = Vec::new();
         let mut resweep: Vec<u32> = Vec::new();
         let mut start = 0usize;
-        for sidx in 0..self.shards.len() {
-            if start >= pairs.len() {
-                break;
-            }
-            let end = match self.shard_starts.get(sidx + 1) {
-                Some(&hi) => start + pairs[start..].partition_point(|&(k, _)| k < hi),
-                None => pairs.len(),
+        while start < pairs.len() {
+            let sidx = self.shard_of(pairs[start].0 as usize);
+            let last = sidx == self.shards.len() - 1;
+            let shard = &mut self.shards[sidx];
+            // The last shard is open above: freshly interned tail ids route
+            // into it and merge_into_shard grows it with empty slots during
+            // the same recompression pass.
+            let shard_end = if last {
+                usize::MAX
+            } else {
+                shard.start_id + shard.num_ids
             };
-            if end > start {
-                merge_into_shard(
-                    &mut self.shards[sidx],
-                    &pairs[start..end],
-                    &mut changed,
-                    &mut score_pairs,
-                    &mut resweep,
-                );
-            }
+            let end = start + pairs[start..].partition_point(|&(id, _)| (id as usize) < shard_end);
+            debug_assert!(end > start, "every delta id routes into its shard");
+            let entries_before = changed.len();
+            let gained = merge_into_shard(
+                shard,
+                &pairs[start..end],
+                &mut changed,
+                &mut score_pairs,
+                &mut resweep,
+            );
+            self.live_keys += gained;
+            // Every gainer reported by the merge is exactly one new posting
+            // entry (duplicate delta actions never reach `changed`).
+            self.num_postings += changed.len() - entries_before;
             start = end;
         }
         changed.sort_unstable();
@@ -374,37 +498,30 @@ impl ActionIndex {
 
     /// Removes a departed user from the index (churn). `profile` must be the
     /// profile the index currently holds for her — her posting entries are
-    /// deleted from exactly those actions' lists, and keys whose posting
-    /// list empties are dropped (a from-scratch build would not contain
-    /// them). Only the shards covering her keys are compacted.
+    /// deleted from exactly those actions' lists. Only the shards covering
+    /// her ids are recompressed; an emptied posting list stops counting as
+    /// a distinct action (a from-scratch build would not contain it).
     ///
     /// Returns the dirty users: everyone who shared an action with her (her
     /// score against each of them drops), plus the user herself.
     pub fn remove_user(&mut self, user: UserId, profile: &Profile) -> Vec<UserId> {
-        // Profiles are item-major sorted, which `action_key` preserves, so
-        // the keys arrive sorted and split into shard runs in one pass.
-        let keys: Vec<u64> = profile.iter().map(action_key).collect();
-        if keys.is_empty() {
+        let mut ids = Vec::new();
+        self.dict.ids_of_profile_into(profile, &mut ids);
+        if ids.is_empty() {
             return Vec::new();
         }
         let mut dirty: Vec<u32> = Vec::new();
         let mut start = 0usize;
-        for sidx in 0..self.shards.len() {
-            if start >= keys.len() {
-                break;
-            }
-            let end = match self.shard_starts.get(sidx + 1) {
-                Some(&hi) => start + keys[start..].partition_point(|&k| k < hi),
-                None => keys.len(),
-            };
-            if end > start {
-                strip_user_from_shard(
-                    &mut self.shards[sidx],
-                    &keys[start..end],
-                    user.0,
-                    &mut dirty,
-                );
-            }
+        while start < ids.len() {
+            let sidx = self.shard_of(ids[start] as usize);
+            let shard = &mut self.shards[sidx];
+            let shard_end = shard.start_id + shard.num_ids;
+            let end = start + ids[start..].partition_point(|&id| (id as usize) < shard_end);
+            debug_assert!(end > start, "every profile id routes into its shard");
+            let (emptied, removed) =
+                strip_user_from_shard(shard, &ids[start..end], user.0, &mut dirty);
+            self.live_keys -= emptied;
+            self.num_postings -= removed;
             start = end;
         }
         finish_dirty(dirty)
@@ -425,35 +542,33 @@ impl ActionIndex {
         }
         scratch.touched.clear();
 
-        // The profile's actions, the shard ranges and each shard's keys are
-        // all sorted, so the walk advances a shard cursor monotonically and
-        // each in-shard lookup narrows the remaining search window instead
-        // of re-scanning the whole key space.
-        let mut shard_idx = 0usize;
-        let mut lo = 0usize;
-        for action in profile.iter() {
-            let key = action_key(action);
-            while shard_idx + 1 < self.shards.len() && self.shard_starts[shard_idx + 1] <= key {
-                shard_idx += 1;
-                lo = 0;
+        // Intern the profile once (sorted dense ids), then every posting
+        // lookup is positional: shard by id range, slot by offset — no
+        // per-action key search.
+        self.dict.ids_of_profile_into(profile, &mut scratch.ids);
+        for &id in &scratch.ids {
+            let shard = &self.shards[self.shard_of(id as usize)];
+            let rel = id as usize - shard.start_id;
+            if rel >= shard.num_ids {
+                continue;
             }
-            let shard = &self.shards[shard_idx];
-            match shard.keys[lo..].binary_search(&key) {
-                Ok(rel) => {
-                    let pos = lo + rel;
-                    lo = pos + 1;
-                    for &user in shard.posting(pos) {
-                        if user == exclude.0 {
-                            continue;
-                        }
-                        let slot = &mut scratch.counts[user as usize];
-                        if *slot == 0 {
-                            scratch.touched.push(user);
-                        }
-                        *slot += 1;
-                    }
+            // Inline delta-varint decode: one pass over the posting bytes,
+            // no per-entry bounds checks — this loop carries the whole
+            // counting sweep.
+            let mut reader = VarintReader::new(shard.posting_bytes(rel));
+            let mut user = 0u32;
+            let mut first = true;
+            while let Some(raw) = reader.next_varint() {
+                user = if first { raw as u32 } else { user + raw as u32 };
+                first = false;
+                if user == exclude.0 {
+                    continue;
                 }
-                Err(rel) => lo += rel,
+                let slot = &mut scratch.counts[user as usize];
+                if *slot == 0 {
+                    scratch.touched.push(user);
+                }
+                *slot += 1;
             }
         }
     }
@@ -497,6 +612,31 @@ impl ActionIndex {
         self.accumulate(dataset.profile(user), user, scratch);
         self.collect_top(network_size, scratch)
     }
+
+    /// Resident-byte report of the compressed layout, next to the
+    /// uncompressed CSR equivalent (see [`IndexMemory`]).
+    pub fn memory(&self) -> IndexMemory {
+        let directory_bytes: usize = self
+            .shards
+            .iter()
+            .map(|s| s.group_offsets.len() * std::mem::size_of::<u32>())
+            .sum();
+        let postings_bytes: usize = self.shards.iter().map(|s| s.blob.len()).sum();
+        let postings = self.num_postings;
+        let dictionary_bytes = self.dict.heap_bytes();
+        let csr_equivalent_bytes = self.live_keys
+            * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+            + postings * std::mem::size_of::<u32>();
+        IndexMemory {
+            dictionary_bytes,
+            directory_bytes,
+            postings_bytes,
+            total_bytes: dictionary_bytes + directory_bytes + postings_bytes,
+            csr_equivalent_bytes,
+            postings,
+            distinct_actions: self.live_keys,
+        }
+    }
 }
 
 /// Sorts, dedups and wraps a raw dirty-user accumulation.
@@ -506,85 +646,85 @@ fn finish_dirty(mut dirty: Vec<u32>) -> Vec<UserId> {
     dirty.into_iter().map(UserId).collect()
 }
 
-/// Merges sorted, deduplicated delta `(key, user)` pairs into one shard with
-/// a single linear pass. Every key that genuinely gains a tagger reports its
-/// gainers into `changed` and the `(posting member, gainer)` pairs whose
-/// score grew into `score_pairs` — unless the key is so popular that the
-/// pair product exceeds [`PAIR_EMISSION_CAP`], in which case its posting
-/// members go to `resweep` instead.
+/// Merges sorted, deduplicated delta `(id, user)` pairs into one shard (all
+/// ids must fall in its range) by decoding, patching and recompressing it.
+/// Every id that genuinely gains a tagger reports its gainers into
+/// `changed` and the `(posting member, gainer)` pairs whose score grew into
+/// `score_pairs` — unless the id is so popular that the pair product
+/// exceeds [`PAIR_EMISSION_CAP`], in which case its posting members go to
+/// `resweep` instead. Returns how many previously empty postings became
+/// non-empty (the live-key delta).
 fn merge_into_shard(
-    shard: &mut IndexShard,
-    pairs: &[(u64, u32)],
+    shard: &mut PostingShard,
+    pairs: &[(u32, u32)],
     changed: &mut Vec<u32>,
     score_pairs: &mut Vec<(u32, u32)>,
     resweep: &mut Vec<u32>,
-) {
-    let mut keys = Vec::with_capacity(shard.keys.len() + pairs.len());
-    let mut offsets = Vec::with_capacity(shard.keys.len() + pairs.len() + 1);
-    let mut users = Vec::with_capacity(shard.users.len() + pairs.len());
-    offsets.push(0u32);
+) -> usize {
+    let mut postings = shard.decode_all();
+    // Tail ids interned by this batch may reach past the (open-above) last
+    // shard's current coverage: grow it with empty slots in the same
+    // recompression pass.
+    let max_rel = pairs.last().expect("merge called with deltas").0 as usize - shard.start_id;
+    if max_rel >= postings.len() {
+        postings.resize(max_rel + 1, Vec::new());
+    }
+    let mut went_live = 0usize;
     let mut gainers: Vec<u32> = Vec::new();
 
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < shard.keys.len() || j < pairs.len() {
-        let key = match (shard.keys.get(i), pairs.get(j)) {
-            (Some(&ok), Some(&(dk, _))) => ok.min(dk),
-            (Some(&ok), None) => ok,
-            (None, Some(&(dk, _))) => dk,
-            (None, None) => unreachable!("loop condition guarantees a side"),
-        };
-        let key_start = users.len();
-        let old = if shard.keys.get(i) == Some(&key) {
-            let range = shard.offsets[i] as usize..shard.offsets[i + 1] as usize;
-            i += 1;
-            range
-        } else {
-            0..0
-        };
+    let mut j = 0usize;
+    while j < pairs.len() {
+        let id = pairs[j].0;
+        let rel = id as usize - shard.start_id;
         let delta_lo = j;
-        while j < pairs.len() && pairs[j].0 == key {
+        while j < pairs.len() && pairs[j].0 == id {
             j += 1;
         }
         let delta = &pairs[delta_lo..j];
+        let posting = &mut postings[rel];
+        let was_empty = posting.is_empty();
 
         // Two-pointer union of the old posting list and the delta users;
         // a delta user already present is a duplicate action and adds
         // nothing.
         gainers.clear();
-        let (mut a, mut b) = (old.start, 0usize);
-        while a < old.end || b < delta.len() {
+        let mut merged = Vec::with_capacity(posting.len() + delta.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < posting.len() || b < delta.len() {
             match (
-                (a < old.end).then(|| shard.users[a]),
+                (a < posting.len()).then(|| posting[a]),
                 (b < delta.len()).then(|| delta[b].1),
             ) {
                 (Some(x), Some(y)) if x < y => {
-                    users.push(x);
+                    merged.push(x);
                     a += 1;
                 }
                 (Some(x), Some(y)) if x > y => {
-                    users.push(y);
+                    merged.push(y);
                     b += 1;
                     gainers.push(y);
                 }
                 (Some(x), Some(_)) => {
-                    users.push(x);
+                    merged.push(x);
                     a += 1;
                     b += 1;
                 }
                 (Some(x), None) => {
-                    users.push(x);
+                    merged.push(x);
                     a += 1;
                 }
                 (None, Some(y)) => {
-                    users.push(y);
+                    merged.push(y);
                     b += 1;
                     gainers.push(y);
                 }
                 (None, None) => unreachable!("loop condition guarantees a side"),
             }
         }
-        keys.push(key);
-        offsets.push(offset_of(users.len()));
+        *posting = merged;
+        if was_empty && !posting.is_empty() {
+            went_live += 1;
+        }
         if !gainers.is_empty() {
             changed.extend_from_slice(&gainers);
             // Everyone on the final posting list now overlaps each gainer
@@ -592,12 +732,11 @@ fn merge_into_shard(
             // affected side is itself a gainer are skipped — gainers get a
             // full sweep downstream anyway — so they neither bloat the
             // outcome nor count toward the emission cap.
-            let posting = &users[key_start..];
             let affected_members = posting.len() - gainers.len();
             if affected_members.saturating_mul(gainers.len()) > PAIR_EMISSION_CAP {
                 resweep.extend_from_slice(posting);
             } else {
-                for &member in posting {
+                for &member in posting.iter() {
                     // `gainers` is in ascending user order (it follows the
                     // sorted delta pairs), so membership is a binary search.
                     if gainers.binary_search(&member).is_ok() {
@@ -610,44 +749,38 @@ fn merge_into_shard(
             }
         }
     }
-    shard.keys = keys;
-    shard.offsets = offsets;
-    shard.users = users;
+    *shard = PostingShard::encode(shard.start_id, &postings);
+    went_live
 }
 
-/// Removes `user` from the posting lists of `keys` (sorted) inside one
-/// shard, dropping keys whose posting list empties. Every posting list the
-/// user was actually on contributes its pre-removal members to `dirty`.
-fn strip_user_from_shard(shard: &mut IndexShard, keys: &[u64], user: u32, dirty: &mut Vec<u32>) {
-    let mut new_keys = Vec::with_capacity(shard.keys.len());
-    let mut new_offsets = Vec::with_capacity(shard.offsets.len());
-    let mut new_users = Vec::with_capacity(shard.users.len());
-    new_offsets.push(0u32);
-
-    let mut k = 0usize;
-    for (i, &key) in shard.keys.iter().enumerate() {
-        while k < keys.len() && keys[k] < key {
-            k += 1;
-        }
-        let posting = shard.posting(i);
-        let targeted = keys.get(k) == Some(&key);
-        if targeted && posting.binary_search(&user).is_ok() {
+/// Removes `user` from the posting lists of `ids` (sorted, all inside this
+/// shard's range) by decoding, stripping and recompressing the shard. Every
+/// posting list the user was actually on contributes its pre-removal
+/// members to `dirty`. Returns `(emptied postings, removed entries)` — the
+/// live-key and posting-count deltas.
+fn strip_user_from_shard(
+    shard: &mut PostingShard,
+    ids: &[u32],
+    user: u32,
+    dirty: &mut Vec<u32>,
+) -> (usize, usize) {
+    let mut postings = shard.decode_all();
+    let mut emptied = 0usize;
+    let mut removed = 0usize;
+    for &id in ids {
+        let rel = id as usize - shard.start_id;
+        let posting = &mut postings[rel];
+        if let Ok(pos) = posting.binary_search(&user) {
             dirty.extend_from_slice(posting);
-            if posting.len() > 1 {
-                new_keys.push(key);
-                new_users.extend(posting.iter().copied().filter(|&u| u != user));
-                new_offsets.push(offset_of(new_users.len()));
+            posting.remove(pos);
+            removed += 1;
+            if posting.is_empty() {
+                emptied += 1;
             }
-            // A posting list of just the departed user drops the key.
-        } else {
-            new_keys.push(key);
-            new_users.extend_from_slice(posting);
-            new_offsets.push(offset_of(new_users.len()));
         }
     }
-    shard.keys = new_keys;
-    shard.offsets = new_offsets;
-    shard.users = new_users;
+    *shard = PostingShard::encode(shard.start_id, &postings);
+    (emptied, removed)
 }
 
 #[cfg(test)]
@@ -689,9 +822,9 @@ mod tests {
         let index = ActionIndex::build(&d);
         assert_eq!(index.num_users(), 4);
         assert_eq!(index.distinct_actions(), 5);
-        assert_eq!(index.taggers_of(&act(1, 1)), &[0, 1]);
-        assert_eq!(index.taggers_of(&act(3, 3)), &[0, 2]);
-        assert_eq!(index.taggers_of(&act(100, 100)), &[3]);
+        assert_eq!(index.taggers_of(&act(1, 1)), vec![0, 1]);
+        assert_eq!(index.taggers_of(&act(3, 3)), vec![0, 2]);
+        assert_eq!(index.taggers_of(&act(100, 100)), vec![3]);
         assert!(index.taggers_of(&act(42, 42)).is_empty());
     }
 
@@ -702,8 +835,8 @@ mod tests {
             let index = ActionIndex::build_with_shards(&d, shards);
             assert!((1..=shards).contains(&index.num_shards()));
             assert_eq!(index.distinct_actions(), 5);
-            assert_eq!(index.taggers_of(&act(1, 1)), &[0, 1]);
-            assert_eq!(index.taggers_of(&act(100, 100)), &[3]);
+            assert_eq!(index.taggers_of(&act(1, 1)), vec![0, 1]);
+            assert_eq!(index.taggers_of(&act(100, 100)), vec![3]);
             assert!(index.taggers_of(&act(0, 0)).is_empty());
             assert!(index.taggers_of(&act(150, 150)).is_empty());
         }
@@ -778,8 +911,8 @@ mod tests {
             // alone and affects nobody else.
             assert_eq!(outcome.pairs, vec![(UserId(2), UserId(3))]);
             assert_eq!(outcome.dirty_users(), vec![UserId(2), UserId(3)]);
-            assert_eq!(index.taggers_of(&act(9, 9)), &[2, 3]);
-            assert_eq!(index.taggers_of(&act(50, 50)), &[3]);
+            assert_eq!(index.taggers_of(&act(9, 9)), vec![2, 3]);
+            assert_eq!(index.taggers_of(&act(50, 50)), vec![3]);
             assert_matches_fresh_build(&index, &d);
             // Reset for the next shard count.
             d = dataset();
@@ -832,7 +965,7 @@ mod tests {
             *d.profile_mut(UserId(2)) = Profile::new();
             // u2 shared act(3,3) with u0; act(9,9) was hers alone.
             assert_eq!(dirty, vec![UserId(0), UserId(2)]);
-            assert_eq!(index.taggers_of(&act(3, 3)), &[0]);
+            assert_eq!(index.taggers_of(&act(3, 3)), vec![0]);
             assert!(index.taggers_of(&act(9, 9)).is_empty());
             assert_matches_fresh_build(&index, &d);
             d = dataset();
@@ -909,5 +1042,51 @@ mod tests {
         assert_eq!(index.num_shards(), 1);
         assert!(index.taggers_of(&act(1, 1)).is_empty());
         assert!(index.apply_deltas(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn dictionary_tail_ids_route_into_the_last_shard() {
+        let d = dataset();
+        let mut index = ActionIndex::build_with_shards(&d, 3);
+        let frozen = index.dictionary().frozen_len();
+        // act(0,0) sorts before every frozen key: it must become a tail id
+        // and still land in a shard.
+        let outcome = index.apply_delta(UserId(1), &[act(0, 0)]);
+        assert_eq!(outcome.changed, vec![UserId(1)]);
+        assert_eq!(index.dictionary().frozen_len(), frozen);
+        assert_eq!(index.dictionary().len(), frozen + 1);
+        assert_eq!(index.taggers_of(&act(0, 0)), vec![1]);
+        let mut d2 = d.clone();
+        d2.profile_mut(UserId(1)).insert(act(0, 0));
+        // Posting-level equality with a fresh build still holds even though
+        // the id assignment differs (tail vs frozen).
+        for (_, profile) in d2.iter() {
+            for action in profile.iter() {
+                assert_eq!(
+                    index.taggers_of(action),
+                    ActionIndex::build(&d2).taggers_of(action),
+                    "{action}"
+                );
+            }
+        }
+        assert_eq!(
+            index.distinct_actions(),
+            ActionIndex::build(&d2).distinct_actions()
+        );
+    }
+
+    #[test]
+    fn memory_report_accounts_all_columns() {
+        let d = dataset();
+        let index = ActionIndex::build(&d);
+        let memory = index.memory();
+        assert_eq!(memory.distinct_actions, 5);
+        assert_eq!(memory.postings, 8);
+        assert_eq!(
+            memory.total_bytes,
+            memory.dictionary_bytes + memory.directory_bytes + memory.postings_bytes
+        );
+        assert_eq!(memory.csr_equivalent_bytes, 5 * 12 + 8 * 4);
+        assert!(memory.total_bytes > 0);
     }
 }

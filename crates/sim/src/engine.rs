@@ -11,7 +11,8 @@
 //!
 //! 1. **prepare** — every alive node's per-node bookkeeping (timer ticks)
 //!    runs first; each touches only its own node, so the engine fans it out
-//!    with [`parallel_for_each_mut`];
+//!    in whole shards of the [`crate::NodeStore`] (each worker mutates one
+//!    contiguous, shard-aligned cache region);
 //! 2. **plan** — every alive node observes the read-only [`CycleContext`]
 //!    (state as of the cycle start) and emits [`ExchangePlan`]s; planning is
 //!    a pure function of that snapshot and a per-node RNG, so it fans out
@@ -46,10 +47,9 @@ use crate::exchange::{
     EffectContext, ExchangePlan, GossipProtocol,
 };
 use crate::membership::Membership;
-use crate::parallel::{
-    default_threads, disjoint_muts, parallel_for_each_mut, parallel_map_chunks, parallel_map_owned,
-};
+use crate::parallel::{default_threads, parallel_map_chunks, parallel_map_owned};
 use crate::schedule::EventQueue;
+use crate::store::NodeStore;
 
 /// What one executed cycle did, mostly for drivers that stop when gossip
 /// dries up (e.g. eager query processing).
@@ -83,7 +83,7 @@ impl CycleReport {
 /// execution configurations.
 #[derive(Debug, Clone)]
 pub struct Simulator<N> {
-    nodes: Vec<N>,
+    nodes: NodeStore<N>,
     membership: Membership,
     cycle: u64,
     rng: StdRng,
@@ -96,7 +96,7 @@ impl<N> Simulator<N> {
     pub fn new(nodes: Vec<N>, seed: u64) -> Self {
         let membership = Membership::all_alive(nodes.len());
         Self {
-            nodes,
+            nodes: NodeStore::new(nodes),
             membership,
             cycle: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -117,22 +117,28 @@ impl<N> Simulator<N> {
 
     /// Immutable access to one node's state.
     pub fn node(&self, idx: usize) -> &N {
-        &self.nodes[idx]
+        self.nodes.get(idx)
     }
 
     /// Mutable access to one node's state.
     pub fn node_mut(&mut self, idx: usize) -> &mut N {
-        &mut self.nodes[idx]
+        self.nodes.get_mut(idx)
     }
 
-    /// All node states.
+    /// All node states (the store keeps them in one contiguous allocation,
+    /// so the whole population is still a plain slice).
     pub fn nodes(&self) -> &[N] {
-        &self.nodes
+        self.nodes.as_slice()
     }
 
     /// All node states, mutable.
     pub fn nodes_mut(&mut self) -> &mut [N] {
-        &mut self.nodes
+        self.nodes.as_mut_slice()
+    }
+
+    /// The shard-partitioned node store backing the simulator.
+    pub fn node_store(&self) -> &NodeStore<N> {
+        &self.nodes
     }
 
     /// Simultaneous mutable access to two distinct nodes — the shape of every
@@ -142,14 +148,7 @@ impl<N> Simulator<N> {
     /// # Panics
     /// Panics if `a == b` or either index is out of bounds.
     pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut N, &mut N) {
-        assert!(a != b, "a gossip exchange needs two distinct nodes");
-        if a < b {
-            let (left, right) = self.nodes.split_at_mut(b);
-            (&mut left[a], &mut right[0])
-        } else {
-            let (left, right) = self.nodes.split_at_mut(a);
-            (&mut right[0], &mut left[b])
-        }
+        self.nodes.pair_mut(a, b)
     }
 
     /// The membership (who is alive).
@@ -206,10 +205,11 @@ impl<N: Send + Sync> Simulator<N> {
         let cycle = self.cycle;
         let cycle_seed: u64 = self.rng.gen();
 
-        // Phase 1: per-node preparation (disjoint mutations, fan out).
+        // Phase 1: per-node preparation (disjoint mutations, fanned out in
+        // whole shards so each worker mutates one shard-aligned region).
         {
             let membership = &self.membership;
-            parallel_for_each_mut(&mut self.nodes, threads, |idx, node| {
+            self.nodes.for_each_mut_sharded(threads, |idx, node| {
                 if membership.is_alive(idx) {
                     proto.prepare(node, cycle);
                 }
@@ -219,7 +219,7 @@ impl<N: Send + Sync> Simulator<N> {
         // Phase 2: read-only planning against the cycle-start snapshot.
         let alive = self.membership.alive_nodes();
         let plans: Vec<ExchangePlan<P::Payload>> = {
-            let world = CycleContext::new(&self.nodes, &self.membership, cycle);
+            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
             parallel_map_chunks(
                 alive.len(),
                 threads,
@@ -272,7 +272,9 @@ impl<N: Send + Sync> Simulator<N> {
             })
             .collect();
         involved.sort_unstable();
-        let mut slots: Vec<Option<&mut N>> = disjoint_muts(&mut self.nodes, &involved)
+        let mut slots: Vec<Option<&mut N>> = self
+            .nodes
+            .disjoint_muts(&involved)
             .into_iter()
             .map(Some)
             .collect();
@@ -330,7 +332,8 @@ impl<N: Send + Sync> Simulator<N> {
                 self.bandwidth.record(node, cycle, category, bytes);
             }
             if !outcome.effects.is_empty() {
-                let mut world = EffectContext::new(&mut self.nodes, &mut self.bandwidth, cycle);
+                let mut world =
+                    EffectContext::new(self.nodes.as_mut_slice(), &mut self.bandwidth, cycle);
                 for effect in outcome.effects {
                     proto.apply_effect(&mut world, effect);
                 }
@@ -359,14 +362,14 @@ impl<N: Send + Sync> Simulator<N> {
         // Phase 1: prepare, in ascending node order.
         for idx in 0..self.nodes.len() {
             if self.membership.is_alive(idx) {
-                proto.prepare(&mut self.nodes[idx], cycle);
+                proto.prepare(self.nodes.get_mut(idx), cycle);
             }
         }
 
         // Phase 2: plan, in ascending node order.
         let mut plans: Vec<ExchangePlan<P::Payload>> = Vec::new();
         {
-            let world = CycleContext::new(&self.nodes, &self.membership, cycle);
+            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
             for idx in 0..world.num_nodes() {
                 if world.is_alive(idx) {
                     let mut rng = plan_rng(cycle_seed, idx);
@@ -393,7 +396,7 @@ impl<N: Send + Sync> Simulator<N> {
                     None => proto.commit(
                         cycle,
                         plan,
-                        &mut self.nodes[plan.initiator],
+                        self.nodes.get_mut(plan.initiator),
                         None,
                         &mut rng,
                         &mut scratch,

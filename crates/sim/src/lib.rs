@@ -25,6 +25,9 @@
 //!   takes;
 //! * [`EventQueue`] — "at cycle X, do Y" hooks, wired into the run loop via
 //!   [`Simulator::run_cycles_with_events`];
+//! * [`NodeStore`] — shard-partitioned node storage: one contiguous
+//!   allocation whose power-of-two shards are the engine's unit of mutable
+//!   fan-out (and the layout hook for memory accounting);
 //! * [`parallel`] — the deterministic fork-join primitives shared by the
 //!   cycle engine and the offline phases (index building, baseline
 //!   computation).
@@ -39,6 +42,7 @@ mod membership;
 mod metrics;
 pub mod parallel;
 mod schedule;
+mod store;
 
 pub use bandwidth::{BandwidthRecorder, Category};
 pub use engine::{CycleReport, Simulator};
@@ -50,3 +54,4 @@ pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
 pub use parallel::{default_threads, parallel_map_chunks, stream_seed};
 pub use schedule::EventQueue;
+pub use store::NodeStore;

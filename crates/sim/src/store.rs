@@ -1,0 +1,265 @@
+//! Shard-partitioned node storage for the cycle engine.
+//!
+//! The engine used to hold protocol state as a bare `Vec<N>` and split work
+//! across threads at arbitrary `len / threads` boundaries. [`NodeStore`]
+//! replaces that with an explicit **shard** layout: nodes live in one
+//! contiguous allocation (so read-only snapshots are still plain slices),
+//! partitioned into power-of-two shards that are the engine's unit of
+//! mutable fan-out — per-node *prepare* work is handed to workers in whole
+//! shards, so every worker mutates one contiguous, shard-aligned cache
+//! region and chunk boundaries never straddle a shard. The shard size is
+//! also the natural alignment for future NUMA placement and for the
+//! conflict-free commit batches, whose `&mut` borrows are obtained through
+//! [`Self::disjoint_muts`] / [`Self::pair_mut`].
+//!
+//! Like every storage decision in this workspace, none of this may change
+//! behaviour: a [`NodeStore`] is observationally a `Vec<N>` with stable
+//! indices, and the sharded fan-out visits every node exactly once with its
+//! own index, so cycle output stays byte-identical for every thread count.
+
+use crate::parallel::disjoint_muts;
+
+/// Smallest shard the derived layout will produce: below this, per-shard
+/// bookkeeping outweighs any locality benefit.
+const MIN_SHARD_SIZE: usize = 256;
+
+/// Target number of shards when deriving the shard size from the population
+/// (enough granularity to feed any realistic worker count).
+const TARGET_SHARDS: usize = 64;
+
+/// Contiguous, shard-partitioned storage of per-node protocol state.
+#[derive(Debug, Clone)]
+pub struct NodeStore<N> {
+    nodes: Vec<N>,
+    shard_size: usize,
+}
+
+impl<N> NodeStore<N> {
+    /// Wraps the given nodes, deriving a power-of-two shard size aimed at
+    /// [`TARGET_SHARDS`] shards (at least [`MIN_SHARD_SIZE`] nodes each).
+    pub fn new(nodes: Vec<N>) -> Self {
+        let derived = nodes
+            .len()
+            .div_ceil(TARGET_SHARDS)
+            .next_power_of_two()
+            .max(MIN_SHARD_SIZE);
+        Self::with_shard_size(nodes, derived)
+    }
+
+    /// Wraps the given nodes with an explicit shard size (rounded up to a
+    /// power of two). The shard size changes only work granularity and
+    /// layout accounting, never any result.
+    pub fn with_shard_size(nodes: Vec<N>, shard_size: usize) -> Self {
+        Self {
+            nodes,
+            shard_size: shard_size.max(1).next_power_of_two(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the store holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes per shard (a power of two; the final shard may be shorter).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.nodes.len().div_ceil(self.shard_size).max(1)
+    }
+
+    /// The shard a node index belongs to.
+    pub fn shard_of(&self, idx: usize) -> usize {
+        idx / self.shard_size
+    }
+
+    /// One node.
+    pub fn get(&self, idx: usize) -> &N {
+        &self.nodes[idx]
+    }
+
+    /// One node, mutable.
+    pub fn get_mut(&mut self, idx: usize) -> &mut N {
+        &mut self.nodes[idx]
+    }
+
+    /// All nodes as one contiguous slice (the read-only snapshot the plan
+    /// phase observes).
+    pub fn as_slice(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// All nodes as one contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Iterates over the shards as contiguous sub-slices.
+    pub fn shards(&self) -> impl Iterator<Item = &[N]> {
+        self.nodes.chunks(self.shard_size)
+    }
+
+    /// Simultaneous mutable references to the nodes at `sorted_unique`
+    /// positions (strictly increasing, in bounds) — the shape of a
+    /// conflict-free commit batch.
+    ///
+    /// # Panics
+    /// Panics if the indices are not strictly increasing or out of bounds.
+    pub fn disjoint_muts(&mut self, sorted_unique: &[usize]) -> Vec<&mut N> {
+        disjoint_muts(&mut self.nodes, sorted_unique)
+    }
+
+    /// Simultaneous mutable access to two distinct nodes — the shape of a
+    /// pairwise gossip exchange.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of bounds.
+    pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut N, &mut N) {
+        assert!(a != b, "a gossip exchange needs two distinct nodes");
+        if a < b {
+            let (left, right) = self.nodes.split_at_mut(b);
+            (&mut left[a], &mut right[0])
+        } else {
+            let (left, right) = self.nodes.split_at_mut(a);
+            (&mut right[0], &mut left[b])
+        }
+    }
+
+    /// Resident bytes of the node column: the contiguous node array plus
+    /// whatever each node reports for its owned heap through `node_bytes`.
+    pub fn storage_bytes(&self, node_bytes: impl Fn(&N) -> usize) -> usize {
+        self.nodes.iter().map(node_bytes).sum()
+    }
+}
+
+impl<N: Send> NodeStore<N> {
+    /// Applies `f` to every node (as `f(index, &mut node)`), fanning
+    /// **whole shards** out to `threads` workers: each worker receives a
+    /// contiguous run of shards, so mutable traffic stays in shard-aligned
+    /// cache regions and chunk boundaries never split a shard.
+    ///
+    /// Every node is visited exactly once with its own index, so the final
+    /// state is independent of `threads`.
+    pub fn for_each_mut_sharded<F>(&mut self, threads: usize, f: F)
+    where
+        F: Fn(usize, &mut N) + Sync,
+    {
+        let shard_size = self.shard_size;
+        let num_shards = self.num_shards();
+        let threads = threads.max(1).min(num_shards);
+        if threads == 1 {
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                f(i, node);
+            }
+            return;
+        }
+        let shards_per_worker = num_shards.div_ceil(threads);
+        let nodes_per_worker = shards_per_worker * shard_size;
+        std::thread::scope(|scope| {
+            for (w, run) in self.nodes.chunks_mut(nodes_per_worker).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = w * nodes_per_worker;
+                    for (j, node) in run.iter_mut().enumerate() {
+                        f(base + j, node);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<N> From<Vec<N>> for NodeStore<N> {
+    fn from(nodes: Vec<N>) -> Self {
+        Self::new(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_shard_size_is_a_power_of_two_and_bounded() {
+        let store: NodeStore<u32> = NodeStore::new((0..100_000).collect());
+        assert!(store.shard_size().is_power_of_two());
+        assert!(store.shard_size() >= MIN_SHARD_SIZE);
+        assert_eq!(store.num_shards(), store.len().div_ceil(store.shard_size()));
+        let tiny: NodeStore<u32> = NodeStore::new(vec![1, 2, 3]);
+        assert_eq!(tiny.num_shards(), 1);
+    }
+
+    #[test]
+    fn indices_are_stable_through_the_shard_layout() {
+        let store = NodeStore::with_shard_size((0..1000u32).collect(), 64);
+        for idx in [0usize, 63, 64, 999] {
+            assert_eq!(*store.get(idx), idx as u32);
+            assert_eq!(store.shard_of(idx), idx / 64);
+        }
+        let flat: Vec<u32> = store.shards().flatten().copied().collect();
+        assert_eq!(flat, store.as_slice());
+    }
+
+    #[test]
+    fn sharded_for_each_matches_sequential_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 50] {
+            let mut store = NodeStore::with_shard_size((0..777usize).collect(), 16);
+            store.for_each_mut_sharded(threads, |i, node| {
+                assert_eq!(*node, i);
+                *node += 1000;
+            });
+            assert!(
+                store
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &v)| v == i + 1000),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_and_pair_access_work_across_shards() {
+        let mut store = NodeStore::with_shard_size((0..100u32).collect(), 8);
+        {
+            let refs = store.disjoint_muts(&[1, 8, 64, 99]);
+            assert_eq!(refs.iter().map(|r| **r).collect::<Vec<_>>(), [1, 8, 64, 99]);
+        }
+        let (a, b) = store.pair_mut(70, 7);
+        assert_eq!((*a, *b), (70, 7));
+        *a = 1;
+        *b = 2;
+        assert_eq!(*store.get(70), 1);
+        assert_eq!(*store.get(7), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct nodes")]
+    fn pair_mut_rejects_same_index() {
+        let mut store: NodeStore<u8> = NodeStore::new(vec![0, 1]);
+        let _ = store.pair_mut(1, 1);
+    }
+
+    #[test]
+    fn storage_bytes_sums_the_node_estimator() {
+        let store: NodeStore<u64> = NodeStore::new(vec![0; 10]);
+        assert_eq!(store.storage_bytes(|_| 3), 30);
+    }
+
+    #[test]
+    fn empty_store_is_sane() {
+        let mut store: NodeStore<u8> = NodeStore::new(Vec::new());
+        assert!(store.is_empty());
+        assert_eq!(store.num_shards(), 1);
+        store.for_each_mut_sharded(4, |_, _| unreachable!());
+    }
+}

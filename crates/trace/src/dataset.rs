@@ -6,8 +6,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::action::TaggingAction;
+use crate::dict::ActionDictionary;
 use crate::ids::{ItemId, TagId, UserId};
-use crate::profile::{Profile, SharedProfile};
+use crate::profile::{PackedProfile, Profile, SharedProfile};
 
 /// A complete collaborative-tagging dataset.
 ///
@@ -138,6 +139,37 @@ impl Dataset {
             num_items: self.num_items,
             num_tags: self.num_tags,
         }
+    }
+
+    /// Builds the interned action dictionary over every distinct
+    /// `(item, tag)` action currently in the dataset — the trace-build-time
+    /// interning step of the compressed storage stack.
+    ///
+    /// Deterministic: the id assignment depends only on the set of actions.
+    /// Callers that keep mutating the dataset afterwards (profile dynamics)
+    /// absorb genuinely new actions through
+    /// [`ActionDictionary::intern`] on their own copy.
+    pub fn action_dictionary(&self) -> ActionDictionary {
+        ActionDictionary::from_profiles(self.profiles.iter().map(|p| p.as_ref()))
+    }
+
+    /// Resident heap bytes of the decoded profiles (8 bytes per action plus
+    /// the per-profile vector headers).
+    pub fn profile_heap_bytes(&self) -> usize {
+        self.profiles
+            .iter()
+            .map(|p| p.heap_bytes() + std::mem::size_of::<Profile>())
+            .sum()
+    }
+
+    /// Heap bytes the same profiles take in the packed columnar form
+    /// ([`PackedProfile`]) — what a storage-bound deployment would hold at
+    /// rest.
+    pub fn packed_profile_bytes(&self) -> usize {
+        self.profiles
+            .iter()
+            .map(|p| PackedProfile::pack(p).heap_bytes() + std::mem::size_of::<PackedProfile>())
+            .sum()
     }
 
     /// Average profile length (tagging actions per user).

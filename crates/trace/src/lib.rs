@@ -26,13 +26,21 @@
 //!   [`DynamicsPlan`] and a concrete event schedule, the single entry point
 //!   the benchmark harness builds every experiment from;
 //! * summary [`DatasetStats`] to compare a generated trace against the
-//!   paper's crawl statistics.
+//!   paper's crawl statistics;
+//! * the **compressed columnar storage substrate** — the interned action
+//!   dictionary ([`ActionDictionary`], [`ActionId`]: dense `u32` ids for
+//!   distinct `(item, tag)` actions, assigned in key order at trace build
+//!   time), the delta-varint codecs ([`codec`]) and the packed at-rest
+//!   profile form ([`PackedProfile`]) the similarity index and the
+//!   benchmark memory accounting are built on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod action;
+pub mod codec;
 mod dataset;
+mod dict;
 mod dynamics;
 mod generator;
 mod ids;
@@ -44,10 +52,11 @@ mod zipf;
 
 pub use action::TaggingAction;
 pub use dataset::Dataset;
+pub use dict::{action_key, key_action, ActionDictionary, ActionId};
 pub use dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator, DynamicsMode, ProfileChange};
 pub use generator::{SyntheticTrace, TraceConfig, TraceGenerator, World};
 pub use ids::{ItemId, TagId, UserId};
-pub use profile::{Profile, SharedProfile};
+pub use profile::{PackedProfile, Profile, SharedProfile};
 pub use queries::{Query, QueryGenerator};
 pub use scenario::{
     DynamicsPlan, PlanKind, PlanStep, Scenario, ScenarioConfig, ScenarioEvent, ScenarioWorkload,

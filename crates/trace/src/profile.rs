@@ -248,6 +248,81 @@ impl Profile {
     pub fn wire_bytes(&self) -> usize {
         self.len() * TaggingAction::WIRE_BYTES
     }
+
+    /// Resident heap bytes of the in-memory (decoded) layout.
+    pub fn heap_bytes(&self) -> usize {
+        self.actions.len() * std::mem::size_of::<TaggingAction>()
+    }
+}
+
+/// A profile stored as one delta-varint compressed key stream — the
+/// columnar at-rest form of a profile.
+///
+/// [`Profile`] keeps its actions as a plain sorted `Vec<TaggingAction>`
+/// (8 bytes per action) because the gossip hot paths live on linear merges
+/// and binary searches over that layout. `PackedProfile` is the compressed
+/// counterpart for bulk storage: the sorted `(item, tag)` keys are encoded
+/// as item-delta + tag varints, which lands around 3–5 bytes per action on
+/// the paper-shaped traces. Round-trips losslessly through
+/// [`Self::unpack`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedProfile {
+    bytes: Vec<u8>,
+    len: u32,
+}
+
+impl PackedProfile {
+    /// Packs a profile.
+    pub fn pack(profile: &Profile) -> Self {
+        let mut bytes = Vec::new();
+        let mut prev_item = 0u32;
+        for action in profile.iter() {
+            // Item-delta first (0 = same item as the predecessor), then the
+            // tag verbatim. Both stay small on real profiles: items repeat
+            // and tag ids are dense.
+            crate::codec::write_varint(u64::from(action.item.0 - prev_item), &mut bytes);
+            crate::codec::write_varint(u64::from(action.tag.0), &mut bytes);
+            prev_item = action.item.0;
+        }
+        Self {
+            bytes,
+            len: u32::try_from(profile.len()).expect("profile length overflow"),
+        }
+    }
+
+    /// Number of packed actions.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if no actions are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resident heap bytes of the packed form.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Decodes back into a [`Profile`].
+    pub fn unpack(&self) -> Profile {
+        let mut actions = Vec::with_capacity(self.len as usize);
+        let mut pos = 0usize;
+        let mut item = 0u32;
+        for _ in 0..self.len {
+            item += crate::codec::read_varint(&self.bytes, &mut pos) as u32;
+            let tag = crate::codec::read_varint(&self.bytes, &mut pos) as u32;
+            actions.push(TaggingAction::new(ItemId(item), TagId(tag)));
+        }
+        Profile { actions }
+    }
+}
+
+impl From<&Profile> for PackedProfile {
+    fn from(profile: &Profile) -> Self {
+        Self::pack(profile)
+    }
 }
 
 impl FromIterator<TaggingAction> for Profile {
@@ -426,6 +501,30 @@ mod tests {
         assert_eq!(p.extend(vec![act(3, 1), act(1, 1), act(3, 1)]), 2);
         assert_eq!(p.len(), 2);
         assert_eq!(p.extend(Vec::new()), 0);
+    }
+
+    #[test]
+    fn packed_profile_round_trips() {
+        let p = Profile::from_actions(vec![act(1, 3), act(1, 9), act(2, 0), act(900, 44)]);
+        let packed = PackedProfile::pack(&p);
+        assert_eq!(packed.len(), p.len());
+        assert_eq!(packed.unpack(), p);
+        let empty = PackedProfile::pack(&Profile::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.unpack(), Profile::new());
+    }
+
+    #[test]
+    fn packed_profile_is_smaller_than_decoded() {
+        // A paper-shaped profile: ~100 items with small gaps, 1–2 tags each.
+        let p = Profile::from_actions((0..200u32).map(|i| act(1000 + i * 7, i % 50)));
+        let packed = PackedProfile::pack(&p);
+        assert!(
+            packed.heap_bytes() * 2 <= p.heap_bytes(),
+            "expected at least 2x: packed {} vs decoded {}",
+            packed.heap_bytes(),
+            p.heap_bytes()
+        );
     }
 
     #[test]
