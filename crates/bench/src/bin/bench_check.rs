@@ -37,6 +37,19 @@
 //!
 //! Exit code 0 when every comparison passes, 1 otherwise.
 //!
+//! ## Gate-all mode
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_check -- \
+//!     --gate-all [--dir ci/baselines] [--fresh-dir .] [--tolerance 5]
+//! ```
+//!
+//! Gates every [`SMOKE_JOBS`] baseline in `--dir` against the fresh copy in
+//! `--fresh-dir` in one invocation. All files are walked and **every**
+//! out-of-tolerance key is reported before the process exits nonzero — a
+//! regression in the first benchmark cannot mask regressions in the later
+//! ones, and one CI step replaces a per-file step cascade.
+//!
 //! ## Bless mode
 //!
 //! ```text
@@ -392,6 +405,22 @@ const SMOKE_JOBS: &[(&str, &[&str], &str)] = &[
         &["--users", "1000"],
         "BENCH_trace_smoke.json",
     ),
+    (
+        "bench_faults",
+        &[
+            "--users",
+            "400",
+            "--queries",
+            "40",
+            "--rates",
+            "0,5",
+            "--warmup",
+            "2",
+            "--cycles",
+            "10",
+        ],
+        "BENCH_faults_smoke.json",
+    ),
 ];
 
 /// Runs every [`SMOKE_JOBS`] entry with the sibling benchmark binaries
@@ -426,12 +455,36 @@ fn bless(dir: &str) {
     );
 }
 
+/// Compares one baseline/fresh file pair into `report`, prefixing every
+/// violation path with the file name so gate-all output stays attributable.
+fn gate_pair(baseline_path: &str, fresh_path: &str, tolerance: f64, report: &mut Report) {
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let before = report.violations.len();
+    compare(
+        &baseline,
+        &fresh,
+        baseline_path,
+        KeyClass::Exact,
+        tolerance,
+        report,
+    );
+    println!(
+        "bench_check: {} — {} violation(s) so far, {} leaves compared",
+        baseline_path,
+        report.violations.len() - before,
+        report.compared
+    );
+}
+
 fn main() {
     let mut baseline_path = None;
     let mut fresh_path = None;
     let mut tolerance = 4.0f64;
     let mut do_bless = false;
+    let mut gate_all = false;
     let mut bless_dir = "ci/baselines".to_string();
+    let mut fresh_dir = ".".to_string();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -442,7 +495,9 @@ fn main() {
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--fresh" => fresh_path = Some(value("--fresh")),
             "--bless" => do_bless = true,
+            "--gate-all" => gate_all = true,
             "--dir" => bless_dir = value("--dir"),
+            "--fresh-dir" => fresh_dir = value("--fresh-dir"),
             "--tolerance" => {
                 tolerance = value("--tolerance")
                     .parse()
@@ -452,6 +507,7 @@ fn main() {
             other => {
                 panic!(
                     "unknown flag {other}; usage: --baseline PATH --fresh PATH [--tolerance F] \
+                     | --gate-all [--dir DIR] [--fresh-dir DIR] [--tolerance F] \
                      | --bless [--dir DIR]"
                 )
             }
@@ -461,26 +517,31 @@ fn main() {
         bless(&bless_dir);
         return;
     }
-    let baseline_path = baseline_path.expect("--baseline is required");
-    let fresh_path = fresh_path.expect("--fresh is required");
 
-    let baseline = load(&baseline_path);
-    let fresh = load(&fresh_path);
     let mut report = Report {
         violations: Vec::new(),
         compared: 0,
     };
-    compare(
-        &baseline,
-        &fresh,
-        "$",
-        KeyClass::Exact,
-        tolerance,
-        &mut report,
-    );
+    if gate_all {
+        // Gate every smoke baseline in one pass: all files are compared and
+        // *every* out-of-tolerance key is reported before the gate fails,
+        // so one bad benchmark cannot hide regressions in the ones after it.
+        for (_, _, out_name) in SMOKE_JOBS {
+            gate_pair(
+                &format!("{bless_dir}/{out_name}"),
+                &format!("{fresh_dir}/{out_name}"),
+                tolerance,
+                &mut report,
+            );
+        }
+    } else {
+        let baseline_path = baseline_path.expect("--baseline is required (or use --gate-all)");
+        let fresh_path = fresh_path.expect("--fresh is required (or use --gate-all)");
+        gate_pair(&baseline_path, &fresh_path, tolerance, &mut report);
+    }
 
     println!(
-        "bench_check: {} leaves compared against {baseline_path} (tolerance {tolerance}x)",
+        "bench_check: {} leaves compared (tolerance {tolerance}x)",
         report.compared
     );
     if report.violations.is_empty() {

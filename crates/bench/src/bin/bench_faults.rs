@@ -1,0 +1,445 @@
+//! Fault-degradation benchmark: recall, completion and latency of the
+//! hardened eager protocol under a composite fault mix (message loss +
+//! delay + duplication + crash/restart), swept over headline fault rates —
+//! with a retry/TTL **ablation** at every rate so the value of the
+//! hardening machinery is measured, not assumed.
+//!
+//! At each rate `r` the mix is the `lossy` preset (drop `r`, delay `r/2`,
+//! duplicate `r/4`) plus a crash rate of `r/20` per node per cycle with a
+//! 2-cycle downtime: pure delivery loss only delays the eager protocol
+//! (an uncommitted exchange leaves the remaining list with the initiator,
+//! who re-plans next cycle), so the permanent damage — and therefore the
+//! retry machinery's value — comes from crashes wiping in-flight query
+//! state.
+//!
+//! Every run is deterministic in `(seed, FaultConfig)` and byte-identical
+//! for every `P3Q_THREADS`; the 5% row is re-executed at 1 and 3 worker
+//! threads and checksum-asserted. Emits `BENCH_faults.json`.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_faults [-- OPTIONS]
+//!     --users N        population size                  (default 1000)
+//!     --seed N         master seed                      (default 42)
+//!     --queries N      tracked queries                  (default 150)
+//!     --rates a,b,c    fault rates in percent           (default 0,1,5,20)
+//!     --warmup N       faulted lazy warmup cycles       (default 3)
+//!     --cycles N       faulted eager cycles             (default 20; check: 4)
+//!     --out PATH       output path                      (default BENCH_faults.json)
+//!     --check          determinism check only: run the lossy-network mix,
+//!                      assert default-threads == sequential reference and
+//!                      print the checksum (CI runs this under P3Q_THREADS)
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use p3q::prelude::*;
+use p3q_bench::{HarnessArgs, World};
+use p3q_trace::Scenario;
+
+struct Args {
+    users: usize,
+    seed: u64,
+    queries: usize,
+    rates_percent: Vec<f64>,
+    warmup: u64,
+    cycles: Option<u64>,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 1_000,
+        seed: 42,
+        queries: 150,
+        rates_percent: vec![0.0, 1.0, 5.0, 20.0],
+        warmup: 3,
+        cycles: None,
+        out: "BENCH_faults.json".to_string(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--users" => args.users = value("--users").parse().expect("--users wants an integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--queries" => {
+                args.queries = value("--queries")
+                    .parse()
+                    .expect("--queries wants an integer")
+            }
+            "--rates" => {
+                args.rates_percent = value("--rates")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--rates wants percentages"))
+                    .collect()
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup")
+                    .parse()
+                    .expect("--warmup wants an integer")
+            }
+            "--cycles" => {
+                args.cycles = Some(
+                    value("--cycles")
+                        .parse()
+                        .expect("--cycles wants an integer"),
+                )
+            }
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// The composite mix at headline rate `rate` (a fraction, not percent):
+/// the `lossy` delivery preset plus a small crash rate — see module docs.
+fn fault_mix(rate: f64, fault_seed: u64) -> FaultConfig {
+    if rate <= 0.0 {
+        return FaultConfig::none();
+    }
+    let mut cfg = FaultConfig::lossy(rate, fault_seed);
+    cfg.crash_rate = rate / 20.0;
+    cfg.downtime_cycles = 2;
+    cfg.validate();
+    cfg
+}
+
+/// One measured protocol run under one fault mix.
+struct ArmResult {
+    loss: RecallUnderLoss,
+    stats: FaultStats,
+    /// Fault-plan fingerprints (lazy warmup, eager phase).
+    fault_fingerprint: (u64, u64),
+    /// Bandwidth totals after the run (bytes, messages).
+    traffic_checksum: (u64, u64),
+}
+
+/// Builds the simulation, runs `warmup` faulted lazy cycles, issues the
+/// query workload and runs `cycles` faulted eager cycles, measuring recall
+/// against the centralized reference. Crash-tolerant: a querier whose node
+/// crashed mid-run has lost its query book — the query counts as lost.
+fn run_arm(
+    world: &World,
+    cfg: &P3qConfig,
+    faults: FaultConfig,
+    queries: &[Query],
+    warmup: u64,
+    cycles: u64,
+    threads: Option<usize>,
+) -> ArmResult {
+    let budgets = vec![4usize; world.trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, 5);
+    init_ideal_networks(&mut sim, &world.ideal);
+
+    let mut lazy_faults: FaultPlan<LazyStep> = FaultPlan::new(faults);
+    for _ in 0..warmup {
+        match threads {
+            None => run_lazy_cycle_faulted(&mut sim, cfg, &mut lazy_faults),
+            Some(t) => run_lazy_cycle_faulted_with_threads(&mut sim, cfg, &mut lazy_faults, t),
+        };
+    }
+
+    let references: Vec<Vec<(ItemId, u32)>> = queries
+        .iter()
+        .map(|q| centralized_topk(&world.trace.dataset, &world.ideal, q, cfg.top_k))
+        .collect();
+    for (i, query) in queries.iter().enumerate() {
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            cfg,
+        );
+    }
+
+    let mut eager_faults: FaultPlan<EagerTask> = FaultPlan::new(faults);
+    for _ in 0..cycles {
+        match threads {
+            None => run_eager_cycle_faulted(&mut sim, cfg, &mut eager_faults),
+            Some(t) => run_eager_cycle_faulted_with_threads(&mut sim, cfg, &mut eager_faults, t),
+        };
+    }
+
+    let mut loss = RecallUnderLoss::default();
+    for (i, query) in queries.iter().enumerate() {
+        match sim
+            .node_mut(query.querier.index())
+            .querier_states
+            .get_mut(&QueryId(i as u64))
+        {
+            None => loss.record_lost(),
+            Some(state) => {
+                let items: Vec<ItemId> = state
+                    .current_topk(cfg.top_k)
+                    .iter()
+                    .map(|r| r.item)
+                    .collect();
+                loss.record_query(
+                    recall_at_k(&items, &references[i]),
+                    state.completion_latency(),
+                );
+            }
+        }
+    }
+    loss.total_bytes = sim.bandwidth.totals().0;
+
+    let mut stats = lazy_faults.stats();
+    let eager_stats = eager_faults.stats();
+    stats.dropped += eager_stats.dropped;
+    stats.delayed += eager_stats.delayed;
+    stats.duplicated += eager_stats.duplicated;
+    stats.expired += eager_stats.expired;
+    stats.crashes += eager_stats.crashes;
+    stats.restarts += eager_stats.restarts;
+
+    ArmResult {
+        loss,
+        stats,
+        fault_fingerprint: (lazy_faults.fingerprint(), eager_faults.fingerprint()),
+        traffic_checksum: sim.bandwidth.totals(),
+    }
+}
+
+/// `--check`: the CI fault-determinism entry point. Runs the 5% composite
+/// mix on a lossy-network world with the environment's worker-thread count
+/// and with the sequential reference, asserts byte equality and prints the
+/// checksum — the CI matrix runs this binary under several `P3Q_THREADS`
+/// values and diffs the printed lines across jobs.
+fn run_check(args: &Args) {
+    let cycles = args.cycles.unwrap_or(4);
+    let harness = HarnessArgs {
+        users: args.users,
+        seed: args.seed,
+        cycles,
+        queries: args.queries,
+        paper_scale: false,
+        scenario: Scenario::LossyNetwork,
+    };
+    let world = World::build(&harness);
+    let cfg = world.cfg.clone().with_fault_tolerance(cycles.max(2), 2, 0);
+    let faults = fault_mix(0.05, args.seed ^ 0xFA17);
+    let queries = world.sample_queries(args.queries.min(50));
+
+    let start = Instant::now();
+    let default_threads = run_arm(&world, &cfg, faults, &queries, args.warmup, cycles, None);
+    let reference = run_arm(&world, &cfg, faults, &queries, args.warmup, cycles, Some(1));
+    assert_eq!(
+        default_threads.traffic_checksum, reference.traffic_checksum,
+        "faulted run diverged from the sequential reference"
+    );
+    assert_eq!(
+        default_threads.fault_fingerprint, reference.fault_fingerprint,
+        "fault schedule diverged from the sequential reference"
+    );
+    println!(
+        "FAULT_CHECKSUM users={} seed={} bytes={} messages={} fault_fp={:x}:{:x}",
+        args.users,
+        args.seed,
+        default_threads.traffic_checksum.0,
+        default_threads.traffic_checksum.1,
+        default_threads.fault_fingerprint.0,
+        default_threads.fault_fingerprint.1,
+    );
+    eprintln!(
+        "check passed in {:.1} s (threads-default == reference)",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn json_arm(json: &mut String, label: &str, arm: &ArmResult, trailing_comma: bool) {
+    let _ = writeln!(json, "      \"{label}\": {{");
+    let _ = writeln!(json, "        \"queries\": {},", arm.loss.queries);
+    let _ = writeln!(json, "        \"lost_queries\": {},", arm.loss.lost_queries);
+    let _ = writeln!(
+        json,
+        "        \"completed_queries\": {},",
+        arm.loss.completed_queries
+    );
+    let _ = writeln!(
+        json,
+        "        \"avg_recall\": {:.4},",
+        arm.loss.average_recall()
+    );
+    let _ = writeln!(
+        json,
+        "        \"completion_rate\": {:.4},",
+        arm.loss.completion_rate()
+    );
+    let _ = writeln!(
+        json,
+        "        \"avg_latency_cycles\": {:.3},",
+        arm.loss.average_latency_cycles().unwrap_or(-1.0)
+    );
+    let _ = writeln!(json, "        \"bytes_total\": {},", arm.loss.total_bytes);
+    let _ = writeln!(json, "        \"dropped\": {},", arm.stats.dropped);
+    let _ = writeln!(json, "        \"delayed\": {},", arm.stats.delayed);
+    let _ = writeln!(json, "        \"duplicated\": {},", arm.stats.duplicated);
+    let _ = writeln!(json, "        \"expired\": {},", arm.stats.expired);
+    let _ = writeln!(json, "        \"crashes\": {},", arm.stats.crashes);
+    let _ = writeln!(json, "        \"restarts\": {},", arm.stats.restarts);
+    let _ = writeln!(
+        json,
+        "        \"traffic_checksum\": [{}, {}]",
+        arm.traffic_checksum.0, arm.traffic_checksum.1
+    );
+    json.push_str("      }");
+    json.push_str(if trailing_comma { ",\n" } else { "\n" });
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check {
+        run_check(&args);
+        return;
+    }
+    let cycles = args.cycles.unwrap_or(20);
+
+    let harness = HarnessArgs {
+        users: args.users,
+        seed: args.seed,
+        cycles,
+        queries: args.queries,
+        paper_scale: false,
+        scenario: Scenario::PaperDelicious,
+    };
+    let world = World::build(&harness);
+    let hardened_cfg = world.cfg.clone().with_fault_tolerance(cycles.max(2), 2, 0);
+    let plain_cfg = world.cfg.clone();
+    let queries = world.sample_queries(args.queries);
+    eprintln!(
+        "world: {} users, {} tracked queries, {} lazy warmup + {} eager cycles",
+        args.users,
+        queries.len(),
+        args.warmup,
+        cycles
+    );
+
+    struct RateRow {
+        rate_percent: f64,
+        hardened: ArmResult,
+        ablation: ArmResult,
+    }
+    let mut rows: Vec<RateRow> = Vec::new();
+    for &rate_percent in &args.rates_percent {
+        let rate = rate_percent / 100.0;
+        let faults = fault_mix(rate, args.seed ^ 0xFA17);
+        let start = Instant::now();
+        let hardened = run_arm(
+            &world,
+            &hardened_cfg,
+            faults,
+            &queries,
+            args.warmup,
+            cycles,
+            None,
+        );
+        let ablation = run_arm(
+            &world,
+            &plain_cfg,
+            faults,
+            &queries,
+            args.warmup,
+            cycles,
+            None,
+        );
+        eprintln!(
+            "rate {:>5.1}%: recall {:.4} (hardened) vs {:.4} (no retry/TTL), \
+             {} lost, {} dropped, {} crashes  [{:.1} s]",
+            rate_percent,
+            hardened.loss.average_recall(),
+            ablation.loss.average_recall(),
+            hardened.loss.lost_queries,
+            hardened.stats.dropped,
+            hardened.stats.crashes,
+            start.elapsed().as_secs_f64()
+        );
+        rows.push(RateRow {
+            rate_percent,
+            hardened,
+            ablation,
+        });
+    }
+
+    // Determinism spot check: the faulted engine is thread-count
+    // independent — re-run the highest nonzero rate at 1 and 3 workers and
+    // require byte-identical traffic and fault schedules.
+    if let Some(row) = rows.iter().rev().find(|r| r.rate_percent > 0.0) {
+        let faults = fault_mix(row.rate_percent / 100.0, args.seed ^ 0xFA17);
+        for threads in [1usize, 3] {
+            let rerun = run_arm(
+                &world,
+                &hardened_cfg,
+                faults,
+                &queries,
+                args.warmup,
+                cycles,
+                Some(threads),
+            );
+            assert_eq!(
+                rerun.traffic_checksum, row.hardened.traffic_checksum,
+                "faulted run diverged at {threads} worker threads"
+            );
+            assert_eq!(
+                rerun.fault_fingerprint, row.hardened.fault_fingerprint,
+                "fault schedule diverged at {threads} worker threads"
+            );
+        }
+        eprintln!(
+            "determinism: {}% row byte-identical at 1 and 3 worker threads",
+            row.rate_percent
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"faults\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"users\": {},", args.users);
+    let _ = writeln!(json, "  \"queries\": {},", queries.len());
+    let _ = writeln!(json, "  \"lazy_warmup_cycles\": {},", args.warmup);
+    let _ = writeln!(json, "  \"eager_cycles\": {cycles},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"recall/completion/latency degradation of the eager protocol under a composite fault mix (lossy preset + crash rate/20), hardened (retry+TTL) vs ablation; deterministic in (seed, FaultConfig), thread-checksum asserted\","
+    );
+    json.push_str("  \"rates\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"rate_percent\": {},", row.rate_percent);
+        json_arm(&mut json, "hardened", &row.hardened, true);
+        json_arm(&mut json, "ablation_no_retry", &row.ablation, false);
+        json.push_str("    }");
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]");
+
+    // Headline acceptance numbers: recall at 5% loss vs the zero-fault
+    // baseline, and the retry machinery's advantage over the ablation.
+    let baseline = rows.iter().find(|r| r.rate_percent == 0.0);
+    let at5 = rows.iter().find(|r| r.rate_percent == 5.0);
+    if let (Some(base), Some(at5)) = (baseline, at5) {
+        let drop_pct = 100.0
+            * (1.0 - at5.hardened.loss.average_recall() / base.hardened.loss.average_recall());
+        let advantage = at5.hardened.loss.average_recall() - at5.ablation.loss.average_recall();
+        json.push_str(",\n  \"acceptance\": {\n");
+        let _ = writeln!(json, "    \"recall_drop_at_5pct_percent\": {drop_pct:.3},");
+        let _ = writeln!(json, "    \"retry_advantage_at_5pct\": {advantage:.4}");
+        json.push_str("  }");
+        eprintln!(
+            "acceptance: recall drop at 5% = {drop_pct:.2}% (must stay under 10%), \
+             retry advantage = {advantage:.4}"
+        );
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&args.out, &json).expect("writing the benchmark output");
+    eprintln!("wrote {}", args.out);
+}

@@ -28,6 +28,22 @@ pub struct P3qConfig {
     pub lazy_cycle_seconds: f64,
     /// Wall-clock seconds per eager-mode cycle (paper: 5 s).
     pub eager_cycle_seconds: f64,
+    /// Fault-hardening: lifetime, in cycles, of query state under loss.
+    /// Delegated remaining-list shares expire this many cycles after they
+    /// were (last) refreshed, and a querier stops re-gossiping an
+    /// incomplete query this many cycles after issuing it. `0` disables
+    /// both (the paper's idealized network needs neither).
+    pub query_ttl_cycles: u64,
+    /// Fault-hardening: base backoff, in cycles, before a querier re-adds
+    /// her still-uncovered target profiles to the remaining list after a
+    /// stretch of cycles without progress (a lost carrier exchange leaves
+    /// no other trace). Doubles per retry. `0` disables retries.
+    pub retry_backoff_cycles: u64,
+    /// Fault-hardening: a personal-network neighbour whose staleness
+    /// timestamp exceeds this limit is evicted — under crash faults a dead
+    /// neighbour never answers gossip, so its timestamp grows without
+    /// bound while live ones keep getting reset. `0` disables eviction.
+    pub neighbour_staleness_limit: u32,
 }
 
 impl P3qConfig {
@@ -45,6 +61,9 @@ impl P3qConfig {
             digest_hashes: p3q_bloom::PAPER_FILTER_HASHES,
             lazy_cycle_seconds: 60.0,
             eager_cycle_seconds: 5.0,
+            query_ttl_cycles: 0,
+            retry_backoff_cycles: 0,
+            neighbour_staleness_limit: 0,
         }
     }
 
@@ -63,6 +82,9 @@ impl P3qConfig {
             digest_hashes: 7,
             lazy_cycle_seconds: 60.0,
             eager_cycle_seconds: 5.0,
+            query_ttl_cycles: 0,
+            retry_backoff_cycles: 0,
+            neighbour_staleness_limit: 0,
         }
     }
 
@@ -78,7 +100,27 @@ impl P3qConfig {
             digest_hashes: 5,
             lazy_cycle_seconds: 60.0,
             eager_cycle_seconds: 5.0,
+            query_ttl_cycles: 0,
+            retry_backoff_cycles: 0,
+            neighbour_staleness_limit: 0,
         }
+    }
+
+    /// Returns a copy with the fault-hardening machinery switched on:
+    /// query TTL / deadline tracking, querier retry-with-backoff and
+    /// staleness-based neighbour eviction. Passing `0` for a knob leaves
+    /// that mechanism disabled.
+    pub fn with_fault_tolerance(
+        mut self,
+        query_ttl_cycles: u64,
+        retry_backoff_cycles: u64,
+        neighbour_staleness_limit: u32,
+    ) -> Self {
+        self.query_ttl_cycles = query_ttl_cycles;
+        self.retry_backoff_cycles = retry_backoff_cycles;
+        self.neighbour_staleness_limit = neighbour_staleness_limit;
+        self.validate();
+        self
     }
 
     /// Returns a copy with a different `α`.
@@ -123,6 +165,13 @@ impl P3qConfig {
             self.lazy_cycle_seconds > 0.0 && self.eager_cycle_seconds > 0.0,
             "cycle durations must be positive"
         );
+        if self.query_ttl_cycles > 0 && self.retry_backoff_cycles > 0 {
+            assert!(
+                self.retry_backoff_cycles <= self.query_ttl_cycles,
+                "retry_backoff_cycles must not exceed query_ttl_cycles \
+                 (the first retry could never fire before the deadline)"
+            );
+        }
     }
 }
 
@@ -160,6 +209,29 @@ mod tests {
         let cfg = P3qConfig::tiny().with_alpha(0.3).with_top_k(20);
         assert!((cfg.alpha - 0.3).abs() < 1e-12);
         assert_eq!(cfg.top_k, 20);
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_off_and_builder_sets_knobs() {
+        for cfg in [
+            P3qConfig::paper(10_000),
+            P3qConfig::laptop_scale(),
+            P3qConfig::tiny(),
+        ] {
+            assert_eq!(cfg.query_ttl_cycles, 0);
+            assert_eq!(cfg.retry_backoff_cycles, 0);
+            assert_eq!(cfg.neighbour_staleness_limit, 0);
+        }
+        let cfg = P3qConfig::tiny().with_fault_tolerance(12, 3, 8);
+        assert_eq!(cfg.query_ttl_cycles, 12);
+        assert_eq!(cfg.retry_backoff_cycles, 3);
+        assert_eq!(cfg.neighbour_staleness_limit, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry_backoff_cycles")]
+    fn retry_backoff_beyond_ttl_rejected() {
+        let _ = P3qConfig::tiny().with_fault_tolerance(2, 5, 0);
     }
 
     #[test]

@@ -38,8 +38,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use p3q_sim::{
-    CommitOutcome, CycleContext, CycleReport, EffectContext, ExchangePlan, GossipProtocol,
-    Simulator,
+    CommitOutcome, CycleContext, CycleReport, EffectContext, ExchangePlan, FaultPlan,
+    GossipProtocol, Simulator,
 };
 use p3q_topk::PartialResultList;
 use p3q_trace::{ItemId, Profile, Query, SharedProfile, UserId};
@@ -63,12 +63,15 @@ pub fn issue_query(
     querier_idx: usize,
     query_id: QueryId,
     query: Query,
-    _cfg: &P3qConfig,
+    cfg: &P3qConfig,
 ) -> usize {
     let cycle = sim.cycle();
     let node = sim.node_mut(querier_idx);
     let target_profiles = node.network_peers();
     let mut state = QuerierState::new(query.clone(), target_profiles, cycle);
+    if cfg.query_ttl_cycles > 0 {
+        state.deadline_cycle = cycle + cfg.query_ttl_cycles;
+    }
 
     // Local processing over the *fresh* stored profiles (all of them belong
     // to the personal network, so they count towards the target set; copies
@@ -148,9 +151,14 @@ struct GossipContext {
     is_querier: bool,
 }
 
-fn collect_contexts(node: &P3qNode) -> Vec<GossipContext> {
+fn collect_contexts(node: &P3qNode, cycle: u64) -> Vec<GossipContext> {
     let mut contexts = Vec::new();
     for (&query_id, state) in &node.querier_states {
+        // An expired query (deadline passed, still incomplete) is no
+        // longer gossiped; its state stays around for the loss metrics.
+        if state.is_expired(cycle) {
+            continue;
+        }
         if !state.remaining.is_empty() {
             contexts.push(GossipContext {
                 query_id,
@@ -199,6 +207,36 @@ impl GossipProtocol for EagerProtocol<'_> {
         ScoreBuffer::default()
     }
 
+    fn prepare(&self, node: &mut P3qNode, cycle: u64) {
+        // All three mechanisms are fault-hardening knobs defaulting to 0:
+        // with the paper's idealized network none of this runs and eager
+        // cycles are byte-identical to the pre-fault engine.
+        let cfg = self.cfg;
+        if cfg.query_ttl_cycles > 0 {
+            // Shed delegated shares whose TTL lapsed: their querier has
+            // given up (or died) and the work would never be billed.
+            node.tasks.retain(|_, task| !task.is_expired(cycle));
+        }
+        if cfg.retry_backoff_cycles > 0 {
+            for state in node.querier_states.values_mut() {
+                state.maybe_retry(cycle, cfg.retry_backoff_cycles);
+            }
+        }
+        if cfg.neighbour_staleness_limit > 0 {
+            // Eager cycles normally leave staleness untouched (only lazy
+            // prepare ticks it); under the eviction knob they tick too so
+            // dead neighbours age out even during long query bursts. A
+            // uniform tick shifts every timestamp equally, so relative
+            // destination preferences are unchanged.
+            node.personal_network.tick();
+            node.evict_stale_neighbours(cfg.neighbour_staleness_limit);
+        }
+    }
+
+    fn on_crash(&self, node: &mut P3qNode, _cycle: u64) {
+        node.crash_volatile();
+    }
+
     fn plan(
         &self,
         world: &CycleContext<'_, P3qNode>,
@@ -207,7 +245,7 @@ impl GossipProtocol for EagerProtocol<'_> {
         out: &mut Vec<ExchangePlan<EagerTask>>,
     ) {
         let node = world.node(idx);
-        let contexts = collect_contexts(node);
+        let contexts = collect_contexts(node, world.cycle());
         if contexts.is_empty() {
             return;
         }
@@ -276,7 +314,7 @@ impl GossipProtocol for EagerProtocol<'_> {
 
     fn commit(
         &self,
-        _cycle: u64,
+        cycle: u64,
         plan: &ExchangePlan<EagerTask>,
         initiator: &mut P3qNode,
         destination: Option<&mut P3qNode>,
@@ -339,6 +377,11 @@ impl GossipProtocol for EagerProtocol<'_> {
         // Update the destination's task (merge with an existing share if it
         // already helps this query).
         if !processed.dest_share.is_empty() || dest.tasks.contains_key(&task.query_id) {
+            let expires_cycle = if cfg.query_ttl_cycles > 0 {
+                cycle + cfg.query_ttl_cycles
+            } else {
+                0
+            };
             let dest_task = dest
                 .tasks
                 .entry(task.query_id)
@@ -347,7 +390,11 @@ impl GossipProtocol for EagerProtocol<'_> {
                     querier: task.querier,
                     query: task.query.clone(),
                     remaining: Vec::new(),
+                    expires_cycle,
                 });
+            // A fresh share of the same query renews the lease: only work
+            // nobody has touched for a full TTL is dead.
+            dest_task.expires_cycle = dest_task.expires_cycle.max(expires_cycle);
             for user in &processed.dest_share {
                 if !dest_task.remaining.contains(user) {
                     dest_task.remaining.push(*user);
@@ -465,6 +512,81 @@ pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
         on_cycle_end(sim, cycle);
         if exchanges == 0 {
             return round + 1;
+        }
+    }
+    max_cycles
+}
+
+/// Runs one eager cycle under a fault schedule: node crashes/restarts fire
+/// before the cycle, delivery faults interpose between plan and commit.
+/// Returns the number of exchanges actually committed (dropped or delayed
+/// carriers do not count). With a zero-fault plan this is byte-identical to
+/// [`run_eager_cycle`].
+pub fn run_eager_cycle_faulted(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<EagerTask>,
+) -> usize {
+    let report = sim.run_cycle_faulted(&EagerProtocol::new(cfg), faults);
+    finish_eager_cycle(sim, report).pair_exchanges
+}
+
+/// Like [`run_eager_cycle_faulted`] with an explicit worker-thread count.
+pub fn run_eager_cycle_faulted_with_threads(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<EagerTask>,
+    threads: usize,
+) -> usize {
+    let report = sim.run_cycle_faulted_with_threads(&EagerProtocol::new(cfg), faults, threads);
+    finish_eager_cycle(sim, report).pair_exchanges
+}
+
+/// Runs one faulted eager cycle through the sequential reference engine —
+/// the oracle the fault property suite pins [`run_eager_cycle_faulted`]
+/// against.
+pub fn run_eager_cycle_faulted_reference(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<EagerTask>,
+) -> usize {
+    let report = sim.run_cycle_faulted_reference(&EagerProtocol::new(cfg), faults);
+    finish_eager_cycle(sim, report).pair_exchanges
+}
+
+/// Faulted analogue of [`run_eager_until_complete`]: runs faulted eager
+/// cycles until a cycle commits no exchange **and** the fault schedule has
+/// nothing in flight (no delayed carrier still due, no crashed node still
+/// down — either could re-ignite the gossip), or `max_cycles` elapse.
+/// Returns the number of cycles run.
+pub fn run_eager_until_complete_faulted<F: FnMut(&mut Simulator<P3qNode>, u64)>(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<EagerTask>,
+    max_cycles: u64,
+    mut on_cycle_end: F,
+) -> u64 {
+    for round in 0..max_cycles {
+        let exchanges = run_eager_cycle_faulted(sim, cfg, faults);
+        let cycle = sim.cycle();
+        on_cycle_end(sim, cycle);
+        if exchanges == 0 && faults.pending_delayed() == 0 && faults.pending_restarts() == 0 {
+            // A quiet cycle is not the end while the retry machinery still
+            // has live queries: a backed-off retry may re-ignite gossip
+            // several cycles from now. Queries with a lapsed deadline do
+            // not count — they will never gossip again.
+            let retry_pending = cfg.retry_backoff_cycles > 0
+                && (0..sim.num_nodes()).any(|idx| {
+                    sim.is_alive(idx)
+                        && sim
+                            .node(idx)
+                            .querier_states
+                            .values()
+                            .any(|s| !s.is_complete() && !s.is_expired(cycle))
+                });
+            if !retry_pending {
+                return round + 1;
+            }
         }
     }
     max_cycles

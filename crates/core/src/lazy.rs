@@ -34,7 +34,7 @@ use p3q_gossip::peer_sampling;
 use p3q_sim::parallel::parallel_for_each_mut;
 use p3q_sim::{
     parallel_map_chunks, stream_seed, CommitOutcome, CycleContext, CycleReport, EventQueue,
-    ExchangePlan, GossipProtocol, Simulator,
+    ExchangePlan, FaultPlan, GossipProtocol, Simulator,
 };
 use p3q_trace::{SharedProfile, UserId};
 
@@ -261,6 +261,13 @@ pub enum LazyStep {
     /// Solo step: probe the random-view members whose digest shares an item
     /// with the initiator (candidates snapshotted at plan time).
     Probe(Vec<ProbeCandidate>),
+    /// Solo recovery step: a node whose random view is empty (it just
+    /// restarted after a crash and lost all volatile state) re-seeds the
+    /// view with uniformly random alive peers, snapshotted at plan time —
+    /// the cycle-level equivalent of re-contacting the peer-sampling
+    /// service. Solo plans are immune to delivery faults, mirroring that
+    /// bootstrap traffic goes through infrastructure, not gossip.
+    Rebootstrap(Vec<(UserId, DigestInfo)>),
 }
 
 /// The lazy mode as a plan/commit protocol.
@@ -289,6 +296,13 @@ impl GossipProtocol for LazyProtocol<'_> {
         // increment their timestamps by 1").
         node.random_view.tick();
         node.personal_network.tick();
+        if self.cfg.neighbour_staleness_limit > 0 {
+            node.evict_stale_neighbours(self.cfg.neighbour_staleness_limit);
+        }
+    }
+
+    fn on_crash(&self, node: &mut P3qNode, _cycle: u64) {
+        node.crash_volatile();
     }
 
     fn plan(
@@ -300,6 +314,48 @@ impl GossipProtocol for LazyProtocol<'_> {
     ) {
         let node = world.node(idx);
         let valid_partner = |peer: UserId| peer.index() != idx && world.is_alive(peer.index());
+
+        // Recovery: a restarted node lost its views with its volatile
+        // state; re-seed the random view before anything else (this cycle's
+        // shuffle and probe see the empty view, the next cycle gossips
+        // normally). The branch never fires for a node with a live view, so
+        // fault-free cycles draw exactly the same RNG stream as before.
+        if node.random_view.is_empty() {
+            let n = world.num_nodes();
+            let alive_others = world.membership().alive_count().saturating_sub(1);
+            let target = self
+                .cfg
+                .random_view_size
+                .min(n.saturating_sub(1))
+                .min(alive_others);
+            let mut picked: Vec<usize> = Vec::new();
+            while picked.len() < target {
+                let other = rng.gen_range(0..n);
+                if other != idx && !picked.contains(&other) && world.is_alive(other) {
+                    picked.push(other);
+                }
+            }
+            let picks: Vec<(UserId, DigestInfo)> = picked
+                .into_iter()
+                .map(|other| {
+                    let peer = world.node(other);
+                    (
+                        UserId::from_index(other),
+                        DigestInfo {
+                            digest: peer.shared_digest().clone(),
+                            version: peer.profile_version(),
+                        },
+                    )
+                })
+                .collect();
+            if !picks.is_empty() {
+                out.push(ExchangePlan {
+                    initiator: idx,
+                    destination: None,
+                    payload: LazyStep::Rebootstrap(picks),
+                });
+            }
+        }
 
         // Bottom layer: one uniformly random member of the random view.
         if let Some(partner) = peer_sampling::pick_partner(&node.random_view, rng) {
@@ -415,6 +471,15 @@ impl GossipProtocol for LazyProtocol<'_> {
                     probe_candidate(initiator, plan.initiator, candidate, &mut outcome);
                 }
             }
+            LazyStep::Rebootstrap(picks) => {
+                for (user, info) in picks {
+                    initiator.random_view.insert(*user, info.clone());
+                }
+                // Re-fetching r digests costs what a bootstrap contact
+                // does: one digest per re-seeded view slot.
+                let payload = picks.len() * digest_bytes(cfg.digest_bits);
+                outcome.charge(plan.initiator, category::RPS_DIGESTS, payload);
+            }
         }
         outcome
     }
@@ -491,6 +556,39 @@ pub fn run_lazy_cycle_with_threads(
 /// against.
 pub fn run_lazy_cycle_reference(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> CycleReport {
     sim.run_cycle_reference(&LazyProtocol::new(cfg))
+}
+
+/// Runs one lazy cycle under a fault schedule: the [`FaultPlan`]'s node
+/// transitions (crash/restart) fire before the cycle and its delivery
+/// faults (drop/delay/duplicate) interpose between plan and commit. With a
+/// zero-fault plan this is byte-identical to [`run_lazy_cycle`].
+pub fn run_lazy_cycle_faulted(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<LazyStep>,
+) -> CycleReport {
+    sim.run_cycle_faulted(&LazyProtocol::new(cfg), faults)
+}
+
+/// Like [`run_lazy_cycle_faulted`] with an explicit worker-thread count.
+pub fn run_lazy_cycle_faulted_with_threads(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<LazyStep>,
+    threads: usize,
+) -> CycleReport {
+    sim.run_cycle_faulted_with_threads(&LazyProtocol::new(cfg), faults, threads)
+}
+
+/// Runs one faulted lazy cycle through the sequential reference engine —
+/// the oracle the fault property suite pins [`run_lazy_cycle_faulted`]
+/// against.
+pub fn run_lazy_cycle_faulted_reference(
+    sim: &mut Simulator<P3qNode>,
+    cfg: &P3qConfig,
+    faults: &mut FaultPlan<LazyStep>,
+) -> CycleReport {
+    sim.run_cycle_faulted_reference(&LazyProtocol::new(cfg), faults)
 }
 
 /// Runs `cycles` lazy-mode cycles, invoking `on_cycle_end(sim, cycle_index)`
@@ -881,6 +979,91 @@ mod tests {
                 );
             }
             assert_eq!(reference.bandwidth.totals(), parallel.bandwidth.totals());
+        }
+    }
+
+    #[test]
+    fn zero_fault_lazy_cycles_match_the_faultless_engine() {
+        let build = || {
+            let (mut sim, cfg, _) = small_sim();
+            let mut rng = StdRng::seed_from_u64(5);
+            bootstrap_random_views(&mut sim, &cfg, &mut rng);
+            (sim, cfg)
+        };
+        let (mut plain, cfg) = build();
+        let (mut faulted, _) = build();
+        let mut faults = FaultPlan::new(p3q_sim::FaultConfig::none());
+        for _ in 0..4 {
+            let a = run_lazy_cycle(&mut plain, &cfg);
+            let b = run_lazy_cycle_faulted(&mut faulted, &cfg, &mut faults);
+            assert_eq!(a, b);
+        }
+        for idx in 0..plain.num_nodes() {
+            assert_eq!(
+                plain.node(idx).personal_network,
+                faulted.node(idx).personal_network,
+                "node {idx}"
+            );
+            assert_eq!(
+                plain.node(idx).random_view.snapshot(),
+                faulted.node(idx).random_view.snapshot(),
+                "node {idx}"
+            );
+        }
+        assert_eq!(plain.bandwidth.totals(), faulted.bandwidth.totals());
+        assert_eq!(faults.stats(), p3q_sim::FaultStats::default());
+    }
+
+    #[test]
+    fn restarted_nodes_rebootstrap_their_random_views() {
+        let (mut sim, cfg, _) = small_sim();
+        let mut rng = StdRng::seed_from_u64(5);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        // Crash aggressively for a few cycles, then let the dust settle.
+        let mut faults = FaultPlan::new(p3q_sim::FaultConfig::crash_restart(0.4, 1, 7));
+        for _ in 0..6 {
+            run_lazy_cycle_faulted(&mut sim, &cfg, &mut faults);
+        }
+        assert!(faults.stats().crashes > 0, "fixture must actually crash");
+        let mut calm = FaultPlan::new(p3q_sim::FaultConfig::none());
+        for _ in 0..3 {
+            run_lazy_cycle_faulted(&mut sim, &cfg, &mut calm);
+        }
+        // Every alive node is back in the overlay: a non-empty random view
+        // seeded by the Rebootstrap step, pointing only at current peers.
+        for idx in 0..sim.num_nodes() {
+            if !sim.is_alive(idx) {
+                continue;
+            }
+            let view: Vec<_> = sim.node(idx).random_view.iter().collect();
+            assert!(!view.is_empty(), "node {idx} never re-bootstrapped");
+            for entry in &view {
+                assert_ne!(entry.peer.index(), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_neighbour_eviction_is_gated_by_the_config_knob() {
+        let (mut sim, mut cfg, _) = small_sim();
+        let mut rng = StdRng::seed_from_u64(5);
+        bootstrap_random_views(&mut sim, &cfg, &mut rng);
+        run_lazy_cycles(&mut sim, &cfg, 5, |_, _| {});
+        // Kill half the population; without eviction their entries linger.
+        sim.mass_departure(0.5);
+        cfg.neighbour_staleness_limit = 3;
+        run_lazy_cycles(&mut sim, &cfg, 8, |_, _| {});
+        for idx in 0..sim.num_nodes() {
+            if !sim.is_alive(idx) {
+                continue;
+            }
+            for entry in sim.node(idx).personal_network.iter() {
+                assert!(
+                    entry.staleness <= cfg.neighbour_staleness_limit + 1,
+                    "node {idx} kept a neighbour at staleness {}",
+                    entry.staleness
+                );
+            }
         }
     }
 

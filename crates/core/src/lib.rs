@@ -147,8 +147,10 @@ pub mod prelude {
     pub use crate::baseline::{centralized_topk, IdealNetworks};
     pub use crate::config::P3qConfig;
     pub use crate::eager::{
-        issue_query, querier_state, run_eager_cycle, run_eager_cycle_reference,
-        run_eager_cycle_with_threads, run_eager_until_complete, EagerProtocol,
+        issue_query, querier_state, run_eager_cycle, run_eager_cycle_faulted,
+        run_eager_cycle_faulted_reference, run_eager_cycle_faulted_with_threads,
+        run_eager_cycle_reference, run_eager_cycle_with_threads, run_eager_until_complete,
+        run_eager_until_complete_faulted, EagerProtocol, EagerTask,
     };
     pub use crate::experiment::{
         apply_profile_changes, build_simulator, build_simulator_with_budgets,
@@ -156,18 +158,20 @@ pub mod prelude {
     };
     pub use crate::lazy::{
         bootstrap_random_views, bootstrap_random_views_reference,
-        bootstrap_random_views_with_threads, run_lazy_cycle, run_lazy_cycle_reference,
-        run_lazy_cycle_with_threads, run_lazy_cycles, run_lazy_cycles_with_events, LazyProtocol,
+        bootstrap_random_views_with_threads, run_lazy_cycle, run_lazy_cycle_faulted,
+        run_lazy_cycle_faulted_reference, run_lazy_cycle_faulted_with_threads,
+        run_lazy_cycle_reference, run_lazy_cycle_with_threads, run_lazy_cycles,
+        run_lazy_cycles_with_events, LazyProtocol, LazyStep,
     };
     pub use crate::metrics::{
         average_success_ratio, average_update_rate, network_refresh_ratio, recall_at_k,
-        success_ratio,
+        success_ratio, RecallUnderLoss,
     };
     pub use crate::node::P3qNode;
     pub use crate::query::{QuerierState, QueryId};
     pub use crate::similarity::{ActionIndex, DeltaOutcome, SimilarityScratch};
     pub use crate::storage::StorageDistribution;
-    pub use p3q_sim::{EventQueue, Simulator};
+    pub use p3q_sim::{EventQueue, FaultConfig, FaultPlan, FaultStats, Simulator};
     pub use p3q_trace::{
         Dataset, DynamicsConfig, DynamicsGenerator, ItemId, Profile, Query, QueryGenerator,
         SharedProfile, TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,

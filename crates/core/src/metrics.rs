@@ -1,6 +1,8 @@
 //! Quality metrics of the paper's evaluation: personal-network success
 //! ratio (Figure 2), recall (Figures 3, 4, 11), average update rate
-//! (Figures 7, 9, Table 2) and the strict network-refresh ratio (Figure 10).
+//! (Figures 7, 9, Table 2), the strict network-refresh ratio (Figure 10),
+//! and the degradation surface under injected faults
+//! ([`RecallUnderLoss`]).
 
 use std::collections::HashSet;
 
@@ -55,6 +57,84 @@ pub fn recall_at_k(result_items: &[ItemId], reference: &[(ItemId, u32)]) -> f64 
         .filter(|i| reference_items.contains(i))
         .count();
     hits as f64 / reference_items.len() as f64
+}
+
+/// Degradation surface of a faulted query workload: how much recall,
+/// latency and bandwidth a fault schedule costs relative to the fault-free
+/// run. One instance accumulates a whole workload (one per fault rate in
+/// the degradation curves of `BENCH_faults.json`).
+///
+/// Queries are classified three ways: **completed** (every target profile
+/// covered before any deadline), **degraded** (still alive at the end of
+/// the run, or expired, with partial coverage — their recall counts, their
+/// latency does not) and **lost** (the querier crashed and its volatile
+/// query book went with it — no recall to measure).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecallUnderLoss {
+    /// Queries issued.
+    pub queries: usize,
+    /// Queries whose querier-side state vanished (querier crash).
+    pub lost_queries: usize,
+    /// Queries that covered every target profile.
+    pub completed_queries: usize,
+    /// Sum of per-query recall over the surviving (non-lost) queries.
+    recall_sum: f64,
+    /// Sum of completion latencies (cycles) over the completed queries.
+    latency_sum: u64,
+    /// Total bytes the workload cost (all categories).
+    pub total_bytes: u64,
+}
+
+impl RecallUnderLoss {
+    /// Records a query whose querier-side state survived the run.
+    pub fn record_query(&mut self, recall: f64, completion_latency: Option<u64>) {
+        self.queries += 1;
+        self.recall_sum += recall;
+        if let Some(latency) = completion_latency {
+            self.completed_queries += 1;
+            self.latency_sum += latency;
+        }
+    }
+
+    /// Records a query lost to a querier crash (its recall is 0 by
+    /// definition — nobody is left to read the result).
+    pub fn record_lost(&mut self) {
+        self.queries += 1;
+        self.lost_queries += 1;
+    }
+
+    /// Mean recall over all issued queries, counting lost ones as 0.
+    pub fn average_recall(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        self.recall_sum / self.queries as f64
+    }
+
+    /// Fraction of issued queries that covered every target profile.
+    pub fn completion_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        self.completed_queries as f64 / self.queries as f64
+    }
+
+    /// Mean issue-to-completion latency, in cycles, over the completed
+    /// queries (`None` if nothing completed).
+    pub fn average_latency_cycles(&self) -> Option<f64> {
+        if self.completed_queries == 0 {
+            return None;
+        }
+        Some(self.latency_sum as f64 / self.completed_queries as f64)
+    }
+
+    /// Bytes spent beyond a fault-free baseline run of the same workload:
+    /// retransmissions, duplicated carriers and re-bootstrap traffic all
+    /// land here. Saturates at 0 when faults happened to *save* bytes
+    /// (e.g. dropped carriers of an abandoned query).
+    pub fn wasted_bytes_vs(&self, baseline_total_bytes: u64) -> u64 {
+        self.total_bytes.saturating_sub(baseline_total_bytes)
+    }
 }
 
 /// Per-node freshness numbers behind the average update rate.
@@ -204,6 +284,25 @@ mod tests {
         assert_eq!(recall_at_k(&[ItemId(1), ItemId(9)], &reference), 0.5);
         assert_eq!(recall_at_k(&[], &reference), 0.0);
         assert_eq!(recall_at_k(&[ItemId(1)], &[]), 1.0);
+    }
+
+    #[test]
+    fn recall_under_loss_classifies_and_averages() {
+        let mut m = RecallUnderLoss::default();
+        assert_eq!(m.average_recall(), 1.0, "empty workload degenerates to 1");
+        assert_eq!(m.average_latency_cycles(), None);
+        m.record_query(1.0, Some(4));
+        m.record_query(0.5, None); // degraded: partial recall, no latency
+        m.record_lost();
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.completed_queries, 1);
+        assert_eq!(m.lost_queries, 1);
+        assert!((m.average_recall() - 0.5).abs() < 1e-12);
+        assert!((m.completion_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.average_latency_cycles(), Some(4.0));
+        m.total_bytes = 100;
+        assert_eq!(m.wasted_bytes_vs(60), 40);
+        assert_eq!(m.wasted_bytes_vs(150), 0, "waste saturates at zero");
     }
 
     #[test]

@@ -537,6 +537,43 @@ impl P3qNode {
         self.personal_network.peers().collect()
     }
 
+    /// Crashes the node: every piece of **volatile** state is lost — the
+    /// personal network and random view (in-memory routing state), the
+    /// query books (in-flight queries and delegated shares) and the
+    /// unflushed digest. What survives is the **at-rest** state a real node
+    /// would recover from disk: its own profile (and version), the digest
+    /// geometry and the storage budget. Called by the protocols'
+    /// `on_crash` hooks when a fault schedule crashes the node; after
+    /// `Membership::rejoin` the node re-bootstraps its views through the
+    /// lazy protocol's re-bootstrap step.
+    pub fn crash_volatile(&mut self) {
+        self.personal_network = ScoredView::new(self.personal_network.capacity());
+        self.random_view = AgedView::new(self.random_view.capacity());
+        self.querier_states = LazyMap::new();
+        self.tasks = LazyMap::new();
+        self.digest.take();
+    }
+
+    /// Evicts every personal-network neighbour whose staleness timestamp
+    /// exceeds `limit`, returning how many were dropped. Under crash
+    /// faults a dead neighbour never answers gossip, so its timestamp
+    /// grows without bound while live neighbours keep getting reset —
+    /// staleness is the node-local signal for "this neighbour is gone".
+    /// Cached profile copies of evicted neighbours are dropped with their
+    /// entries.
+    pub fn evict_stale_neighbours(&mut self, limit: u32) -> usize {
+        let stale: Vec<UserId> = self
+            .personal_network
+            .iter()
+            .filter(|e| e.staleness > limit)
+            .map(|e| e.peer)
+            .collect();
+        for peer in &stale {
+            self.personal_network.remove(peer);
+        }
+        stale.len()
+    }
+
     /// Resident bytes of this node's protocol state: the struct itself, the
     /// materialized own digest, the personal-network / random-view entries
     /// and any allocated query books. Shared payloads behind `Arc` handles
@@ -750,6 +787,55 @@ mod tests {
         n.store_profile(UserId(1), profile(&[(5, 5), (6, 6)]), 2);
         assert!(n.has_fresh_stored_profile(&UserId(1)));
         assert_eq!(n.shared_fresh_stored_profiles().count(), 1);
+    }
+
+    #[test]
+    fn crash_loses_volatile_state_and_keeps_the_profile_at_rest() {
+        let mut n = node(2);
+        let p = profile(&[(5, 5)]);
+        n.record_neighbour(UserId(1), 3, p.digest(1024, 4), 1);
+        n.store_profile(UserId(1), p, 1);
+        n.random_view.insert(
+            UserId(2),
+            crate::node::DigestInfo {
+                digest: Arc::new(profile(&[(2, 2)]).digest(1024, 4)),
+                version: 1,
+            },
+        );
+        n.add_tagging_actions(vec![TaggingAction::new(ItemId(9), TagId(9))]);
+        let version = n.profile_version();
+        let own = n.profile().clone();
+
+        n.crash_volatile();
+        assert!(n.personal_network.is_empty());
+        assert!(n.random_view.is_empty());
+        assert!(n.querier_states.is_empty() && n.tasks.is_empty());
+        // Capacities (the s and r parameters) are preserved.
+        assert_eq!(n.personal_network.capacity(), 5);
+        assert_eq!(n.random_view.capacity(), 3);
+        // The at-rest profile survives, and the digest rebuilds lazily
+        // from it.
+        assert_eq!(n.profile(), &own);
+        assert_eq!(n.profile_version(), version);
+        assert!(n.digest().contains(ItemId(9).as_key()));
+    }
+
+    #[test]
+    fn stale_neighbours_are_evicted_beyond_the_limit() {
+        let mut n = node(2);
+        for peer in 1..=3u32 {
+            let p = profile(&[(peer, peer)]);
+            n.record_neighbour(UserId(peer), peer as u64, p.digest(1024, 4), 1);
+        }
+        // Age everyone by 3, then refresh peer 2's timestamp.
+        for _ in 0..3 {
+            n.personal_network.tick();
+        }
+        n.personal_network.reset_staleness(&UserId(2));
+        assert_eq!(n.evict_stale_neighbours(2), 2);
+        assert_eq!(n.network_peers(), vec![UserId(2)]);
+        // Nothing further to evict below the limit.
+        assert_eq!(n.evict_stale_neighbours(2), 0);
     }
 
     #[test]

@@ -36,6 +36,19 @@ pub struct QuerierState {
     pub completed_cycle: Option<u64>,
     /// Per-query traffic accounting (Figure 6).
     pub traffic: QueryTraffic,
+    /// Fault-hardening: cycle after which an incomplete query is abandoned
+    /// (`0` = no deadline). Set from `P3qConfig::query_ttl_cycles` at issue
+    /// time.
+    pub deadline_cycle: u64,
+    /// Fault-hardening: `used_profiles` count at the last progress check —
+    /// the retry machinery's notion of "something arrived since".
+    pub progress_marker: usize,
+    /// Fault-hardening: last cycle at which the query made progress (or
+    /// retried). Seeds the backoff clock.
+    pub last_progress_cycle: u64,
+    /// Fault-hardening: number of retries fired so far (doubles the
+    /// backoff).
+    pub retries: u32,
 }
 
 impl QuerierState {
@@ -51,6 +64,10 @@ impl QuerierState {
             started_cycle,
             completed_cycle: None,
             traffic: QueryTraffic::default(),
+            deadline_cycle: 0,
+            progress_marker: 0,
+            last_progress_cycle: started_cycle,
+            retries: 0,
         }
     }
 
@@ -103,6 +120,58 @@ impl QuerierState {
     pub fn completion_latency(&self) -> Option<u64> {
         self.completed_cycle.map(|c| c - self.started_cycle)
     }
+
+    /// Returns `true` if the query has a deadline, the deadline has passed
+    /// and the query is still incomplete — the querier stops re-gossiping
+    /// it (its latency is reported as "lost" by the loss metrics).
+    pub fn is_expired(&self, cycle: u64) -> bool {
+        self.deadline_cycle != 0 && cycle >= self.deadline_cycle && !self.is_complete()
+    }
+
+    /// Retry-with-backoff step, run once per cycle by the eager prepare
+    /// phase when `retry_backoff_cycles > 0`.
+    ///
+    /// A dropped or crashed carrier leaves no trace at the querier: some
+    /// share of the remaining list simply never reports back. Progress is
+    /// therefore measured by `used_profiles` growth; once
+    /// `backoff · 2^retries` cycles pass without any, the still-uncovered
+    /// target profiles are re-added to the querier's own remaining list and
+    /// re-delegated by the next plan phase. Duplicate deliveries caused by
+    /// a retried target that was merely *slow* are idempotent —
+    /// `used_profiles` is a set — so a spurious retry costs bandwidth, not
+    /// correctness.
+    ///
+    /// Returns `true` if a retry fired.
+    pub fn maybe_retry(&mut self, cycle: u64, backoff_cycles: u64) -> bool {
+        if self.is_complete() || self.is_expired(cycle) {
+            return false;
+        }
+        let used = self.used_profiles.len();
+        if used > self.progress_marker {
+            self.progress_marker = used;
+            self.last_progress_cycle = cycle;
+            return false;
+        }
+        // Cap the shift: beyond a handful of doublings the wait exceeds any
+        // realistic deadline anyway, and 2^63 would overflow.
+        let wait = backoff_cycles.saturating_mul(1u64 << self.retries.min(16));
+        if cycle.saturating_sub(self.last_progress_cycle) < wait {
+            return false;
+        }
+        let mut added = false;
+        // Iterate targets in their recorded (deterministic) order so the
+        // rebuilt remaining list is identical across thread counts.
+        for idx in 0..self.target_profiles.len() {
+            let user = self.target_profiles[idx];
+            if !self.used_profiles.contains(&user) && !self.remaining.contains(&user) {
+                self.remaining.push(user);
+                added = true;
+            }
+        }
+        self.retries += 1;
+        self.last_progress_cycle = cycle;
+        added
+    }
 }
 
 /// The share of a query's remaining list a non-querier node took over
@@ -117,12 +186,21 @@ pub struct RemainingTask {
     pub query: Query,
     /// This node's remaining list `L_Q(u_dest)`.
     pub remaining: Vec<UserId>,
+    /// Fault-hardening: cycle at which this share expires and is shed by
+    /// the prepare phase (`0` = never). Refreshed whenever a new share of
+    /// the same query is merged in, so only genuinely dead work is dropped.
+    pub expires_cycle: u64,
 }
 
 impl RemainingTask {
     /// Returns `true` if nothing remains to be resolved by this node.
     pub fn is_done(&self) -> bool {
         self.remaining.is_empty()
+    }
+
+    /// Returns `true` if this share has a TTL and it has lapsed.
+    pub fn is_expired(&self, cycle: u64) -> bool {
+        self.expires_cycle != 0 && cycle >= self.expires_cycle
     }
 }
 
@@ -195,12 +273,67 @@ mod tests {
             querier: UserId(0),
             query: query(),
             remaining: vec![UserId(5)],
+            expires_cycle: 0,
         };
         assert!(!t.is_done());
+        assert!(!t.is_expired(u64::MAX), "0 means no TTL");
         let done = RemainingTask {
             remaining: vec![],
             ..t
         };
         assert!(done.is_done());
+    }
+
+    #[test]
+    fn remaining_task_ttl_lapses() {
+        let t = RemainingTask {
+            query_id: QueryId(1),
+            querier: UserId(0),
+            query: query(),
+            remaining: vec![UserId(5)],
+            expires_cycle: 10,
+        };
+        assert!(!t.is_expired(9));
+        assert!(t.is_expired(10));
+    }
+
+    #[test]
+    fn retry_fires_after_backoff_and_doubles() {
+        let targets = vec![UserId(1), UserId(2), UserId(3)];
+        let mut st = QuerierState::new(query(), targets, 0);
+        st.absorb_partial_result(list(&[(1, 3)]), &[UserId(1)]);
+
+        // Cycle 1: progress is noticed (marker catches up), no retry.
+        assert!(!st.maybe_retry(1, 2));
+        assert_eq!(st.retries, 0);
+        // Cycle 2: only 1 cycle since progress < backoff 2 → still waiting.
+        assert!(!st.maybe_retry(2, 2));
+        // Cycle 3: 2 cycles without progress → retry re-adds the uncovered
+        // targets, in target order.
+        assert!(st.maybe_retry(3, 2));
+        assert_eq!(st.remaining, vec![UserId(2), UserId(3)]);
+        assert_eq!(st.retries, 1);
+        // The second retry needs 2·2 = 4 quiet cycles; re-added targets are
+        // deduplicated against the live remaining list.
+        assert!(!st.maybe_retry(5, 2));
+        st.remaining.clear();
+        assert!(st.maybe_retry(7, 2));
+        assert_eq!(st.remaining, vec![UserId(2), UserId(3)]);
+        assert_eq!(st.retries, 2);
+    }
+
+    #[test]
+    fn retry_respects_completion_and_deadline() {
+        let mut st = QuerierState::new(query(), vec![UserId(1)], 0);
+        st.deadline_cycle = 5;
+        assert!(!st.is_expired(4));
+        assert!(st.is_expired(5));
+        // An expired query never retries.
+        assert!(!st.maybe_retry(100, 1));
+        // A completed query neither expires nor retries.
+        st.absorb_partial_result(list(&[(1, 1)]), &[UserId(1)]);
+        assert!(st.is_complete());
+        assert!(!st.is_expired(100));
+        assert!(!st.maybe_retry(100, 1));
     }
 }

@@ -37,6 +37,36 @@
 //! All randomness flows from the construction seed: each cycle draws one
 //! seed from the master RNG, and per-node planning / per-plan commit RNGs
 //! are derived from it by index, never by execution order.
+//!
+//! # Fault model
+//!
+//! [`Simulator::run_cycle_faulted`] executes the same four phases under a
+//! seeded [`FaultPlan`], which interposes at two well-defined points:
+//!
+//! * **cycle start** (before prepare): due restarts rejoin the
+//!   [`Membership`] and fresh crashes depart it; the protocol's
+//!   [`GossipProtocol::on_restart`] / [`GossipProtocol::on_crash`] hooks
+//!   run over the transitioned nodes. Crash semantics split node state in
+//!   two: **volatile** state (query books, in-flight exchanges, cached
+//!   views, unflushed digests) is lost by `on_crash`, while **at-rest**
+//!   state (the node's own durable profile) survives and is all a restarted
+//!   node comes back with — rebuilding views is the protocol's job, done
+//!   through its ordinary plan phase once the node is alive again.
+//! * **between plan and commit**: the ordered plan list passes through
+//!   [`FaultPlan::filter_plans`], which may drop, delay (re-injecting in a
+//!   later cycle) or duplicate *pairwise* plans.
+//!
+//! Delivery guarantees per phase: *prepare* and *solo* plans are local
+//! computation and always execute on alive nodes; *pairwise* commits are
+//! exactly the messages on the wire, so only they face delivery faults;
+//! *charges and effects* of a commit that did execute are always applied
+//! (an exchange either happens atomically or not at all — there are no
+//! torn exchanges). Fault randomness comes from dedicated
+//! [`stream_seed`](crate::parallel::stream_seed) streams of the
+//! `FaultConfig`'s own seed, so a zero-fault `FaultPlan` leaves a run
+//! byte-identical to [`Simulator::run_cycle`], and every faulted run stays
+//! byte-identical across `P3Q_THREADS` (faults are decided on the ordered,
+//! thread-independent plan list).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +76,7 @@ use crate::exchange::{
     commit_rng, conflict_free_batches, plan_rng, Charge, CommitOutcome, CycleContext,
     EffectContext, ExchangePlan, GossipProtocol,
 };
+use crate::fault::FaultPlan;
 use crate::membership::Membership;
 use crate::parallel::{default_threads, parallel_map_chunks, parallel_map_owned};
 use crate::schedule::EventQueue;
@@ -244,6 +275,168 @@ impl<N: Send + Sync> Simulator<N> {
         let report = self.report_for(&plans, batches.len());
         for batch in &batches {
             let outcomes = self.commit_batch(proto, &plans, batch, cycle_seed, threads);
+            self.apply_outcomes(proto, outcomes);
+        }
+        self.cycle += 1;
+        report
+    }
+
+    /// Runs one plan/commit cycle under a seeded fault schedule with the
+    /// default worker-thread count (see the module-level *fault model*
+    /// section). A zero-fault [`FaultPlan`] makes this byte-identical to
+    /// [`run_cycle`](Self::run_cycle).
+    pub fn run_cycle_faulted<P>(
+        &mut self,
+        proto: &P,
+        faults: &mut FaultPlan<P::Payload>,
+    ) -> CycleReport
+    where
+        P: GossipProtocol<Node = N>,
+        P::Payload: Clone,
+    {
+        self.run_cycle_faulted_with_threads(proto, faults, default_threads())
+    }
+
+    /// Runs one faulted plan/commit cycle with an explicit worker-thread
+    /// count. Identical to [`run_cycle_with_threads`](Self::run_cycle_with_threads)
+    /// except that (a) the cycle starts with the fault schedule's node
+    /// transitions (restarts rejoin, crashes depart, with the protocol's
+    /// `on_restart` / `on_crash` hooks run over them) and (b) the plan list
+    /// passes through [`FaultPlan::filter_plans`] before batching.
+    pub fn run_cycle_faulted_with_threads<P>(
+        &mut self,
+        proto: &P,
+        faults: &mut FaultPlan<P::Payload>,
+        threads: usize,
+    ) -> CycleReport
+    where
+        P: GossipProtocol<Node = N>,
+        P::Payload: Clone,
+    {
+        let cycle = self.cycle;
+        let cycle_seed: u64 = self.rng.gen();
+
+        // Fault transitions first: they only consume the fault schedule's
+        // own RNG streams, so with a zero-fault plan nothing here runs and
+        // the cycle below is bit-for-bit `run_cycle_with_threads`.
+        let transitions = faults.begin_cycle(cycle, &mut self.membership);
+        for &idx in &transitions.restarted {
+            proto.on_restart(self.nodes.get_mut(idx), cycle);
+        }
+        for &idx in &transitions.crashed {
+            proto.on_crash(self.nodes.get_mut(idx), cycle);
+        }
+
+        // Phase 1: per-node preparation.
+        {
+            let membership = &self.membership;
+            self.nodes.for_each_mut_sharded(threads, |idx, node| {
+                if membership.is_alive(idx) {
+                    proto.prepare(node, cycle);
+                }
+            });
+        }
+
+        // Phase 2: read-only planning against the cycle-start snapshot.
+        let alive = self.membership.alive_nodes();
+        let plans: Vec<ExchangePlan<P::Payload>> = {
+            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
+            parallel_map_chunks(
+                alive.len(),
+                threads,
+                || (),
+                |i, ()| {
+                    let idx = alive[i];
+                    let mut rng = plan_rng(cycle_seed, idx);
+                    let mut out = Vec::new();
+                    proto.plan(&world, idx, &mut rng, &mut out);
+                    out
+                },
+            )
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+
+        // Delivery faults interpose between plan and commit.
+        let plans = faults.filter_plans(cycle, plans, &self.membership);
+
+        // Phase 3 + 4: unchanged.
+        let batches = conflict_free_batches(&plans, self.nodes.len());
+        let report = self.report_for(&plans, batches.len());
+        for batch in &batches {
+            let outcomes = self.commit_batch(proto, &plans, batch, cycle_seed, threads);
+            self.apply_outcomes(proto, outcomes);
+        }
+        self.cycle += 1;
+        report
+    }
+
+    /// The sequential oracle for [`run_cycle_faulted`](Self::run_cycle_faulted):
+    /// same fault semantics, plain loops, no worker threads.
+    pub fn run_cycle_faulted_reference<P>(
+        &mut self,
+        proto: &P,
+        faults: &mut FaultPlan<P::Payload>,
+    ) -> CycleReport
+    where
+        P: GossipProtocol<Node = N>,
+        P::Payload: Clone,
+    {
+        let cycle = self.cycle;
+        let cycle_seed: u64 = self.rng.gen();
+
+        let transitions = faults.begin_cycle(cycle, &mut self.membership);
+        for &idx in &transitions.restarted {
+            proto.on_restart(self.nodes.get_mut(idx), cycle);
+        }
+        for &idx in &transitions.crashed {
+            proto.on_crash(self.nodes.get_mut(idx), cycle);
+        }
+
+        for idx in 0..self.nodes.len() {
+            if self.membership.is_alive(idx) {
+                proto.prepare(self.nodes.get_mut(idx), cycle);
+            }
+        }
+
+        let mut plans: Vec<ExchangePlan<P::Payload>> = Vec::new();
+        {
+            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
+            for idx in 0..world.num_nodes() {
+                if world.is_alive(idx) {
+                    let mut rng = plan_rng(cycle_seed, idx);
+                    proto.plan(&world, idx, &mut rng, &mut plans);
+                }
+            }
+        }
+
+        let plans = faults.filter_plans(cycle, plans, &self.membership);
+
+        let batches = conflict_free_batches(&plans, self.nodes.len());
+        let report = self.report_for(&plans, batches.len());
+        let mut scratch = proto.scratch();
+        for batch in &batches {
+            let mut outcomes = Vec::with_capacity(batch.len());
+            for &plan_idx in batch {
+                let plan = &plans[plan_idx];
+                let mut rng = commit_rng(cycle_seed, plan_idx);
+                let outcome = match plan.destination {
+                    Some(dest) => {
+                        let (a, b) = self.pair_mut(plan.initiator, dest);
+                        proto.commit(cycle, plan, a, Some(b), &mut rng, &mut scratch)
+                    }
+                    None => proto.commit(
+                        cycle,
+                        plan,
+                        self.nodes.get_mut(plan.initiator),
+                        None,
+                        &mut rng,
+                        &mut scratch,
+                    ),
+                };
+                outcomes.push(outcome);
+            }
             self.apply_outcomes(proto, outcomes);
         }
         self.cycle += 1;
@@ -474,6 +667,8 @@ mod tests {
         received: u64,
         effects: u64,
         prepared: u64,
+        crashes: u64,
+        restarts: u64,
     }
 
     impl GossipProtocol for RingProtocol {
@@ -525,6 +720,17 @@ mod tests {
 
         fn apply_effect(&self, world: &mut EffectContext<'_, Counter>, target: usize) {
             world.node_mut(target).effects += 1;
+        }
+
+        fn on_crash(&self, node: &mut Counter, _cycle: u64) {
+            // "Volatile" state for the toy protocol: the exchange counters.
+            node.initiated = 0;
+            node.received = 0;
+            node.crashes += 1;
+        }
+
+        fn on_restart(&self, node: &mut Counter, _cycle: u64) {
+            node.restarts += 1;
         }
     }
 
@@ -626,6 +832,118 @@ mod tests {
         assert_eq!(a, b);
         let c: u64 = sim1.derived_rng(2).gen();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_fault_runs_are_byte_identical_to_the_faultless_engine() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        for threads in [1, 3, 8] {
+            let mut plain = counters(23, 7);
+            let mut faulted = counters(23, 7);
+            let mut faults: FaultPlan<()> = FaultPlan::new(FaultConfig::none());
+            for _ in 0..5 {
+                plain.run_cycle_with_threads(&RingProtocol, threads);
+                faulted.run_cycle_faulted_with_threads(&RingProtocol, &mut faults, threads);
+            }
+            assert_eq!(plain.nodes(), faulted.nodes(), "threads = {threads}");
+            assert_eq!(
+                plain.bandwidth.totals(),
+                faulted.bandwidth.totals(),
+                "threads = {threads}"
+            );
+            assert_eq!(faults.stats(), Default::default());
+        }
+    }
+
+    #[test]
+    fn faulted_parallel_and_reference_agree_for_every_thread_count() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let cfg = FaultConfig {
+            drop_rate: 0.2,
+            delay_rate: 0.2,
+            duplicate_rate: 0.1,
+            max_delay_cycles: 2,
+            crash_rate: 0.05,
+            downtime_cycles: 1,
+            fault_seed: 99,
+        };
+        for threads in [1, 2, 3, 8] {
+            let mut reference = counters(23, 7);
+            let mut parallel = counters(23, 7);
+            let mut ref_faults: FaultPlan<()> = FaultPlan::new(cfg);
+            let mut par_faults: FaultPlan<()> = FaultPlan::new(cfg);
+            for _ in 0..8 {
+                reference.run_cycle_faulted_reference(&RingProtocol, &mut ref_faults);
+                parallel.run_cycle_faulted_with_threads(&RingProtocol, &mut par_faults, threads);
+            }
+            assert_eq!(reference.nodes(), parallel.nodes(), "threads = {threads}");
+            assert_eq!(
+                reference.bandwidth.totals(),
+                parallel.bandwidth.totals(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                ref_faults.fingerprint(),
+                par_faults.fingerprint(),
+                "threads = {threads}"
+            );
+            assert_eq!(ref_faults.stats(), par_faults.stats());
+        }
+    }
+
+    #[test]
+    fn crash_and_restart_hooks_fire_on_transitioned_nodes() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = counters(6, 3);
+        let mut faults: FaultPlan<()> = FaultPlan::new(FaultConfig::crash_restart(1.0, 0, 5));
+        sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        assert_eq!(sim.membership().alive_count(), 0);
+        assert!(sim
+            .nodes()
+            .iter()
+            .all(|c| c.crashes == 1 && c.restarts == 0));
+        // Downtime 0: everyone restarts at the next cycle (and, at crash
+        // rate 1, crashes again right after the restart hook).
+        sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        assert!(sim
+            .nodes()
+            .iter()
+            .all(|c| c.crashes == 2 && c.restarts == 1));
+        assert_eq!(faults.stats().crashes, 12);
+        assert_eq!(faults.stats().restarts, 6);
+    }
+
+    #[test]
+    fn dropped_exchanges_never_commit() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let cfg = FaultConfig {
+            drop_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut sim = counters(8, 4);
+        let mut faults: FaultPlan<()> = FaultPlan::new(cfg);
+        let report = sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        assert_eq!(report.plans, 0);
+        assert!(sim.nodes().iter().all(|c| c.initiated == 0));
+        assert!(sim.nodes().iter().all(|c| c.prepared == 1));
+        assert_eq!(sim.bandwidth.totals(), (0, 0));
+        assert_eq!(faults.stats().dropped, 8);
+    }
+
+    #[test]
+    fn duplicated_exchanges_commit_twice() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let cfg = FaultConfig {
+            duplicate_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut sim = counters(4, 4);
+        let mut faults: FaultPlan<()> = FaultPlan::new(cfg);
+        let report = sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        assert_eq!(report.plans, 8);
+        assert!(sim.nodes().iter().all(|c| c.initiated == 2));
+        assert!(sim.nodes().iter().all(|c| c.received == 2));
+        assert_eq!(sim.bandwidth.totals(), (80, 8));
     }
 
     #[test]

@@ -228,6 +228,24 @@ pub trait GossipProtocol: Sync {
         let _ = (node, cycle);
     }
 
+    /// Invoked when fault injection crashes `node` (see `crate::FaultPlan`):
+    /// the node has already departed the membership; this hook should clear
+    /// its *volatile* state (query books, in-flight bookkeeping, caches)
+    /// while keeping whatever survives a process restart at rest. Must
+    /// touch only `node`.
+    fn on_crash(&self, node: &mut Self::Node, cycle: u64) {
+        let _ = (node, cycle);
+    }
+
+    /// Invoked when a crashed node restarts: it has already rejoined the
+    /// membership; this hook covers local recovery bookkeeping. Rebuilding
+    /// state that needs the rest of the world (view re-bootstrap) belongs
+    /// in the protocol's plan phase, where the world is observable. Must
+    /// touch only `node`.
+    fn on_restart(&self, node: &mut Self::Node, cycle: u64) {
+        let _ = (node, cycle);
+    }
+
     /// Plans node `idx`'s step(s) against the read-only world, appending any
     /// number of [`ExchangePlan`]s to `out`. Destinations must be alive,
     /// distinct from `idx` and in bounds.

@@ -16,6 +16,10 @@
 //! * [`exchange`] — the [`GossipProtocol`] contract (prepare / plan /
 //!   commit / effects), [`ExchangePlan`]s and the deterministic greedy
 //!   conflict-free batching;
+//! * [`fault`] — deterministic fault injection: a [`FaultPlan`] built from
+//!   a replayable [`FaultConfig`] drops/delays/duplicates planned exchanges
+//!   and crashes/restarts nodes ([`Simulator::run_cycle_faulted`]), with a
+//!   zero-fault plan byte-identical to the faultless engine;
 //! * [`Membership`] — alive/departed bookkeeping with the paper's "p% of
 //!   users leave simultaneously" churn model (O(1) alive count);
 //! * [`BandwidthRecorder`] — per-node, per-category, per-cycle byte and
@@ -38,6 +42,7 @@
 mod bandwidth;
 mod engine;
 pub mod exchange;
+pub mod fault;
 mod membership;
 mod metrics;
 pub mod parallel;
@@ -50,6 +55,7 @@ pub use exchange::{
     conflict_free_batches, Charge, CommitOutcome, CycleContext, EffectContext, ExchangePlan,
     GossipProtocol,
 };
+pub use fault::{FaultConfig, FaultPlan, FaultStats, FaultTransitions};
 pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
 pub use parallel::{default_threads, parallel_map_chunks, stream_seed};

@@ -11,7 +11,7 @@
 //! [`schedule`](ScenarioWorkload::schedule) the simulation layer feeds into
 //! its `EventQueue`.
 //!
-//! The five presets:
+//! The seven presets:
 //!
 //! * [`Scenario::PaperDelicious`] — the paper's evaluation substrate:
 //!   Zipf popularity, interest communities, log-normal profile sizes, and
@@ -22,9 +22,21 @@
 //!   interests, the workload under which cached similarity decays fastest;
 //! * [`Scenario::ChurnHeavy`] — organic dynamics plus escalating mass
 //!   departures (Section 3.4.2's churn axis, pushed harder);
+//! * [`Scenario::LossyNetwork`] — the paper's substrate over an imperfect
+//!   network: gossip exchanges are dropped, delayed and duplicated by the
+//!   recommended fault schedule ([`Scenario::fault_config`]);
+//! * [`Scenario::CrashRestart`] — nodes crash (losing volatile state) and
+//!   restart a few cycles later, continuously, through the recommended
+//!   fault schedule;
 //! * [`Scenario::UniformControl`] — the null model: one topic, exponent-0
 //!   popularity, no scheduled events. Any personalization benefit measured
 //!   here is noise, which is exactly what a control is for.
+//!
+//! The fault axes differ from the dynamics axes on purpose: drops, delays
+//! and crashes live in the *simulation* layer's seeded
+//! [`p3q_sim::FaultConfig`] schedule, not in the trace, so the same
+//! workload can be replayed under any fault rate. A scenario only
+//! *recommends* a schedule via [`Scenario::fault_config`].
 //!
 //! Generation is parallel and deterministic: the trace and every scheduled
 //! change batch are fanned out over worker threads with byte-identical
@@ -51,17 +63,23 @@ pub enum Scenario {
     TopicDrift,
     /// Organic dynamics plus escalating mass departures.
     ChurnHeavy,
+    /// The paper's substrate under lossy delivery (drops/delays/duplicates).
+    LossyNetwork,
+    /// Nodes continuously crash (losing volatile state) and restart.
+    CrashRestart,
     /// No communities, no popularity skew, no events — the control.
     UniformControl,
 }
 
 impl Scenario {
     /// Every preset, in presentation order.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 7] = [
         Scenario::PaperDelicious,
         Scenario::FlashCrowd,
         Scenario::TopicDrift,
         Scenario::ChurnHeavy,
+        Scenario::LossyNetwork,
+        Scenario::CrashRestart,
         Scenario::UniformControl,
     ];
 
@@ -72,6 +90,8 @@ impl Scenario {
             Scenario::FlashCrowd => "flash-crowd",
             Scenario::TopicDrift => "topic-drift",
             Scenario::ChurnHeavy => "churn-heavy",
+            Scenario::LossyNetwork => "lossy-network",
+            Scenario::CrashRestart => "crash-restart",
             Scenario::UniformControl => "uniform-control",
         }
     }
@@ -101,7 +121,26 @@ impl Scenario {
                 "changing users drift to new topics, decaying cached similarity"
             }
             Scenario::ChurnHeavy => "organic dynamics plus escalating mass departures",
+            Scenario::LossyNetwork => {
+                "paper substrate with gossip exchanges dropped, delayed and duplicated"
+            }
+            Scenario::CrashRestart => {
+                "nodes crash (losing volatile state) and restart a few cycles later"
+            }
             Scenario::UniformControl => "one topic, no popularity skew, no events (null model)",
+        }
+    }
+
+    /// The fault schedule this preset recommends, derived from the given
+    /// seed (the simulation layer passes its master seed for replayable
+    /// runs). Every preset except the two fault axes recommends a zero
+    /// schedule — running them faulted is byte-identical to the faultless
+    /// engine.
+    pub fn fault_config(self, fault_seed: u64) -> p3q_sim::FaultConfig {
+        match self {
+            Scenario::LossyNetwork => p3q_sim::FaultConfig::lossy(0.05, fault_seed),
+            Scenario::CrashRestart => p3q_sim::FaultConfig::crash_restart(0.02, 2, fault_seed),
+            _ => p3q_sim::FaultConfig::none(),
         }
     }
 }
@@ -236,6 +275,18 @@ impl ScenarioConfig {
                 PlanStep::changes(2 * h / 3, DynamicsConfig::paper_day(step_seed(1))),
                 PlanStep::departure(3 * h / 4, 0.30),
             ],
+            // The fault axes keep the paper's organic dynamics so that loss
+            // and crashes are the *only* difference to PaperDelicious; the
+            // faults themselves live in the simulation layer's schedule
+            // (see [`Scenario::fault_config`]), not on the cycle axis.
+            Scenario::LossyNetwork => vec![
+                PlanStep::changes(h / 3, DynamicsConfig::paper_day(step_seed(0))),
+                PlanStep::changes(2 * h / 3, DynamicsConfig::paper_day(step_seed(1))),
+            ],
+            Scenario::CrashRestart => vec![PlanStep::changes(
+                h / 2,
+                DynamicsConfig::paper_day(step_seed(0)),
+            )],
             Scenario::UniformControl => Vec::new(),
         };
         DynamicsPlan { steps }
@@ -450,6 +501,31 @@ mod tests {
         let workload = cfg.build();
         assert!(workload.schedule.is_empty());
         assert_eq!(workload.scheduled_actions(), 0);
+    }
+
+    #[test]
+    fn fault_axes_recommend_schedules_and_others_do_not() {
+        let lossy = Scenario::LossyNetwork.fault_config(42);
+        assert!(lossy.drop_rate > 0.0);
+        assert_eq!(lossy.crash_rate, 0.0);
+        let crashy = Scenario::CrashRestart.fault_config(42);
+        assert!(crashy.crash_rate > 0.0);
+        assert!(crashy.is_delivery_perfect());
+        for scenario in [
+            Scenario::PaperDelicious,
+            Scenario::FlashCrowd,
+            Scenario::TopicDrift,
+            Scenario::ChurnHeavy,
+            Scenario::UniformControl,
+        ] {
+            assert!(scenario.fault_config(42).is_none(), "{}", scenario.name());
+        }
+        // The recommended schedules are seed-parameterized and replayable.
+        assert_eq!(lossy, Scenario::LossyNetwork.fault_config(42));
+        assert_ne!(
+            lossy.fault_seed,
+            Scenario::LossyNetwork.fault_config(7).fault_seed
+        );
     }
 
     #[test]

@@ -105,10 +105,12 @@ fn every_preset_runs_end_to_end_through_the_harness() {
 
 #[test]
 fn scenarios_produce_distinct_workloads() {
-    // Signature of a workload: the trace volume plus the full event
-    // schedule content (several presets deliberately share the same base
-    // trace and differ only in what happens on the cycle axis).
-    fn signature(world: &World) -> (usize, Vec<(u64, String)>) {
+    // Signature of a workload: the trace volume, the recommended fault mix
+    // and the full event schedule content (several presets deliberately
+    // share the same base trace and differ only in what happens on the
+    // cycle axis — and lossy-network shares even the schedule with
+    // paper-delicious, differing *only* in its fault recommendation).
+    fn signature(world: &World, scenario: Scenario) -> (usize, u64, Vec<(u64, String)>) {
         let events = world
             .schedule
             .iter()
@@ -128,7 +130,11 @@ fn scenarios_produce_distinct_workloads() {
                 (*cycle, tag)
             })
             .collect();
-        (world.trace.dataset.total_actions(), events)
+        (
+            world.trace.dataset.total_actions(),
+            scenario.fault_config(23).fingerprint(),
+            events,
+        )
     }
     let worlds: Vec<(Scenario, World)> = Scenario::ALL
         .iter()
@@ -137,8 +143,8 @@ fn scenarios_produce_distinct_workloads() {
     for (i, (sa, a)) in worlds.iter().enumerate() {
         for (sb, b) in &worlds[i + 1..] {
             assert_ne!(
-                signature(a),
-                signature(b),
+                signature(a, *sa),
+                signature(b, *sb),
                 "presets {} and {} produced indistinguishable workloads",
                 sa.name(),
                 sb.name()
