@@ -1,0 +1,425 @@
+//! A small hand-rolled Rust source scanner: comment/string stripping,
+//! per-line code views, test-region detection and a flat tokenizer.
+//!
+//! The analyzer has no registry access, so there is no `syn` and no real
+//! parser. The rules below never need one: every invariant they check is
+//! visible at the token level once comments and literal contents are out of
+//! the way. The lexer therefore does exactly three things:
+//!
+//! 1. **strip** — walk the source once with a character-level state machine
+//!    (line comments, nested block comments, string / raw-string / char /
+//!    byte-string literals) and produce, per line, the original `raw` text
+//!    plus a `code` view where comments are blanked and literal *contents*
+//!    are blanked (the delimiting quotes stay, so the token stream still
+//!    shows "a literal was here");
+//! 2. **test regions** — mark every line inside a `#[cfg(test)] mod … { }`
+//!    block (brace-matched on the stripped code), so determinism rules can
+//!    skip test-only code without a parser;
+//! 3. **tokenize** — split a stripped line into identifiers, `::`, and
+//!    single punctuation characters, which is all the pattern matching the
+//!    rules do.
+//!
+//! Raw lines are kept verbatim because the allow-list and `// SAFETY:`
+//! conventions live in comments — the one place the stripped view must not
+//! look.
+
+/// One source line: the original text plus the comment/literal-stripped view
+/// and whether the line sits inside a `#[cfg(test)]` module.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line exactly as written (comments included).
+    pub raw: String,
+    /// The line with comments blanked and literal contents blanked.
+    pub code: String,
+    /// `true` if the line is inside a `#[cfg(test)] mod … { … }` region.
+    pub in_test: bool,
+}
+
+/// A scanned source file: its workspace-relative path and line records.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the scanned root, with `/` separators.
+    pub rel_path: String,
+    /// Per-line records, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scans `source` into per-line records.
+    pub fn scan(rel_path: String, source: &str) -> Self {
+        let code = strip(source);
+        let raw_lines: Vec<&str> = source.split('\n').collect();
+        let code_lines: Vec<&str> = code.split('\n').collect();
+        debug_assert_eq!(raw_lines.len(), code_lines.len());
+        let test_flags = test_regions(&code_lines);
+        let lines = raw_lines
+            .iter()
+            .zip(code_lines.iter())
+            .zip(test_flags)
+            .map(|((raw, code), in_test)| Line {
+                raw: (*raw).to_string(),
+                code: (*code).to_string(),
+                in_test,
+            })
+            .collect();
+        Self { rel_path, lines }
+    }
+}
+
+/// Lexer state for [`strip`].
+enum State {
+    Normal,
+    LineComment,
+    /// Rust block comments nest; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; the payload tracks a pending backslash escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##`; the payload is the number of `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; the payload tracks a pending backslash escape.
+    Char {
+        escaped: bool,
+    },
+}
+
+/// Returns `source` with comments blanked and literal contents blanked,
+/// preserving every newline (so line numbers survive) and the delimiting
+/// quotes of literals.
+pub fn strip(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Normal;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // r"…", r#"…"#, br"…", etc. — find the hash count.
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'r') {
+                        j += 1; // the `b` of `br`
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // Emit the prefix + opening quote, blank nothing yet.
+                    for &p in &chars[i..=j] {
+                        out.push(p);
+                    }
+                    state = State::RawStr(hashes);
+                    i = j + 1;
+                    continue;
+                }
+                '"' => {
+                    out.push('"');
+                    state = State::Str { escaped: false };
+                }
+                '\'' if is_char_literal_start(&chars, i) => {
+                    out.push('\'');
+                    state = State::Char { escaped: false };
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Normal;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    continue;
+                }
+            }
+            State::Str { escaped } => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if escaped {
+                    out.push(' ');
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    out.push(' ');
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    out.push('"');
+                    state = State::Normal;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '"' && raw_string_ends(&chars, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                    continue;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Char { escaped } => {
+                if escaped {
+                    out.push(' ');
+                    state = State::Char { escaped: false };
+                } else if c == '\\' {
+                    out.push(' ');
+                    state = State::Char { escaped: true };
+                } else if c == '\'' {
+                    out.push('\'');
+                    state = State::Normal;
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Is `chars[i]` the start of a raw (or raw-byte) string literal?
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Reject identifiers ending in r/b (e.g. `var"` is not valid Rust
+    // anyway, but `for"` can't appear either; the cheap check is enough).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `chars[i]` close a raw string with `hashes` hashes?
+fn raw_string_ends(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal `'x'` / `'\n'` from a lifetime `'a`.
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        // `'a'` is a char literal; `'a,` / `'a>` / `'a ` are lifetimes.
+        // Anything quoted on both sides is a char literal (covers `'a'`;
+        // `'''` cannot appear, so a quote as the middle char is excluded).
+        Some(&c) => chars.get(i + 2) == Some(&'\'') && c != '\'',
+        None => false,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` region.
+fn test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; code_lines.len()];
+    let compressed: Vec<String> = code_lines
+        .iter()
+        .map(|l| l.chars().filter(|c| !c.is_whitespace()).collect())
+        .collect();
+    let mut i = 0usize;
+    while i < code_lines.len() {
+        if let Some(pos) = compressed[i].find("#[cfg(test)]") {
+            // Find the `mod` that the attribute decorates: same line after
+            // the attribute, or the next significant line (skipping further
+            // attributes and blanks). A `#[cfg(test)]` on a `use` or `fn`
+            // is simply not a region start.
+            let after = &compressed[i][pos + "#[cfg(test)]".len()..];
+            let mut j = i;
+            let mut probe = after.to_string();
+            loop {
+                if probe.is_empty() || probe.starts_with("#[") {
+                    j += 1;
+                    if j >= code_lines.len() {
+                        break;
+                    }
+                    probe = compressed[j].clone();
+                    continue;
+                }
+                break;
+            }
+            if j < code_lines.len() && (probe.starts_with("mod") || probe.starts_with("pubmod")) {
+                // Brace-match from the first `{` at or after line j.
+                let mut depth = 0i32;
+                let mut started = false;
+                let mut k = j;
+                while k < code_lines.len() {
+                    for c in code_lines[k].chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                started = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    flags[k] = true;
+                    if started && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Splits a stripped code line into tokens: identifiers (including keywords
+/// and lifetimes), `::` as one token, and every other non-whitespace
+/// character as a single-character token.
+pub fn tokenize(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(chars[start..i].iter().collect());
+            continue;
+        }
+        if c == ':' && chars.get(i + 1) == Some(&':') {
+            out.push("::".to_string());
+            i += 2;
+            continue;
+        }
+        out.push(c.to_string());
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_literals_are_blanked() {
+        let src = "let x = \"Hash Map\"; // HashMap here\nlet y = 'a'; /* HashSet */ let z = 1;";
+        let stripped = strip(src);
+        assert!(!stripped.contains("HashMap"));
+        assert!(!stripped.contains("HashSet"));
+        assert!(!stripped.contains("Hash Map"));
+        assert!(stripped.contains("let x = \""));
+        assert!(stripped.contains("let z = 1;"));
+        assert_eq!(stripped.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn block_comments_nest_and_keep_newlines() {
+        let src = "a /* one /* two */ still comment */ b\nc";
+        let stripped = strip(src);
+        assert!(stripped.contains('a'));
+        assert!(stripped.contains('b'));
+        assert!(stripped.contains('c'));
+        assert!(!stripped.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let s = r#"HashMap "quoted" inside"#; let t = 2;"##;
+        let stripped = strip(src);
+        assert!(!stripped.contains("HashMap"));
+        assert!(stripped.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = ','; let d = '\\n'; }";
+        let stripped = strip(src);
+        assert!(stripped.contains("fn f<'a>(x: &'a str)"));
+        assert!(
+            !stripped.contains(',') || stripped.matches(',').count() < src.matches(',').count()
+        );
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let file = SourceFile::scan("x.rs".into(), src);
+        let flags: Vec<bool> = file.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_non_mod_items_is_not_a_region() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let file = SourceFile::scan("x.rs".into(), src);
+        assert!(file.lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn tokenizer_splits_paths_and_methods() {
+        let toks = tokenize("self.inner.iter().flat_map(|m| m.iter())");
+        let expect = [
+            "self", ".", "inner", ".", "iter", "(", ")", ".", "flat_map", "(", "|", "m", "|", "m",
+            ".", "iter", "(", ")", ")",
+        ];
+        assert_eq!(toks, expect);
+        assert_eq!(
+            tokenize("a::b::<C>(x)"),
+            ["a", "::", "b", "::", "<", "C", ">", "(", "x", ")"]
+        );
+    }
+}

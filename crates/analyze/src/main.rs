@@ -1,0 +1,122 @@
+//! CLI for the `p3q-analyze` lint pass.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p p3q-analyze -- --workspace          # scan the repo root
+//! cargo run -p p3q-analyze -- --root <dir>         # scan an arbitrary tree
+//! cargo run -p p3q-analyze -- --workspace --json   # machine-readable output
+//! cargo run -p p3q-analyze -- --list-rules         # rule ids + descriptions
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use p3q_analyze::{analyze, rules};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "p3q-analyze: workspace determinism/aliasing lint pass\n\
+         \n\
+         USAGE:\n\
+         \x20 p3q-analyze --workspace [--json]\n\
+         \x20 p3q-analyze --root <dir> [--json]\n\
+         \x20 p3q-analyze --list-rules"
+    );
+    ExitCode::from(2)
+}
+
+/// Walks up from the crate manifest dir to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => match workspace_root() {
+                Some(dir) => root = Some(dir),
+                None => {
+                    eprintln!("p3q-analyze: could not locate the workspace root");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage(),
+                }
+            }
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if list_rules {
+        for (id, description) in rules::RULES {
+            println!("{id:24} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = root else {
+        return usage();
+    };
+    if !Path::new(&root).join("Cargo.toml").is_file() {
+        eprintln!(
+            "p3q-analyze: `{}` has no Cargo.toml — not a workspace root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match analyze(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("p3q-analyze: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        println!(
+            "p3q-analyze: {} file(s) scanned, {} finding(s), {} allowed",
+            report.files_scanned,
+            report.findings.len(),
+            report.allowed.len()
+        );
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: compliant plan/commit-path code — annotated hash iteration,
+// sorted consumption, justified unsafe, seed-stream RNG.
+// Never compiled — scanned by the analyzer self-tests only.
+use std::collections::HashMap;
+
+pub struct Node {
+    pub tasks: HashMap<u64, u32>,
+}
+
+pub fn sorted_sum(node: &Node) -> u64 {
+    // p3q-allow: hash-iter — keys are collected and sorted before use.
+    let mut keys: Vec<u64> = node.tasks.keys().copied().collect();
+    keys.sort_unstable();
+    keys.iter().sum()
+}
+
+pub fn first_ptr(xs: &mut [u32]) -> *mut u32 {
+    // SAFETY: pointer derived from a live slice; offset 0 is in bounds.
+    unsafe { xs.as_mut_ptr().add(0) }
+}
+
+pub fn unit_rng(seed: u64, unit: u64) -> u64 {
+    // Seeds flow through the sanctioned derivation.
+    stream_seed(seed, unit)
+}
+
+fn stream_seed(seed: u64, unit: u64) -> u64 {
+    seed ^ unit
+}

@@ -1,0 +1,2 @@
+// Fixture: a registered root example.
+fn main() {}

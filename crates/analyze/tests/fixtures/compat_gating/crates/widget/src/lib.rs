@@ -1,0 +1,7 @@
+// Fixture: `extern crate` bypassing the compat gate.
+// Never compiled — scanned by the analyzer self-tests only.
+
+// VIOLATION: extern crate on a gated dependency.
+extern crate rand;
+
+pub fn noop() {}

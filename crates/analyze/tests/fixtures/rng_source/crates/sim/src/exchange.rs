@@ -1,0 +1,15 @@
+// Fixture: RNG construction that bypasses stream_seed on the plan/commit
+// path. Never compiled — scanned by the analyzer self-tests only.
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+pub fn plan_roll(cycle: u64) -> u64 {
+    // VIOLATION: raw seed, no stream_seed/splitmix derivation in sight.
+    let mut rng = StdRng::seed_from_u64(cycle);
+    rng.gen()
+}
+
+pub fn ambient_roll() -> u64 {
+    // VIOLATION: entropy-seeded RNG breaks replay.
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}

@@ -1,0 +1,2 @@
+// Fixture: this example IS registered in crates/examples/Cargo.toml.
+fn main() {}

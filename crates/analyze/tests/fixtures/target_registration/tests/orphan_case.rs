@@ -1,0 +1,4 @@
+// VIOLATION: this test is not in the crates/integration target table, so
+// cargo silently ignores it.
+#[test]
+fn orphaned() {}

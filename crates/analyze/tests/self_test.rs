@@ -1,0 +1,185 @@
+//! Self-tests: each rule fires on its committed violation fixture, stays
+//! quiet on the clean fixture, and the analyzer exits 0 on the real
+//! workspace (the PR-head guarantee CI relies on).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use p3q_analyze::{analyze, Report};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn rules_fired(report: &Report) -> Vec<&str> {
+    let mut rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn hash_iter_fixture_fires() {
+    let report = analyze(&fixture("hash_iter")).unwrap();
+    assert_eq!(rules_fired(&report), ["hash-iter"]);
+    // Three seeded violations: `.drain()`, `for … in &field`, `.iter()`.
+    assert_eq!(report.findings.len(), 3, "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.file == "crates/core/src/eager.rs"));
+}
+
+#[test]
+fn wall_clock_fixture_fires() {
+    let report = analyze(&fixture("wall_clock")).unwrap();
+    assert_eq!(rules_fired(&report), ["wall-clock"]);
+    // Instant::now, SystemTime::now, thread::current.
+    assert_eq!(report.findings.len(), 3, "{:#?}", report.findings);
+}
+
+#[test]
+fn rng_source_fixture_fires() {
+    let report = analyze(&fixture("rng_source")).unwrap();
+    assert_eq!(rules_fired(&report), ["rng-source"]);
+    // Raw seed_from_u64 on the plan path + from_entropy.
+    assert_eq!(report.findings.len(), 2, "{:#?}", report.findings);
+}
+
+#[test]
+fn safety_comment_fixture_fires() {
+    let report = analyze(&fixture("safety_comment")).unwrap();
+    assert_eq!(rules_fired(&report), ["safety-comment"]);
+    // Exactly the unjustified block; the SAFETY-commented one passes.
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].line, 6);
+}
+
+#[test]
+fn target_registration_fixture_fires() {
+    let report = analyze(&fixture("target_registration")).unwrap();
+    assert_eq!(rules_fired(&report), ["target-registration"]);
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    // Unregistered example + unregistered test + stale table entry.
+    assert_eq!(report.findings.len(), 3, "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file == "examples/orphan_demo.rs"));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.file == "tests/orphan_case.rs"));
+    assert!(
+        messages.iter().any(|m| m.contains("stale target entry")),
+        "{messages:#?}"
+    );
+}
+
+#[test]
+fn compat_gating_fixture_fires() {
+    let report = analyze(&fixture("compat_gating")).unwrap();
+    assert_eq!(rules_fired(&report), ["compat-gating"]);
+    // serde path dep + criterion version dep + extern crate rand.
+    assert_eq!(report.findings.len(), 3, "{:#?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("extern crate rand")));
+}
+
+#[test]
+fn allow_syntax_fixture_fires() {
+    let report = analyze(&fixture("allow_syntax")).unwrap();
+    assert_eq!(rules_fired(&report), ["allow-syntax"]);
+    // Missing reason + unknown rule.
+    assert_eq!(report.findings.len(), 2, "{:#?}", report.findings);
+}
+
+#[test]
+fn clean_fixture_is_quiet() {
+    let report = analyze(&fixture("clean")).unwrap();
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    // The annotated hash iteration shows up as allowed, not silent.
+    assert_eq!(report.allowed.len(), 1, "{:#?}", report.allowed);
+    assert_eq!(report.allowed[0].rule, "hash-iter");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let report = analyze(&workspace_root()).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "the PR head must carry zero unannotated findings:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50, "workspace scan looks truncated");
+    // Every allowed finding carries its justification.
+    assert!(report.allowed.iter().all(|f| f.allowed.is_some()));
+}
+
+#[test]
+fn cli_exit_codes_match_report() {
+    let bin = env!("CARGO_BIN_EXE_p3q-analyze");
+    let clean = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    assert!(clean.status.success(), "clean fixture must exit 0");
+
+    for case in [
+        "hash_iter",
+        "wall_clock",
+        "rng_source",
+        "safety_comment",
+        "target_registration",
+        "compat_gating",
+        "allow_syntax",
+    ] {
+        let out = Command::new(bin)
+            .args(["--root"])
+            .arg(fixture(case))
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture `{case}` must fail the CLI:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    let ws = Command::new(bin).arg("--workspace").output().unwrap();
+    assert!(
+        ws.status.success(),
+        "--workspace must exit 0 on the PR head:\n{}",
+        String::from_utf8_lossy(&ws.stdout)
+    );
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let bin = env!("CARGO_BIN_EXE_p3q-analyze");
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture("hash_iter"))
+        .arg("--json")
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("{\"files_scanned\":"), "{text}");
+    assert!(text.contains("\"rule\":\"hash-iter\""), "{text}");
+    assert!(text.contains("\"findings\":["), "{text}");
+    assert!(text.contains("\"allowed\":["), "{text}");
+}

@@ -153,6 +153,8 @@ struct GossipContext {
 
 fn collect_contexts(node: &P3qNode, cycle: u64) -> Vec<GossipContext> {
     let mut contexts = Vec::new();
+    // p3q-allow: hash-iter — order-insensitive collection; contexts are
+    // sorted by query_id before being returned.
     for (&query_id, state) in &node.querier_states {
         // An expired query (deadline passed, still incomplete) is no
         // longer gossiped; its state stays around for the loss metrics.
@@ -169,6 +171,8 @@ fn collect_contexts(node: &P3qNode, cycle: u64) -> Vec<GossipContext> {
             });
         }
     }
+    // p3q-allow: hash-iter — order-insensitive collection; contexts are
+    // sorted by query_id before being returned.
     for (&query_id, task) in &node.tasks {
         if !task.remaining.is_empty() {
             contexts.push(GossipContext {
@@ -215,9 +219,13 @@ impl GossipProtocol for EagerProtocol<'_> {
         if cfg.query_ttl_cycles > 0 {
             // Shed delegated shares whose TTL lapsed: their querier has
             // given up (or died) and the work would never be billed.
+            // p3q-allow: hash-iter — per-entry predicate; which entries
+            // survive does not depend on visit order.
             node.tasks.retain(|_, task| !task.is_expired(cycle));
         }
         if cfg.retry_backoff_cycles > 0 {
+            // p3q-allow: hash-iter — independent per-entry update; no
+            // cross-entry state, so visit order cannot leak.
             for state in node.querier_states.values_mut() {
                 state.maybe_retry(cycle, cfg.retry_backoff_cycles);
             }
@@ -490,6 +498,8 @@ pub fn run_eager_cycle_reference(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) 
 fn finish_eager_cycle(sim: &mut Simulator<P3qNode>, report: CycleReport) -> CycleReport {
     let cycle = sim.cycle();
     for node in sim.nodes_mut() {
+        // p3q-allow: hash-iter — independent per-entry update; no
+        // cross-entry state, so visit order cannot leak.
         for state in node.querier_states.values_mut() {
             state.mark_complete_if_done(cycle);
         }

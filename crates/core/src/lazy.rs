@@ -467,6 +467,9 @@ impl GossipProtocol for LazyProtocol<'_> {
                 }
             }
             LazyStep::Probe(candidates) => {
+                // p3q-allow: hash-iter — this `candidates` is the plan's
+                // `Vec<ProbeCandidate>` (snapshotted in plan order), not the
+                // hash-typed field of the same name elsewhere.
                 for candidate in candidates {
                     probe_candidate(initiator, plan.initiator, candidate, &mut outcome);
                 }

@@ -95,6 +95,8 @@ impl<K: std::hash::Hash + Eq, V> LazyMap<K, V> {
 
     /// Iterates over `(key, value)` pairs (arbitrary order, like `HashMap`).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        // p3q-allow: hash-iter — LazyMap deliberately forwards HashMap's
+        // arbitrary order; plan/commit call sites must sort or annotate.
         self.inner.iter().flat_map(|m| m.iter())
     }
 
@@ -110,6 +112,8 @@ impl<K: std::hash::Hash + Eq, V> LazyMap<K, V> {
 
     /// Iterates over the values, mutably.
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        // p3q-allow: hash-iter — LazyMap deliberately forwards HashMap's
+        // arbitrary order; plan/commit call sites must sort or annotate.
         self.inner.iter_mut().flat_map(|m| m.values_mut())
     }
 
@@ -146,6 +150,8 @@ impl<'a, K: std::hash::Hash + Eq, V> IntoIterator for &'a LazyMap<K, V> {
     >;
 
     fn into_iter(self) -> Self::IntoIter {
+        // p3q-allow: hash-iter — LazyMap deliberately forwards HashMap's
+        // arbitrary order; plan/commit call sites must sort or annotate.
         self.inner.iter().flat_map(|m| m.iter())
     }
 }

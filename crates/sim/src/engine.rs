@@ -130,6 +130,8 @@ impl<N> Simulator<N> {
             nodes: NodeStore::new(nodes),
             membership,
             cycle: 0,
+            // p3q-allow: rng-source — this is the root of the stream: the
+            // caller-supplied run seed every stream_seed derivation hangs off.
             rng: StdRng::seed_from_u64(seed),
             bandwidth: BandwidthRecorder::new(),
         }
@@ -208,6 +210,8 @@ impl<N> Simulator<N> {
     /// without disturbing the main RNG stream.
     pub fn derived_rng(&mut self, label: u64) -> StdRng {
         let base: u64 = self.rng.gen();
+        // p3q-allow: rng-source — deterministic label-keyed derivation off
+        // the root RNG stream; same role as stream_seed.
         StdRng::seed_from_u64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
@@ -417,6 +421,9 @@ impl<N: Send + Sync> Simulator<N> {
         let report = self.report_for(&plans, batches.len());
         let mut scratch = proto.scratch();
         for batch in &batches {
+            // Aliasing-sanitizer window (debug builds): the solo/pair
+            // borrows below are checked for same-batch overlap.
+            self.nodes.begin_commit_batch();
             let mut outcomes = Vec::with_capacity(batch.len());
             for &plan_idx in batch {
                 let plan = &plans[plan_idx];
@@ -437,6 +444,7 @@ impl<N: Send + Sync> Simulator<N> {
                 };
                 outcomes.push(outcome);
             }
+            self.nodes.end_commit_batch();
             self.apply_outcomes(proto, outcomes);
         }
         self.cycle += 1;
@@ -455,6 +463,9 @@ impl<N: Send + Sync> Simulator<N> {
         threads: usize,
     ) -> Vec<CommitOutcome<P::Effect>> {
         let cycle = self.cycle;
+        // Aliasing-sanitizer window (debug builds): every mutable borrow
+        // until `end_commit_batch` is checked for same-batch overlap.
+        self.nodes.begin_commit_batch();
         // Every node appears at most once in the batch, so the involved
         // indices are unique and their `&mut`s disjoint.
         let mut involved: Vec<usize> = batch
@@ -497,7 +508,7 @@ impl<N: Send + Sync> Simulator<N> {
             })
             .collect();
 
-        parallel_map_owned(
+        let outcomes = parallel_map_owned(
             work,
             threads,
             || proto.scratch(),
@@ -505,7 +516,9 @@ impl<N: Send + Sync> Simulator<N> {
                 let mut rng = commit_rng(cycle_seed, w.plan_idx);
                 proto.commit(cycle, w.plan, w.initiator, w.destination, &mut rng, scratch)
             },
-        )
+        );
+        self.nodes.end_commit_batch();
+        outcomes
     }
 
     /// Applies a batch's charges and effects sequentially, in plan order.
@@ -577,6 +590,9 @@ impl<N: Send + Sync> Simulator<N> {
         let report = self.report_for(&plans, batches.len());
         let mut scratch = proto.scratch();
         for batch in &batches {
+            // Aliasing-sanitizer window (debug builds): the solo/pair
+            // borrows below are checked for same-batch overlap.
+            self.nodes.begin_commit_batch();
             let mut outcomes = Vec::with_capacity(batch.len());
             for &plan_idx in batch {
                 let plan = &plans[plan_idx];
@@ -597,6 +613,7 @@ impl<N: Send + Sync> Simulator<N> {
                 };
                 outcomes.push(outcome);
             }
+            self.nodes.end_commit_batch();
             self.apply_outcomes(proto, outcomes);
         }
         self.cycle += 1;

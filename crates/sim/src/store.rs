@@ -19,6 +19,32 @@
 
 use crate::parallel::disjoint_muts;
 
+/// Debug-build aliasing sanitizer state (see
+/// [`NodeStore::begin_commit_batch`]).
+///
+/// The commit phase's safety story is "within one conflict-free batch, no
+/// node is mutably borrowed twice". The type system enforces it for the
+/// slice-splitting accessors themselves, but not for the *batch
+/// construction* feeding them, nor across a mixed sequence of
+/// [`NodeStore::get_mut`] / [`NodeStore::pair_mut`] /
+/// [`NodeStore::disjoint_muts`] calls inside one batch (the sequential
+/// oracles and bespoke drivers do exactly that). The ledger stamps every
+/// node index handed out while a batch is active and panics on a re-borrow
+/// — an in-process race detector for the invariant. The whole mechanism is
+/// compiled out in release builds.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Default)]
+struct AliasLedger {
+    /// Per-node stamp: `stamps[i] == epoch` means node `i` was already
+    /// borrowed in the active batch. Epoch stamping avoids clearing the
+    /// vector between batches.
+    stamps: Vec<u64>,
+    /// Epoch of the current batch; bumped by every `begin_commit_batch`.
+    epoch: u64,
+    /// Whether a commit batch is currently active.
+    active: bool,
+}
+
 /// Smallest shard the derived layout will produce: below this, per-shard
 /// bookkeeping outweighs any locality benefit.
 const MIN_SHARD_SIZE: usize = 256;
@@ -32,6 +58,8 @@ const TARGET_SHARDS: usize = 64;
 pub struct NodeStore<N> {
     nodes: Vec<N>,
     shard_size: usize,
+    #[cfg(debug_assertions)]
+    ledger: AliasLedger,
 }
 
 impl<N> NodeStore<N> {
@@ -53,8 +81,71 @@ impl<N> NodeStore<N> {
         Self {
             nodes,
             shard_size: shard_size.max(1).next_power_of_two(),
+            #[cfg(debug_assertions)]
+            ledger: AliasLedger::default(),
         }
     }
+
+    /// Opens an aliasing-sanitizer window for one conflict-free commit
+    /// batch: until [`Self::end_commit_batch`], every node index handed out
+    /// by [`Self::get_mut`] / [`Self::pair_mut`] / [`Self::disjoint_muts`]
+    /// is recorded, and a second mutable borrow of the same node panics.
+    /// Debug builds only; a no-op (and zero-cost) in release.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if a batch window is already open — commit
+    /// batches are a flat sequence, never nested.
+    #[inline]
+    pub fn begin_commit_batch(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                !self.ledger.active,
+                "p3q aliasing sanitizer: commit batch windows cannot nest"
+            );
+            self.ledger.active = true;
+            self.ledger.epoch += 1;
+            if self.ledger.stamps.len() < self.nodes.len() {
+                self.ledger.stamps.resize(self.nodes.len(), 0);
+            }
+        }
+    }
+
+    /// Closes the aliasing-sanitizer window opened by
+    /// [`Self::begin_commit_batch`].
+    ///
+    /// # Panics
+    /// Panics (debug builds) if no batch window is open.
+    #[inline]
+    pub fn end_commit_batch(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.ledger.active,
+                "p3q aliasing sanitizer: end_commit_batch without a matching begin"
+            );
+            self.ledger.active = false;
+        }
+    }
+
+    /// Records a mutable borrow of node `idx` against the active batch
+    /// window (if any), panicking on a same-batch re-borrow.
+    #[cfg(debug_assertions)]
+    fn record_batch_borrow(&mut self, idx: usize) {
+        if !self.ledger.active {
+            return;
+        }
+        let stamp = &mut self.ledger.stamps[idx];
+        assert!(
+            *stamp != self.ledger.epoch,
+            "p3q aliasing sanitizer: node {idx} mutably borrowed twice within one commit batch"
+        );
+        *stamp = self.ledger.epoch;
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn record_batch_borrow(&mut self, _idx: usize) {}
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
@@ -88,6 +179,7 @@ impl<N> NodeStore<N> {
 
     /// One node, mutable.
     pub fn get_mut(&mut self, idx: usize) -> &mut N {
+        self.record_batch_borrow(idx);
         &mut self.nodes[idx]
     }
 
@@ -114,6 +206,9 @@ impl<N> NodeStore<N> {
     /// # Panics
     /// Panics if the indices are not strictly increasing or out of bounds.
     pub fn disjoint_muts(&mut self, sorted_unique: &[usize]) -> Vec<&mut N> {
+        for &idx in sorted_unique {
+            self.record_batch_borrow(idx);
+        }
         disjoint_muts(&mut self.nodes, sorted_unique)
     }
 
@@ -124,6 +219,8 @@ impl<N> NodeStore<N> {
     /// Panics if `a == b` or either index is out of bounds.
     pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut N, &mut N) {
         assert!(a != b, "a gossip exchange needs two distinct nodes");
+        self.record_batch_borrow(a);
+        self.record_batch_borrow(b);
         if a < b {
             let (left, right) = self.nodes.split_at_mut(b);
             (&mut left[a], &mut right[0])
@@ -261,5 +358,80 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.num_shards(), 1);
         store.for_each_mut_sharded(4, |_, _| unreachable!());
+    }
+
+    /// Aliasing-sanitizer behaviour: debug builds only (the whole ledger is
+    /// compiled out in release).
+    #[cfg(debug_assertions)]
+    mod sanitizer {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "borrowed twice within one commit batch")]
+        fn repeated_get_mut_in_one_batch_panics() {
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 8]);
+            store.begin_commit_batch();
+            let _ = store.get_mut(3);
+            let _ = store.get_mut(3);
+        }
+
+        #[test]
+        #[should_panic(expected = "borrowed twice within one commit batch")]
+        fn pair_overlapping_an_earlier_disjoint_borrow_panics() {
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 8]);
+            store.begin_commit_batch();
+            let _ = store.disjoint_muts(&[1, 4, 6]);
+            let _ = store.pair_mut(4, 7);
+        }
+
+        #[test]
+        #[should_panic(expected = "borrowed twice within one commit batch")]
+        fn solo_commit_overlapping_a_pair_panics() {
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 8]);
+            store.begin_commit_batch();
+            let _ = store.pair_mut(2, 5);
+            let _ = store.get_mut(5);
+        }
+
+        #[test]
+        fn disjoint_borrows_within_and_across_batches_pass() {
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 8]);
+            for _ in 0..3 {
+                // The same indices are fine again once a new batch starts.
+                store.begin_commit_batch();
+                let _ = store.disjoint_muts(&[0, 2, 5]);
+                let _ = store.pair_mut(1, 7);
+                let _ = store.get_mut(6);
+                store.end_commit_batch();
+            }
+        }
+
+        #[test]
+        fn borrows_outside_a_batch_window_are_unrestricted() {
+            // prepare / apply-effect phases re-borrow freely; only the
+            // commit window is policed.
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 4]);
+            let _ = store.get_mut(1);
+            let _ = store.get_mut(1);
+            store.begin_commit_batch();
+            let _ = store.get_mut(1);
+            store.end_commit_batch();
+            let _ = store.get_mut(1);
+        }
+
+        #[test]
+        #[should_panic(expected = "cannot nest")]
+        fn nested_batch_windows_panic() {
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 4]);
+            store.begin_commit_batch();
+            store.begin_commit_batch();
+        }
+
+        #[test]
+        #[should_panic(expected = "without a matching begin")]
+        fn end_without_begin_panics() {
+            let mut store: NodeStore<u8> = NodeStore::new(vec![0; 4]);
+            store.end_commit_batch();
+        }
     }
 }
