@@ -65,6 +65,10 @@ pub const PLAN_COMMIT_MODULES: &[&str] = &[
     "crates/core/src/eager.rs",
     "crates/core/src/node.rs",
     "crates/core/src/query.rs",
+    // The demand-driven resolver's cache state must be byte-identical for
+    // every worker-thread count (pinned by `on_demand_props`), so it earns
+    // the same hash-iter / ambient-RNG scrutiny as the commit path.
+    "crates/core/src/resolver.rs",
 ];
 
 /// Hash-ordered container types whose iteration order is unspecified.

@@ -392,7 +392,19 @@ fn load(path: &str) -> Json {
 const SMOKE_JOBS: &[(&str, &[&str], &str)] = &[
     (
         "bench_similarity",
-        &["--users", "1000", "--cycles", "2", "--memory-users", "0"],
+        // --hotspot-users 2000 keeps the demand-driven resolver columns
+        // (on_demand / query_hotspot) in the gated smoke surface at a scale
+        // that runs in well under a second.
+        &[
+            "--users",
+            "1000",
+            "--cycles",
+            "2",
+            "--memory-users",
+            "0",
+            "--hotspot-users",
+            "2000",
+        ],
         "BENCH_similarity_smoke.json",
     ),
     (

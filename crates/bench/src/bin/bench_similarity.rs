@@ -16,6 +16,7 @@
 //!     --scenario NAME workload preset          (default paper-delicious)
 //!     --skip-reference  skip the slow per-pair-merge baseline
 //!     --memory-users N  index-memory probe scale (default 100000; 0 = off)
+//!     --hotspot-users N  query-hotspot probe scale (default 100000; 0 = off)
 //!     --out PATH      output path              (default BENCH_similarity.json)
 //! ```
 //!
@@ -26,6 +27,15 @@
 //! scale (the 100k-user paper-delicious scenario by default), where memory
 //! — not CPU — is the binding constraint. `bench_check` gates all `bytes_*`
 //! keys exact-or-below-baseline.
+//!
+//! Each scale also benches the **demand-driven** path (`on_demand` block):
+//! under the `query-hotspot` querier schedule, per dynamics batch, exact
+//! cache invalidation + lazy resolution of the queried users
+//! (`OnDemandNetworks`) is timed against a global `IdealNetworks` recompute
+//! over the patched index, with results asserted byte-equal on every
+//! queried user. The `query_hotspot` block repeats the measurement at the
+//! `--hotspot-users` scale (100k by default), where the query-proportional
+//! cost model is the point.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,6 +47,7 @@ use p3q::baseline::IdealNetworks;
 use p3q::config::P3qConfig;
 use p3q::experiment::build_simulator;
 use p3q::lazy::{bootstrap_random_views, run_lazy_cycles};
+use p3q::resolver::OnDemandNetworks;
 use p3q::similarity::ActionIndex;
 use p3q::storage::StorageDistribution;
 use p3q_sim::default_threads;
@@ -52,6 +63,7 @@ struct Args {
     scenario: Scenario,
     skip_reference: bool,
     memory_users: usize,
+    hotspot_users: usize,
     out: String,
 }
 
@@ -64,6 +76,7 @@ fn parse_args() -> Args {
         scenario: Scenario::PaperDelicious,
         skip_reference: false,
         memory_users: 100_000,
+        hotspot_users: 100_000,
         out: "BENCH_similarity.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +110,11 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--memory-users wants an integer")
             }
+            "--hotspot-users" => {
+                args.hotspot_users = value("--hotspot-users")
+                    .parse()
+                    .expect("--hotspot-users wants an integer")
+            }
             "--out" => args.out = value("--out"),
             other => panic!("unknown flag {other}"),
         }
@@ -116,6 +134,7 @@ struct ScaleResult {
     parallel_threads: usize,
     reference_ms: Option<f64>,
     dynamics: Option<DynamicsResult>,
+    on_demand: Option<OnDemandResult>,
     lazy_cycle_ms: f64,
 }
 
@@ -267,6 +286,161 @@ fn bench_dynamics(trace: &SyntheticTrace, s: usize, args: &Args) -> Option<Dynam
     Some(result)
 }
 
+/// The demand-driven columns: per dynamics batch, time exact cache
+/// invalidation plus lazy resolution of that cycle's queriers
+/// ([`OnDemandNetworks`]) against a global [`IdealNetworks`] recompute over
+/// the same patched index, asserting both agree on every queried user. The
+/// querier schedule is always the `query-hotspot` preset (Zipf-skewed,
+/// <1% of users per cycle) regardless of `--scenario` — the hotspot axis is
+/// what the demand-driven resolver exists for. The index patch itself
+/// (`apply_deltas`) is shared infrastructure both paths need, so it runs
+/// untimed and the ratio compares pure resolution strategies.
+struct OnDemandResult {
+    users: usize,
+    batches: usize,
+    mean_queriers_per_cycle: f64,
+    resolutions: usize,
+    cache_hits: usize,
+    positions_scanned: usize,
+    early_terminations: usize,
+    patched: usize,
+    evicted: usize,
+    threads: usize,
+    on_demand_ms_mean: f64,
+    global_ms_mean: f64,
+    speedup: f64,
+}
+
+impl OnDemandResult {
+    fn write_fields(&self, json: &mut String, indent: &str) {
+        let _ = writeln!(json, "{indent}\"batches\": {},", self.batches);
+        let _ = writeln!(
+            json,
+            "{indent}\"mean_queriers_per_cycle\": {:.1},",
+            self.mean_queriers_per_cycle
+        );
+        let _ = writeln!(json, "{indent}\"resolutions\": {},", self.resolutions);
+        let _ = writeln!(json, "{indent}\"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(
+            json,
+            "{indent}\"positions_scanned\": {},",
+            self.positions_scanned
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"early_terminations\": {},",
+            self.early_terminations
+        );
+        let _ = writeln!(json, "{indent}\"patched\": {},", self.patched);
+        let _ = writeln!(json, "{indent}\"evicted\": {},", self.evicted);
+        let _ = writeln!(json, "{indent}\"parallel_threads\": {},", self.threads);
+        let _ = writeln!(
+            json,
+            "{indent}\"on_demand_update_ms\": {:.3},",
+            self.on_demand_ms_mean
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"global_recompute_ms\": {:.3},",
+            self.global_ms_mean
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"speedup_on_demand_vs_global\": {:.2}",
+            self.speedup
+        );
+    }
+}
+
+fn bench_on_demand(
+    trace: &SyntheticTrace,
+    s: usize,
+    args: &Args,
+    threads: usize,
+) -> Option<OnDemandResult> {
+    if args.delta_batches == 0 {
+        return None;
+    }
+    let users = trace.dataset.num_users();
+    // One warm-up cycle (so the dynamics batches hit memoized entries:
+    // patch and evict both exercised) plus one querier set per batch.
+    let schedule = ScenarioConfig::new(Scenario::QueryHotspot, users, args.seed)
+        .with_horizon(args.delta_batches as u64 + 1)
+        .querier_schedule();
+
+    let mut dataset = trace.dataset.clone();
+    let mut index = ActionIndex::build(&dataset);
+    let mut resolver = OnDemandNetworks::new(users, s);
+    resolver.resolve_many(&dataset, &index, &schedule[0], threads);
+
+    let mut queried = schedule[0].len();
+    let mut on_demand_ms = 0.0f64;
+    let mut global_ms = 0.0f64;
+    for k in 0..args.delta_batches {
+        let day_seed = args.seed ^ 0xDA7 ^ ((k as u64) << 17);
+        let batch = DynamicsGenerator::new(DynamicsConfig::paper_day(day_seed)).generate(trace);
+        batch.apply(&mut dataset);
+        let outcome = index.apply_deltas(
+            batch
+                .changes
+                .iter()
+                .map(|c| (c.user, c.new_actions.as_slice())),
+        );
+        let queriers = &schedule[k + 1];
+        queried += queriers.len();
+
+        let start = Instant::now();
+        resolver.apply_delta_outcome(&dataset, &outcome, threads);
+        resolver.resolve_many(&dataset, &index, queriers, threads);
+        on_demand_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let oracle = IdealNetworks::compute_with_index_threads(&dataset, s, &index, threads);
+        global_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        for &user in queriers {
+            assert_eq!(
+                resolver.cached(user).expect("queried user must be cached"),
+                oracle.network_of(user),
+                "on-demand resolution diverged from the global oracle at batch {k} for {user}"
+            );
+        }
+    }
+    let stats = resolver.stats();
+    assert!(
+        stats.patched + stats.evicted > 0,
+        "dynamics never touched the cache: invalidation was not exercised"
+    );
+    let n = args.delta_batches as f64;
+    let result = OnDemandResult {
+        users,
+        batches: args.delta_batches,
+        mean_queriers_per_cycle: queried as f64 / (n + 1.0),
+        resolutions: stats.resolutions,
+        cache_hits: stats.cache_hits,
+        positions_scanned: stats.positions_scanned,
+        early_terminations: stats.early_terminations,
+        patched: stats.patched,
+        evicted: stats.evicted,
+        threads,
+        on_demand_ms_mean: on_demand_ms / n,
+        global_ms_mean: global_ms / n,
+        speedup: global_ms / on_demand_ms.max(f64::MIN_POSITIVE),
+    };
+    eprintln!(
+        "   on-demand ({} batches, {:.0} queriers/cycle): {:.1} ms vs global {:.0} ms \
+         ({:.1}x), {} patched / {} evicted",
+        result.batches,
+        result.mean_queriers_per_cycle,
+        result.on_demand_ms_mean,
+        result.global_ms_mean,
+        result.speedup,
+        result.patched,
+        result.evicted
+    );
+    Some(result)
+}
+
 fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     eprintln!("== {users} users ==");
     let generation = Instant::now();
@@ -339,6 +513,10 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     // The dynamics scenario: incremental delta-apply vs full rebuild.
     let dynamics = bench_dynamics(&trace, s, args);
 
+    // The demand-driven columns: single-threaded on both sides, so the
+    // ratio is an algorithmic speedup, not a parallelism artefact.
+    let on_demand = bench_on_demand(&trace, s, args, 1);
+
     // Lazy-cycle throughput over a bootstrapped network.
     let mut sim = build_simulator(
         dataset,
@@ -365,8 +543,23 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         parallel_threads,
         reference_ms,
         dynamics,
+        on_demand,
         lazy_cycle_ms,
     }
+}
+
+/// Query-hotspot probe at a large scale: the acceptance measurement for the
+/// demand-driven resolver. Unlike the per-scale columns this runs with the
+/// full worker pool on both sides — at 100k users a single-threaded global
+/// recompute would dominate the benchmark's wall clock, and the resolver's
+/// work counters are thread-count invariant anyway (pinned by
+/// `on_demand_props`), so every gated key stays deterministic.
+fn hotspot_probe(users: usize, args: &Args) -> Option<OnDemandResult> {
+    eprintln!("== query-hotspot probe: {users} users ==");
+    let scenario = ScenarioConfig::new(Scenario::QueryHotspot, users, args.seed);
+    let trace = TraceGenerator::new(scenario.trace_config()).generate();
+    let s = P3qConfig::laptop_scale().personal_network_size;
+    bench_on_demand(&trace, s, args, default_threads())
 }
 
 /// Index-only memory probe at a large scale: generate the trace, build the
@@ -393,6 +586,11 @@ fn memory_probe(users: usize, args: &Args) -> MemoryResult {
 fn main() {
     let args = parse_args();
     let results: Vec<ScaleResult> = args.users.iter().map(|&u| bench_scale(u, &args)).collect();
+    let hotspot = if args.hotspot_users > 0 {
+        hotspot_probe(args.hotspot_users, &args)
+    } else {
+        None
+    };
     let probe = (args.memory_users > 0).then(|| memory_probe(args.memory_users, &args));
 
     let mut json = String::new();
@@ -479,6 +677,14 @@ fn main() {
             }
             None => json.push_str("      \"dynamics\": null,\n"),
         }
+        match &r.on_demand {
+            Some(d) => {
+                json.push_str("      \"on_demand\": {\n");
+                d.write_fields(&mut json, "        ");
+                json.push_str("      },\n");
+            }
+            None => json.push_str("      \"on_demand\": null,\n"),
+        }
         let _ = writeln!(json, "      \"lazy_cycle_ms\": {:.3}", r.lazy_cycle_ms);
         json.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -487,6 +693,15 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    match &hotspot {
+        Some(d) => {
+            json.push_str("  \"query_hotspot\": {\n");
+            let _ = writeln!(json, "    \"users\": {},", d.users);
+            d.write_fields(&mut json, "    ");
+            json.push_str("  },\n");
+        }
+        None => json.push_str("  \"query_hotspot\": null,\n"),
+    }
     match &probe {
         Some(m) => {
             json.push_str("  \"index_memory\": {\n");

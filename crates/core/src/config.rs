@@ -43,6 +43,14 @@ pub struct P3qConfig {
     /// timestamp exceeds this limit is evicted — under crash faults a dead
     /// neighbour never answers gossip, so its timestamp grows without
     /// bound while live ones keep getting reset. `0` disables eviction.
+    ///
+    /// Only lazy gossip resets staleness, so this knob **requires lazy
+    /// refresh cycles to interleave with eager ones**: in an eager-only run
+    /// every timestamp grows monotonically and the personal network evicts
+    /// itself wholesale after `limit` cycles. The eager-only run loops
+    /// ([`run_eager_until_complete`](crate::eager::run_eager_until_complete),
+    /// [`run_eager_until_complete_faulted`](crate::eager::run_eager_until_complete_faulted))
+    /// reject a nonzero limit via [`Self::validate_eager_only`].
     pub neighbour_staleness_limit: u32,
 }
 
@@ -110,6 +118,11 @@ impl P3qConfig {
     /// query TTL / deadline tracking, querier retry-with-backoff and
     /// staleness-based neighbour eviction. Passing `0` for a knob leaves
     /// that mechanism disabled.
+    ///
+    /// A nonzero `neighbour_staleness_limit` is only sound when lazy
+    /// refresh cycles interleave with eager ones (see the field docs);
+    /// eager-only run loops enforce this via
+    /// [`Self::validate_eager_only`].
     pub fn with_fault_tolerance(
         mut self,
         query_ttl_cycles: u64,
@@ -173,6 +186,28 @@ impl P3qConfig {
             );
         }
     }
+
+    /// Checks that the configuration is sound for an **eager-only** run —
+    /// one where no lazy refresh cycles interleave with the eager ones.
+    ///
+    /// Only lazy gossip resets neighbour staleness, so with a nonzero
+    /// [`neighbour_staleness_limit`](Self::neighbour_staleness_limit) an
+    /// eager-only run silently evicts the *entire* personal network (live
+    /// neighbours included) once every timestamp passes the limit. The
+    /// eager-only run loops call this so the footgun fails loudly instead.
+    ///
+    /// # Panics
+    /// Panics if `neighbour_staleness_limit` is nonzero.
+    pub fn validate_eager_only(&self) {
+        assert!(
+            self.neighbour_staleness_limit == 0,
+            "neighbour_staleness_limit = {} in an eager-only run: only lazy \
+             gossip resets staleness, so the personal network would evict \
+             itself wholesale. Interleave lazy refresh cycles (drive \
+             run_eager_cycle / run_lazy_cycle yourself) or set the limit to 0.",
+            self.neighbour_staleness_limit
+        );
+    }
 }
 
 impl Default for P3qConfig {
@@ -232,6 +267,22 @@ mod tests {
     #[should_panic(expected = "retry_backoff_cycles")]
     fn retry_backoff_beyond_ttl_rejected() {
         let _ = P3qConfig::tiny().with_fault_tolerance(2, 5, 0);
+    }
+
+    #[test]
+    fn eager_only_validation_accepts_disabled_staleness_eviction() {
+        P3qConfig::tiny().validate_eager_only();
+        P3qConfig::tiny()
+            .with_fault_tolerance(12, 3, 0)
+            .validate_eager_only();
+    }
+
+    #[test]
+    #[should_panic(expected = "eager-only run")]
+    fn eager_only_validation_rejects_staleness_eviction() {
+        P3qConfig::tiny()
+            .with_fault_tolerance(12, 3, 8)
+            .validate_eager_only();
     }
 
     #[test]

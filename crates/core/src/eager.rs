@@ -510,12 +510,17 @@ fn finish_eager_cycle(sim: &mut Simulator<P3qNode>, report: CycleReport) -> Cycl
 /// Runs eager cycles until every tracked query has completed or `max_cycles`
 /// have elapsed, invoking `on_cycle_end` after each cycle. Returns the number
 /// of cycles run.
+///
+/// This loop is eager-only — no lazy refresh interleaves — so it rejects a
+/// nonzero [`P3qConfig::neighbour_staleness_limit`] (the knob would evict
+/// the entire personal network; see [`P3qConfig::validate_eager_only`]).
 pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
     sim: &mut Simulator<P3qNode>,
     cfg: &P3qConfig,
     max_cycles: u64,
     mut on_cycle_end: F,
 ) -> u64 {
+    cfg.validate_eager_only();
     for round in 0..max_cycles {
         let exchanges = run_eager_cycle(sim, cfg);
         let cycle = sim.cycle();
@@ -569,6 +574,10 @@ pub fn run_eager_cycle_faulted_reference(
 /// nothing in flight (no delayed carrier still due, no crashed node still
 /// down — either could re-ignite the gossip), or `max_cycles` elapse.
 /// Returns the number of cycles run.
+///
+/// Like [`run_eager_until_complete`], this loop is eager-only and rejects a
+/// nonzero [`P3qConfig::neighbour_staleness_limit`]
+/// (see [`P3qConfig::validate_eager_only`]).
 pub fn run_eager_until_complete_faulted<F: FnMut(&mut Simulator<P3qNode>, u64)>(
     sim: &mut Simulator<P3qNode>,
     cfg: &P3qConfig,
@@ -576,6 +585,7 @@ pub fn run_eager_until_complete_faulted<F: FnMut(&mut Simulator<P3qNode>, u64)>(
     max_cycles: u64,
     mut on_cycle_end: F,
 ) -> u64 {
+    cfg.validate_eager_only();
     for round in 0..max_cycles {
         let exchanges = run_eager_cycle_faulted(sim, cfg, faults);
         let cycle = sim.cycle();
@@ -692,6 +702,23 @@ mod tests {
             ideal,
             queries,
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "eager-only run")]
+    fn eager_only_loop_rejects_staleness_eviction() {
+        let mut fx = fixture(2);
+        fx.cfg = fx.cfg.with_fault_tolerance(0, 0, 5);
+        run_eager_until_complete(&mut fx.sim, &fx.cfg, 10, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "eager-only run")]
+    fn faulted_eager_only_loop_rejects_staleness_eviction() {
+        let mut fx = fixture(2);
+        fx.cfg = fx.cfg.with_fault_tolerance(0, 0, 5);
+        let mut faults = FaultPlan::new(p3q_sim::FaultConfig::none());
+        run_eager_until_complete_faulted(&mut fx.sim, &fx.cfg, &mut faults, 10, |_, _| {});
     }
 
     #[test]

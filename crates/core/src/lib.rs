@@ -33,6 +33,7 @@
 //! | [`eager`] | 2.2.2, Algorithms 2–3 | collaborative query processing |
 //! | [`query`] | 2.2.2, 2.3 | querier-side state, remaining lists |
 //! | [`baseline`] | 3.2 | ideal networks and the centralized reference |
+//! | [`resolver`] | 3.2.1 | demand-driven network resolution with memoization |
 //! | [`metrics`] | 3.2, 3.4 | success ratio, recall, AUR, network refresh |
 //! | [`bandwidth`] | 3.3 | the paper's wire-size model and traffic categories |
 //! | [`analysis`] | 2.4 | Theorems 2.1–2.4 in closed form |
@@ -80,6 +81,17 @@
 //!   and the simulator keeps its nodes in the shard-partitioned
 //!   [`p3q_sim::NodeStore`]. The `compression_props` property suite pins
 //!   all of it observationally identical to an uncompressed oracle.
+//! * **Demand-driven similarity resolution** —
+//!   [`resolver::OnDemandNetworks`] answers "top-`s` peers of user `u`"
+//!   lazily: [`similarity::ActionIndex::resolve_top_similar`] drives the
+//!   streaming threshold merge (`p3q_topk::streaming_count_topk`) straight
+//!   over the compressed posting shards and early-terminates once the NRA
+//!   bound proves the top-`s` final. Results are memoized per user and kept
+//!   provably fresh under dynamics by exact [`similarity::DeltaOutcome`]
+//!   invalidation (evict changing users, patch affected cached pairs), so
+//!   per-cycle similarity cost is proportional to *queries*, not *users* —
+//!   the query-skew path toward the 1M-user target, with
+//!   [`baseline::IdealNetworks`] kept as the global oracle.
 //! * **Zero-copy gossip payloads** — profiles and digests travel as
 //!   [`p3q_trace::SharedProfile`] / [`p3q_bloom::SharedFilter`] handles
 //!   (`Arc`s): offers, view entries, stored copies and simulator
@@ -137,6 +149,7 @@ pub mod lazy;
 pub mod metrics;
 pub mod node;
 pub mod query;
+pub mod resolver;
 pub mod scoring;
 pub mod similarity;
 pub mod storage;
@@ -169,7 +182,8 @@ pub mod prelude {
     };
     pub use crate::node::P3qNode;
     pub use crate::query::{QuerierState, QueryId};
-    pub use crate::similarity::{ActionIndex, DeltaOutcome, SimilarityScratch};
+    pub use crate::resolver::{on_demand_topk, OnDemandNetworks, ResolveStats};
+    pub use crate::similarity::{ActionIndex, DeltaOutcome, ResolveProbe, SimilarityScratch};
     pub use crate::storage::StorageDistribution;
     pub use p3q_sim::{EventQueue, FaultConfig, FaultPlan, FaultStats, Simulator};
     pub use p3q_trace::{

@@ -66,6 +66,22 @@
 //! The per-user loop is embarrassingly parallel and runs through
 //! [`p3q_sim::parallel_map_chunks`], which guarantees output identical for
 //! every worker-thread count (set `P3Q_THREADS=1` to pin).
+//!
+//! ## On-demand resolution: one user, straight off the shards
+//!
+//! The dense sweep above is the right shape when *every* network is needed
+//! (a global [`crate::baseline::IdealNetworks::compute`]). When only the
+//! users who actually issue queries matter, [`ActionIndex::resolve_top_similar`]
+//! answers a single "top-k most similar peers of `u`" without any dense
+//! per-population state: it opens one [`PostingCursor`] per action of `u`'s
+//! profile — each lazily delta-varint-decoding its compressed posting run in
+//! ascending user-id order — and drives `p3q_topk::streaming_count_topk`
+//! over them, Fagin-style threshold termination included. Users sharing
+//! nothing with `u` are never touched, and the scan stops early once the
+//! threshold bound proves the top-k final. The result is byte-identical to
+//! the [`Self::top_similar`] sweep; [`crate::resolver::OnDemandNetworks`]
+//! adds per-user memoization with exact [`DeltaOutcome`]-driven
+//! invalidation on top.
 
 use p3q_trace::codec::{read_varint, write_varint, VarintReader};
 use p3q_trace::{ActionDictionary, Dataset, Profile, TaggingAction, UserId};
@@ -600,6 +616,47 @@ impl ActionIndex {
         scored
     }
 
+    /// Resolves the top-`network_size` most similar users to `user` **on
+    /// demand**, without the dense per-population accumulator: one
+    /// [`PostingCursor`] per profile action streams its compressed posting
+    /// run into `p3q_topk::streaming_count_topk`, which merges the cursors
+    /// in ascending user-id order and early-terminates once the threshold
+    /// bound proves the top-k final.
+    ///
+    /// The ranking is byte-identical to [`Self::top_similar`] (score
+    /// descending, ties by ascending id, positive scores only, truncated to
+    /// `network_size`); the returned [`ResolveProbe`] reports how much
+    /// posting mass the threshold actually had to scan.
+    pub fn resolve_top_similar(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        network_size: usize,
+    ) -> (Vec<(UserId, u64)>, ResolveProbe) {
+        let mut ids = Vec::new();
+        self.dict
+            .ids_of_profile_into(dataset.profile(user), &mut ids);
+        let sources: Vec<PostingCursor<'_>> = ids
+            .iter()
+            .filter_map(|&id| {
+                let shard = &self.shards[self.shard_of(id as usize)];
+                let rel = id as usize - shard.start_id;
+                (rel < shard.num_ids).then(|| PostingCursor::new(shard.posting_bytes(rel), user.0))
+            })
+            .collect();
+        let outcome = p3q_topk::streaming_count_topk(sources, network_size);
+        let probe = ResolveProbe {
+            positions_scanned: outcome.positions_scanned,
+            early_terminated: outcome.early_terminated,
+        };
+        let ranking = outcome
+            .ranking
+            .into_iter()
+            .map(|(raw, count)| (UserId(raw), count))
+            .collect();
+        (ranking, probe)
+    }
+
     /// Convenience wrapper: the top-`network_size` most similar users to
     /// `user`, using (and resetting) `scratch`.
     pub fn top_similar(
@@ -636,6 +693,63 @@ impl ActionIndex {
             postings,
             distinct_actions: self.live_keys,
         }
+    }
+}
+
+/// Scan accounting of one [`ActionIndex::resolve_top_similar`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolveProbe {
+    /// Posting entries decoded across all of the profile's cursors.
+    pub positions_scanned: usize,
+    /// `true` when the threshold bound stopped the merge before the posting
+    /// runs were exhausted.
+    pub early_terminated: bool,
+}
+
+/// A lazily decoding cursor over one compressed posting run: yields the
+/// ascending user ids of the `[delta-varint…]` bytes one at a time, skipping
+/// `exclude` (the profile's owner) — the sorted-access source
+/// [`ActionIndex::resolve_top_similar`] feeds into
+/// `p3q_topk::streaming_count_topk`. Decoding is incremental, so an
+/// early-terminated merge never pays for the posting tail.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    reader: VarintReader<'a>,
+    prev: u32,
+    first: bool,
+    exclude: u32,
+}
+
+impl<'a> PostingCursor<'a> {
+    /// Opens a cursor over one posting's delta-run bytes (the byte-length
+    /// prefix already consumed, as returned by `posting_bytes`).
+    fn new(bytes: &'a [u8], exclude: u32) -> Self {
+        Self {
+            reader: VarintReader::new(bytes),
+            prev: 0,
+            first: true,
+            exclude,
+        }
+    }
+}
+
+impl Iterator for PostingCursor<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while let Some(raw) = self.reader.next_varint() {
+            let user = if self.first {
+                raw as u32
+            } else {
+                self.prev + raw as u32
+            };
+            self.first = false;
+            self.prev = user;
+            if user != self.exclude {
+                return Some(user);
+            }
+        }
+        None
     }
 }
 
@@ -1073,6 +1187,50 @@ mod tests {
             index.distinct_actions(),
             ActionIndex::build(&d2).distinct_actions()
         );
+    }
+
+    #[test]
+    fn resolve_top_similar_matches_the_dense_sweep() {
+        let d = dataset();
+        for shards in [1, 2, 4] {
+            let index = ActionIndex::build_with_shards(&d, shards);
+            let mut scratch = SimilarityScratch::new(d.num_users());
+            for user in d.users() {
+                for k in [0, 1, 3, 10] {
+                    let swept = index.top_similar(&d, user, k, &mut scratch);
+                    let (resolved, probe) = index.resolve_top_similar(&d, user, k);
+                    assert_eq!(resolved, swept, "user {user}, k {k}, {shards} shards");
+                    if k > 0 && !swept.is_empty() {
+                        assert!(probe.positions_scanned > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_reflects_deltas_and_departures() {
+        let mut d = dataset();
+        let mut index = ActionIndex::build_with_shards(&d, 2);
+        let delta = [act(9, 9), act(3, 3)];
+        index.apply_delta(UserId(1), &delta);
+        d.profile_mut(UserId(1)).extend(delta);
+        let (resolved, _) = index.resolve_top_similar(&d, UserId(1), 10);
+        let mut scratch = SimilarityScratch::new(d.num_users());
+        assert_eq!(resolved, index.top_similar(&d, UserId(1), 10, &mut scratch));
+
+        let old = d.profile(UserId(2)).clone();
+        index.remove_user(UserId(2), &old);
+        *d.profile_mut(UserId(2)) = Profile::new();
+        for user in d.users() {
+            let (resolved, _) = index.resolve_top_similar(&d, user, 10);
+            assert_eq!(
+                resolved,
+                index.top_similar(&d, user, 10, &mut scratch),
+                "{user}"
+            );
+            assert!(!resolved.iter().any(|&(peer, _)| peer == UserId(2)));
+        }
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Streaming threshold top-k over id-ordered unit-score lists.
+//!
+//! The NRA machinery in this crate ([`crate::IncrementalNra`], [`crate::nra_topk`])
+//! works over lists sorted by *descending score*. The on-demand similarity
+//! resolver faces the transposed shape: one posting list per tagging action,
+//! sorted by *ascending item id*, where every entry contributes the same unit
+//! score and an item's total is the number of lists containing it. Fagin's
+//! bounds specialize sharply for that shape:
+//!
+//! * an item the merge frontier has **passed** in every list has its *exact*
+//!   score — id-ordered lists are random-access-free certificates of absence,
+//!   so the worst-case and best-case scores coincide as soon as every cursor
+//!   has moved beyond the item;
+//! * the best-case score of any item **at or beyond** the frontier is the
+//!   number of lists that are not yet exhausted — each can contribute at most
+//!   one unit.
+//!
+//! [`streaming_count_topk`] therefore runs a cursor merge in ascending id
+//! order, keeping the k best exact scores seen so far, and stops as soon as
+//! the NRA termination condition holds: the weakest retained score is at
+//! least the ceiling any unseen item could still reach. Ties need no care at
+//! the boundary — every future item has a larger id than every retained one,
+//! and the ranking breaks score ties by ascending id, so an equal-score
+//! newcomer can never displace a member. The returned ranking is exact and
+//! identical to what a full merge would produce.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of one [`streaming_count_topk`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome<I> {
+    /// The top-k `(item, count)` pairs in descending count order, ties by
+    /// ascending item — exact, never score intervals.
+    pub ranking: Vec<(I, u64)>,
+    /// Number of list entries consumed across all sources.
+    pub positions_scanned: usize,
+    /// `true` when the threshold bound stopped the merge before every source
+    /// was exhausted.
+    pub early_terminated: bool,
+}
+
+/// Counts item multiplicities across `sources` — each an iterator yielding
+/// **strictly ascending** items, an item appearing at most once per source —
+/// and returns the `k` items contained in the most sources, ranked by count
+/// descending with ties broken by ascending item.
+///
+/// Sources are consumed lazily through a frontier merge and abandoned as
+/// soon as the threshold bound proves the top-k final (see the module docs),
+/// so the scan cost is bounded by the proof, not the input mass.
+pub fn streaming_count_topk<I, S>(sources: Vec<S>, k: usize) -> StreamOutcome<I>
+where
+    I: Ord + Copy,
+    S: Iterator<Item = I>,
+{
+    let mut positions_scanned = 0usize;
+    if k == 0 {
+        return StreamOutcome {
+            ranking: Vec::new(),
+            positions_scanned,
+            early_terminated: !sources.is_empty(),
+        };
+    }
+
+    // Frontier cursors: (next item, source) keyed min-first so popping
+    // yields the globally smallest outstanding item.
+    let mut cursors: BinaryHeap<Reverse<(I, usize)>> = BinaryHeap::with_capacity(sources.len());
+    let mut sources = sources;
+    for (idx, source) in sources.iter_mut().enumerate() {
+        if let Some(item) = source.next() {
+            positions_scanned += 1;
+            cursors.push(Reverse((item, idx)));
+        }
+    }
+
+    // The k best exact scores so far, weakest at the root: ordered by
+    // (count, Reverse(item)) so the minimum is the lowest count with the
+    // largest item — exactly the entry the ranking would drop first.
+    let mut best: BinaryHeap<Reverse<(u64, Reverse<I>)>> = BinaryHeap::with_capacity(k + 1);
+    let mut early_terminated = false;
+
+    while let Some(&Reverse((item, _))) = cursors.peek() {
+        // Drain every cursor parked on `item`; afterwards all remaining
+        // heads are strictly larger, so `count` is the item's exact score.
+        let mut count = 0u64;
+        while let Some(&Reverse((head, idx))) = cursors.peek() {
+            if head != item {
+                break;
+            }
+            cursors.pop();
+            count += 1;
+            if let Some(next) = sources[idx].next() {
+                debug_assert!(next > head, "sources must be strictly ascending");
+                positions_scanned += 1;
+                cursors.push(Reverse((next, idx)));
+            }
+        }
+
+        if best.len() < k {
+            best.push(Reverse((count, Reverse(item))));
+        } else if let Some(&Reverse((weakest, _))) = best.peek() {
+            // Every future item is larger than every retained one, so an
+            // equal count loses its tie; only a strictly larger count wins.
+            if count > weakest {
+                best.pop();
+                best.push(Reverse((count, Reverse(item))));
+            }
+        }
+
+        // NRA termination: no unseen item can beat the weakest retained
+        // score — each still-active source contributes at most one unit.
+        if best.len() == k {
+            let ceiling = cursors.len() as u64;
+            if let Some(&Reverse((weakest, _))) = best.peek() {
+                if weakest >= ceiling {
+                    early_terminated = !cursors.is_empty();
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut ranking: Vec<(I, u64)> = best
+        .into_iter()
+        .map(|Reverse((count, Reverse(item)))| (item, count))
+        .collect();
+    ranking.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    StreamOutcome {
+        ranking,
+        positions_scanned,
+        early_terminated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn run(sources: &[&[u32]], k: usize) -> StreamOutcome<u32> {
+        streaming_count_topk(sources.iter().map(|s| s.iter().copied()).collect(), k)
+    }
+
+    /// Brute-force oracle: full multiplicity count, ranked by (count desc,
+    /// item asc), truncated to k.
+    fn oracle(sources: &[&[u32]], k: usize) -> Vec<(u32, u64)> {
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for source in sources {
+            for &item in *source {
+                *counts.entry(item).or_default() += 1;
+            }
+        }
+        let mut ranked: Vec<(u32, u64)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    #[test]
+    fn counts_and_ranks_exactly() {
+        let sources: &[&[u32]] = &[&[1, 2, 5], &[2, 5, 9], &[2, 7], &[5]];
+        let outcome = run(sources, 3);
+        assert_eq!(outcome.ranking, vec![(2, 3), (5, 3), (1, 1)]);
+        assert_eq!(outcome.ranking, oracle(sources, 3));
+    }
+
+    #[test]
+    fn ties_break_by_ascending_item() {
+        let sources: &[&[u32]] = &[&[3, 8], &[3, 8], &[1]];
+        assert_eq!(run(sources, 2).ranking, vec![(3, 2), (8, 2)]);
+        assert_eq!(run(sources, 1).ranking, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn early_termination_fires_once_the_threshold_is_beaten() {
+        // Item 0 is in both sources (count 2); after the second source
+        // exhausts, only one active source remains, so the ceiling drops to
+        // 1 and the top-1 (score 2) is provably final: the long tail of the
+        // first source is never scanned.
+        let long_tail: Vec<u32> = std::iter::once(0).chain(100..10_000).collect();
+        let sources = vec![long_tail.clone().into_iter(), vec![0].into_iter()];
+        let outcome = streaming_count_topk(sources, 1);
+        assert_eq!(outcome.ranking, vec![(0, 2)]);
+        assert!(outcome.early_terminated);
+        assert!(
+            outcome.positions_scanned < long_tail.len(),
+            "the tail must not be scanned ({} positions)",
+            outcome.positions_scanned
+        );
+    }
+
+    #[test]
+    fn exhaustive_runs_report_no_early_termination() {
+        let sources: &[&[u32]] = &[&[1, 2], &[2, 3]];
+        let outcome = run(sources, 10);
+        assert_eq!(outcome.ranking, oracle(sources, 10));
+        assert!(!outcome.early_terminated);
+        assert_eq!(outcome.positions_scanned, 4);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k_returns_them_all() {
+        let sources: &[&[u32]] = &[&[4], &[4]];
+        assert_eq!(run(sources, 5).ranking, vec![(4, 2)]);
+    }
+
+    #[test]
+    fn zero_k_and_empty_inputs() {
+        assert!(run(&[&[1, 2]], 0).ranking.is_empty());
+        assert!(run(&[], 3).ranking.is_empty());
+        assert!(!run(&[], 3).early_terminated);
+        let empties: &[&[u32]] = &[&[], &[]];
+        assert!(run(empties, 3).ranking.is_empty());
+    }
+
+    #[test]
+    fn matches_oracle_on_a_deterministic_pseudo_random_sweep() {
+        // Hand-rolled xorshift so the crate stays free of RNG dependencies;
+        // fixed seeds make the case reproducible byte-for-byte.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let num_sources = 1 + (next() % 7) as usize;
+            let sources: Vec<Vec<u32>> = (0..num_sources)
+                .map(|_| {
+                    let len = (next() % 20) as usize;
+                    let mut items: Vec<u32> = (0..len).map(|_| (next() % 30) as u32).collect();
+                    items.sort_unstable();
+                    items.dedup();
+                    items
+                })
+                .collect();
+            let borrowed: Vec<&[u32]> = sources.iter().map(Vec::as_slice).collect();
+            for k in [1, 3, 10] {
+                let outcome = run(&borrowed, k);
+                assert_eq!(
+                    outcome.ranking,
+                    oracle(&borrowed, k),
+                    "trial {trial}, k {k}"
+                );
+            }
+        }
+    }
+}

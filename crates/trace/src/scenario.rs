@@ -11,7 +11,7 @@
 //! [`schedule`](ScenarioWorkload::schedule) the simulation layer feeds into
 //! its `EventQueue`.
 //!
-//! The seven presets:
+//! The eight presets:
 //!
 //! * [`Scenario::PaperDelicious`] — the paper's evaluation substrate:
 //!   Zipf popularity, interest communities, log-normal profile sizes, and
@@ -28,6 +28,12 @@
 //! * [`Scenario::CrashRestart`] — nodes crash (losing volatile state) and
 //!   restart a few cycles later, continuously, through the recommended
 //!   fault schedule;
+//! * [`Scenario::QueryHotspot`] — the paper's substrate plus a skewed
+//!   *querier* schedule ([`ScenarioConfig::querier_schedule`]): every cycle
+//!   a small Zipf-distributed set of users (well under 1% of the
+//!   population) issues queries while organic dynamics keep invalidating
+//!   cached similarity — the workload demand-driven resolution is built
+//!   for;
 //! * [`Scenario::UniformControl`] — the null model: one topic, exponent-0
 //!   popularity, no scheduled events. Any personalization benefit measured
 //!   here is noise, which is exactly what a control is for.
@@ -42,15 +48,21 @@
 //! change batch are fanned out over worker threads with byte-identical
 //! output for every thread count (see [`crate::TraceGenerator`]).
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use p3q_sim::{default_threads, stream_seed};
 
 use crate::dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator};
 use crate::generator::{SyntheticTrace, TraceConfig, TraceGenerator};
+use crate::ids::UserId;
+use crate::zipf::ZipfSampler;
 
 /// Salt for per-plan-step batch seeds.
 const STREAM_PLAN: u64 = 0x5CE0_A210_0000_0007;
+/// Salt for the per-cycle querier draws of [`Scenario::QueryHotspot`].
+const STREAM_QUERIERS: u64 = 0x5CE0_A210_0000_0008;
 
 /// A named workload preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,19 +79,23 @@ pub enum Scenario {
     LossyNetwork,
     /// Nodes continuously crash (losing volatile state) and restart.
     CrashRestart,
+    /// Organic dynamics plus a Zipf-skewed querier schedule touching well
+    /// under 1% of the population per cycle.
+    QueryHotspot,
     /// No communities, no popularity skew, no events — the control.
     UniformControl,
 }
 
 impl Scenario {
     /// Every preset, in presentation order.
-    pub const ALL: [Scenario; 7] = [
+    pub const ALL: [Scenario; 8] = [
         Scenario::PaperDelicious,
         Scenario::FlashCrowd,
         Scenario::TopicDrift,
         Scenario::ChurnHeavy,
         Scenario::LossyNetwork,
         Scenario::CrashRestart,
+        Scenario::QueryHotspot,
         Scenario::UniformControl,
     ];
 
@@ -92,6 +108,7 @@ impl Scenario {
             Scenario::ChurnHeavy => "churn-heavy",
             Scenario::LossyNetwork => "lossy-network",
             Scenario::CrashRestart => "crash-restart",
+            Scenario::QueryHotspot => "query-hotspot",
             Scenario::UniformControl => "uniform-control",
         }
     }
@@ -126,6 +143,9 @@ impl Scenario {
             }
             Scenario::CrashRestart => {
                 "nodes crash (losing volatile state) and restart a few cycles later"
+            }
+            Scenario::QueryHotspot => {
+                "organic dynamics plus a Zipf-skewed querier set (<1% of users per cycle)"
             }
             Scenario::UniformControl => "one topic, no popularity skew, no events (null model)",
         }
@@ -287,9 +307,46 @@ impl ScenarioConfig {
                 h / 2,
                 DynamicsConfig::paper_day(step_seed(0)),
             )],
+            // The hotspot axis is the *querier* schedule; the cycle axis
+            // keeps the paper's organic dynamics so cached similarity is
+            // continuously invalidated under the query load.
+            Scenario::QueryHotspot => vec![
+                PlanStep::changes(h / 3, DynamicsConfig::paper_day(step_seed(0))),
+                PlanStep::changes(2 * h / 3, DynamicsConfig::paper_day(step_seed(1))),
+            ],
             Scenario::UniformControl => Vec::new(),
         };
         DynamicsPlan { steps }
+    }
+
+    /// The per-cycle querier sets of the [`Scenario::QueryHotspot`] preset:
+    /// one entry per cycle in `0..horizon`, each a sorted, deduplicated set
+    /// of users issuing queries that cycle. Draws follow a Zipf law over
+    /// the user ids (rank 0 = user 0 is the hottest querier) with roughly
+    /// `num_users / 200` draws per cycle, so well under 1% of the
+    /// population is queried per cycle and the same few users dominate —
+    /// the skew that makes demand-driven resolution pay off.
+    ///
+    /// A pure function of `(seed, num_users, horizon)`. Every other preset
+    /// returns an empty schedule (queries are not part of its axis).
+    pub fn querier_schedule(&self) -> Vec<Vec<UserId>> {
+        if self.scenario != Scenario::QueryHotspot {
+            return Vec::new();
+        }
+        let sampler = ZipfSampler::new(self.num_users, 1.2);
+        let draws_per_cycle = (self.num_users / 200).max(1);
+        (0..self.horizon)
+            .map(|cycle| {
+                let mut rng =
+                    StdRng::seed_from_u64(stream_seed(self.seed ^ STREAM_QUERIERS, cycle));
+                let mut queriers: Vec<UserId> = (0..draws_per_cycle)
+                    .map(|_| UserId::from_index(sampler.sample(&mut rng)))
+                    .collect();
+                queriers.sort_unstable();
+                queriers.dedup();
+                queriers
+            })
+            .collect()
     }
 
     /// Materializes the scenario with the default worker-thread count
@@ -516,6 +573,7 @@ mod tests {
             Scenario::FlashCrowd,
             Scenario::TopicDrift,
             Scenario::ChurnHeavy,
+            Scenario::QueryHotspot,
             Scenario::UniformControl,
         ] {
             assert!(scenario.fault_config(42).is_none(), "{}", scenario.name());
@@ -526,6 +584,33 @@ mod tests {
             lossy.fault_seed,
             Scenario::LossyNetwork.fault_config(7).fault_seed
         );
+    }
+
+    #[test]
+    fn query_hotspot_schedules_skewed_queriers_under_one_percent() {
+        let cfg = ScenarioConfig::new(Scenario::QueryHotspot, 4_000, 11).with_horizon(20);
+        let schedule = cfg.querier_schedule();
+        assert_eq!(schedule.len(), 20);
+        let mut hits = vec![0usize; 4_000];
+        for queriers in &schedule {
+            assert!(!queriers.is_empty());
+            // < 1% of the population queried per cycle.
+            assert!(queriers.len() * 100 < 4_000, "{} queriers", queriers.len());
+            assert!(queriers.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            for q in queriers {
+                assert!(q.index() < 4_000);
+                hits[q.index()] += 1;
+            }
+        }
+        // Zipf skew: the hottest user dominates the coldest half combined.
+        let tail: usize = hits[2_000..].iter().sum();
+        assert!(hits[0] > tail, "head {} vs tail {}", hits[0], tail);
+        // Deterministic in the seed, and the dynamics axis still fires.
+        assert_eq!(schedule, cfg.querier_schedule());
+        assert!(!cfg.dynamics_plan().is_empty());
+        // Other presets have no querier axis.
+        let plain = ScenarioConfig::new(Scenario::PaperDelicious, 4_000, 11).with_horizon(20);
+        assert!(plain.querier_schedule().is_empty());
     }
 
     #[test]

@@ -105,12 +105,20 @@ fn every_preset_runs_end_to_end_through_the_harness() {
 
 #[test]
 fn scenarios_produce_distinct_workloads() {
-    // Signature of a workload: the trace volume, the recommended fault mix
-    // and the full event schedule content (several presets deliberately
-    // share the same base trace and differ only in what happens on the
-    // cycle axis — and lossy-network shares even the schedule with
-    // paper-delicious, differing *only* in its fault recommendation).
-    fn signature(world: &World, scenario: Scenario) -> (usize, u64, Vec<(u64, String)>) {
+    // Signature of a workload: the trace volume, the recommended fault mix,
+    // the querier schedule and the full event schedule content (several
+    // presets deliberately share the same base trace and differ only in
+    // what happens on the cycle axis — lossy-network shares even the
+    // schedule with paper-delicious, differing *only* in its fault
+    // recommendation, and query-hotspot differs *only* in its Zipf-skewed
+    // querier schedule).
+    fn signature(world: &World, scenario: Scenario) -> (usize, u64, usize, Vec<(u64, String)>) {
+        let queried: usize = args_for(scenario)
+            .scenario_config()
+            .querier_schedule()
+            .iter()
+            .map(Vec::len)
+            .sum();
         let events = world
             .schedule
             .iter()
@@ -133,6 +141,7 @@ fn scenarios_produce_distinct_workloads() {
         (
             world.trace.dataset.total_actions(),
             scenario.fault_config(23).fingerprint(),
+            queried,
             events,
         )
     }
