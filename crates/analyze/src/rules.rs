@@ -69,6 +69,13 @@ pub const PLAN_COMMIT_MODULES: &[&str] = &[
     // every worker-thread count (pinned by `on_demand_props`), so it earns
     // the same hash-iter / ambient-RNG scrutiny as the commit path.
     "crates/core/src/resolver.rs",
+    // The transport runtime replays the exact same plan/commit cycle over
+    // shard actors and is pinned byte-identical to the simulator (by
+    // `transport_props`), so its sequencer, actor body and delivery
+    // schedule get the same scrutiny.
+    "crates/transport/src/runtime.rs",
+    "crates/transport/src/actor.rs",
+    "crates/transport/src/schedule.rs",
 ];
 
 /// Hash-ordered container types whose iteration order is unspecified.

@@ -11,10 +11,11 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use p3q::baseline::IdealNetworks;
 use p3q::config::P3qConfig;
-use p3q::eager::{issue_query, run_eager_until_complete};
+use p3q::eager::issue_query;
 use p3q::experiment::{build_simulator_with_budgets, init_ideal_networks};
 use p3q::query::QueryId;
 use p3q_bloom::BloomFilter;
+use p3q_sim::RunOptions;
 use p3q_trace::{QueryGenerator, TraceConfig, TraceGenerator, UserId};
 
 /// Small world shared by the end-to-end ablations.
@@ -67,7 +68,7 @@ fn alpha_sweep(c: &mut Criterion) {
                             &cfg,
                         );
                     }
-                    black_box(run_eager_until_complete(&mut sim, &cfg, 40, |_, _| {}))
+                    black_box(sim.drive(&cfg.eager(), RunOptions::until_complete(40), |_, _| {}))
                 })
             },
         );

@@ -433,6 +433,22 @@ const SMOKE_JOBS: &[(&str, &[&str], &str)] = &[
         ],
         "BENCH_faults_smoke.json",
     ),
+    (
+        "bench_transport",
+        &[
+            "--users",
+            "400",
+            "--queries",
+            "40",
+            "--warmup",
+            "2",
+            "--cycles",
+            "8",
+            "--actors",
+            "1,3,8",
+        ],
+        "BENCH_transport_smoke.json",
+    ),
 ];
 
 /// Runs every [`SMOKE_JOBS`] entry with the sibling benchmark binaries

@@ -29,11 +29,10 @@ use rand::SeedableRng;
 
 use p3q::config::P3qConfig;
 use p3q::experiment::build_simulator;
-use p3q::lazy::{
-    bootstrap_random_views, run_lazy_cycle, run_lazy_cycle_reference, run_lazy_cycle_with_threads,
-};
+use p3q::lazy::bootstrap_random_views;
 use p3q::node::P3qNode;
 use p3q::storage::StorageDistribution;
+use p3q_sim::RunOptions;
 use p3q_sim::Simulator;
 use p3q_trace::{Scenario, ScenarioConfig, TraceGenerator};
 
@@ -154,9 +153,7 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     // networks (stored profiles, offers, probes) rather than cold views.
     // The engine is thread-count independent, so warming up with the
     // default worker count leaves the same bytes for every timed mode.
-    for _ in 0..args.warmup {
-        run_lazy_cycle(&mut sim, &cfg);
-    }
+    sim.drive(&cfg.lazy(), RunOptions::cycles(args.warmup), |_, _| {});
 
     // Node-storage accounting at the measurement point (deterministic for a
     // given seed): the shard-partitioned store sums each node's protocol
@@ -190,8 +187,8 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         let start = Instant::now();
         for _ in 0..args.cycles {
             match mode.threads {
-                None => run_lazy_cycle_reference(&mut timed, &cfg),
-                Some(t) => run_lazy_cycle_with_threads(&mut timed, &cfg, t),
+                None => timed.drive(&cfg.lazy(), RunOptions::cycles(1).oracle(), |_, _| {}),
+                Some(t) => timed.drive(&cfg.lazy(), RunOptions::cycles(1).threads(t), |_, _| {}),
             };
         }
         let elapsed = start.elapsed().as_secs_f64();

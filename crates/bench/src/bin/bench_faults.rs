@@ -140,12 +140,11 @@ fn run_arm(
     init_ideal_networks(&mut sim, &world.ideal);
 
     let mut lazy_faults: FaultPlan<LazyStep> = FaultPlan::new(faults);
-    for _ in 0..warmup {
-        match threads {
-            None => run_lazy_cycle_faulted(&mut sim, cfg, &mut lazy_faults),
-            Some(t) => run_lazy_cycle_faulted_with_threads(&mut sim, cfg, &mut lazy_faults, t),
-        };
+    let mut opts = RunOptions::cycles(warmup).faulted(&mut lazy_faults);
+    if let Some(t) = threads {
+        opts = opts.threads(t);
     }
+    sim.drive(&cfg.lazy(), opts, |_, _| {});
 
     let references: Vec<Vec<(ItemId, u32)>> = queries
         .iter()
@@ -162,12 +161,11 @@ fn run_arm(
     }
 
     let mut eager_faults: FaultPlan<EagerTask> = FaultPlan::new(faults);
-    for _ in 0..cycles {
-        match threads {
-            None => run_eager_cycle_faulted(&mut sim, cfg, &mut eager_faults),
-            Some(t) => run_eager_cycle_faulted_with_threads(&mut sim, cfg, &mut eager_faults, t),
-        };
+    let mut opts = RunOptions::cycles(cycles).faulted(&mut eager_faults);
+    if let Some(t) = threads {
+        opts = opts.threads(t);
     }
+    sim.drive(&cfg.eager(), opts, |_, _| {});
 
     let mut loss = RecallUnderLoss::default();
     for (i, query) in queries.iter().enumerate() {

@@ -46,11 +46,12 @@ use rand::SeedableRng;
 use p3q::baseline::IdealNetworks;
 use p3q::config::P3qConfig;
 use p3q::experiment::build_simulator;
-use p3q::lazy::{bootstrap_random_views, run_lazy_cycles};
+use p3q::lazy::bootstrap_random_views;
 use p3q::resolver::OnDemandNetworks;
 use p3q::similarity::ActionIndex;
 use p3q::storage::StorageDistribution;
 use p3q_sim::default_threads;
+use p3q_sim::RunOptions;
 use p3q_trace::{
     DynamicsConfig, DynamicsGenerator, Scenario, ScenarioConfig, SyntheticTrace, TraceGenerator,
 };
@@ -527,7 +528,7 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0xB007);
     bootstrap_random_views(&mut sim, &cfg, &mut rng);
     let start = Instant::now();
-    run_lazy_cycles(&mut sim, &cfg, args.cycles, |_, _| {});
+    sim.drive(&cfg.lazy(), RunOptions::cycles(args.cycles), |_, _| {});
     let lazy_cycle_ms = start.elapsed().as_secs_f64() * 1e3 / args.cycles as f64;
     eprintln!("   lazy cycle: {lazy_cycle_ms:.0} ms");
 

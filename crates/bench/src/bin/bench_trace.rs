@@ -26,6 +26,7 @@ use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
+use p3q_sim::Fnv;
 use p3q_trace::{Scenario, ScenarioConfig, ScenarioEvent, SyntheticTrace, TraceGenerator};
 
 struct Args {
@@ -75,76 +76,58 @@ fn parse_args() -> Args {
     args
 }
 
-/// FNV-1a over a stream of u64 words — an explicit, rust-version-stable
-/// content hash (unlike `DefaultHasher`, whose keys are unspecified), so
-/// checksums can be compared across builds and hosts.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xCBF2_9CE4_8422_2325)
-    }
-
-    fn word(&mut self, w: u64) {
-        for byte in w.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-}
-
 /// Content checksum of a trace: the latent world plus every profile byte.
 fn trace_checksum(trace: &SyntheticTrace) -> u64 {
     let mut h = Fnv::new();
     for &topic in &trace.world.item_topic {
-        h.word(topic as u64);
+        h.write_u64(topic as u64);
     }
     for tags in &trace.world.item_tags {
-        h.word(tags.len() as u64);
+        h.write_u64(tags.len() as u64);
         for tag in tags {
-            h.word(tag.as_key());
+            h.write_u64(tag.as_key());
         }
     }
     for topics in &trace.world.user_topics {
-        h.word(topics.len() as u64);
+        h.write_u64(topics.len() as u64);
         for &t in topics {
-            h.word(t as u64);
+            h.write_u64(t as u64);
         }
     }
     for (user, profile) in trace.dataset.iter() {
-        h.word(user.as_key());
-        h.word(profile.len() as u64);
+        h.write_u64(user.as_key());
+        h.write_u64(profile.len() as u64);
         for action in profile.iter() {
-            h.word(action.item.as_key());
-            h.word(action.tag.as_key());
+            h.write_u64(action.item.as_key());
+            h.write_u64(action.tag.as_key());
         }
     }
-    h.0
+    h.finish()
 }
 
 /// Content checksum of a scenario schedule (batches and departures).
 fn schedule_checksum(schedule: &[(u64, ScenarioEvent)]) -> u64 {
     let mut h = Fnv::new();
     for (cycle, event) in schedule {
-        h.word(*cycle);
+        h.write_u64(*cycle);
         match event {
             ScenarioEvent::ProfileChanges(batch) => {
-                h.word(batch.len() as u64);
+                h.write_u64(batch.len() as u64);
                 for change in &batch.changes {
-                    h.word(change.user.as_key());
+                    h.write_u64(change.user.as_key());
                     for action in &change.new_actions {
-                        h.word(action.item.as_key());
-                        h.word(action.tag.as_key());
+                        h.write_u64(action.item.as_key());
+                        h.write_u64(action.tag.as_key());
                     }
                 }
             }
             ScenarioEvent::MassDeparture(fraction) => {
-                h.word(u64::MAX);
-                h.word(fraction.to_bits());
+                h.write_u64(u64::MAX);
+                h.write_u64(fraction.to_bits());
             }
         }
     }
-    h.0
+    h.finish()
 }
 
 struct ModeResult {

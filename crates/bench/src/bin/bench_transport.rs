@@ -1,0 +1,434 @@
+//! Transport-runtime benchmark and oracle gate: drives the same eager query
+//! workload through the deterministic simulator and through the
+//! message-passing transport runtime (`p3q_transport::TransportRuntime`)
+//! over a sweep of shard-actor counts, asserting **byte-identity** — equal
+//! node-state fingerprints, traffic checksums and run reports — at every
+//! layout, and timing each arm.
+//!
+//! A composite-fault arm repeats the comparison with message loss, delay,
+//! duplication and node crash/restarts reinterpreted as transport faults,
+//! pinning the fault schedule (`FaultPlan` fingerprint) as well.
+//!
+//! Emits `BENCH_transport.json`; the state/traffic checksums in it are
+//! host-independent, so the CI baseline gate treats them as exact.
+//!
+//! ```text
+//! cargo run --release -p p3q-bench --bin bench_transport [-- OPTIONS]
+//!     --users N        population size                  (default 1000)
+//!     --seed N         master seed                      (default 42)
+//!     --queries N      tracked queries                  (default 100)
+//!     --warmup N       lazy warmup cycles               (default 3)
+//!     --cycles N       eager cycles                     (default 12; check: 4)
+//!     --actors a,b,c   shard-actor counts to sweep      (default 1,3,8)
+//!     --out PATH       output path                      (default BENCH_transport.json)
+//!     --check          oracle check only: run one transport layout (actor
+//!                      count from P3Q_THREADS, default 3), assert it is
+//!                      byte-identical to the simulator and print the
+//!                      checksum (CI runs this under a P3Q_THREADS matrix
+//!                      and diffs the printed lines across jobs)
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use p3q::prelude::*;
+use p3q_bench::{HarnessArgs, World};
+use p3q_trace::Scenario;
+use p3q_transport::{DeliverySchedule, TransportRuntime};
+
+struct Args {
+    users: usize,
+    seed: u64,
+    queries: usize,
+    warmup: u64,
+    cycles: Option<u64>,
+    actors: Vec<usize>,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 1_000,
+        seed: 42,
+        queries: 100,
+        warmup: 3,
+        cycles: None,
+        actors: vec![1, 3, 8],
+        out: "BENCH_transport.json".to_string(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--users" => args.users = value("--users").parse().expect("--users wants an integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--queries" => {
+                args.queries = value("--queries")
+                    .parse()
+                    .expect("--queries wants an integer")
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup")
+                    .parse()
+                    .expect("--warmup wants an integer")
+            }
+            "--cycles" => {
+                args.cycles = Some(
+                    value("--cycles")
+                        .parse()
+                        .expect("--cycles wants an integer"),
+                )
+            }
+            "--actors" => {
+                args.actors = value("--actors")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--actors wants integers"))
+                    .collect()
+            }
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// A host-independent digest of a run's complete end state: cycle, every
+/// node (via the `Fingerprint` chain) and the traffic totals.
+fn state_checksum<'a>(
+    cycle: u64,
+    nodes: impl IntoIterator<Item = &'a P3qNode>,
+    totals: (u64, u64),
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(cycle);
+    h.write_u64(fingerprint_chain(nodes));
+    h.write_u64(totals.0);
+    h.write_u64(totals.1);
+    h.finish()
+}
+
+/// Builds the simulation at the point both drivers start from: ideal
+/// personal networks, `warmup` lazy cycles, the query workload issued.
+fn build_sim(world: &World, cfg: &P3qConfig, queries: &[Query], warmup: u64) -> Simulator<P3qNode> {
+    let budgets = vec![4usize; world.trace.dataset.num_users()];
+    let mut sim = build_simulator_with_budgets(&world.trace.dataset, cfg, &budgets, 5);
+    init_ideal_networks(&mut sim, &world.ideal);
+    sim.drive(&cfg.lazy(), RunOptions::cycles(warmup), |_, _| {});
+    for (i, query) in queries.iter().enumerate() {
+        issue_query(
+            &mut sim,
+            query.querier.index(),
+            QueryId(i as u64),
+            query.clone(),
+            cfg,
+        );
+    }
+    sim
+}
+
+/// One measured run (simulator or transport).
+struct ArmResult {
+    elapsed_s: f64,
+    report: RunReport,
+    traffic_checksum: (u64, u64),
+    state_checksum: u64,
+}
+
+fn run_simulator(
+    world: &World,
+    cfg: &P3qConfig,
+    queries: &[Query],
+    warmup: u64,
+    cycles: u64,
+) -> ArmResult {
+    let mut sim = build_sim(world, cfg, queries, warmup);
+    let start = Instant::now();
+    let report = sim.drive(&cfg.eager(), RunOptions::cycles(cycles), |_, _| {});
+    let elapsed_s = start.elapsed().as_secs_f64();
+    ArmResult {
+        elapsed_s,
+        report,
+        traffic_checksum: sim.bandwidth.totals(),
+        state_checksum: state_checksum(sim.cycle(), sim.nodes(), sim.bandwidth.totals()),
+    }
+}
+
+fn run_transport(
+    world: &World,
+    cfg: &P3qConfig,
+    queries: &[Query],
+    warmup: u64,
+    cycles: u64,
+    actors: usize,
+) -> ArmResult {
+    let mut sim = build_sim(world, cfg, queries, warmup);
+    let mut rt = TransportRuntime::from_simulator(&mut sim, actors, DeliverySchedule::canonical());
+    let start = Instant::now();
+    let report = rt.drive(&cfg.eager(), RunOptions::cycles(cycles));
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let totals = rt.bandwidth.totals();
+    ArmResult {
+        elapsed_s,
+        report,
+        traffic_checksum: totals,
+        state_checksum: state_checksum(rt.cycle(), rt.nodes(), totals),
+    }
+}
+
+fn assert_oracle_equal(reference: &ArmResult, transport: &ArmResult, label: &str) {
+    assert_eq!(
+        reference.report, transport.report,
+        "{label}: run report diverged from the simulator"
+    );
+    assert_eq!(
+        reference.traffic_checksum, transport.traffic_checksum,
+        "{label}: traffic diverged from the simulator"
+    );
+    assert_eq!(
+        reference.state_checksum, transport.state_checksum,
+        "{label}: node state diverged from the simulator"
+    );
+}
+
+/// The composite transport-fault mix for the faulted arm: the 5% lossy
+/// preset plus a small crash rate, as in `bench_faults`.
+fn fault_mix(fault_seed: u64) -> FaultConfig {
+    let mut cfg = FaultConfig::lossy(0.05, fault_seed);
+    cfg.crash_rate = 0.002;
+    cfg.downtime_cycles = 2;
+    cfg.validate();
+    cfg
+}
+
+/// Faulted oracle comparison at one actor count; returns the (shared)
+/// fault fingerprint, traffic and state checksums.
+fn run_faulted(
+    world: &World,
+    cfg: &P3qConfig,
+    queries: &[Query],
+    warmup: u64,
+    cycles: u64,
+    actors: usize,
+    fault_seed: u64,
+) -> (u64, (u64, u64), u64) {
+    let faults = fault_mix(fault_seed);
+
+    let mut sim = build_sim(world, cfg, queries, warmup);
+    let mut sim_faults: FaultPlan<EagerTask> = FaultPlan::new(faults);
+    sim.drive(
+        &cfg.eager(),
+        RunOptions::cycles(cycles).faulted(&mut sim_faults),
+        |_, _| {},
+    );
+    let sim_state = state_checksum(sim.cycle(), sim.nodes(), sim.bandwidth.totals());
+
+    let mut seeded = build_sim(world, cfg, queries, warmup);
+    let mut rt =
+        TransportRuntime::from_simulator(&mut seeded, actors, DeliverySchedule::canonical());
+    let mut rt_faults: FaultPlan<EagerTask> = FaultPlan::new(faults);
+    rt.drive(
+        &cfg.eager(),
+        RunOptions::cycles(cycles).faulted(&mut rt_faults),
+    );
+    let rt_state = state_checksum(rt.cycle(), rt.nodes(), rt.bandwidth.totals());
+
+    assert_eq!(
+        sim_faults.fingerprint(),
+        rt_faults.fingerprint(),
+        "faulted arm: fault schedule diverged (actors {actors})"
+    );
+    assert_eq!(sim_faults.stats(), rt_faults.stats());
+    assert_eq!(
+        sim.bandwidth.totals(),
+        rt.bandwidth.totals(),
+        "faulted arm: traffic diverged (actors {actors})"
+    );
+    assert_eq!(
+        sim_state, rt_state,
+        "faulted arm: node state diverged (actors {actors})"
+    );
+    (sim_faults.fingerprint(), rt.bandwidth.totals(), rt_state)
+}
+
+/// `--check`: the CI transport-determinism entry point. Runs the workload
+/// through the simulator and through one transport layout — the actor
+/// count comes from `P3Q_THREADS`, so the CI matrix exercises layouts
+/// 1 / 3 / 8 — asserts byte-identity (faultless and composite-faulted) and
+/// prints a checksum line the matrix diffs across jobs.
+fn run_check(args: &Args) {
+    let cycles = args.cycles.unwrap_or(4);
+    let actors = std::env::var("P3Q_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize);
+    let harness = HarnessArgs {
+        users: args.users,
+        seed: args.seed,
+        cycles,
+        queries: args.queries,
+        paper_scale: false,
+        scenario: Scenario::PaperDelicious,
+    };
+    let world = World::build(&harness);
+    let cfg = world.cfg.clone();
+    let queries = world.sample_queries(args.queries.min(50));
+
+    let start = Instant::now();
+    let reference = run_simulator(&world, &cfg, &queries, args.warmup, cycles);
+    let transport = run_transport(&world, &cfg, &queries, args.warmup, cycles, actors);
+    assert_oracle_equal(&reference, &transport, &format!("actors = {actors}"));
+    let (fault_fp, faulted_traffic, faulted_state) = run_faulted(
+        &world,
+        &cfg,
+        &queries,
+        args.warmup,
+        cycles,
+        actors,
+        args.seed ^ 0xFA17,
+    );
+    println!(
+        "TRANSPORT_CHECKSUM users={} seed={} bytes={} messages={} state_fp={:016x} \
+         faulted_bytes={} faulted_state_fp={:016x} fault_fp={:x}",
+        args.users,
+        args.seed,
+        reference.traffic_checksum.0,
+        reference.traffic_checksum.1,
+        reference.state_checksum,
+        faulted_traffic.0,
+        faulted_state,
+        fault_fp,
+    );
+    eprintln!(
+        "check passed in {:.1} s ({actors}-actor transport == simulator, faultless and faulted)",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    if args.check {
+        run_check(&args);
+        return;
+    }
+    let cycles = args.cycles.unwrap_or(12);
+
+    let harness = HarnessArgs {
+        users: args.users,
+        seed: args.seed,
+        cycles,
+        queries: args.queries,
+        paper_scale: false,
+        scenario: Scenario::PaperDelicious,
+    };
+    let world = World::build(&harness);
+    let cfg = world.cfg.clone();
+    let queries = world.sample_queries(args.queries);
+    eprintln!(
+        "world: {} users, {} tracked queries, {} lazy warmup + {} eager cycles",
+        args.users,
+        queries.len(),
+        args.warmup,
+        cycles
+    );
+
+    let reference = run_simulator(&world, &cfg, &queries, args.warmup, cycles);
+    eprintln!(
+        "simulator: {:.2} s, {} exchanges, state {:016x}",
+        reference.elapsed_s,
+        reference.report.exchanges(),
+        reference.state_checksum
+    );
+
+    let mut arms: Vec<(usize, ArmResult)> = Vec::new();
+    for &actors in &args.actors {
+        let arm = run_transport(&world, &cfg, &queries, args.warmup, cycles, actors);
+        assert_oracle_equal(&reference, &arm, &format!("actors = {actors}"));
+        eprintln!(
+            "transport {actors:>2} actor(s): {:.2} s ({:.2}x simulator), byte-identical",
+            arm.elapsed_s,
+            reference.elapsed_s / arm.elapsed_s.max(1e-9)
+        );
+        arms.push((actors, arm));
+    }
+
+    // Faulted arm at the middle layout: the fault mix reinterpreted as
+    // transport faults must reproduce the simulator's schedule and state.
+    let faulted_actors = args.actors.get(args.actors.len() / 2).copied().unwrap_or(3);
+    let (fault_fp, faulted_traffic, faulted_state) = run_faulted(
+        &world,
+        &cfg,
+        &queries,
+        args.warmup,
+        cycles,
+        faulted_actors,
+        args.seed ^ 0xFA17,
+    );
+    eprintln!("faulted arm ({faulted_actors} actors): byte-identical, fault_fp {fault_fp:x}");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"benchmark\": \"transport\",\n");
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"users\": {},", args.users);
+    let _ = writeln!(json, "  \"queries\": {},", queries.len());
+    let _ = writeln!(json, "  \"lazy_warmup_cycles\": {},", args.warmup);
+    let _ = writeln!(json, "  \"eager_cycles\": {cycles},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"eager workload through the message-passing transport runtime vs the simulator oracle; every layout byte-identity-asserted (state fingerprint, traffic, run report), plus a composite-fault arm pinning the fault schedule\","
+    );
+    json.push_str("  \"simulator\": {\n");
+    let _ = writeln!(json, "    \"elapsed_s\": {:.3},", reference.elapsed_s);
+    let _ = writeln!(json, "    \"exchanges\": {},", reference.report.exchanges());
+    let _ = writeln!(
+        json,
+        "    \"traffic_checksum\": [{}, {}],",
+        reference.traffic_checksum.0, reference.traffic_checksum.1
+    );
+    let _ = writeln!(
+        json,
+        "    \"state_checksum\": \"{:016x}\"",
+        reference.state_checksum
+    );
+    json.push_str("  },\n  \"transport\": [\n");
+    for (i, (actors, arm)) in arms.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"actors\": {actors},");
+        let _ = writeln!(json, "      \"elapsed_s\": {:.3},", arm.elapsed_s);
+        let _ = writeln!(
+            json,
+            "      \"speedup_vs_simulator\": {:.3},",
+            reference.elapsed_s / arm.elapsed_s.max(1e-9)
+        );
+        let _ = writeln!(
+            json,
+            "      \"traffic_checksum\": [{}, {}],",
+            arm.traffic_checksum.0, arm.traffic_checksum.1
+        );
+        let _ = writeln!(
+            json,
+            "      \"state_checksum\": \"{:016x}\"",
+            arm.state_checksum
+        );
+        json.push_str("    }");
+        json.push_str(if i + 1 < arms.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"faulted\": {\n");
+    let _ = writeln!(json, "    \"actors\": {faulted_actors},");
+    let _ = writeln!(json, "    \"fault_checksum\": \"{fault_fp:x}\",");
+    let _ = writeln!(
+        json,
+        "    \"traffic_checksum\": [{}, {}],",
+        faulted_traffic.0, faulted_traffic.1
+    );
+    let _ = writeln!(json, "    \"state_checksum\": \"{faulted_state:016x}\"");
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&args.out, &json).expect("writing the benchmark output");
+    eprintln!("wrote {}", args.out);
+}

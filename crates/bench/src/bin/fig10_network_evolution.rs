@@ -50,20 +50,19 @@ fn run_scenario(
     if !args.cycles.is_multiple_of(sample_every) {
         events.schedule(args.cycles, Fig10Event::Sample);
     }
-    run_lazy_cycles_with_events(
-        &mut sim,
-        cfg,
-        args.cycles,
-        &mut events,
+    sim.drive(
+        &cfg.lazy(),
+        RunOptions::cycles(args.cycles).events(&mut events),
         |sim, event| match event {
-            Fig10Event::ApplyChanges(batch) => {
+            RunEvent::Scheduled(Fig10Event::ApplyChanges(batch)) => {
                 apply_profile_changes(sim, batch);
             }
-            Fig10Event::Sample => recorder.record(
+            RunEvent::Scheduled(Fig10Event::Sample) => recorder.record(
                 label,
                 sim.cycle(),
                 network_refresh_ratio(sim.nodes(), &world.ideal, new_ideal) * 100.0,
             ),
+            RunEvent::CycleEnd(_) => {}
         },
     );
     eprintln!(

@@ -45,12 +45,18 @@ fn main() {
             0,
             average_success_ratio(sim.nodes().iter(), &world.ideal),
         );
-        run_lazy_cycles(&mut sim, cfg, args.cycles, |sim, cycle| {
-            if cycle % sample_every == 0 || cycle == args.cycles {
-                let ratio = average_success_ratio(sim.nodes().iter(), &world.ideal);
-                recorder.record(&series, cycle, ratio);
-            }
-        });
+        sim.drive(
+            &cfg.lazy(),
+            RunOptions::cycles(args.cycles),
+            |sim, event| {
+                if let RunEvent::CycleEnd(cycle) = event {
+                    if cycle % sample_every == 0 || cycle == args.cycles {
+                        let ratio = average_success_ratio(sim.nodes().iter(), &world.ideal);
+                        recorder.record(&series, cycle, ratio);
+                    }
+                }
+            },
+        );
         eprintln!(
             "  c={bucket:<5} ({c:>4} profiles stored): final success ratio {:.3}",
             recorder.last(&series).unwrap_or(0.0)

@@ -36,7 +36,11 @@ fn run_scenario(
             cfg,
         );
     }
-    run_eager_until_complete(&mut sim, cfg, max_cycles, |_, _| {});
+    sim.drive(
+        &cfg.eager(),
+        RunOptions::until_complete(max_cycles),
+        |_, _| {},
+    );
 
     let mut per_query = Vec::new();
     let mut messages = Vec::new();

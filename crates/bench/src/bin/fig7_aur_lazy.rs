@@ -46,15 +46,21 @@ fn run_scenario(
         0,
         average_update_rate(sim.nodes().iter(), &changed, &versions),
     );
-    run_lazy_cycles(&mut sim, cfg, args.cycles, |sim, cycle| {
-        if cycle % sample_every == 0 || cycle == args.cycles {
-            recorder.record(
-                label,
-                cycle,
-                average_update_rate(sim.nodes().iter(), &changed, &versions),
-            );
-        }
-    });
+    sim.drive(
+        &cfg.lazy(),
+        RunOptions::cycles(args.cycles),
+        |sim, event| {
+            if let RunEvent::CycleEnd(cycle) = event {
+                if cycle % sample_every == 0 || cycle == args.cycles {
+                    recorder.record(
+                        label,
+                        cycle,
+                        average_update_rate(sim.nodes().iter(), &changed, &versions),
+                    );
+                }
+            }
+        },
+    );
     eprintln!(
         "  {label}: AUR {:.3} → {:.3}",
         recorder.get(label, 0).unwrap_or(0.0),

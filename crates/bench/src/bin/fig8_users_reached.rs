@@ -28,7 +28,11 @@ fn reached_per_query(
             cfg,
         );
     }
-    run_eager_until_complete(&mut sim, cfg, max_cycles, |_, _| {});
+    sim.drive(
+        &cfg.eager(),
+        RunOptions::until_complete(max_cycles),
+        |_, _| {},
+    );
     queries
         .iter()
         .enumerate()

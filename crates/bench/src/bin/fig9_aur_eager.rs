@@ -54,7 +54,7 @@ fn main() {
     for (i, query) in burst.into_iter().enumerate() {
         let qid = QueryId(i as u64);
         issue_query(&mut sim, querier.index(), qid, query, cfg);
-        run_eager_until_complete(&mut sim, cfg, 30, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(30), |_, _| {});
         {
             let state = sim
                 .node(querier.index())

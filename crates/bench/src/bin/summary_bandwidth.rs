@@ -33,7 +33,7 @@ fn main() {
     init_ideal_networks(&mut sim, &world.ideal);
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0x35);
     bootstrap_random_views(&mut sim, cfg, &mut rng);
-    run_lazy_cycles(&mut sim, cfg, args.cycles, |_, _| {});
+    sim.drive(&cfg.lazy(), RunOptions::cycles(args.cycles), |_, _| {});
     let lazy_cycles = args.cycles;
     let per_node_lazy: Vec<f64> = (0..sim.num_nodes())
         .map(|idx| {
@@ -56,7 +56,7 @@ fn main() {
             cfg,
         );
     }
-    run_eager_until_complete(&mut sim, cfg, 40, |_, _| {});
+    sim.drive(&cfg.eager(), RunOptions::until_complete(40), |_, _| {});
     let eager_cycles = sim.cycle() - cycle_before;
     let eager_bytes = sim.bandwidth.totals().0 - eager_bandwidth_before;
 

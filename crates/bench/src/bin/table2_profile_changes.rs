@@ -65,9 +65,15 @@ fn main() {
         // other users' personal networks become stale.
         let mut events = EventQueue::new();
         events.schedule(0, &batch);
-        run_lazy_cycles_with_events(&mut sim, cfg, 0, &mut events, |sim, batch| {
-            apply_profile_changes(sim, batch);
-        });
+        sim.drive(
+            &cfg.lazy(),
+            RunOptions::cycles(0).events(&mut events),
+            |sim, event| {
+                if let RunEvent::Scheduled(batch) = event {
+                    apply_profile_changes(sim, batch);
+                }
+            },
+        );
         let versions: Vec<u64> = (0..sim.num_nodes())
             .map(|i| sim.node(i).profile_version())
             .collect();

@@ -64,7 +64,11 @@ fn main() {
                 &cfg,
             );
         }
-        run_eager_until_complete(&mut sim, &cfg, args.cycles, |_, _| {});
+        sim.drive(
+            &cfg.eager(),
+            RunOptions::until_complete(args.cycles),
+            |_, _| {},
+        );
 
         let mut latencies = Vec::new();
         let mut reached = Vec::new();

@@ -338,7 +338,7 @@ pub fn run_recall_experiment_with_events(
     let mut recall_per_cycle = vec![average_recall(sim)];
     for _ in 0..cycles {
         fire_due_sim_events(sim, events);
-        run_eager_cycle(sim, cfg);
+        sim.drive(&cfg.eager(), RunOptions::cycles(1), |_, _| {});
         recall_per_cycle.push(average_recall(sim));
     }
     fire_due_sim_events(sim, events);

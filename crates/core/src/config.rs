@@ -47,10 +47,10 @@ pub struct P3qConfig {
     /// Only lazy gossip resets staleness, so this knob **requires lazy
     /// refresh cycles to interleave with eager ones**: in an eager-only run
     /// every timestamp grows monotonically and the personal network evicts
-    /// itself wholesale after `limit` cycles. The eager-only run loops
-    /// ([`run_eager_until_complete`](crate::eager::run_eager_until_complete),
-    /// [`run_eager_until_complete_faulted`](crate::eager::run_eager_until_complete_faulted))
-    /// reject a nonzero limit via [`Self::validate_eager_only`].
+    /// itself wholesale after `limit` cycles. Until-idle eager drives
+    /// ([`EagerProtocol`](crate::eager::EagerProtocol) under
+    /// `RunOptions::until_complete`) reject a nonzero limit via
+    /// [`Self::validate_eager_only`].
     pub neighbour_staleness_limit: u32,
 }
 
@@ -150,6 +150,19 @@ impl P3qConfig {
         self
     }
 
+    /// The lazy mode ([`LazyProtocol`](crate::lazy::LazyProtocol)) over a
+    /// copy of this configuration — the protocol value handed to a
+    /// runtime's `drive` entry.
+    pub fn lazy(&self) -> crate::lazy::LazyProtocol {
+        crate::lazy::LazyProtocol::new(self.clone())
+    }
+
+    /// The eager mode ([`EagerProtocol`](crate::eager::EagerProtocol)) over
+    /// a copy of this configuration.
+    pub fn eager(&self) -> crate::eager::EagerProtocol {
+        crate::eager::EagerProtocol::new(self.clone())
+    }
+
     /// Checks internal consistency.
     ///
     /// # Panics
@@ -193,8 +206,9 @@ impl P3qConfig {
     /// Only lazy gossip resets neighbour staleness, so with a nonzero
     /// [`neighbour_staleness_limit`](Self::neighbour_staleness_limit) an
     /// eager-only run silently evicts the *entire* personal network (live
-    /// neighbours included) once every timestamp passes the limit. The
-    /// eager-only run loops call this so the footgun fails loudly instead.
+    /// neighbours included) once every timestamp passes the limit.
+    /// [`EagerProtocol`](crate::eager::EagerProtocol)'s `begin_run` hook
+    /// calls this on until-idle drives so the footgun fails loudly instead.
     ///
     /// # Panics
     /// Panics if `neighbour_staleness_limit` is nonzero.
@@ -203,8 +217,8 @@ impl P3qConfig {
             self.neighbour_staleness_limit == 0,
             "neighbour_staleness_limit = {} in an eager-only run: only lazy \
              gossip resets staleness, so the personal network would evict \
-             itself wholesale. Interleave lazy refresh cycles (drive \
-             run_eager_cycle / run_lazy_cycle yourself) or set the limit to 0.",
+             itself wholesale. Interleave lazy refresh cycles (alternate \
+             eager and lazy drives yourself) or set the limit to 0.",
             self.neighbour_staleness_limit
         );
     }

@@ -29,7 +29,12 @@
 //! The process continues, cycle after cycle, until no reached user has a
 //! non-empty remaining list; the querier merges the asynchronously arriving
 //! partial result lists with the incremental NRA and can display a top-k at
-//! the end of every cycle.
+//! the end of every cycle. [`EagerProtocol`] implements the engine's
+//! run-loop hooks so a runtime's `drive` entry runs that loop directly:
+//! `finish_cycle` updates querier completion status after every cycle,
+//! `begin_run` rejects eager-unsound configurations on until-idle runs, and
+//! `wants_more` keeps a faulted until-idle run alive while backed-off
+//! retries may still re-ignite gossip.
 
 use std::collections::HashSet;
 
@@ -38,8 +43,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use p3q_sim::{
-    CommitOutcome, CycleContext, CycleReport, EffectContext, ExchangePlan, FaultPlan,
-    GossipProtocol, Simulator,
+    CommitOutcome, CycleContext, EffectContext, ExchangePlan, GossipProtocol, Simulator,
 };
 use p3q_topk::PartialResultList;
 use p3q_trace::{ItemId, Profile, Query, SharedProfile, UserId};
@@ -188,20 +192,21 @@ fn collect_contexts(node: &P3qNode, cycle: u64) -> Vec<GossipContext> {
     contexts
 }
 
-/// The eager mode as a plan/commit protocol.
-#[derive(Debug, Clone, Copy)]
-pub struct EagerProtocol<'a> {
-    cfg: &'a P3qConfig,
+/// The eager mode as a plan/commit protocol. Hand it to a runtime's `drive`
+/// entry; [`P3qConfig::eager`] is the usual constructor.
+#[derive(Debug, Clone)]
+pub struct EagerProtocol {
+    cfg: P3qConfig,
 }
 
-impl<'a> EagerProtocol<'a> {
+impl EagerProtocol {
     /// Creates the protocol over a configuration.
-    pub fn new(cfg: &'a P3qConfig) -> Self {
+    pub fn new(cfg: P3qConfig) -> Self {
         Self { cfg }
     }
 }
 
-impl GossipProtocol for EagerProtocol<'_> {
+impl GossipProtocol for EagerProtocol {
     type Node = P3qNode;
     type Payload = EagerTask;
     type Effect = EagerDelivery;
@@ -215,7 +220,7 @@ impl GossipProtocol for EagerProtocol<'_> {
         // All three mechanisms are fault-hardening knobs defaulting to 0:
         // with the paper's idealized network none of this runs and eager
         // cycles are byte-identical to the pre-fault engine.
-        let cfg = self.cfg;
+        let cfg = &self.cfg;
         if cfg.query_ttl_cycles > 0 {
             // Shed delegated shares whose TTL lapsed: their querier has
             // given up (or died) and the work would never be billed.
@@ -329,7 +334,7 @@ impl GossipProtocol for EagerProtocol<'_> {
         rng: &mut StdRng,
         scratch: &mut ScoreBuffer,
     ) -> CommitOutcome<EagerDelivery> {
-        let cfg = self.cfg;
+        let cfg = &self.cfg;
         let task = &plan.payload;
         let dest_idx = plan.destination.expect("eager plans are pairwise");
         let dest = destination.expect("eager plans are pairwise");
@@ -465,151 +470,44 @@ impl GossipProtocol for EagerProtocol<'_> {
         state.traffic.returned_remaining += delivery.returned_bytes;
         state.traffic.users_reached = state.reached_users.len() as u64;
     }
-}
 
-/// Runs one eager-mode cycle over every alive node holding an unfinished
-/// gossip context, through the parallel plan/commit engine. Returns the
-/// number of gossip exchanges performed.
-pub fn run_eager_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
-    let report = sim.run_cycle(&EagerProtocol::new(cfg));
-    finish_eager_cycle(sim, report).pair_exchanges
-}
+    fn begin_run(&self, until_idle: bool) {
+        // An until-idle eager drive is eager-only by construction — no lazy
+        // refresh interleaves — so the staleness-eviction knob must be off
+        // (it would evict the entire personal network; see
+        // [`P3qConfig::validate_eager_only`]).
+        if until_idle {
+            self.cfg.validate_eager_only();
+        }
+    }
 
-/// Like [`run_eager_cycle`] with an explicit worker-thread count.
-pub fn run_eager_cycle_with_threads(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    threads: usize,
-) -> usize {
-    let report = sim.run_cycle_with_threads(&EagerProtocol::new(cfg), threads);
-    finish_eager_cycle(sim, report).pair_exchanges
-}
-
-/// Runs one eager cycle through the sequential reference engine — the
-/// byte-identical oracle the property suites pin [`run_eager_cycle`]
-/// against.
-pub fn run_eager_cycle_reference(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> usize {
-    let report = sim.run_cycle_reference(&EagerProtocol::new(cfg));
-    finish_eager_cycle(sim, report).pair_exchanges
-}
-
-/// End-of-cycle bookkeeping shared by all execution paths: the queriers
-/// update their completion status.
-fn finish_eager_cycle(sim: &mut Simulator<P3qNode>, report: CycleReport) -> CycleReport {
-    let cycle = sim.cycle();
-    for node in sim.nodes_mut() {
+    fn finish_cycle(&self, node: &mut P3qNode, cycle: u64) {
+        // End-of-cycle bookkeeping on every node: the queriers update their
+        // completion status.
         // p3q-allow: hash-iter — independent per-entry update; no
         // cross-entry state, so visit order cannot leak.
         for state in node.querier_states.values_mut() {
             state.mark_complete_if_done(cycle);
         }
     }
-    report
-}
 
-/// Runs eager cycles until every tracked query has completed or `max_cycles`
-/// have elapsed, invoking `on_cycle_end` after each cycle. Returns the number
-/// of cycles run.
-///
-/// This loop is eager-only — no lazy refresh interleaves — so it rejects a
-/// nonzero [`P3qConfig::neighbour_staleness_limit`] (the knob would evict
-/// the entire personal network; see [`P3qConfig::validate_eager_only`]).
-pub fn run_eager_until_complete<F: FnMut(&mut Simulator<P3qNode>, u64)>(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    max_cycles: u64,
-    mut on_cycle_end: F,
-) -> u64 {
-    cfg.validate_eager_only();
-    for round in 0..max_cycles {
-        let exchanges = run_eager_cycle(sim, cfg);
-        let cycle = sim.cycle();
-        on_cycle_end(sim, cycle);
-        if exchanges == 0 {
-            return round + 1;
-        }
+    fn wants_more(&self, node: &P3qNode, cycle: u64) -> bool {
+        // A quiet cycle is not the end while the retry machinery still has
+        // live queries: a backed-off retry may re-ignite gossip several
+        // cycles from now. Queries with a lapsed deadline do not count —
+        // they will never gossip again.
+        self.cfg.retry_backoff_cycles > 0
+            && node
+                .querier_states
+                .values()
+                .any(|s| !s.is_complete() && !s.is_expired(cycle))
     }
-    max_cycles
-}
 
-/// Runs one eager cycle under a fault schedule: node crashes/restarts fire
-/// before the cycle, delivery faults interpose between plan and commit.
-/// Returns the number of exchanges actually committed (dropped or delayed
-/// carriers do not count). With a zero-fault plan this is byte-identical to
-/// [`run_eager_cycle`].
-pub fn run_eager_cycle_faulted(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<EagerTask>,
-) -> usize {
-    let report = sim.run_cycle_faulted(&EagerProtocol::new(cfg), faults);
-    finish_eager_cycle(sim, report).pair_exchanges
-}
-
-/// Like [`run_eager_cycle_faulted`] with an explicit worker-thread count.
-pub fn run_eager_cycle_faulted_with_threads(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<EagerTask>,
-    threads: usize,
-) -> usize {
-    let report = sim.run_cycle_faulted_with_threads(&EagerProtocol::new(cfg), faults, threads);
-    finish_eager_cycle(sim, report).pair_exchanges
-}
-
-/// Runs one faulted eager cycle through the sequential reference engine —
-/// the oracle the fault property suite pins [`run_eager_cycle_faulted`]
-/// against.
-pub fn run_eager_cycle_faulted_reference(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<EagerTask>,
-) -> usize {
-    let report = sim.run_cycle_faulted_reference(&EagerProtocol::new(cfg), faults);
-    finish_eager_cycle(sim, report).pair_exchanges
-}
-
-/// Faulted analogue of [`run_eager_until_complete`]: runs faulted eager
-/// cycles until a cycle commits no exchange **and** the fault schedule has
-/// nothing in flight (no delayed carrier still due, no crashed node still
-/// down — either could re-ignite the gossip), or `max_cycles` elapse.
-/// Returns the number of cycles run.
-///
-/// Like [`run_eager_until_complete`], this loop is eager-only and rejects a
-/// nonzero [`P3qConfig::neighbour_staleness_limit`]
-/// (see [`P3qConfig::validate_eager_only`]).
-pub fn run_eager_until_complete_faulted<F: FnMut(&mut Simulator<P3qNode>, u64)>(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<EagerTask>,
-    max_cycles: u64,
-    mut on_cycle_end: F,
-) -> u64 {
-    cfg.validate_eager_only();
-    for round in 0..max_cycles {
-        let exchanges = run_eager_cycle_faulted(sim, cfg, faults);
-        let cycle = sim.cycle();
-        on_cycle_end(sim, cycle);
-        if exchanges == 0 && faults.pending_delayed() == 0 && faults.pending_restarts() == 0 {
-            // A quiet cycle is not the end while the retry machinery still
-            // has live queries: a backed-off retry may re-ignite gossip
-            // several cycles from now. Queries with a lapsed deadline do
-            // not count — they will never gossip again.
-            let retry_pending = cfg.retry_backoff_cycles > 0
-                && (0..sim.num_nodes()).any(|idx| {
-                    sim.is_alive(idx)
-                        && sim
-                            .node(idx)
-                            .querier_states
-                            .values()
-                            .any(|s| !s.is_complete() && !s.is_expired(cycle))
-                });
-            if !retry_pending {
-                return round + 1;
-            }
-        }
+    fn effect_target(&self, effect: &EagerDelivery) -> Option<usize> {
+        // The delivery mutates exactly the querier's node — the routing fact
+        // a sharded runtime needs to apply effects actor-locally.
+        Some(effect.querier.index())
     }
-    max_cycles
 }
 
 /// Destination-side processing of a received query + remaining list
@@ -677,6 +575,7 @@ mod tests {
     use crate::baseline::{centralized_topk, IdealNetworks};
     use crate::experiment::{build_simulator_with_budgets, init_ideal_networks};
     use crate::metrics::recall_at_k;
+    use p3q_sim::{FaultPlan, RunOptions};
     use p3q_trace::{ItemId, QueryGenerator, TraceConfig, TraceGenerator};
 
     struct Fixture {
@@ -709,7 +608,8 @@ mod tests {
     fn eager_only_loop_rejects_staleness_eviction() {
         let mut fx = fixture(2);
         fx.cfg = fx.cfg.with_fault_tolerance(0, 0, 5);
-        run_eager_until_complete(&mut fx.sim, &fx.cfg, 10, |_, _| {});
+        fx.sim
+            .drive(&fx.cfg.eager(), RunOptions::until_complete(10), |_, _| {});
     }
 
     #[test]
@@ -718,7 +618,11 @@ mod tests {
         let mut fx = fixture(2);
         fx.cfg = fx.cfg.with_fault_tolerance(0, 0, 5);
         let mut faults = FaultPlan::new(p3q_sim::FaultConfig::none());
-        run_eager_until_complete_faulted(&mut fx.sim, &fx.cfg, &mut faults, 10, |_, _| {});
+        fx.sim.drive(
+            &fx.cfg.eager(),
+            RunOptions::until_complete(10).faulted(&mut faults),
+            |_, _| {},
+        );
     }
 
     #[test]
@@ -762,7 +666,10 @@ mod tests {
                 &fx.cfg,
             );
         }
-        let cycles = run_eager_until_complete(&mut fx.sim, &fx.cfg, 30, |_, _| {});
+        let cycles = fx
+            .sim
+            .drive(&fx.cfg.eager(), RunOptions::until_complete(30), |_, _| {})
+            .cycles_run;
         assert!(cycles <= 30);
 
         for (i, query) in sample.iter().enumerate() {
@@ -808,7 +715,8 @@ mod tests {
         }
         let mut last_total = usize::MAX;
         for _ in 0..20 {
-            run_eager_cycle(&mut fx.sim, &fx.cfg);
+            fx.sim
+                .drive(&fx.cfg.eager(), RunOptions::cycles(1), |_, _| {});
             // Total outstanding work across all nodes for this query.
             let mut total = 0usize;
             for idx in 0..fx.sim.num_nodes() {
@@ -835,7 +743,8 @@ mod tests {
         let query = fx.queries[1].clone();
         let querier = query.querier.index();
         issue_query(&mut fx.sim, querier, QueryId(3), query, &fx.cfg);
-        run_eager_until_complete(&mut fx.sim, &fx.cfg, 30, |_, _| {});
+        fx.sim
+            .drive(&fx.cfg.eager(), RunOptions::until_complete(30), |_, _| {});
         let state = querier_state(&fx.sim, querier, QueryId(3)).unwrap();
         if state.target_profiles.len() <= state.used_profiles.len()
             && !state.target_profiles.is_empty()
@@ -877,8 +786,22 @@ mod tests {
             issue_all(&mut reference);
             issue_all(&mut parallel);
             for cycle in 0..8 {
-                let r = run_eager_cycle_reference(&mut reference.sim, &reference.cfg);
-                let p = run_eager_cycle_with_threads(&mut parallel.sim, &parallel.cfg, threads);
+                let r = reference
+                    .sim
+                    .drive(
+                        &reference.cfg.eager(),
+                        RunOptions::cycles(1).oracle(),
+                        |_, _| {},
+                    )
+                    .exchanges();
+                let p = parallel
+                    .sim
+                    .drive(
+                        &parallel.cfg.eager(),
+                        RunOptions::cycles(1).threads(threads),
+                        |_, _| {},
+                    )
+                    .exchanges();
                 assert_eq!(r, p, "exchange counts diverged at cycle {cycle}");
             }
             for idx in 0..reference.sim.num_nodes() {
@@ -919,7 +842,8 @@ mod tests {
                 &fx.cfg,
             );
         }
-        run_eager_until_complete(&mut fx.sim, &fx.cfg, 15, |_, _| {});
+        fx.sim
+            .drive(&fx.cfg.eager(), RunOptions::until_complete(15), |_, _| {});
         // Queries cannot crash the protocol; recall may be below 1 but some
         // results must have been produced for queriers with a target set.
         for (i, query) in alive_queriers.iter().enumerate() {

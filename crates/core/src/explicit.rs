@@ -110,7 +110,7 @@ pub fn explicit_reference_topk(
 mod tests {
     use super::*;
     use crate::config::P3qConfig;
-    use crate::eager::{issue_query, run_eager_until_complete};
+    use crate::eager::issue_query;
     use crate::experiment::build_simulator_with_budgets;
     use crate::metrics::recall_at_k;
     use crate::query::QueryId;
@@ -209,7 +209,11 @@ mod tests {
                 &cfg,
             );
         }
-        run_eager_until_complete(&mut sim, &cfg, 60, |_, _| {});
+        sim.drive(
+            &cfg.eager(),
+            p3q_sim::RunOptions::until_complete(60),
+            |_, _| {},
+        );
 
         for (i, query) in queries.iter().enumerate() {
             let reference = references[i].clone();

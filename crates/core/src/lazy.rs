@@ -20,8 +20,8 @@
 //! pair (or, for probes, only the probing node). Timer ticks live in the
 //! per-node **prepare** phase. The engine batches the resulting plans
 //! conflict-free and commits them in parallel with byte-identical output
-//! for every thread count — `run_lazy_cycle` (parallel) and
-//! `run_lazy_cycle_reference` (the sequential oracle) are interchangeable.
+//! for every thread count — the parallel drive and the sequential oracle
+//! mode (`RunOptions::oracle`) are interchangeable.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -33,8 +33,8 @@ use p3q_bloom::SharedFilter;
 use p3q_gossip::peer_sampling;
 use p3q_sim::parallel::parallel_for_each_mut;
 use p3q_sim::{
-    parallel_map_chunks, stream_seed, CommitOutcome, CycleContext, CycleReport, EventQueue,
-    ExchangePlan, FaultPlan, GossipProtocol, Simulator,
+    parallel_map_chunks, stream_seed, CommitOutcome, CycleContext, ExchangePlan, GossipProtocol,
+    Simulator,
 };
 use p3q_trace::{SharedProfile, UserId};
 
@@ -270,20 +270,21 @@ pub enum LazyStep {
     Rebootstrap(Vec<(UserId, DigestInfo)>),
 }
 
-/// The lazy mode as a plan/commit protocol.
-#[derive(Debug, Clone, Copy)]
-pub struct LazyProtocol<'a> {
-    cfg: &'a P3qConfig,
+/// The lazy mode as a plan/commit protocol. Hand it to a runtime's `drive`
+/// entry; [`P3qConfig::lazy`] is the usual constructor.
+#[derive(Debug, Clone)]
+pub struct LazyProtocol {
+    cfg: P3qConfig,
 }
 
-impl<'a> LazyProtocol<'a> {
+impl LazyProtocol {
     /// Creates the protocol over a configuration.
-    pub fn new(cfg: &'a P3qConfig) -> Self {
+    pub fn new(cfg: P3qConfig) -> Self {
         Self { cfg }
     }
 }
 
-impl GossipProtocol for LazyProtocol<'_> {
+impl GossipProtocol for LazyProtocol {
     type Node = P3qNode;
     type Payload = LazyStep;
     type Effect = ();
@@ -421,7 +422,7 @@ impl GossipProtocol for LazyProtocol<'_> {
         rng: &mut StdRng,
         _scratch: &mut (),
     ) -> CommitOutcome<()> {
-        let cfg = self.cfg;
+        let cfg = &self.cfg;
         let mut outcome = CommitOutcome::empty();
         match &plan.payload {
             LazyStep::Shuffle => {
@@ -539,91 +540,6 @@ fn probe_candidate(
     }
 }
 
-/// Runs one full lazy-mode cycle through the parallel plan/commit engine
-/// (worker count from `P3Q_THREADS` / available parallelism).
-pub fn run_lazy_cycle(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> CycleReport {
-    sim.run_cycle(&LazyProtocol::new(cfg))
-}
-
-/// Like [`run_lazy_cycle`] with an explicit worker-thread count.
-pub fn run_lazy_cycle_with_threads(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    threads: usize,
-) -> CycleReport {
-    sim.run_cycle_with_threads(&LazyProtocol::new(cfg), threads)
-}
-
-/// Runs one lazy cycle through the sequential reference engine — the
-/// byte-identical oracle the property suites pin [`run_lazy_cycle`]
-/// against.
-pub fn run_lazy_cycle_reference(sim: &mut Simulator<P3qNode>, cfg: &P3qConfig) -> CycleReport {
-    sim.run_cycle_reference(&LazyProtocol::new(cfg))
-}
-
-/// Runs one lazy cycle under a fault schedule: the [`FaultPlan`]'s node
-/// transitions (crash/restart) fire before the cycle and its delivery
-/// faults (drop/delay/duplicate) interpose between plan and commit. With a
-/// zero-fault plan this is byte-identical to [`run_lazy_cycle`].
-pub fn run_lazy_cycle_faulted(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<LazyStep>,
-) -> CycleReport {
-    sim.run_cycle_faulted(&LazyProtocol::new(cfg), faults)
-}
-
-/// Like [`run_lazy_cycle_faulted`] with an explicit worker-thread count.
-pub fn run_lazy_cycle_faulted_with_threads(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<LazyStep>,
-    threads: usize,
-) -> CycleReport {
-    sim.run_cycle_faulted_with_threads(&LazyProtocol::new(cfg), faults, threads)
-}
-
-/// Runs one faulted lazy cycle through the sequential reference engine —
-/// the oracle the fault property suite pins [`run_lazy_cycle_faulted`]
-/// against.
-pub fn run_lazy_cycle_faulted_reference(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    faults: &mut FaultPlan<LazyStep>,
-) -> CycleReport {
-    sim.run_cycle_faulted_reference(&LazyProtocol::new(cfg), faults)
-}
-
-/// Runs `cycles` lazy-mode cycles, invoking `on_cycle_end(sim, cycle_index)`
-/// after each one (used by the harness to sample per-cycle metrics).
-pub fn run_lazy_cycles<F: FnMut(&mut Simulator<P3qNode>, u64)>(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    cycles: u64,
-    mut on_cycle_end: F,
-) {
-    for _ in 0..cycles {
-        run_lazy_cycle(sim, cfg);
-        let cycle = sim.cycle();
-        on_cycle_end(sim, cycle);
-    }
-}
-
-/// Runs `cycles` lazy-mode cycles with an [`EventQueue`] on the cycle axis:
-/// events due at the current cycle fire **before** that cycle executes, and
-/// events due at the final boundary fire after the loop — the engine-level
-/// replacement for hand-rolled "at cycle X, do Y" driver logic (profile
-/// change batches, churn injections, metric samples).
-pub fn run_lazy_cycles_with_events<E, F: FnMut(&mut Simulator<P3qNode>, E)>(
-    sim: &mut Simulator<P3qNode>,
-    cfg: &P3qConfig,
-    cycles: u64,
-    events: &mut EventQueue<E>,
-    on_event: F,
-) -> CycleReport {
-    sim.run_cycles_with_events(&LazyProtocol::new(cfg), cycles, events, on_event)
-}
-
 /// Seeds every node's random view with `r` uniformly random alive peers (the
 /// paper assumes users first discover arbitrary contacts through the peer
 /// sampling service).
@@ -732,6 +648,7 @@ mod tests {
     use crate::experiment::build_simulator;
     use crate::metrics::average_success_ratio;
     use crate::storage::StorageDistribution;
+    use p3q_sim::{FaultPlan, RunOptions};
     use p3q_trace::{TraceConfig, TraceGenerator};
     use rand::SeedableRng;
 
@@ -935,7 +852,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
         let before = average_success_ratio(sim.nodes().iter(), &ideal);
-        run_lazy_cycles(&mut sim, &cfg, 15, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(15), |_, _| {});
         let after = average_success_ratio(sim.nodes().iter(), &ideal);
         assert!(
             after > before,
@@ -949,7 +866,7 @@ mod tests {
         let (mut sim, cfg, _) = small_sim();
         let mut rng = StdRng::seed_from_u64(5);
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
-        run_lazy_cycles(&mut sim, &cfg, 3, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(3), |_, _| {});
         let (bytes, messages) = sim.bandwidth.totals();
         assert!(bytes > 0);
         assert!(messages > 0);
@@ -968,8 +885,16 @@ mod tests {
             let (mut reference, cfg) = build();
             let (mut parallel, _) = build();
             for _ in 0..4 {
-                let r = run_lazy_cycle_reference(&mut reference, &cfg);
-                let p = run_lazy_cycle_with_threads(&mut parallel, &cfg, threads);
+                let r = reference
+                    .drive(&cfg.lazy(), RunOptions::cycles(1).oracle(), |_, _| {})
+                    .report;
+                let p = parallel
+                    .drive(
+                        &cfg.lazy(),
+                        RunOptions::cycles(1).threads(threads),
+                        |_, _| {},
+                    )
+                    .report;
                 assert_eq!(r, p, "cycle reports diverged at {threads} threads");
             }
             for idx in 0..reference.num_nodes() {
@@ -997,8 +922,16 @@ mod tests {
         let (mut faulted, _) = build();
         let mut faults = FaultPlan::new(p3q_sim::FaultConfig::none());
         for _ in 0..4 {
-            let a = run_lazy_cycle(&mut plain, &cfg);
-            let b = run_lazy_cycle_faulted(&mut faulted, &cfg, &mut faults);
+            let a = plain
+                .drive(&cfg.lazy(), RunOptions::cycles(1), |_, _| {})
+                .report;
+            let b = faulted
+                .drive(
+                    &cfg.lazy(),
+                    RunOptions::cycles(1).faulted(&mut faults),
+                    |_, _| {},
+                )
+                .report;
             assert_eq!(a, b);
         }
         for idx in 0..plain.num_nodes() {
@@ -1024,14 +957,18 @@ mod tests {
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
         // Crash aggressively for a few cycles, then let the dust settle.
         let mut faults = FaultPlan::new(p3q_sim::FaultConfig::crash_restart(0.4, 1, 7));
-        for _ in 0..6 {
-            run_lazy_cycle_faulted(&mut sim, &cfg, &mut faults);
-        }
+        sim.drive(
+            &cfg.lazy(),
+            RunOptions::cycles(6).faulted(&mut faults),
+            |_, _| {},
+        );
         assert!(faults.stats().crashes > 0, "fixture must actually crash");
         let mut calm = FaultPlan::new(p3q_sim::FaultConfig::none());
-        for _ in 0..3 {
-            run_lazy_cycle_faulted(&mut sim, &cfg, &mut calm);
-        }
+        sim.drive(
+            &cfg.lazy(),
+            RunOptions::cycles(3).faulted(&mut calm),
+            |_, _| {},
+        );
         // Every alive node is back in the overlay: a non-empty random view
         // seeded by the Rebootstrap step, pointing only at current peers.
         for idx in 0..sim.num_nodes() {
@@ -1051,11 +988,11 @@ mod tests {
         let (mut sim, mut cfg, _) = small_sim();
         let mut rng = StdRng::seed_from_u64(5);
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
-        run_lazy_cycles(&mut sim, &cfg, 5, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(5), |_, _| {});
         // Kill half the population; without eviction their entries linger.
         sim.mass_departure(0.5);
         cfg.neighbour_staleness_limit = 3;
-        run_lazy_cycles(&mut sim, &cfg, 8, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(8), |_, _| {});
         for idx in 0..sim.num_nodes() {
             if !sim.is_alive(idx) {
                 continue;

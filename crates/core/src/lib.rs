@@ -52,9 +52,10 @@
 //!   cross-pair mutations (partial-result deliveries to queriers) deferred
 //!   as effects. The engine batches plans conflict-free and commits each
 //!   batch across all cores — **byte-identical output for every
-//!   `P3Q_THREADS`**, pinned against the sequential
-//!   `run_lazy_cycle_reference` / `run_eager_cycle_reference` oracles by
-//!   the `engine_props` property suite. One gossip hop per cycle matches
+//!   `P3Q_THREADS`**, pinned against the sequential oracle mode
+//!   (`RunOptions::oracle`) by the `engine_props` property suite. All runs
+//!   go through one driver entry, `Simulator::drive`, configured by a
+//!   [`p3q_sim::RunOptions`] builder. One gossip hop per cycle matches
 //!   the synchronous rounds of the paper's Section 2.4 analysis.
 //! * **Counting similarity engine** — [`similarity::ActionIndex`] inverts
 //!   the dataset once ((item, tag) → taggers) and scores one user against
@@ -126,7 +127,7 @@
 //!     .unwrap();
 //! let querier = query.querier.index();
 //! issue_query(&mut sim, querier, QueryId(0), query.clone(), &cfg);
-//! run_eager_until_complete(&mut sim, &cfg, 50, |_, _| {});
+//! sim.drive(&cfg.eager(), RunOptions::until_complete(50), |_, _| {});
 //!
 //! // 4. The decentralized result matches the centralized reference.
 //! let reference = centralized_topk(&trace.dataset, &ideal, &query, cfg.top_k);
@@ -159,22 +160,14 @@ pub mod prelude {
     pub use crate::analysis::{cycles_to_completion, OPTIMAL_ALPHA};
     pub use crate::baseline::{centralized_topk, IdealNetworks};
     pub use crate::config::P3qConfig;
-    pub use crate::eager::{
-        issue_query, querier_state, run_eager_cycle, run_eager_cycle_faulted,
-        run_eager_cycle_faulted_reference, run_eager_cycle_faulted_with_threads,
-        run_eager_cycle_reference, run_eager_cycle_with_threads, run_eager_until_complete,
-        run_eager_until_complete_faulted, EagerProtocol, EagerTask,
-    };
+    pub use crate::eager::{issue_query, querier_state, EagerProtocol, EagerTask};
     pub use crate::experiment::{
         apply_profile_changes, build_simulator, build_simulator_with_budgets,
         full_network_requirements, init_ideal_networks, storage_requirements,
     };
     pub use crate::lazy::{
         bootstrap_random_views, bootstrap_random_views_reference,
-        bootstrap_random_views_with_threads, run_lazy_cycle, run_lazy_cycle_faulted,
-        run_lazy_cycle_faulted_reference, run_lazy_cycle_faulted_with_threads,
-        run_lazy_cycle_reference, run_lazy_cycle_with_threads, run_lazy_cycles,
-        run_lazy_cycles_with_events, LazyProtocol, LazyStep,
+        bootstrap_random_views_with_threads, LazyProtocol, LazyStep,
     };
     pub use crate::metrics::{
         average_success_ratio, average_update_rate, network_refresh_ratio, recall_at_k,
@@ -185,7 +178,10 @@ pub mod prelude {
     pub use crate::resolver::{on_demand_topk, OnDemandNetworks, ResolveStats};
     pub use crate::similarity::{ActionIndex, DeltaOutcome, ResolveProbe, SimilarityScratch};
     pub use crate::storage::StorageDistribution;
-    pub use p3q_sim::{EventQueue, FaultConfig, FaultPlan, FaultStats, Simulator};
+    pub use p3q_sim::{
+        fingerprint_chain, EventQueue, FaultConfig, FaultPlan, FaultStats, Fingerprint, Fnv,
+        RunEvent, RunOptions, RunReport, Simulator,
+    };
     pub use p3q_trace::{
         Dataset, DynamicsConfig, DynamicsGenerator, ItemId, Profile, Query, QueryGenerator,
         SharedProfile, TagId, TaggingAction, TraceConfig, TraceGenerator, UserId,

@@ -11,6 +11,7 @@ use std::sync::{Arc, OnceLock};
 
 use p3q_bloom::{BloomFilter, SharedFilter};
 use p3q_gossip::{AgedView, ScoredView};
+use p3q_sim::{Fingerprint, Fnv};
 use p3q_trace::{Profile, SharedProfile, TaggingAction, UserId};
 
 use crate::query::{QuerierState, QueryId, RemainingTask};
@@ -628,6 +629,95 @@ impl P3qNode {
     }
 }
 
+/// Folds a profile's actions (in stored order) into a fingerprint.
+fn fold_profile(profile: &Profile, h: &mut Fnv) {
+    h.write_u64(profile.actions().len() as u64);
+    for action in profile.actions() {
+        h.write_u64(u64::from(action.item.0));
+        h.write_u64(u64::from(action.tag.0));
+    }
+}
+
+impl Fingerprint for P3qNode {
+    /// Folds the node's complete observable protocol state — own profile
+    /// and version, storage budget, both views (entry order is Vec-backed
+    /// and deterministic), and both query books (hash-backed, iterated
+    /// through sorted key lists). This is the per-node witness behind the
+    /// transport runtime's oracle-equality checks and the byte-identity
+    /// property suites: two nodes with equal fingerprints are treated as
+    /// byte-identical.
+    fn fold(&self, h: &mut Fnv) {
+        h.write_u64(u64::from(self.id.0));
+        h.write_u64(self.profile_version());
+        fold_profile(self.profile(), h);
+        h.write_u64(self.storage_budget() as u64);
+
+        h.write_u64(self.personal_network.len() as u64);
+        for entry in self.personal_network.iter() {
+            h.write_u64(u64::from(entry.peer.0));
+            h.write_u64(entry.score);
+            h.write_u64(u64::from(entry.staleness));
+            h.write_u64(u64::from(entry.meta.digest_version));
+            h.write_u64(u64::from(entry.meta.profile_version));
+            match &entry.meta.profile {
+                Some(profile) => fold_profile(profile, h),
+                None => h.write_u64(u64::MAX),
+            }
+        }
+        h.write_u64(self.random_view.len() as u64);
+        for entry in self.random_view.iter() {
+            h.write_u64(u64::from(entry.peer.0));
+            h.write_u64(u64::from(entry.age));
+            h.write_u64(entry.meta.version);
+        }
+
+        // p3q-allow: hash-iter — keys are collected and sorted before folding.
+        let mut query_ids: Vec<QueryId> = self.querier_states.keys().copied().collect();
+        query_ids.sort_unstable();
+        h.write_u64(query_ids.len() as u64);
+        for qid in query_ids {
+            let state = &self.querier_states[&qid];
+            h.write_u64(qid.0);
+            h.write_u64(u64::from(state.query.querier.0));
+            h.write_all(state.query.tags.iter().map(|t| u64::from(t.0)));
+            h.write_u64(u64::from(state.query.source_item.0));
+            h.write_all(state.remaining.iter().map(|u| u64::from(u.0)));
+            h.write_all(state.target_profiles.iter().map(|u| u64::from(u.0)));
+            // p3q-allow: hash-iter — collected and sorted before folding.
+            let mut used: Vec<UserId> = state.used_profiles.iter().copied().collect();
+            used.sort_unstable();
+            h.write_all(used.into_iter().map(|u| u64::from(u.0)));
+            // p3q-allow: hash-iter — collected and sorted before folding.
+            let mut sorted_reached: Vec<UserId> = state.reached_users.iter().copied().collect();
+            sorted_reached.sort_unstable();
+            h.write_all(sorted_reached.into_iter().map(|u| u64::from(u.0)));
+            h.write_u64(state.started_cycle);
+            h.write_u64(state.completed_cycle.map_or(u64::MAX, |c| c));
+            h.write_u64(state.deadline_cycle);
+            h.write_u64(state.progress_marker as u64);
+            h.write_u64(state.last_progress_cycle);
+            h.write_u64(u64::from(state.retries));
+            h.write_u64(state.nra.list_count() as u64);
+            h.write_u64(state.traffic.partial_results);
+            h.write_u64(state.traffic.returned_remaining);
+            h.write_u64(state.traffic.forwarded_remaining);
+            h.write_u64(state.traffic.partial_result_messages);
+            h.write_u64(state.traffic.users_reached);
+        }
+        // p3q-allow: hash-iter — keys are collected and sorted before folding.
+        let mut task_ids: Vec<QueryId> = self.tasks.keys().copied().collect();
+        task_ids.sort_unstable();
+        h.write_u64(task_ids.len() as u64);
+        for qid in task_ids {
+            let task = &self.tasks[&qid];
+            h.write_u64(qid.0);
+            h.write_u64(u64::from(task.querier.0));
+            h.write_all(task.remaining.iter().map(|u| u64::from(u.0)));
+            h.write_u64(task.expires_cycle);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -842,6 +932,24 @@ mod tests {
         assert_eq!(n.network_peers(), vec![UserId(2)]);
         // Nothing further to evict below the limit.
         assert_eq!(n.evict_stale_neighbours(2), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let make = || {
+            let mut n = node(2);
+            let p = profile(&[(5, 5)]);
+            n.record_neighbour(UserId(1), 3, p.digest(1024, 4), 1);
+            n.store_profile(UserId(1), p, 1);
+            n
+        };
+        assert_eq!(make().fingerprint(), make().fingerprint());
+        let mut changed = make();
+        changed.add_tagging_actions(vec![TaggingAction::new(ItemId(9), TagId(9))]);
+        assert_ne!(make().fingerprint(), changed.fingerprint());
+        let mut staler = make();
+        staler.personal_network.tick();
+        assert_ne!(make().fingerprint(), staler.fingerprint());
     }
 
     #[test]

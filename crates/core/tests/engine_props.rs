@@ -1,10 +1,10 @@
 //! Property tests pinning the parallel plan/commit cycle engine to its
-//! sequential oracle: `run_lazy_cycle` / `run_eager_cycle` executed with
-//! *any* worker-thread count must leave the whole simulation —
-//! personal networks, random views, stored profiles, querier states, task
-//! shares and every bandwidth counter — byte-identical to
-//! `run_lazy_cycle_reference` / `run_eager_cycle_reference`, including
-//! under profile dynamics, churned membership and mid-run departures.
+//! sequential oracle: lazy and eager drives executed with *any*
+//! worker-thread count must leave the whole simulation — personal
+//! networks, random views, stored profiles, querier states, task shares
+//! and every bandwidth counter — byte-identical to the oracle mode
+//! (`RunOptions::oracle`), including under profile dynamics, churned
+//! membership and mid-run departures.
 //!
 //! Same shape as `similarity_props.rs`: random scenarios via proptest, a
 //! deliberately thorough fingerprint instead of spot checks.
@@ -177,8 +177,8 @@ proptest! {
         let mut parallel = lazy_sim(&w, seed);
         for phase in 0..3 {
             for _ in 0..2 {
-                run_lazy_cycle_reference(&mut reference, &w.cfg);
-                run_lazy_cycle_with_threads(&mut parallel, &w.cfg, threads);
+                reference.drive(&w.cfg.lazy(), RunOptions::cycles(1).oracle(), |_, _| {});
+                parallel.drive(&w.cfg.lazy(), RunOptions::cycles(1).threads(threads), |_, _| {});
             }
             match phase {
                 // Mid-run profile dynamics: owners change, copies go stale.
@@ -226,8 +226,16 @@ proptest! {
                 let b = parallel.mass_departure(fraction);
                 prop_assert_eq!(a, b);
             }
-            reference_exchanges.push(run_eager_cycle_reference(&mut reference, &w.cfg));
-            parallel_exchanges.push(run_eager_cycle_with_threads(&mut parallel, &w.cfg, threads));
+            reference_exchanges.push(
+                reference
+                    .drive(&w.cfg.eager(), RunOptions::cycles(1).oracle(), |_, _| {})
+                    .exchanges(),
+            );
+            parallel_exchanges.push(
+                parallel
+                    .drive(&w.cfg.eager(), RunOptions::cycles(1).threads(threads), |_, _| {})
+                    .exchanges(),
+            );
         }
         prop_assert_eq!(reference_exchanges, parallel_exchanges);
         prop_assert_eq!(
@@ -238,10 +246,10 @@ proptest! {
         );
     }
 
-    /// Mixed schedule through the *default* entry points (`run_lazy_cycle`,
-    /// `run_eager_cycle`), whose worker count comes from `P3Q_THREADS` /
-    /// available parallelism: whatever the environment chooses must match
-    /// the reference. CI runs this whole suite under P3Q_THREADS ∈ {1, 3, 8}.
+    /// Mixed schedule through the *default* drive (no thread override),
+    /// whose worker count comes from `P3Q_THREADS` / available parallelism:
+    /// whatever the environment chooses must match the reference. CI runs
+    /// this whole suite under P3Q_THREADS ∈ {1, 3, 8}.
     #[test]
     fn default_thread_count_matches_reference_on_mixed_schedules(
         seed in 0u64..1000,
@@ -250,10 +258,14 @@ proptest! {
         let mut reference = eager_sim(&w, seed);
         let mut parallel = eager_sim(&w, seed);
         for round in 0..4 {
-            run_lazy_cycle_reference(&mut reference, &w.cfg);
-            run_lazy_cycle(&mut parallel, &w.cfg);
-            let a = run_eager_cycle_reference(&mut reference, &w.cfg);
-            let b = run_eager_cycle(&mut parallel, &w.cfg);
+            reference.drive(&w.cfg.lazy(), RunOptions::cycles(1).oracle(), |_, _| {});
+            parallel.drive(&w.cfg.lazy(), RunOptions::cycles(1), |_, _| {});
+            let a = reference
+                .drive(&w.cfg.eager(), RunOptions::cycles(1).oracle(), |_, _| {})
+                .exchanges();
+            let b = parallel
+                .drive(&w.cfg.eager(), RunOptions::cycles(1), |_, _| {})
+                .exchanges();
             prop_assert_eq!(a, b, "exchange counts diverged in round {}", round);
         }
         prop_assert_eq!(sim_fingerprint(&reference), sim_fingerprint(&parallel));
@@ -300,8 +312,8 @@ proptest! {
             "bootstrap diverged with {} threads", threads
         );
         // And the bootstrapped states behave identically under gossip.
-        run_lazy_cycle_reference(&mut reference, &w.cfg);
-        run_lazy_cycle(&mut parallel, &w.cfg);
+        reference.drive(&w.cfg.lazy(), RunOptions::cycles(1).oracle(), |_, _| {});
+        parallel.drive(&w.cfg.lazy(), RunOptions::cycles(1), |_, _| {});
         prop_assert_eq!(sim_fingerprint(&reference), sim_fingerprint(&parallel));
     }
 }
@@ -315,17 +327,23 @@ fn scheduled_events_equal_hand_rolled_mutations() {
 
     // Hand-rolled: run 2 cycles, apply the batch, run 2 more.
     let mut manual = lazy_sim(&w, 11);
-    run_lazy_cycles(&mut manual, &w.cfg, 2, |_, _| {});
+    manual.drive(&w.cfg.lazy(), RunOptions::cycles(2), |_, _| {});
     apply_profile_changes(&mut manual, &batch);
-    run_lazy_cycles(&mut manual, &w.cfg, 2, |_, _| {});
+    manual.drive(&w.cfg.lazy(), RunOptions::cycles(2), |_, _| {});
 
     // Scheduled: the change batch fires at cycle 2 through the run loop.
     let mut scheduled = lazy_sim(&w, 11);
     let mut events = EventQueue::new();
     events.schedule(2, &batch);
-    run_lazy_cycles_with_events(&mut scheduled, &w.cfg, 4, &mut events, |sim, batch| {
-        apply_profile_changes(sim, batch);
-    });
+    scheduled.drive(
+        &w.cfg.lazy(),
+        RunOptions::cycles(4).events(&mut events),
+        |sim, event| {
+            if let RunEvent::Scheduled(batch) = event {
+                apply_profile_changes(sim, batch);
+            }
+        },
+    );
 
     assert!(events.is_empty());
     assert_eq!(sim_fingerprint(&manual), sim_fingerprint(&scheduled));

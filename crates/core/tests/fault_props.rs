@@ -1,9 +1,10 @@
 //! Property tests pinning the fault-injection layer and the hardened
 //! protocols to the determinism contract of the plan/commit engine:
 //!
-//! * a **zero-fault** `FaultPlan` is a no-op — `run_*_cycle_faulted` with
-//!   `FaultConfig::none()` leaves the whole simulation byte-identical to
-//!   the faultless engine, for every worker-thread count;
+//! * a **zero-fault** `FaultPlan` is a no-op — a drive with
+//!   `RunOptions::faulted` and `FaultConfig::none()` leaves the whole
+//!   simulation byte-identical to the faultless engine, for every
+//!   worker-thread count;
 //! * a **fault schedule is a pure function of `(seed, FaultConfig)`** —
 //!   re-running the same faulted scenario reproduces every drop, delay,
 //!   duplicate, crash and restart (same plan fingerprint, same end state),
@@ -205,15 +206,15 @@ proptest! {
 
         // Lazy mode.
         let mut faultless = lazy_sim(&w, seed);
-        for _ in 0..4 {
-            run_lazy_cycle_reference(&mut faultless, &cfg);
-        }
+        faultless.drive(&cfg.lazy(), RunOptions::cycles(4).oracle(), |_, _| {});
         for threads in [1usize, 3, 8] {
             let mut faulted = lazy_sim(&w, seed);
             let mut faults = FaultPlan::new(FaultConfig::none());
-            for _ in 0..4 {
-                run_lazy_cycle_faulted_with_threads(&mut faulted, &cfg, &mut faults, threads);
-            }
+            faulted.drive(
+                &cfg.lazy(),
+                RunOptions::cycles(4).threads(threads).faulted(&mut faults),
+                |_, _| {},
+            );
             prop_assert_eq!(faults.stats(), FaultStats::default());
             prop_assert_eq!(
                 sim_fingerprint(&faultless),
@@ -227,16 +228,26 @@ proptest! {
         let mut faultless = eager_sim(&w, &cfg, seed);
         let mut exchanges = Vec::new();
         for _ in 0..6 {
-            exchanges.push(run_eager_cycle_reference(&mut faultless, &cfg));
+            exchanges.push(
+                faultless
+                    .drive(&cfg.eager(), RunOptions::cycles(1).oracle(), |_, _| {})
+                    .exchanges(),
+            );
         }
         for threads in [1usize, 3, 8] {
             let mut faulted = eager_sim(&w, &cfg, seed);
             let mut faults = FaultPlan::new(FaultConfig::none());
             let mut faulted_exchanges = Vec::new();
             for _ in 0..6 {
-                faulted_exchanges.push(run_eager_cycle_faulted_with_threads(
-                    &mut faulted, &cfg, &mut faults, threads,
-                ));
+                faulted_exchanges.push(
+                    faulted
+                        .drive(
+                            &cfg.eager(),
+                            RunOptions::cycles(1).threads(threads).faulted(&mut faults),
+                            |_, _| {},
+                        )
+                        .exchanges(),
+                );
             }
             prop_assert_eq!(faults.stats(), FaultStats::default());
             prop_assert_eq!(&exchanges, &faulted_exchanges);
@@ -264,9 +275,11 @@ proptest! {
         let run = |fault_seed: u64| {
             let mut sim = eager_sim(&w, &cfg, seed);
             let mut faults = FaultPlan::new(composite_faults(fault_seed));
-            for _ in 0..8 {
-                run_eager_cycle_faulted(&mut sim, &cfg, &mut faults);
-            }
+            sim.drive(
+                &cfg.eager(),
+                RunOptions::cycles(8).faulted(&mut faults),
+                |_, _| {},
+            );
             (faults.fingerprint(), faults.stats(), sim_fingerprint(&sim))
         };
 
@@ -298,8 +311,16 @@ proptest! {
         let mut ref_faults = FaultPlan::new(fault_cfg);
         let mut par_faults = FaultPlan::new(fault_cfg);
         for _ in 0..6 {
-            run_lazy_cycle_faulted_reference(&mut reference, &cfg, &mut ref_faults);
-            run_lazy_cycle_faulted_with_threads(&mut parallel, &cfg, &mut par_faults, threads);
+            reference.drive(
+                &cfg.lazy(),
+                RunOptions::cycles(1).oracle().faulted(&mut ref_faults),
+                |_, _| {},
+            );
+            parallel.drive(
+                &cfg.lazy(),
+                RunOptions::cycles(1).threads(threads).faulted(&mut par_faults),
+                |_, _| {},
+            );
         }
         prop_assert_eq!(ref_faults.fingerprint(), par_faults.fingerprint());
         prop_assert_eq!(ref_faults.stats(), par_faults.stats());
@@ -316,9 +337,20 @@ proptest! {
         let mut ref_faults = FaultPlan::new(fault_cfg);
         let mut par_faults = FaultPlan::new(fault_cfg);
         for _ in 0..8 {
-            let a = run_eager_cycle_faulted_reference(&mut reference, &cfg, &mut ref_faults);
-            let b =
-                run_eager_cycle_faulted_with_threads(&mut parallel, &cfg, &mut par_faults, threads);
+            let a = reference
+                .drive(
+                    &cfg.eager(),
+                    RunOptions::cycles(1).oracle().faulted(&mut ref_faults),
+                    |_, _| {},
+                )
+                .exchanges();
+            let b = parallel
+                .drive(
+                    &cfg.eager(),
+                    RunOptions::cycles(1).threads(threads).faulted(&mut par_faults),
+                    |_, _| {},
+                )
+                .exchanges();
             prop_assert_eq!(a, b, "exchange counts diverged");
         }
         prop_assert_eq!(ref_faults.fingerprint(), par_faults.fingerprint());
@@ -351,7 +383,11 @@ proptest! {
             seed ^ 0xC0A57,
         ));
         for _ in 0..8 {
-            run_lazy_cycle_faulted(&mut sim, &cfg, &mut faults);
+            sim.drive(
+                &cfg.lazy(),
+                RunOptions::cycles(1).faulted(&mut faults),
+                |_, _| {},
+            );
             assert_membership_consistent(&sim)?;
             prop_assert!(sim.membership().alive_count() <= sim.num_nodes());
         }

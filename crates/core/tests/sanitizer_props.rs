@@ -77,9 +77,11 @@ fn faulted_1k_user_lazy_run_is_clean_under_the_sanitizer() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(SEED ^ 0xB007);
         bootstrap_random_views(&mut sim, &w.cfg, &mut rng);
         let mut faults: FaultPlan<LazyStep> = FaultPlan::new(composite_faults(SEED ^ 0xFA));
-        for _ in 0..4 {
-            run_lazy_cycle_faulted_with_threads(&mut sim, &w.cfg, &mut faults, threads);
-        }
+        sim.drive(
+            &w.cfg.lazy(),
+            RunOptions::cycles(4).threads(threads).faulted(&mut faults),
+            |_, _| {},
+        );
         assert!(
             sim.bandwidth.totals().1 > 0,
             "a 1k-user faulted lazy run must commit exchanges (threads = {threads})"
@@ -110,9 +112,11 @@ fn faulted_1k_user_eager_run_is_clean_under_the_sanitizer() {
             );
         }
         let mut faults: FaultPlan<EagerTask> = FaultPlan::new(composite_faults(SEED ^ 0xEA));
-        for _ in 0..6 {
-            run_eager_cycle_faulted_with_threads(&mut sim, &w.cfg, &mut faults, threads);
-        }
+        sim.drive(
+            &w.cfg.eager(),
+            RunOptions::cycles(6).threads(threads).faulted(&mut faults),
+            |_, _| {},
+        );
         assert!(
             sim.bandwidth.totals().1 > 0,
             "a 1k-user faulted eager run must commit exchanges (threads = {threads})"

@@ -30,9 +30,15 @@
 //!
 //! Because commits only touch their own pair and everything cross-pair is
 //! deferred to phase 4, the run is **byte-identical for every thread
-//! count**. [`Simulator::run_cycle_reference`] is an independently written,
-//! plain-sequential execution of the same four phases; the property suites
-//! pin `run_cycle` (any `P3Q_THREADS`) against it.
+//! count**. [`RunOptions::oracle`](crate::RunOptions::oracle) selects an
+//! independently written, plain-sequential execution of the same four
+//! phases; the property suites pin the parallel path (any `P3Q_THREADS`)
+//! against it.
+//!
+//! All runs go through the one driver entry [`Simulator::drive`], taking a
+//! [`RunOptions`](crate::RunOptions) builder (threads, fault schedule,
+//! event queue, until-idle mode, oracle mode) and an observer closure for
+//! [`RunEvent`](crate::RunEvent)s.
 //!
 //! All randomness flows from the construction seed: each cycle draws one
 //! seed from the master RNG, and per-node planning / per-plan commit RNGs
@@ -40,8 +46,9 @@
 //!
 //! # Fault model
 //!
-//! [`Simulator::run_cycle_faulted`] executes the same four phases under a
-//! seeded [`FaultPlan`], which interposes at two well-defined points:
+//! [`RunOptions::faulted`](crate::RunOptions::faulted) executes the same
+//! four phases under a seeded [`FaultPlan`], which interposes at two
+//! well-defined points:
 //!
 //! * **cycle start** (before prepare): due restarts rejoin the
 //!   [`Membership`] and fresh crashes depart it; the protocol's
@@ -64,7 +71,7 @@
 //! torn exchanges). Fault randomness comes from dedicated
 //! [`stream_seed`](crate::parallel::stream_seed) streams of the
 //! `FaultConfig`'s own seed, so a zero-fault `FaultPlan` leaves a run
-//! byte-identical to [`Simulator::run_cycle`], and every faulted run stays
+//! byte-identical to a faultless one, and every faulted run stays
 //! byte-identical across `P3Q_THREADS` (faults are decided on the ordered,
 //! thread-independent plan list).
 
@@ -72,6 +79,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::bandwidth::BandwidthRecorder;
+use crate::driver::{RunEvent, RunOptions, RunReport};
 use crate::exchange::{
     commit_rng, conflict_free_batches, plan_rng, Charge, CommitOutcome, CycleContext,
     EffectContext, ExchangePlan, GossipProtocol,
@@ -79,7 +87,6 @@ use crate::exchange::{
 use crate::fault::FaultPlan;
 use crate::membership::Membership;
 use crate::parallel::{default_threads, parallel_map_chunks, parallel_map_owned};
-use crate::schedule::EventQueue;
 use crate::store::NodeStore;
 
 /// What one executed cycle did, mostly for drivers that stop when gossip
@@ -142,8 +149,7 @@ impl<N> Simulator<N> {
         self.nodes.len()
     }
 
-    /// Current cycle (number of completed [`run_cycle`](Self::run_cycle)
-    /// calls).
+    /// Current cycle (number of completed cycles driven so far).
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
@@ -223,95 +229,107 @@ impl<N> Simulator<N> {
 }
 
 impl<N: Send + Sync> Simulator<N> {
-    /// Runs one plan/commit cycle with the default worker-thread count
-    /// (`P3Q_THREADS` or the machine's parallelism). Output is
-    /// byte-identical to [`run_cycle_reference`](Self::run_cycle_reference)
-    /// for any thread count.
-    pub fn run_cycle<P: GossipProtocol<Node = N>>(&mut self, proto: &P) -> CycleReport {
-        self.run_cycle_with_threads(proto, default_threads())
-    }
-
-    /// Runs one plan/commit cycle with an explicit worker-thread count.
-    pub fn run_cycle_with_threads<P: GossipProtocol<Node = N>>(
+    /// The one run-loop entry: executes cycles of `proto` under the given
+    /// [`RunOptions`], invoking `observer` with [`RunEvent`]s — scheduled
+    /// events due before a cycle, and an end-of-cycle hook after each.
+    ///
+    /// Execution configuration (worker threads, sequential oracle mode,
+    /// fault schedule, event queue, fixed cycle count vs run-until-idle)
+    /// all lives in the options builder; output is byte-identical for
+    /// every thread choice and for the oracle mode. The protocol's
+    /// run-loop hooks fire here: [`GossipProtocol::begin_run`] once at
+    /// entry, [`GossipProtocol::finish_cycle`] over **all** nodes (alive
+    /// or departed) after every cycle, and — for until-idle runs under a
+    /// fault schedule — [`GossipProtocol::wants_more`] over the alive
+    /// nodes of a quiet cycle before the run may stop.
+    pub fn drive<P, E>(
         &mut self,
         proto: &P,
-        threads: usize,
-    ) -> CycleReport {
-        let cycle = self.cycle;
-        let cycle_seed: u64 = self.rng.gen();
-
-        // Phase 1: per-node preparation (disjoint mutations, fanned out in
-        // whole shards so each worker mutates one shard-aligned region).
-        {
-            let membership = &self.membership;
-            self.nodes.for_each_mut_sharded(threads, |idx, node| {
-                if membership.is_alive(idx) {
-                    proto.prepare(node, cycle);
-                }
-            });
-        }
-
-        // Phase 2: read-only planning against the cycle-start snapshot.
-        let alive = self.membership.alive_nodes();
-        let plans: Vec<ExchangePlan<P::Payload>> = {
-            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
-            parallel_map_chunks(
-                alive.len(),
-                threads,
-                || (),
-                |i, ()| {
-                    let idx = alive[i];
-                    let mut rng = plan_rng(cycle_seed, idx);
-                    let mut out = Vec::new();
-                    proto.plan(&world, idx, &mut rng, &mut out);
-                    out
-                },
-            )
-            .into_iter()
-            .flatten()
-            .collect()
-        };
-
-        // Phase 3 + 4: conflict-free batches, committed in parallel, with
-        // charges and effects applied sequentially in plan order after each
-        // batch.
-        let batches = conflict_free_batches(&plans, self.nodes.len());
-        let report = self.report_for(&plans, batches.len());
-        for batch in &batches {
-            let outcomes = self.commit_batch(proto, &plans, batch, cycle_seed, threads);
-            self.apply_outcomes(proto, outcomes);
-        }
-        self.cycle += 1;
-        report
-    }
-
-    /// Runs one plan/commit cycle under a seeded fault schedule with the
-    /// default worker-thread count (see the module-level *fault model*
-    /// section). A zero-fault [`FaultPlan`] makes this byte-identical to
-    /// [`run_cycle`](Self::run_cycle).
-    pub fn run_cycle_faulted<P>(
-        &mut self,
-        proto: &P,
-        faults: &mut FaultPlan<P::Payload>,
-    ) -> CycleReport
+        opts: RunOptions<'_, P::Payload, E>,
+        mut observer: impl FnMut(&mut Self, RunEvent<E>),
+    ) -> RunReport
     where
         P: GossipProtocol<Node = N>,
         P::Payload: Clone,
     {
-        self.run_cycle_faulted_with_threads(proto, faults, default_threads())
+        let RunOptions {
+            threads,
+            oracle,
+            mut faults,
+            mut events,
+            cycles,
+            until_idle,
+        } = opts;
+        proto.begin_run(until_idle);
+        let threads = threads.unwrap_or_else(default_threads);
+        let mut total = CycleReport::default();
+        let mut cycles_run = 0u64;
+        for _ in 0..cycles {
+            if let Some(queue) = events.as_deref_mut() {
+                for event in queue.pop_due(self.cycle) {
+                    observer(self, RunEvent::Scheduled(event));
+                }
+            }
+            let report = self.cycle_once(proto, threads, faults.as_deref_mut(), oracle);
+            let cycle = self.cycle;
+            // End-of-cycle bookkeeping runs over every node, departed ones
+            // included (e.g. completion tracking must not freeze when a
+            // querier crashes mid-run).
+            for node in self.nodes.as_mut_slice() {
+                proto.finish_cycle(node, cycle);
+            }
+            total.absorb(report);
+            cycles_run += 1;
+            observer(self, RunEvent::CycleEnd(cycle));
+            if until_idle
+                && report.pair_exchanges == 0
+                && self.is_idle(proto, faults.as_deref(), cycle)
+            {
+                break;
+            }
+        }
+        if let Some(queue) = events {
+            for event in queue.pop_due(self.cycle) {
+                observer(self, RunEvent::Scheduled(event));
+            }
+        }
+        RunReport {
+            cycles_run,
+            report: total,
+        }
     }
 
-    /// Runs one faulted plan/commit cycle with an explicit worker-thread
-    /// count. Identical to [`run_cycle_with_threads`](Self::run_cycle_with_threads)
-    /// except that (a) the cycle starts with the fault schedule's node
-    /// transitions (restarts rejoin, crashes depart, with the protocol's
-    /// `on_restart` / `on_crash` hooks run over them) and (b) the plan list
-    /// passes through [`FaultPlan::filter_plans`] before batching.
-    pub fn run_cycle_faulted_with_threads<P>(
+    /// The until-idle exit condition beyond "this cycle committed no
+    /// pairwise exchange": without a fault schedule a quiet cycle is the
+    /// end; under one the run must also have nothing in flight — no
+    /// delayed carrier still due, no crashed node still down, and no alive
+    /// node whose protocol state could re-ignite gossip
+    /// ([`GossipProtocol::wants_more`]).
+    fn is_idle<P>(&self, proto: &P, faults: Option<&FaultPlan<P::Payload>>, cycle: u64) -> bool
+    where
+        P: GossipProtocol<Node = N>,
+    {
+        let Some(faults) = faults else {
+            return true;
+        };
+        faults.pending_delayed() == 0
+            && faults.pending_restarts() == 0
+            && !(0..self.nodes.len()).any(|idx| {
+                self.membership.is_alive(idx) && proto.wants_more(self.nodes.get(idx), cycle)
+            })
+    }
+
+    /// Executes one plan/commit cycle: fault transitions (when a schedule
+    /// is attached), prepare, plan, delivery-fault filtering, conflict-free
+    /// batched commits and in-order charges/effects. `oracle` selects the
+    /// independently written sequential path the property suites pin the
+    /// parallel one against.
+    fn cycle_once<P>(
         &mut self,
         proto: &P,
-        faults: &mut FaultPlan<P::Payload>,
         threads: usize,
+        mut faults: Option<&mut FaultPlan<P::Payload>>,
+        oracle: bool,
     ) -> CycleReport
     where
         P: GossipProtocol<Node = N>,
@@ -321,18 +339,28 @@ impl<N: Send + Sync> Simulator<N> {
         let cycle_seed: u64 = self.rng.gen();
 
         // Fault transitions first: they only consume the fault schedule's
-        // own RNG streams, so with a zero-fault plan nothing here runs and
-        // the cycle below is bit-for-bit `run_cycle_with_threads`.
-        let transitions = faults.begin_cycle(cycle, &mut self.membership);
-        for &idx in &transitions.restarted {
-            proto.on_restart(self.nodes.get_mut(idx), cycle);
-        }
-        for &idx in &transitions.crashed {
-            proto.on_crash(self.nodes.get_mut(idx), cycle);
+        // own RNG streams, so with no (or a zero-fault) schedule nothing
+        // here runs and the cycle below is bit-for-bit the faultless one.
+        if let Some(faults) = faults.as_deref_mut() {
+            let transitions = faults.begin_cycle(cycle, &mut self.membership);
+            for &idx in &transitions.restarted {
+                proto.on_restart(self.nodes.get_mut(idx), cycle);
+            }
+            for &idx in &transitions.crashed {
+                proto.on_crash(self.nodes.get_mut(idx), cycle);
+            }
         }
 
-        // Phase 1: per-node preparation.
-        {
+        // Phase 1: per-node preparation (disjoint mutations). The parallel
+        // path fans out whole shards so each worker mutates one
+        // shard-aligned region; the oracle walks nodes in ascending order.
+        if oracle {
+            for idx in 0..self.nodes.len() {
+                if self.membership.is_alive(idx) {
+                    proto.prepare(self.nodes.get_mut(idx), cycle);
+                }
+            }
+        } else {
             let membership = &self.membership;
             self.nodes.for_each_mut_sharded(threads, |idx, node| {
                 if membership.is_alive(idx) {
@@ -341,111 +369,83 @@ impl<N: Send + Sync> Simulator<N> {
             });
         }
 
-        // Phase 2: read-only planning against the cycle-start snapshot.
-        let alive = self.membership.alive_nodes();
+        // Phase 2: read-only planning against the cycle-start snapshot, in
+        // ascending alive-node order under every execution mode.
         let plans: Vec<ExchangePlan<P::Payload>> = {
             let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
-            parallel_map_chunks(
-                alive.len(),
-                threads,
-                || (),
-                |i, ()| {
-                    let idx = alive[i];
-                    let mut rng = plan_rng(cycle_seed, idx);
-                    let mut out = Vec::new();
-                    proto.plan(&world, idx, &mut rng, &mut out);
-                    out
-                },
-            )
-            .into_iter()
-            .flatten()
-            .collect()
+            if oracle {
+                let mut plans = Vec::new();
+                for idx in 0..world.num_nodes() {
+                    if world.is_alive(idx) {
+                        let mut rng = plan_rng(cycle_seed, idx);
+                        proto.plan(&world, idx, &mut rng, &mut plans);
+                    }
+                }
+                plans
+            } else {
+                let alive = self.membership.alive_nodes();
+                parallel_map_chunks(
+                    alive.len(),
+                    threads,
+                    || (),
+                    |i, ()| {
+                        let idx = alive[i];
+                        let mut rng = plan_rng(cycle_seed, idx);
+                        let mut out = Vec::new();
+                        proto.plan(&world, idx, &mut rng, &mut out);
+                        out
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect()
+            }
         };
 
         // Delivery faults interpose between plan and commit.
-        let plans = faults.filter_plans(cycle, plans, &self.membership);
+        let plans = match faults {
+            Some(faults) => faults.filter_plans(cycle, plans, &self.membership),
+            None => plans,
+        };
 
-        // Phase 3 + 4: unchanged.
+        // Phase 3 + 4: conflict-free batches, with charges and effects
+        // applied sequentially in plan order after each batch.
         let batches = conflict_free_batches(&plans, self.nodes.len());
         let report = self.report_for(&plans, batches.len());
-        for batch in &batches {
-            let outcomes = self.commit_batch(proto, &plans, batch, cycle_seed, threads);
-            self.apply_outcomes(proto, outcomes);
-        }
-        self.cycle += 1;
-        report
-    }
-
-    /// The sequential oracle for [`run_cycle_faulted`](Self::run_cycle_faulted):
-    /// same fault semantics, plain loops, no worker threads.
-    pub fn run_cycle_faulted_reference<P>(
-        &mut self,
-        proto: &P,
-        faults: &mut FaultPlan<P::Payload>,
-    ) -> CycleReport
-    where
-        P: GossipProtocol<Node = N>,
-        P::Payload: Clone,
-    {
-        let cycle = self.cycle;
-        let cycle_seed: u64 = self.rng.gen();
-
-        let transitions = faults.begin_cycle(cycle, &mut self.membership);
-        for &idx in &transitions.restarted {
-            proto.on_restart(self.nodes.get_mut(idx), cycle);
-        }
-        for &idx in &transitions.crashed {
-            proto.on_crash(self.nodes.get_mut(idx), cycle);
-        }
-
-        for idx in 0..self.nodes.len() {
-            if self.membership.is_alive(idx) {
-                proto.prepare(self.nodes.get_mut(idx), cycle);
-            }
-        }
-
-        let mut plans: Vec<ExchangePlan<P::Payload>> = Vec::new();
-        {
-            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
-            for idx in 0..world.num_nodes() {
-                if world.is_alive(idx) {
-                    let mut rng = plan_rng(cycle_seed, idx);
-                    proto.plan(&world, idx, &mut rng, &mut plans);
+        if oracle {
+            let mut scratch = proto.scratch();
+            for batch in &batches {
+                // Aliasing-sanitizer window (debug builds): the solo/pair
+                // borrows below are checked for same-batch overlap.
+                self.nodes.begin_commit_batch();
+                let mut outcomes = Vec::with_capacity(batch.len());
+                for &plan_idx in batch {
+                    let plan = &plans[plan_idx];
+                    let mut rng = commit_rng(cycle_seed, plan_idx);
+                    let outcome = match plan.destination {
+                        Some(dest) => {
+                            let (a, b) = self.pair_mut(plan.initiator, dest);
+                            proto.commit(cycle, plan, a, Some(b), &mut rng, &mut scratch)
+                        }
+                        None => proto.commit(
+                            cycle,
+                            plan,
+                            self.nodes.get_mut(plan.initiator),
+                            None,
+                            &mut rng,
+                            &mut scratch,
+                        ),
+                    };
+                    outcomes.push(outcome);
                 }
+                self.nodes.end_commit_batch();
+                self.apply_outcomes(proto, outcomes);
             }
-        }
-
-        let plans = faults.filter_plans(cycle, plans, &self.membership);
-
-        let batches = conflict_free_batches(&plans, self.nodes.len());
-        let report = self.report_for(&plans, batches.len());
-        let mut scratch = proto.scratch();
-        for batch in &batches {
-            // Aliasing-sanitizer window (debug builds): the solo/pair
-            // borrows below are checked for same-batch overlap.
-            self.nodes.begin_commit_batch();
-            let mut outcomes = Vec::with_capacity(batch.len());
-            for &plan_idx in batch {
-                let plan = &plans[plan_idx];
-                let mut rng = commit_rng(cycle_seed, plan_idx);
-                let outcome = match plan.destination {
-                    Some(dest) => {
-                        let (a, b) = self.pair_mut(plan.initiator, dest);
-                        proto.commit(cycle, plan, a, Some(b), &mut rng, &mut scratch)
-                    }
-                    None => proto.commit(
-                        cycle,
-                        plan,
-                        self.nodes.get_mut(plan.initiator),
-                        None,
-                        &mut rng,
-                        &mut scratch,
-                    ),
-                };
-                outcomes.push(outcome);
+        } else {
+            for batch in &batches {
+                let outcomes = self.commit_batch(proto, &plans, batch, cycle_seed, threads);
+                self.apply_outcomes(proto, outcomes);
             }
-            self.nodes.end_commit_batch();
-            self.apply_outcomes(proto, outcomes);
         }
         self.cycle += 1;
         report
@@ -556,122 +556,13 @@ impl<N: Send + Sync> Simulator<N> {
             batches,
         }
     }
-
-    /// The sequential oracle: executes the same plan/commit semantics as
-    /// [`run_cycle`](Self::run_cycle) with plain loops and no worker
-    /// threads. Kept deliberately independent of the parallel code path so
-    /// the property suites can pin one against the other.
-    pub fn run_cycle_reference<P: GossipProtocol<Node = N>>(&mut self, proto: &P) -> CycleReport {
-        let cycle = self.cycle;
-        let cycle_seed: u64 = self.rng.gen();
-
-        // Phase 1: prepare, in ascending node order.
-        for idx in 0..self.nodes.len() {
-            if self.membership.is_alive(idx) {
-                proto.prepare(self.nodes.get_mut(idx), cycle);
-            }
-        }
-
-        // Phase 2: plan, in ascending node order.
-        let mut plans: Vec<ExchangePlan<P::Payload>> = Vec::new();
-        {
-            let world = CycleContext::new(self.nodes.as_slice(), &self.membership, cycle);
-            for idx in 0..world.num_nodes() {
-                if world.is_alive(idx) {
-                    let mut rng = plan_rng(cycle_seed, idx);
-                    proto.plan(&world, idx, &mut rng, &mut plans);
-                }
-            }
-        }
-
-        // Phase 3 + 4: commit batch by batch, then apply charges/effects in
-        // plan order — the same barrier structure as the parallel path.
-        let batches = conflict_free_batches(&plans, self.nodes.len());
-        let report = self.report_for(&plans, batches.len());
-        let mut scratch = proto.scratch();
-        for batch in &batches {
-            // Aliasing-sanitizer window (debug builds): the solo/pair
-            // borrows below are checked for same-batch overlap.
-            self.nodes.begin_commit_batch();
-            let mut outcomes = Vec::with_capacity(batch.len());
-            for &plan_idx in batch {
-                let plan = &plans[plan_idx];
-                let mut rng = commit_rng(cycle_seed, plan_idx);
-                let outcome = match plan.destination {
-                    Some(dest) => {
-                        let (a, b) = self.pair_mut(plan.initiator, dest);
-                        proto.commit(cycle, plan, a, Some(b), &mut rng, &mut scratch)
-                    }
-                    None => proto.commit(
-                        cycle,
-                        plan,
-                        self.nodes.get_mut(plan.initiator),
-                        None,
-                        &mut rng,
-                        &mut scratch,
-                    ),
-                };
-                outcomes.push(outcome);
-            }
-            self.nodes.end_commit_batch();
-            self.apply_outcomes(proto, outcomes);
-        }
-        self.cycle += 1;
-        report
-    }
-
-    /// Runs `count` cycles with the default thread count, returning the
-    /// summed report.
-    pub fn run_cycles<P: GossipProtocol<Node = N>>(
-        &mut self,
-        proto: &P,
-        count: u64,
-    ) -> CycleReport {
-        let mut total = CycleReport::default();
-        for _ in 0..count {
-            total.absorb(self.run_cycle(proto));
-        }
-        total
-    }
-
-    /// Runs `count` cycles, firing scheduled events on the cycle axis: all
-    /// events due at the current cycle are handed to `on_event` **before**
-    /// that cycle executes, and events due at the final cycle boundary fire
-    /// once more after the loop (so "at cycle `count`" hooks — final
-    /// samples, post-run mutations — are not lost).
-    ///
-    /// This is the engine-level home of the "at cycle X, do Y" logic the
-    /// experiment drivers used to hand-roll: schedule profile-change
-    /// batches, churn injections or metric samples in the queue and let the
-    /// run loop fire them.
-    pub fn run_cycles_with_events<P, E, F>(
-        &mut self,
-        proto: &P,
-        count: u64,
-        events: &mut EventQueue<E>,
-        mut on_event: F,
-    ) -> CycleReport
-    where
-        P: GossipProtocol<Node = N>,
-        F: FnMut(&mut Self, E),
-    {
-        let mut total = CycleReport::default();
-        for _ in 0..count {
-            for event in events.pop_due(self.cycle) {
-                on_event(self, event);
-            }
-            total.absorb(self.run_cycle(proto));
-        }
-        for event in events.pop_due(self.cycle) {
-            on_event(self, event);
-        }
-        total
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::{RunEvent, RunOptions};
+    use crate::schedule::EventQueue;
 
     /// A toy protocol: every alive node gossips with the next alive node
     /// (by index, cyclically), both sides count the exchange, a bandwidth
@@ -758,7 +649,9 @@ mod tests {
     #[test]
     fn run_cycle_visits_every_alive_node_once() {
         let mut sim = counters(10, 1);
-        let report = sim.run_cycle(&RingProtocol);
+        let report = sim
+            .drive(&RingProtocol, RunOptions::cycles(1), |_, _| {})
+            .report;
         assert_eq!(sim.cycle(), 1);
         assert_eq!(report.plans, 10);
         assert_eq!(report.pair_exchanges, 10);
@@ -773,7 +666,7 @@ mod tests {
     fn departed_nodes_neither_plan_nor_receive() {
         let mut sim = counters(4, 2);
         sim.membership_mut().depart(2);
-        sim.run_cycles(&RingProtocol, 3);
+        sim.drive(&RingProtocol, RunOptions::cycles(3), |_, _| {});
         assert_eq!(sim.node(2), &Counter::default());
         assert_eq!(sim.node(0).initiated, 3);
         assert_eq!(sim.node(0).prepared, 3);
@@ -785,8 +678,12 @@ mod tests {
             let mut reference = counters(23, 7);
             let mut parallel = counters(23, 7);
             for _ in 0..5 {
-                reference.run_cycle_reference(&RingProtocol);
-                parallel.run_cycle_with_threads(&RingProtocol, threads);
+                reference.drive(&RingProtocol, RunOptions::cycles(1).oracle(), |_, _| {});
+                parallel.drive(
+                    &RingProtocol,
+                    RunOptions::cycles(1).threads(threads),
+                    |_, _| {},
+                );
             }
             assert_eq!(reference.nodes(), parallel.nodes(), "threads = {threads}");
             assert_eq!(
@@ -826,7 +723,7 @@ mod tests {
     fn runs_are_reproducible_for_a_seed() {
         let run = |seed: u64| {
             let mut sim = counters(20, seed);
-            sim.run_cycles(&RingProtocol, 3);
+            sim.drive(&RingProtocol, RunOptions::cycles(3), |_, _| {});
             (sim.nodes().to_vec(), sim.bandwidth.totals())
         };
         assert_eq!(run(7), run(7));
@@ -859,8 +756,16 @@ mod tests {
             let mut faulted = counters(23, 7);
             let mut faults: FaultPlan<()> = FaultPlan::new(FaultConfig::none());
             for _ in 0..5 {
-                plain.run_cycle_with_threads(&RingProtocol, threads);
-                faulted.run_cycle_faulted_with_threads(&RingProtocol, &mut faults, threads);
+                plain.drive(
+                    &RingProtocol,
+                    RunOptions::cycles(1).threads(threads),
+                    |_, _| {},
+                );
+                faulted.drive(
+                    &RingProtocol,
+                    RunOptions::cycles(1).threads(threads).faulted(&mut faults),
+                    |_, _| {},
+                );
             }
             assert_eq!(plain.nodes(), faulted.nodes(), "threads = {threads}");
             assert_eq!(
@@ -890,8 +795,18 @@ mod tests {
             let mut ref_faults: FaultPlan<()> = FaultPlan::new(cfg);
             let mut par_faults: FaultPlan<()> = FaultPlan::new(cfg);
             for _ in 0..8 {
-                reference.run_cycle_faulted_reference(&RingProtocol, &mut ref_faults);
-                parallel.run_cycle_faulted_with_threads(&RingProtocol, &mut par_faults, threads);
+                reference.drive(
+                    &RingProtocol,
+                    RunOptions::cycles(1).oracle().faulted(&mut ref_faults),
+                    |_, _| {},
+                );
+                parallel.drive(
+                    &RingProtocol,
+                    RunOptions::cycles(1)
+                        .threads(threads)
+                        .faulted(&mut par_faults),
+                    |_, _| {},
+                );
             }
             assert_eq!(reference.nodes(), parallel.nodes(), "threads = {threads}");
             assert_eq!(
@@ -913,7 +828,11 @@ mod tests {
         use crate::fault::{FaultConfig, FaultPlan};
         let mut sim = counters(6, 3);
         let mut faults: FaultPlan<()> = FaultPlan::new(FaultConfig::crash_restart(1.0, 0, 5));
-        sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        sim.drive(
+            &RingProtocol,
+            RunOptions::cycles(1).faulted(&mut faults),
+            |_, _| {},
+        );
         assert_eq!(sim.membership().alive_count(), 0);
         assert!(sim
             .nodes()
@@ -921,7 +840,11 @@ mod tests {
             .all(|c| c.crashes == 1 && c.restarts == 0));
         // Downtime 0: everyone restarts at the next cycle (and, at crash
         // rate 1, crashes again right after the restart hook).
-        sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        sim.drive(
+            &RingProtocol,
+            RunOptions::cycles(1).faulted(&mut faults),
+            |_, _| {},
+        );
         assert!(sim
             .nodes()
             .iter()
@@ -939,7 +862,13 @@ mod tests {
         };
         let mut sim = counters(8, 4);
         let mut faults: FaultPlan<()> = FaultPlan::new(cfg);
-        let report = sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        let report = sim
+            .drive(
+                &RingProtocol,
+                RunOptions::cycles(1).faulted(&mut faults),
+                |_, _| {},
+            )
+            .report;
         assert_eq!(report.plans, 0);
         assert!(sim.nodes().iter().all(|c| c.initiated == 0));
         assert!(sim.nodes().iter().all(|c| c.prepared == 1));
@@ -956,7 +885,13 @@ mod tests {
         };
         let mut sim = counters(4, 4);
         let mut faults: FaultPlan<()> = FaultPlan::new(cfg);
-        let report = sim.run_cycle_faulted(&RingProtocol, &mut faults);
+        let report = sim
+            .drive(
+                &RingProtocol,
+                RunOptions::cycles(1).faulted(&mut faults),
+                |_, _| {},
+            )
+            .report;
         assert_eq!(report.plans, 8);
         assert!(sim.nodes().iter().all(|c| c.initiated == 2));
         assert!(sim.nodes().iter().all(|c| c.received == 2));
@@ -972,11 +907,91 @@ mod tests {
         events.schedule(3, "end");
         events.schedule(9, "never");
         let mut fired: Vec<(u64, &str)> = Vec::new();
-        sim.run_cycles_with_events(&RingProtocol, 3, &mut events, |sim, e| {
-            fired.push((sim.cycle(), e));
-        });
+        sim.drive(
+            &RingProtocol,
+            RunOptions::cycles(3).events(&mut events),
+            |sim, event| {
+                if let RunEvent::Scheduled(e) = event {
+                    fired.push((sim.cycle(), e));
+                }
+            },
+        );
         assert_eq!(fired, vec![(0, "start"), (2, "mid"), (3, "end")]);
         assert_eq!(events.len(), 1, "undue events stay queued");
         assert_eq!(sim.cycle(), 3);
+    }
+
+    /// A protocol that goes quiet: each node initiates only its first two
+    /// exchanges, so an until-idle run stops one cycle after the last one.
+    struct QuietingProtocol;
+
+    impl GossipProtocol for QuietingProtocol {
+        type Node = Counter;
+        type Payload = ();
+        type Effect = usize;
+        type Scratch = ();
+
+        fn scratch(&self) {}
+
+        fn plan(
+            &self,
+            world: &CycleContext<'_, Counter>,
+            idx: usize,
+            _rng: &mut StdRng,
+            out: &mut Vec<ExchangePlan<()>>,
+        ) {
+            if world.node(idx).initiated >= 2 {
+                return;
+            }
+            let n = world.num_nodes();
+            let partner = (1..n).map(|d| (idx + d) % n).find(|&p| world.is_alive(p));
+            if let Some(partner) = partner {
+                out.push(ExchangePlan {
+                    initiator: idx,
+                    destination: Some(partner),
+                    payload: (),
+                });
+            }
+        }
+
+        fn commit(
+            &self,
+            _cycle: u64,
+            _plan: &ExchangePlan<()>,
+            initiator: &mut Counter,
+            destination: Option<&mut Counter>,
+            _rng: &mut StdRng,
+            _scratch: &mut (),
+        ) -> CommitOutcome<usize> {
+            initiator.initiated += 1;
+            destination.expect("pairwise").received += 1;
+            CommitOutcome::empty()
+        }
+    }
+
+    #[test]
+    fn until_complete_stops_after_the_first_quiet_cycle() {
+        let mut sim = counters(6, 13);
+        let run = sim.drive(&QuietingProtocol, RunOptions::until_complete(50), |_, _| {});
+        assert_eq!(run.cycles_run, 3, "two active cycles plus the idle one");
+        assert_eq!(run.exchanges(), 12);
+        assert_eq!(sim.cycle(), 3);
+        // A fresh until-idle drive stops immediately (still counts the
+        // quiet probe cycle).
+        let rerun = sim.drive(&QuietingProtocol, RunOptions::until_complete(50), |_, _| {});
+        assert_eq!(rerun.cycles_run, 1);
+        assert_eq!(rerun.exchanges(), 0);
+    }
+
+    #[test]
+    fn cycle_end_events_report_the_completed_cycle_number() {
+        let mut sim = counters(4, 21);
+        let mut ends = Vec::new();
+        sim.drive(&RingProtocol, RunOptions::cycles(3), |_, event| {
+            if let RunEvent::CycleEnd(c) = event {
+                ends.push(c);
+            }
+        });
+        assert_eq!(ends, vec![1, 2, 3]);
     }
 }

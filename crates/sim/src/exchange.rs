@@ -165,26 +165,44 @@ pub struct EffectContext<'a, N> {
     nodes: &'a mut [N],
     bandwidth: &'a mut BandwidthRecorder,
     cycle: u64,
+    /// Global index of `nodes[0]` (see [`EffectContext::windowed`]).
+    base: usize,
 }
 
 impl<'a, N> EffectContext<'a, N> {
     /// Creates a context over explicit parts (the engine's constructor).
     pub fn new(nodes: &'a mut [N], bandwidth: &'a mut BandwidthRecorder, cycle: u64) -> Self {
+        Self::windowed(nodes, bandwidth, cycle, 0)
+    }
+
+    /// Creates a context over a **window** of the global node array starting
+    /// at global index `base`: [`node`](Self::node) / [`node_mut`](Self::node_mut)
+    /// keep taking *global* indices and subtract the base. This is how a
+    /// transport shard — holding only its contiguous slice of the
+    /// population — applies effects routed to it without faking a full
+    /// world slice.
+    pub fn windowed(
+        nodes: &'a mut [N],
+        bandwidth: &'a mut BandwidthRecorder,
+        cycle: u64,
+        base: usize,
+    ) -> Self {
         Self {
             nodes,
             bandwidth,
             cycle,
+            base,
         }
     }
 
-    /// One node's state.
+    /// One node's state, by global index.
     pub fn node(&self, idx: usize) -> &N {
-        &self.nodes[idx]
+        &self.nodes[idx - self.base]
     }
 
-    /// Mutable access to one node's state.
+    /// Mutable access to one node's state, by global index.
     pub fn node_mut(&mut self, idx: usize) -> &mut N {
-        &mut self.nodes[idx]
+        &mut self.nodes[idx - self.base]
     }
 
     /// Records bandwidth attributed to `node` in the committing cycle.
@@ -273,6 +291,42 @@ pub trait GossipProtocol: Sync {
     /// Applies one deferred effect. Runs sequentially, in plan order.
     fn apply_effect(&self, world: &mut EffectContext<'_, Self::Node>, effect: Self::Effect) {
         let _ = (world, effect);
+    }
+
+    /// Invoked once when a driver starts a run (`Simulator::drive` or a
+    /// transport runtime), before the first cycle. `until_idle` says
+    /// whether the run stops on its own once gossip dries up — the place
+    /// for mode-specific configuration validation (e.g. the eager-only
+    /// staleness-eviction footgun).
+    fn begin_run(&self, until_idle: bool) {
+        let _ = until_idle;
+    }
+
+    /// End-of-cycle bookkeeping, run by the driver over **every** node
+    /// (departed ones included) after each cycle, with `cycle` the number
+    /// of now-completed cycles. Must touch only `node`.
+    fn finish_cycle(&self, node: &mut Self::Node, cycle: u64) {
+        let _ = (node, cycle);
+    }
+
+    /// Whether this (alive) node's protocol state could still re-ignite
+    /// gossip after a quiet cycle — consulted by until-idle runs under a
+    /// fault schedule before they may stop (e.g. a backed-off retry that
+    /// fires several cycles later). Read-only.
+    fn wants_more(&self, node: &Self::Node, cycle: u64) -> bool {
+        let _ = (node, cycle);
+        false
+    }
+
+    /// The *single* node an effect mutates, if the protocol can name it —
+    /// the routing hook a message-passing transport uses to deliver the
+    /// effect to the shard owning that node. `None` (the default) means
+    /// "unconstrained": fine for the in-process simulator, where effects
+    /// see the whole node array, but such a protocol cannot run on a
+    /// sharded transport.
+    fn effect_target(&self, effect: &Self::Effect) -> Option<usize> {
+        let _ = effect;
+        None
     }
 }
 

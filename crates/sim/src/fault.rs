@@ -12,7 +12,7 @@
 //! # Where faults interpose
 //!
 //! The fault layer sits **between the plan and commit phases** of a cycle
-//! (see `Simulator::run_cycle_faulted`):
+//! (see `RunOptions::faulted` on the simulator's `drive` entry):
 //!
 //! * **delivery faults** — every *pairwise* plan (a message on the wire)
 //!   independently rolls one uniform draw against the configured rates: it
@@ -40,8 +40,8 @@
 //! `P3Q_THREADS` value (faults are decided on the ordered plan list, which
 //! is itself thread-independent).
 //!
-//! Every decision is folded into a running FNV-1a [fingerprint]
-//! (`FaultPlan::fingerprint`), which the property suites use to pin
+//! Every decision is folded into a running [`crate::fingerprint::Fnv`]
+//! witness (`FaultPlan::fingerprint`), which the property suites use to pin
 //! fault-schedule determinism: same `(seed, FaultConfig)` → same
 //! fingerprint.
 
@@ -50,6 +50,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::exchange::ExchangePlan;
+use crate::fingerprint::{Fingerprint, Fnv};
 use crate::membership::Membership;
 use crate::parallel::stream_seed;
 use crate::schedule::EventQueue;
@@ -58,17 +59,6 @@ use crate::schedule::EventQueue;
 const STREAM_DELIVERY: u64 = 0xFA17_0000_0000_0001;
 /// Stream label for per-cycle crash RNGs.
 const STREAM_CRASH: u64 = 0xFA17_0000_0000_0002;
-
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-fn fnv1a_u64(mut hash: u64, value: u64) -> u64 {
-    for byte in value.to_le_bytes() {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
 
 /// The replayable description of an imperfect network: per-message fault
 /// rates, crash behaviour and the seed all fault randomness derives from.
@@ -182,10 +172,15 @@ impl FaultConfig {
 
     /// A stable fingerprint of the configuration itself (folded into the
     /// schedule fingerprint so two runs only match when both the seed *and*
-    /// the rates match).
+    /// the rates match). This is [`Fingerprint::fingerprint`].
     pub fn fingerprint(&self) -> u64 {
-        let mut h = FNV_OFFSET;
-        for bits in [
+        Fingerprint::fingerprint(self)
+    }
+}
+
+impl Fingerprint for FaultConfig {
+    fn fold(&self, hasher: &mut Fnv) {
+        hasher.write_all([
             self.drop_rate.to_bits(),
             self.delay_rate.to_bits(),
             self.duplicate_rate.to_bits(),
@@ -193,10 +188,7 @@ impl FaultConfig {
             self.crash_rate.to_bits(),
             self.downtime_cycles,
             self.fault_seed,
-        ] {
-            h = fnv1a_u64(h, bits);
-        }
-        h
+        ]);
     }
 }
 
@@ -245,7 +237,7 @@ pub struct FaultPlan<P> {
     delayed: EventQueue<ExchangePlan<P>>,
     restarts: EventQueue<usize>,
     stats: FaultStats,
-    fingerprint: u64,
+    fingerprint: Fnv,
 }
 
 impl<P> FaultPlan<P> {
@@ -255,12 +247,14 @@ impl<P> FaultPlan<P> {
     /// Panics if the config is invalid (see [`FaultConfig::validate`]).
     pub fn new(config: FaultConfig) -> Self {
         config.validate();
+        let mut fingerprint = Fnv::new();
+        config.fold(&mut fingerprint);
         Self {
             config,
             delayed: EventQueue::new(),
             restarts: EventQueue::new(),
             stats: FaultStats::default(),
-            fingerprint: config.fingerprint(),
+            fingerprint,
         }
     }
 
@@ -274,12 +268,12 @@ impl<P> FaultPlan<P> {
         self.stats
     }
 
-    /// Running FNV-1a fingerprint over the config and every fault decision
-    /// taken so far. Two runs with the same `(seed, FaultConfig)` produce
-    /// the same fingerprint at every cycle boundary, for every thread
-    /// count.
+    /// Running FNV-1a fingerprint (see [`crate::fingerprint`]) over the
+    /// config and every fault decision taken so far. Two runs with the same
+    /// `(seed, FaultConfig)` produce the same fingerprint at every cycle
+    /// boundary, for every thread count.
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        self.fingerprint.finish()
     }
 
     /// Number of delayed plans still in flight.
@@ -293,9 +287,7 @@ impl<P> FaultPlan<P> {
     }
 
     fn note(&mut self, code: u64, a: u64, b: u64) {
-        self.fingerprint = fnv1a_u64(self.fingerprint, code);
-        self.fingerprint = fnv1a_u64(self.fingerprint, a);
-        self.fingerprint = fnv1a_u64(self.fingerprint, b);
+        self.fingerprint.write_all([code, a, b]);
     }
 
     fn cycle_rng(&self, stream: u64, cycle: u64) -> StdRng {

@@ -1,0 +1,152 @@
+//! The workspace's one checksum vocabulary: a 64-bit FNV-1a hasher and the
+//! [`Fingerprint`] trait every determinism witness folds through.
+//!
+//! Byte-identity claims run through this module: the fault layer's schedule
+//! fingerprint, the bench `--check` traffic checksums and the transport
+//! runtime's oracle-equality assertions all fold their state into the same
+//! [`Fnv`] accumulator, so "the fingerprints match" means the same thing
+//! everywhere — and a witness printed by one binary is comparable to the
+//! witness printed by another (and across hosts: FNV-1a over little-endian
+//! words has no pointer, platform or hash-seed dependence).
+//!
+//! The combinator [`fingerprint_chain`] folds a whole slice/iterator of
+//! witnesses into one u64 in source order, which is how multi-node state
+//! (e.g. every node of a simulator) collapses into a single comparable
+//! number.
+
+/// A 64-bit FNV-1a accumulator.
+///
+/// Values fold in as little-endian bytes via [`Fnv::write_u64`]. The
+/// parameters are the standard FNV-1a offset basis and prime, so checksums
+/// are stable across platforms and releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv(u64);
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl Fnv {
+    /// A fresh accumulator at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Folds one `u64` in, little-endian byte by byte.
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a sequence of `u64` words in order.
+    pub fn write_all<I: IntoIterator<Item = u64>>(&mut self, words: I) {
+        for word in words {
+            self.write_u64(word);
+        }
+    }
+
+    /// The current accumulator value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A determinism witness: a value that can fold its observable state into an
+/// [`Fnv`] accumulator.
+///
+/// Implementations must fold **all state that a byte-identity claim covers**
+/// and nothing order-unstable (iterate hash maps through a sorted key list,
+/// never directly). Two values with equal fingerprints are treated as
+/// byte-identical by the property suites and the transport oracle checks.
+pub trait Fingerprint {
+    /// Folds this value's observable state into `hasher`.
+    fn fold(&self, hasher: &mut Fnv);
+
+    /// The standalone fingerprint: a fresh accumulator folded once.
+    fn fingerprint(&self) -> u64 {
+        let mut hasher = Fnv::new();
+        self.fold(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl Fingerprint for u64 {
+    fn fold(&self, hasher: &mut Fnv) {
+        hasher.write_u64(*self);
+    }
+}
+
+impl<T: Fingerprint + ?Sized> Fingerprint for &T {
+    fn fold(&self, hasher: &mut Fnv) {
+        (*self).fold(hasher);
+    }
+}
+
+/// Folds every witness of an iterator into one fingerprint, in iteration
+/// order — the combinator that collapses per-node witnesses into a single
+/// comparable number. Order matters: callers must iterate a canonical order
+/// (ascending node index, sorted keys).
+pub fn fingerprint_chain<I>(items: I) -> u64
+where
+    I: IntoIterator,
+    I::Item: Fingerprint,
+{
+    let mut hasher = Fnv::new();
+    for item in items {
+        item.fold(&mut hasher);
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a folding 8 zero bytes from the offset basis.
+        let mut h = Fnv::new();
+        h.write_u64(0);
+        let mut expected = FNV_OFFSET;
+        for _ in 0..8 {
+            expected = expected.wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(h.finish(), expected);
+    }
+
+    #[test]
+    fn write_all_equals_repeated_write() {
+        let mut a = Fnv::new();
+        a.write_all([1, 2, 3]);
+        let mut b = Fnv::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        b.write_u64(3);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        assert_ne!(
+            fingerprint_chain([1u64, 2u64]),
+            fingerprint_chain([2u64, 1u64])
+        );
+        assert_eq!(fingerprint_chain([] as [u64; 0]), Fnv::new().finish());
+    }
+
+    #[test]
+    fn fingerprint_of_u64_folds_one_word() {
+        let mut h = Fnv::new();
+        h.write_u64(42);
+        assert_eq!(42u64.fingerprint(), h.finish());
+    }
+}

@@ -9,17 +9,21 @@
 //! *and* deterministic:
 //!
 //! * [`Simulator`] — the engine: per-node protocol state, seeded
-//!   determinism, and the four-phase plan/commit cycle executor
-//!   ([`Simulator::run_cycle`] fans out over worker threads;
-//!   [`Simulator::run_cycle_reference`] is the independently written
-//!   sequential oracle — byte-identical for any `P3Q_THREADS`);
+//!   determinism, and the four-phase plan/commit cycle executor. All runs go
+//!   through the one driver entry [`Simulator::drive`], configured by a
+//!   [`RunOptions`] builder (worker threads, fault plan, event queue,
+//!   until-idle mode, sequential oracle mode) — byte-identical output for
+//!   any `P3Q_THREADS`;
 //! * [`exchange`] — the [`GossipProtocol`] contract (prepare / plan /
-//!   commit / effects), [`ExchangePlan`]s and the deterministic greedy
-//!   conflict-free batching;
+//!   commit / effects / run-loop hooks), [`ExchangePlan`]s and the
+//!   deterministic greedy conflict-free batching;
 //! * [`fault`] — deterministic fault injection: a [`FaultPlan`] built from
 //!   a replayable [`FaultConfig`] drops/delays/duplicates planned exchanges
-//!   and crashes/restarts nodes ([`Simulator::run_cycle_faulted`]), with a
+//!   and crashes/restarts nodes ([`RunOptions::faulted`]), with a
 //!   zero-fault plan byte-identical to the faultless engine;
+//! * [`fingerprint`] — the workspace's one checksum vocabulary: the
+//!   [`Fingerprint`] trait, the [`Fnv`] accumulator and the
+//!   [`fingerprint_chain`] combinator behind every byte-identity witness;
 //! * [`Membership`] — alive/departed bookkeeping with the paper's "p% of
 //!   users leave simultaneously" churn model (O(1) alive count);
 //! * [`BandwidthRecorder`] — per-node, per-category, per-cycle byte and
@@ -28,7 +32,7 @@
 //!   per-entity distributions, the two shapes every figure in the paper
 //!   takes;
 //! * [`EventQueue`] — "at cycle X, do Y" hooks, wired into the run loop via
-//!   [`Simulator::run_cycles_with_events`];
+//!   [`RunOptions::events`];
 //! * [`NodeStore`] — shard-partitioned node storage: one contiguous
 //!   allocation whose power-of-two shards are the engine's unit of mutable
 //!   fan-out (and the layout hook for memory accounting);
@@ -40,9 +44,11 @@
 #![warn(missing_docs)]
 
 mod bandwidth;
+mod driver;
 mod engine;
 pub mod exchange;
 pub mod fault;
+pub mod fingerprint;
 mod membership;
 mod metrics;
 pub mod parallel;
@@ -50,12 +56,14 @@ mod schedule;
 mod store;
 
 pub use bandwidth::{BandwidthRecorder, Category};
+pub use driver::{RunEvent, RunOptions, RunParts, RunReport};
 pub use engine::{CycleReport, Simulator};
 pub use exchange::{
     conflict_free_batches, Charge, CommitOutcome, CycleContext, EffectContext, ExchangePlan,
     GossipProtocol,
 };
 pub use fault::{FaultConfig, FaultPlan, FaultStats, FaultTransitions};
+pub use fingerprint::{fingerprint_chain, Fingerprint, Fnv};
 pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
 pub use parallel::{default_threads, parallel_map_chunks, stream_seed};

@@ -1,8 +1,8 @@
 //! Property tests for the plan/commit engine itself, protocol-agnostic: a
 //! deliberately adversarial toy protocol (random multi-plan fan-out, solo
 //! steps, third-party effects, order-sensitive node state) must behave
-//! byte-identically between `run_cycle_with_threads` (any count) and
-//! `run_cycle_reference`, under churn, and the conflict-free batching must
+//! byte-identically between the parallel drive (any thread count) and the
+//! sequential oracle mode, under churn, and the conflict-free batching must
 //! never place one node in two exchanges of the same batch.
 
 use proptest::prelude::*;
@@ -123,11 +123,11 @@ fn run_schedule(
         if cycle == cycles / 2 && departure > 0.0 {
             sim.mass_departure(departure);
         }
-        let report = match threads {
-            Some(t) => sim.run_cycle_with_threads(&ChaosProtocol, t),
-            None => sim.run_cycle_reference(&ChaosProtocol),
+        let opts = match threads {
+            Some(t) => p3q_sim::RunOptions::cycles(1).threads(t),
+            None => p3q_sim::RunOptions::cycles(1).oracle(),
         };
-        reports.push(report);
+        reports.push(sim.drive(&ChaosProtocol, opts, |_, _| {}).report);
     }
     reports
 }

@@ -56,7 +56,7 @@ fn main() {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     bootstrap_random_views(&mut sim, &cfg, &mut rng);
     for batch in 1..=4u64 {
-        run_lazy_cycles(&mut sim, &cfg, 5, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(5), |_, _| {});
         let aur = average_update_rate(sim.nodes().iter(), &changed, &versions);
         println!("cycle {:>2}: AUR = {aur:.2}", batch * 5);
     }
@@ -78,7 +78,7 @@ fn main() {
             query,
             &cfg,
         );
-        run_eager_until_complete(&mut sim, &cfg, 20, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(20), |_, _| {});
         // AUR restricted to the users this query reached.
         let reached: Vec<&P3qNode> = {
             let state = sim
@@ -112,7 +112,7 @@ fn main() {
     for (i, query) in queries.iter().enumerate() {
         let qid = QueryId(5000 + i as u64);
         issue_query(&mut sim, query.querier.index(), qid, query.clone(), &cfg);
-        run_eager_until_complete(&mut sim, &cfg, 10, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(10), |_, _| {});
         let reference = centralized_topk(&trace.dataset, &ideal, query, cfg.top_k);
         let state = sim
             .node_mut(query.querier.index())

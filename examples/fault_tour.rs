@@ -55,9 +55,11 @@ fn main() {
         init_ideal_networks(&mut sim, &ideal);
 
         let mut lazy_faults: FaultPlan<LazyStep> = FaultPlan::new(faults);
-        for _ in 0..lazy_cycles {
-            run_lazy_cycle_faulted(&mut sim, &cfg, &mut lazy_faults);
-        }
+        sim.drive(
+            &cfg.lazy(),
+            RunOptions::cycles(lazy_cycles).faulted(&mut lazy_faults),
+            |_, _| {},
+        );
 
         for (i, query) in queries.iter().enumerate() {
             issue_query(
@@ -69,9 +71,11 @@ fn main() {
             );
         }
         let mut eager_faults: FaultPlan<EagerTask> = FaultPlan::new(faults);
-        for _ in 0..eager_cycles {
-            run_eager_cycle_faulted(&mut sim, &cfg, &mut eager_faults);
-        }
+        sim.drive(
+            &cfg.eager(),
+            RunOptions::cycles(eager_cycles).faulted(&mut eager_faults),
+            |_, _| {},
+        );
 
         // Score the queries against the centralized reference. A querier
         // whose node crashed mid-run lost its query book: that query is

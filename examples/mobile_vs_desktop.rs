@@ -59,7 +59,7 @@ fn run_scenario(
             cfg,
         );
     }
-    run_eager_until_complete(&mut sim, cfg, 40, |_, _| {});
+    sim.drive(&cfg.eager(), RunOptions::until_complete(40), |_, _| {});
 
     let mut reached = Vec::new();
     let mut cycles = Vec::new();

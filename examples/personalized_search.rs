@@ -79,7 +79,7 @@ fn main() {
         let query = make_query(user);
         issue_query(&mut sim, user.index(), QueryId(qid), query, &cfg);
     }
-    run_eager_until_complete(&mut sim, &cfg, 30, |_, _| {});
+    sim.drive(&cfg.eager(), RunOptions::until_complete(30), |_, _| {});
     for (qid, user) in [(0u64, user_a), (1u64, user_b)] {
         let state = sim
             .node_mut(user.index())

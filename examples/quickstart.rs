@@ -70,21 +70,28 @@ fn main() {
     );
 
     let mut cycle_count = 0u64;
-    run_eager_until_complete(&mut sim, &cfg, 30, |sim, cycle| {
-        cycle_count = cycle;
-        let state = sim
-            .node_mut(querier)
-            .querier_states
-            .get_mut(&QueryId(0))
-            .unwrap();
-        let items: Vec<ItemId> = state.current_topk(10).iter().map(|r| r.item).collect();
-        println!(
-            "cycle {cycle}: recall {:.2}, coverage {:.0}%, users reached {}",
-            recall_at_k(&items, &reference),
-            state.coverage() * 100.0,
-            state.reached_users.len()
-        );
-    });
+    sim.drive(
+        &cfg.eager(),
+        RunOptions::until_complete(30),
+        |sim, event| {
+            let RunEvent::CycleEnd(cycle) = event else {
+                return;
+            };
+            cycle_count = cycle;
+            let state = sim
+                .node_mut(querier)
+                .querier_states
+                .get_mut(&QueryId(0))
+                .unwrap();
+            let items: Vec<ItemId> = state.current_topk(10).iter().map(|r| r.item).collect();
+            println!(
+                "cycle {cycle}: recall {:.2}, coverage {:.0}%, users reached {}",
+                recall_at_k(&items, &reference),
+                state.coverage() * 100.0,
+                state.reached_users.len()
+            );
+        },
+    );
 
     // 5. Final answer.
     let state = sim

@@ -62,20 +62,21 @@ fn main() {
         for (cycle, event) in &workload.schedule {
             events.schedule(*cycle, event.clone());
         }
-        let report = run_lazy_cycles_with_events(
-            &mut sim,
-            &cfg,
-            config.horizon,
-            &mut events,
-            |sim, event| match event {
-                ScenarioEvent::ProfileChanges(batch) => {
-                    apply_profile_changes(sim, &batch);
-                }
-                ScenarioEvent::MassDeparture(fraction) => {
-                    sim.mass_departure(fraction);
-                }
-            },
-        );
+        let report = sim
+            .drive(
+                &cfg.lazy(),
+                RunOptions::cycles(config.horizon).events(&mut events),
+                |sim, event| match event {
+                    RunEvent::Scheduled(ScenarioEvent::ProfileChanges(batch)) => {
+                        apply_profile_changes(sim, &batch);
+                    }
+                    RunEvent::Scheduled(ScenarioEvent::MassDeparture(fraction)) => {
+                        sim.mass_departure(fraction);
+                    }
+                    RunEvent::CycleEnd(_) => {}
+                },
+            )
+            .report;
         println!(
             "    after {} cycles: {} of {} nodes alive, {} pairwise exchanges in total",
             config.horizon,

@@ -35,7 +35,7 @@ proptest! {
         for (i, query) in queries.iter().enumerate() {
             issue_query(&mut sim, query.querier.index(), QueryId(i as u64), query.clone(), &cfg);
         }
-        run_eager_until_complete(&mut sim, &cfg, 60, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(60), |_, _| {});
         for (i, query) in queries.iter().enumerate() {
             let reference = centralized_topk(&trace.dataset, &ideal, query, cfg.top_k);
             let state = sim
@@ -65,7 +65,7 @@ proptest! {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
         for _ in 0..6 {
-            run_lazy_cycle(&mut sim, &cfg);
+            sim.drive(&cfg.lazy(), RunOptions::cycles(1), |_, _| {});
             for idx in 0..sim.num_nodes() {
                 let node = sim.node(idx);
                 prop_assert!(node.stored_profile_count() <= budget);
@@ -89,9 +89,7 @@ proptest! {
         let mut sim = build_simulator(&trace.dataset, &cfg, &StorageDistribution::Uniform(20), seed);
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 1);
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
-        for _ in 0..5 {
-            run_lazy_cycle(&mut sim, &cfg);
-        }
+        sim.drive(&cfg.lazy(), RunOptions::cycles(5), |_, _| {});
         for idx in 0..sim.num_nodes() {
             let node = sim.node(idx);
             for entry in node.personal_network.iter() {

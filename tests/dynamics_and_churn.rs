@@ -35,7 +35,7 @@ fn lazy_gossip_propagates_profile_changes() {
         .collect();
 
     let before = average_update_rate(sim.nodes().iter(), &changed, &versions);
-    run_lazy_cycles(&mut sim, &cfg, 25, |_, _| {});
+    sim.drive(&cfg.lazy(), RunOptions::cycles(25), |_, _| {});
     let after = average_update_rate(sim.nodes().iter(), &changed, &versions);
     assert!(
         after > before,
@@ -65,7 +65,7 @@ fn small_storage_refreshes_faster_than_large_storage() {
         let versions: Vec<u64> = (0..sim.num_nodes())
             .map(|i| sim.node(i).profile_version())
             .collect();
-        run_lazy_cycles(&mut sim, &cfg, 10, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(10), |_, _| {});
         average_update_rate(sim.nodes().iter(), &changed, &versions)
     };
     let small = aur_after(2);
@@ -105,7 +105,7 @@ fn eager_gossip_refreshes_the_users_it_reaches() {
     let mut reached: HashSet<UserId> = HashSet::new();
     for (i, query) in burst.into_iter().enumerate() {
         issue_query(&mut sim, querier.index(), QueryId(i as u64), query, &cfg);
-        run_eager_until_complete(&mut sim, &cfg, 20, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(20), |_, _| {});
         reached.extend(
             sim.node(querier.index())
                 .querier_states
@@ -160,7 +160,7 @@ fn recall_degrades_gracefully_under_churn() {
                 &cfg,
             );
         }
-        run_eager_until_complete(&mut sim, &cfg, 15, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(15), |_, _| {});
         let mut total = 0.0;
         for (i, query) in &survivors {
             let reference = centralized_topk(&trace.dataset, &ideal, query, cfg.top_k);
@@ -202,7 +202,7 @@ fn departed_users_stop_participating_in_gossip() {
     let mut rng = StdRng::seed_from_u64(14);
     bootstrap_random_views(&mut sim, &cfg, &mut rng);
     let departed = sim.mass_departure(0.5);
-    run_lazy_cycles(&mut sim, &cfg, 5, |_, _| {});
+    sim.drive(&cfg.lazy(), RunOptions::cycles(5), |_, _| {});
     for idx in departed {
         assert_eq!(
             sim.bandwidth.node_total_bytes(idx),

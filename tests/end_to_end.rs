@@ -30,8 +30,10 @@ fn lazy_mode_builds_personal_networks_from_scratch() {
 
     let initial = average_success_ratio(sim.nodes().iter(), &ideal);
     let mut trajectory = vec![initial];
-    run_lazy_cycles(&mut sim, &cfg, 25, |sim, _| {
-        trajectory.push(average_success_ratio(sim.nodes().iter(), &ideal));
+    sim.drive(&cfg.lazy(), RunOptions::cycles(25), |sim, event| {
+        if let RunEvent::CycleEnd(_) = event {
+            trajectory.push(average_success_ratio(sim.nodes().iter(), &ideal));
+        }
     });
     let final_ratio = *trajectory.last().unwrap();
 
@@ -59,7 +61,7 @@ fn more_storage_converges_faster() {
         let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 17);
         let mut rng = StdRng::seed_from_u64(4);
         bootstrap_random_views(&mut sim, &cfg, &mut rng);
-        run_lazy_cycles(&mut sim, &cfg, 12, |_, _| {});
+        sim.drive(&cfg.lazy(), RunOptions::cycles(12), |_, _| {});
         average_success_ratio(sim.nodes().iter(), &ideal)
     };
     let poor = run(1);
@@ -77,7 +79,7 @@ fn full_pipeline_lazy_then_eager_reaches_good_recall() {
     let mut sim = build_simulator_with_budgets(&trace.dataset, &cfg, &budgets, 5);
     let mut rng = StdRng::seed_from_u64(6);
     bootstrap_random_views(&mut sim, &cfg, &mut rng);
-    run_lazy_cycles(&mut sim, &cfg, 30, |_, _| {});
+    sim.drive(&cfg.lazy(), RunOptions::cycles(30), |_, _| {});
 
     // Queries are answered over whatever networks the lazy mode built; the
     // reference for each query is the best her *current* personal network
@@ -111,7 +113,7 @@ fn full_pipeline_lazy_then_eager_reaches_good_recall() {
             &cfg,
         );
     }
-    run_eager_until_complete(&mut sim, &cfg, 40, |_, _| {});
+    sim.drive(&cfg.eager(), RunOptions::until_complete(40), |_, _| {});
 
     let mut recall_sum = 0.0;
     for (i, query) in queries.iter().enumerate() {
@@ -142,7 +144,7 @@ fn bandwidth_accounting_covers_both_modes() {
     let mut sim = build_simulator(&trace.dataset, &cfg, &StorageDistribution::Uniform(10), 9);
     let mut rng = StdRng::seed_from_u64(8);
     bootstrap_random_views(&mut sim, &cfg, &mut rng);
-    run_lazy_cycles(&mut sim, &cfg, 5, |_, _| {});
+    sim.drive(&cfg.lazy(), RunOptions::cycles(5), |_, _| {});
     let lazy_bytes = sim.bandwidth.totals().0;
     assert!(lazy_bytes > 0);
 
@@ -156,7 +158,7 @@ fn bandwidth_accounting_covers_both_modes() {
         });
     if let Some(query) = query {
         issue_query(&mut sim, query.querier.index(), QueryId(0), query, &cfg);
-        run_eager_until_complete(&mut sim, &cfg, 20, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(20), |_, _| {});
         let all_bytes = sim.bandwidth.totals().0;
         assert!(all_bytes > lazy_bytes, "eager traffic must be recorded too");
         assert!(

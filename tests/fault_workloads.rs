@@ -39,9 +39,11 @@ fn run_faulted(
     init_ideal_networks(&mut sim, &world.ideal);
 
     let mut lazy_faults: FaultPlan<LazyStep> = FaultPlan::new(faults);
-    for _ in 0..3 {
-        run_lazy_cycle_faulted(&mut sim, &cfg, &mut lazy_faults);
-    }
+    sim.drive(
+        &cfg.lazy(),
+        RunOptions::cycles(3).faulted(&mut lazy_faults),
+        |_, _| {},
+    );
 
     let queries = world.sample_queries(args.queries);
     let references: Vec<Vec<(ItemId, u32)>> = queries
@@ -58,9 +60,11 @@ fn run_faulted(
         );
     }
     let mut eager_faults: FaultPlan<EagerTask> = FaultPlan::new(faults);
-    for _ in 0..args.cycles {
-        run_eager_cycle_faulted(&mut sim, &cfg, &mut eager_faults);
-    }
+    sim.drive(
+        &cfg.eager(),
+        RunOptions::cycles(args.cycles).faulted(&mut eager_faults),
+        |_, _| {},
+    );
 
     // Membership stays consistent under whatever the fault mix did.
     let alive_flags = (0..sim.num_nodes()).filter(|&i| sim.is_alive(i)).count();

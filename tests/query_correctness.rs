@@ -45,7 +45,7 @@ fn run_and_check_recall_one(fx: &Fixture, storage_budget: usize, alpha: f64) {
             &cfg,
         );
     }
-    run_eager_until_complete(&mut sim, &cfg, 80, |_, _| {});
+    sim.drive(&cfg.eager(), RunOptions::until_complete(80), |_, _| {});
 
     for (i, query) in fx.queries.iter().enumerate() {
         let reference = centralized_topk(&fx.trace.dataset, &fx.ideal, query, cfg.top_k);
@@ -121,7 +121,7 @@ fn per_cycle_recall_is_monotone_and_coverage_never_decreases() {
     let mut last_coverage = 0.0f64;
     let mut last_used = 0usize;
     for _ in 0..30 {
-        run_eager_cycle(&mut sim, cfg);
+        sim.drive(&cfg.eager(), RunOptions::cycles(1), |_, _| {});
         let state = sim
             .node_mut(query.querier.index())
             .querier_states
@@ -163,7 +163,9 @@ fn querier_with_full_storage_needs_no_gossip() {
         query.clone(),
         cfg,
     );
-    let exchanges = run_eager_cycle(&mut sim, cfg);
+    let exchanges = sim
+        .drive(&cfg.eager(), RunOptions::cycles(1), |_, _| {})
+        .exchanges();
     assert_eq!(
         exchanges, 0,
         "with c = s every profile is local and no eager gossip is needed"

@@ -21,7 +21,7 @@ fn args_for(scenario: Scenario) -> HarnessArgs {
 }
 
 /// Builds the world, bootstraps a simulator and drives the scenario's whole
-/// schedule through `run_lazy_cycles_with_events`. Returns the world and
+/// schedule through an event-carrying lazy drive. Returns the world and
 /// the finished simulator.
 fn run_preset(scenario: Scenario) -> (World, Simulator<P3qNode>) {
     let args = args_for(scenario);
@@ -40,12 +40,14 @@ fn run_preset(scenario: Scenario) -> (World, Simulator<P3qNode>) {
 
     let mut events = scenario_event_queue(&world.schedule);
     assert_eq!(events.len(), world.schedule.len());
-    run_lazy_cycles_with_events(
-        &mut sim,
-        &world.cfg,
-        args.cycles,
-        &mut events,
-        |sim, event| p3q_bench::apply_sim_event(sim, &event),
+    sim.drive(
+        &world.cfg.lazy(),
+        RunOptions::cycles(args.cycles).events(&mut events),
+        |sim, event| {
+            if let RunEvent::Scheduled(event) = event {
+                p3q_bench::apply_sim_event(sim, &event);
+            }
+        },
     );
     assert!(events.is_empty(), "all scheduled events must have fired");
     (world, sim)

@@ -55,7 +55,7 @@ fn run_alpha(fx: &Fixture, alpha: f64) -> (f64, Vec<(f64, f64, f64)>, Vec<f64>) 
             &cfg,
         );
     }
-    run_eager_until_complete(&mut sim, &cfg, 100, |_, _| {});
+    sim.drive(&cfg.eager(), RunOptions::until_complete(100), |_, _| {});
 
     let mut latencies = Vec::new();
     let mut per_query = Vec::new();
@@ -169,7 +169,7 @@ fn completion_time_grows_with_the_remaining_list() {
                 &cfg,
             );
         }
-        run_eager_until_complete(&mut sim, &cfg, 100, |_, _| {});
+        sim.drive(&cfg.eager(), RunOptions::until_complete(100), |_, _| {});
         let mut latencies = Vec::new();
         for (i, query) in queries.iter().enumerate() {
             let state = sim
