@@ -60,9 +60,26 @@ fn rng_source_fixture_fires() {
 fn safety_comment_fixture_fires() {
     let report = analyze(&fixture("safety_comment")).unwrap();
     assert_eq!(rules_fired(&report), ["safety-comment"]);
-    // Exactly the unjustified block; the SAFETY-commented one passes.
-    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
-    assert_eq!(report.findings[0].line, 6);
+    // Exactly the two unjustified blocks — the raw-pointer one and the
+    // group-varint-style unaligned-load kernel; the SAFETY-commented
+    // variants pass.
+    assert_eq!(report.findings.len(), 2, "{:#?}", report.findings);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.file.ends_with("sim/src/store.rs") && f.line == 6),
+        "{:#?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.file.ends_with("trace/src/codec.rs") && f.line == 7),
+        "{:#?}",
+        report.findings
+    );
 }
 
 #[test]

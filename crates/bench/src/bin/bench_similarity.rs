@@ -28,6 +28,18 @@
 //! — not CPU — is the binding constraint. `bench_check` gates all `bytes_*`
 //! keys exact-or-below-baseline.
 //!
+//! Each scale carries a **decode microbench** (`decode` block): every
+//! posting run of the trace is encoded under both the retained LEB128
+//! delta codec and the group-varint codec that now carries the hot paths,
+//! then decoded back to back with matching checksums — the raw sweep cost
+//! split from the full `accumulate` (id resolution + decode + counters)
+//! cost. The `index_memory` probe repeats the decode columns at the
+//! `--memory-users` scale, which is the acceptance measurement for the
+//! group-varint kernels. The `packed_serving` block answers the same top-k
+//! queries from decoded profiles and straight off the at-rest
+//! [`PackedProfile`] bytes (both the counting sweep and the streaming
+//! cursor path), asserting identical rankings.
+//!
 //! Each scale also benches the **demand-driven** path (`on_demand` block):
 //! under the `query-hotspot` querier schedule, per dynamics batch, exact
 //! cache invalidation + lazy resolution of the queried users
@@ -48,12 +60,17 @@ use p3q::config::P3qConfig;
 use p3q::experiment::build_simulator;
 use p3q::lazy::bootstrap_random_views;
 use p3q::resolver::OnDemandNetworks;
-use p3q::similarity::ActionIndex;
+use p3q::similarity::{ActionIndex, SimilarityScratch};
 use p3q::storage::StorageDistribution;
 use p3q_sim::default_threads;
 use p3q_sim::RunOptions;
+use p3q_trace::codec::{
+    encode_sorted_u32s, encode_sorted_u32s_grouped, for_each_sorted_u32_grouped_padded,
+    read_varint, GROUP_DECODE_SLACK,
+};
 use p3q_trace::{
-    DynamicsConfig, DynamicsGenerator, Scenario, ScenarioConfig, SyntheticTrace, TraceGenerator,
+    action_key, DynamicsConfig, DynamicsGenerator, PackedProfile, Scenario, ScenarioConfig,
+    SyntheticTrace, TraceGenerator, UserId,
 };
 
 struct Args {
@@ -129,6 +146,8 @@ struct ScaleResult {
     distinct_actions: usize,
     index_shards: usize,
     memory: MemoryResult,
+    decode: DecodeResult,
+    packed_serving: PackedServingResult,
     index_build_ms: f64,
     counting_single_ms: f64,
     counting_parallel_ms: f64,
@@ -209,6 +228,340 @@ impl MemoryResult {
             json,
             "{indent}\"bytes_profiles_packed\": {},",
             self.bytes_profiles_packed
+        );
+    }
+}
+
+/// The decode microbench: every posting run of the scale's trace encoded
+/// both ways — the retained LEB128 delta codec and the group-varint codec
+/// that now carries the hot paths — then decoded back to back over the same
+/// runs, with matching rolling checksums proving the two streams agree.
+/// `accumulate_sample_ms` re-times the *full* counting sweep (id
+/// resolution, decode, per-user counters) over a user sample, so the
+/// raw-decode and end-to-end accumulate costs are split into separate
+/// gated columns.
+struct DecodeResult {
+    posting_runs: usize,
+    posting_entries: usize,
+    decode_passes: usize,
+    checksum: u64,
+    leb_ms: f64,
+    group_ms: f64,
+    accumulate_users: usize,
+    accumulate_ms: f64,
+    accumulate_checksum: u64,
+}
+
+impl DecodeResult {
+    fn measure(dataset: &p3q_trace::Dataset, index: &ActionIndex, network_size: usize) -> Self {
+        // Rebuild the per-action posting runs straight from the profiles
+        // (sorted `(action, user)` pairs, grouped by action) so the bench
+        // owns its byte streams and can encode each run under both codecs.
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        for (user, profile) in dataset.iter() {
+            for action in profile.iter() {
+                pairs.push((action_key(action), user.0));
+            }
+        }
+        pairs.sort_unstable();
+
+        let mut leb_blob = Vec::new();
+        let mut grp_blob = Vec::new();
+        let mut leb_ends = Vec::new();
+        let mut grp_ends = Vec::new();
+        let mut run: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let key = pairs[i].0;
+            run.clear();
+            while i < pairs.len() && pairs[i].0 == key {
+                run.push(pairs[i].1);
+                i += 1;
+            }
+            encode_sorted_u32s(&run, &mut leb_blob);
+            leb_ends.push(leb_blob.len());
+            encode_sorted_u32s_grouped(&run, &mut grp_blob);
+            grp_ends.push(grp_blob.len());
+        }
+        // The same decode slack posting blobs carry, so the fused kernel's
+        // bounds-check-free path covers trailing groups here too.
+        grp_blob.resize(grp_blob.len() + GROUP_DECODE_SLACK, 0);
+        let posting_entries = pairs.len();
+        // Enough repetitions that the timed region dominates timer noise at
+        // the small scales, but deliberately FEW passes at the large ones:
+        // repeated hot passes over an identical multi-MB stream let the
+        // branch predictor memorize LEB128's continuation-bit pattern,
+        // erasing precisely the per-byte misprediction cost the group
+        // format removes — production sweeps decode each run once per
+        // query in ever-changing order, so the streaming (once-through)
+        // regime is the honest model. Deterministic in the trace, so the
+        // per-pass decode counts (and the checksums) gate exactly.
+        let decode_passes = (8_000_000 / posting_entries.max(1)).clamp(1, 32);
+
+        let start = Instant::now();
+        let mut leb_sum = 0u64;
+        for _ in 0..decode_passes {
+            let mut begin = 0usize;
+            for &end in &leb_ends {
+                let bytes = &leb_blob[begin..end];
+                let mut pos = 0usize;
+                let mut user = read_varint(bytes, &mut pos) as u32;
+                leb_sum = leb_sum.wrapping_add(u64::from(user));
+                while pos < bytes.len() {
+                    user += read_varint(bytes, &mut pos) as u32;
+                    leb_sum = leb_sum.wrapping_add(u64::from(user));
+                }
+                begin = end;
+            }
+        }
+        let leb_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let mut grp_sum = 0u64;
+        for _ in 0..decode_passes {
+            let mut begin = 0usize;
+            for &end in &grp_ends {
+                // The same fused kernel the production counting sweep runs.
+                for_each_sorted_u32_grouped_padded(&grp_blob[begin..], end - begin, |user| {
+                    grp_sum = grp_sum.wrapping_add(u64::from(user));
+                });
+                begin = end;
+            }
+        }
+        let group_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            leb_sum, grp_sum,
+            "the two codecs decoded different posting streams"
+        );
+
+        // The accumulate side of the split: the full counting sweep over a
+        // deterministic user sample, through the production entry point.
+        let step = (dataset.num_users() / 512).max(1);
+        let sample: Vec<UserId> = dataset.users().step_by(step).collect();
+        let mut scratch = SimilarityScratch::new(dataset.num_users());
+        let start = Instant::now();
+        for &user in &sample {
+            index.accumulate(dataset.profile(user), user, &mut scratch);
+        }
+        let accumulate_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Rank the final sweep so the loop stays observable and the sample's
+        // last scoring round is pinned byte-exactly in the baseline.
+        let top = index.collect_top(network_size, &mut scratch);
+        let accumulate_checksum = checksum_ranking(&top);
+
+        eprintln!(
+            "   decode: group-varint {:.1} ms vs LEB128 {:.1} ms ({:.2}x) over {} entries x {} passes",
+            group_ms,
+            leb_ms,
+            leb_ms / group_ms.max(f64::MIN_POSITIVE),
+            posting_entries,
+            decode_passes
+        );
+        Self {
+            posting_runs: leb_ends.len(),
+            posting_entries,
+            decode_passes,
+            checksum: leb_sum,
+            leb_ms,
+            group_ms,
+            accumulate_users: sample.len(),
+            accumulate_ms,
+            accumulate_checksum,
+        }
+    }
+
+    fn entries_per_sec(&self, ms: f64) -> f64 {
+        (self.posting_entries * self.decode_passes) as f64 / (ms / 1e3).max(f64::MIN_POSITIVE)
+    }
+
+    fn write_fields(&self, json: &mut String, indent: &str) {
+        let _ = writeln!(json, "{indent}\"posting_runs\": {},", self.posting_runs);
+        let _ = writeln!(
+            json,
+            "{indent}\"posting_entries\": {},",
+            self.posting_entries
+        );
+        let _ = writeln!(json, "{indent}\"decode_passes\": {},", self.decode_passes);
+        let _ = writeln!(
+            json,
+            "{indent}\"decode_checksum\": \"0x{:016x}\",",
+            self.checksum
+        );
+        let _ = writeln!(json, "{indent}\"decode_leb128_ms\": {:.3},", self.leb_ms);
+        let _ = writeln!(json, "{indent}\"decode_group_ms\": {:.3},", self.group_ms);
+        let _ = writeln!(
+            json,
+            "{indent}\"decode_leb128_entries_per_sec\": {:.0},",
+            self.entries_per_sec(self.leb_ms)
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"decode_group_entries_per_sec\": {:.0},",
+            self.entries_per_sec(self.group_ms)
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"decode_group_speedup\": {:.2},",
+            self.leb_ms / self.group_ms.max(f64::MIN_POSITIVE)
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"accumulate_sample_users\": {},",
+            self.accumulate_users
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"accumulate_sample_ms\": {:.3},",
+            self.accumulate_ms
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"accumulate_checksum\": \"0x{:016x}\"",
+            self.accumulate_checksum
+        );
+    }
+}
+
+/// FNV-style fold of a ranking into one gateable word.
+fn checksum_ranking(ranking: &[(UserId, u64)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &(user, score) in ranking {
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= u64::from(user.0);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= score;
+    }
+    h
+}
+
+/// The packed-serving columns: the same top-k queries answered once from
+/// decoded [`p3q_trace::Profile`]s and once straight off the at-rest
+/// [`PackedProfile`] bytes (decode-on-the-fly, nothing materialized), for
+/// both the counting sweep (`top_similar`) and the streaming top-k cursor
+/// path (`resolve_top_similar`). Rankings are asserted identical — the
+/// packed columns measure the cost of *not* unpacking, not a different
+/// answer.
+struct PackedServingResult {
+    serving_users: usize,
+    checksum: u64,
+    decoded_ms: f64,
+    packed_ms: f64,
+    resolve_users: usize,
+    resolve_decoded_ms: f64,
+    resolve_packed_ms: f64,
+}
+
+impl PackedServingResult {
+    fn measure(dataset: &p3q_trace::Dataset, index: &ActionIndex, network_size: usize) -> Self {
+        let step = (dataset.num_users() / 256).max(1);
+        let sample: Vec<UserId> = dataset.users().step_by(step).collect();
+        // Packing happens at ingest in the serving story; it is the at-rest
+        // representation, so it sits outside both timed regions.
+        let packed: Vec<PackedProfile> = sample
+            .iter()
+            .map(|&u| PackedProfile::pack(dataset.profile(u)))
+            .collect();
+        let mut scratch = SimilarityScratch::new(dataset.num_users());
+
+        let start = Instant::now();
+        let decoded_nets: Vec<Vec<(UserId, u64)>> = sample
+            .iter()
+            .map(|&u| index.top_similar(dataset, u, network_size, &mut scratch))
+            .collect();
+        let decoded_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let packed_nets: Vec<Vec<(UserId, u64)>> = sample
+            .iter()
+            .zip(&packed)
+            .map(|(&u, p)| index.top_similar_packed(p, u, network_size, &mut scratch))
+            .collect();
+        let packed_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            decoded_nets, packed_nets,
+            "packed serving diverged from the decoded sweep"
+        );
+
+        // The cursor path on a smaller sample: streaming top-k resolution
+        // costs more per query, and the point here is path equality plus
+        // the packed-vs-decoded delta, not another population sweep.
+        let resolve_users = sample.len().min(64);
+        let start = Instant::now();
+        let resolved: Vec<Vec<(UserId, u64)>> = sample[..resolve_users]
+            .iter()
+            .map(|&u| index.resolve_top_similar(dataset, u, network_size).0)
+            .collect();
+        let resolve_decoded_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let resolved_packed: Vec<Vec<(UserId, u64)>> = sample[..resolve_users]
+            .iter()
+            .zip(&packed)
+            .map(|(&u, p)| index.resolve_top_similar_packed(p, u, network_size).0)
+            .collect();
+        let resolve_packed_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            resolved, resolved_packed,
+            "packed cursor resolution diverged from the decoded path"
+        );
+
+        let mut checksum = 0u64;
+        for net in &decoded_nets {
+            checksum = checksum.wrapping_add(checksum_ranking(net));
+        }
+        eprintln!(
+            "   packed serving: {:.1} ms packed vs {:.1} ms decoded over {} users \
+             (cursor path: {:.1} ms vs {:.1} ms over {})",
+            packed_ms,
+            decoded_ms,
+            sample.len(),
+            resolve_packed_ms,
+            resolve_decoded_ms,
+            resolve_users
+        );
+        Self {
+            serving_users: sample.len(),
+            checksum,
+            decoded_ms,
+            packed_ms,
+            resolve_users,
+            resolve_decoded_ms,
+            resolve_packed_ms,
+        }
+    }
+
+    fn write_fields(&self, json: &mut String, indent: &str) {
+        let _ = writeln!(json, "{indent}\"serving_users\": {},", self.serving_users);
+        let _ = writeln!(
+            json,
+            "{indent}\"packed_serving_checksum\": \"0x{:016x}\",",
+            self.checksum
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"serving_decoded_ms\": {:.3},",
+            self.decoded_ms
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"serving_packed_ms\": {:.3},",
+            self.packed_ms
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"speedup_packed_vs_decoded\": {:.2},",
+            self.decoded_ms / self.packed_ms.max(f64::MIN_POSITIVE)
+        );
+        let _ = writeln!(json, "{indent}\"resolve_users\": {},", self.resolve_users);
+        let _ = writeln!(
+            json,
+            "{indent}\"resolve_decoded_ms\": {:.3},",
+            self.resolve_decoded_ms
+        );
+        let _ = writeln!(
+            json,
+            "{indent}\"resolve_packed_ms\": {:.3}",
+            self.resolve_packed_ms
         );
     }
 }
@@ -472,6 +825,8 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         memory.bytes_index_csr_equivalent as f64 / (1 << 20) as f64,
         memory.reduction_percent()
     );
+    let decode = DecodeResult::measure(dataset, &index, s);
+    let packed_serving = PackedServingResult::measure(dataset, &index, s);
 
     let start = Instant::now();
     let single = IdealNetworks::compute_with_threads(dataset, s, 1);
@@ -538,6 +893,8 @@ fn bench_scale(users: usize, args: &Args) -> ScaleResult {
         distinct_actions,
         index_shards,
         memory,
+        decode,
+        packed_serving,
         index_build_ms,
         counting_single_ms,
         counting_parallel_ms,
@@ -563,11 +920,13 @@ fn hotspot_probe(users: usize, args: &Args) -> Option<OnDemandResult> {
     bench_on_demand(&trace, s, args, default_threads())
 }
 
-/// Index-only memory probe at a large scale: generate the trace, build the
-/// compressed index, account both layouts — no ideal-network computation,
-/// so the 100k paper-delicious scenario stays cheap enough to run on every
-/// benchmark invocation.
-fn memory_probe(users: usize, args: &Args) -> MemoryResult {
+/// Index + decode probe at a large scale: generate the trace, build the
+/// compressed index, account both layouts, and run the decode microbench —
+/// no ideal-network computation, so the 100k paper-delicious scenario stays
+/// cheap enough to run on every benchmark invocation. The decode columns at
+/// this scale are the acceptance measurement for the group-varint kernels:
+/// the posting population here is what the codec was shaped for.
+fn memory_probe(users: usize, args: &Args) -> (MemoryResult, DecodeResult) {
     eprintln!("== index-memory probe: {users} users ==");
     let scenario = ScenarioConfig::new(args.scenario, users, args.seed);
     let trace = TraceGenerator::new(scenario.trace_config()).generate();
@@ -581,7 +940,12 @@ fn memory_probe(users: usize, args: &Args) -> MemoryResult {
         memory.bytes_index_csr_equivalent as f64 / (1 << 20) as f64,
         memory.reduction_percent()
     );
-    memory
+    let decode = DecodeResult::measure(
+        &trace.dataset,
+        &index,
+        P3qConfig::laptop_scale().personal_network_size,
+    );
+    (memory, decode)
 }
 
 fn main() {
@@ -686,6 +1050,12 @@ fn main() {
             }
             None => json.push_str("      \"on_demand\": null,\n"),
         }
+        json.push_str("      \"decode\": {\n");
+        r.decode.write_fields(&mut json, "        ");
+        json.push_str("      },\n");
+        json.push_str("      \"packed_serving\": {\n");
+        r.packed_serving.write_fields(&mut json, "        ");
+        json.push_str("      },\n");
         let _ = writeln!(json, "      \"lazy_cycle_ms\": {:.3}", r.lazy_cycle_ms);
         json.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -704,12 +1074,15 @@ fn main() {
         None => json.push_str("  \"query_hotspot\": null,\n"),
     }
     match &probe {
-        Some(m) => {
+        Some((m, d)) => {
             json.push_str("  \"index_memory\": {\n");
             let _ = writeln!(json, "    \"users\": {},", m.users);
             let _ = writeln!(json, "    \"total_actions\": {},", m.total_actions);
             let _ = writeln!(json, "    \"distinct_actions\": {},", m.distinct_actions);
             m.write_fields(&mut json, "    ");
+            json.push_str("    \"decode\": {\n");
+            d.write_fields(&mut json, "      ");
+            json.push_str("    },\n");
             let _ = writeln!(
                 json,
                 "    \"note\": \"compressed columnar index vs uncompressed CSR: {:.1}% smaller\"",

@@ -31,11 +31,7 @@ use std::sync::Arc;
 
 use p3q_bloom::SharedFilter;
 use p3q_gossip::peer_sampling;
-use p3q_sim::parallel::parallel_for_each_mut;
-use p3q_sim::{
-    parallel_map_chunks, stream_seed, CommitOutcome, CycleContext, ExchangePlan, GossipProtocol,
-    Simulator,
-};
+use p3q_sim::{stream_seed, CommitOutcome, CycleContext, ExchangePlan, GossipProtocol, Simulator};
 use p3q_trace::{SharedProfile, UserId};
 
 use crate::bandwidth::{category, digest_bytes, tagging_actions_bytes};
@@ -561,19 +557,22 @@ pub fn bootstrap_random_views_with_threads(
 ) {
     let master: u64 = rng.gen();
     // Read-only phase: every node's picks and the digest snapshots of the
-    // picked peers, from per-node streams of the master seed.
+    // picked peers, from per-node streams of the master seed. Chunks are
+    // aligned to the node store's shard size so each worker reads whole
+    // shards of cache-adjacent nodes.
     let picks = {
         let sim = &*sim;
-        parallel_map_chunks(
+        p3q_sim::parallel_map_chunks_aligned(
             sim.num_nodes(),
             threads,
+            sim.node_store().shard_size(),
             || (),
             |idx, ()| bootstrap_node_picks(sim, cfg, master, idx),
         )
     };
     // Write phase: each node only touches its own view, so the fill is
-    // trivially conflict-free.
-    parallel_for_each_mut(sim.nodes_mut(), threads, |idx, node| {
+    // trivially conflict-free; whole shards travel to each worker.
+    sim.for_each_node_mut_sharded(threads, |idx, node| {
         for (user, info) in &picks[idx] {
             node.random_view.insert(*user, info.clone());
         }

@@ -72,9 +72,9 @@
 //!   2–3× less cost for a paper-day change batch.
 //! * **Compressed columnar storage** — every distinct action is interned
 //!   to a dense [`p3q_trace::ActionId`] by the
-//!   [`p3q_trace::ActionDictionary`] (delta-varint key blocks, assigned in
-//!   key order at trace build time); the index stores posting lists as
-//!   delta-varint runs behind its CSR-style API
+//!   [`p3q_trace::ActionDictionary`] (delta-compressed key blocks, assigned
+//!   in key order at trace build time); the index stores posting lists as
+//!   group-varint delta runs behind its CSR-style API
 //!   ([`similarity::ActionIndex::memory`] reports ~46% of the uncompressed
 //!   layout at the 100k-user scenario), node state is compacted
 //!   ([`node::NeighbourInfo`] `u32` versions, lazily allocated query books
@@ -93,6 +93,24 @@
 //!   per-cycle similarity cost is proportional to *queries*, not *users* —
 //!   the query-skew path toward the 1M-user target, with
 //!   [`baseline::IdealNetworks`] kept as the global oracle.
+//! * **Group-varint decode kernels + packed serving** — the byte-level
+//!   decode tax of the compression above is clawed back by
+//!   [`p3q_trace::codec`]'s group-varint kernels: one control byte
+//!   dispatches four delta lengths through a 256-entry table, posting
+//!   blobs carry [`p3q_trace::codec::GROUP_DECODE_SLACK`] readable bytes
+//!   past every run, and the fused
+//!   [`p3q_trace::codec::for_each_sorted_u32_grouped_padded`] kernel runs
+//!   the counting sweep entirely on bounds-check-free masked 4-byte loads
+//!   (measured 1.3–1.4× over LEB128 decode at the 20k/100k-user scales —
+//!   the `decode` columns of `BENCH_similarity.json`). The posting
+//!   directory stores group-relative `u16` offsets anchored every 64
+//!   slots (~1 MiB smaller at 100k users), and the serving paths score
+//!   straight from packed profiles
+//!   ([`similarity::ActionIndex::top_similar_packed`],
+//!   [`similarity::ActionIndex::resolve_top_similar_packed`]) —
+//!   decode-on-the-fly, nothing materialized. Output is byte-identical to
+//!   the LEB128 era; the `codec_props` suite pins every kernel to the
+//!   retained LEB128 oracle, including garbage-slack discard.
 //! * **Zero-copy gossip payloads** — profiles and digests travel as
 //!   [`p3q_trace::SharedProfile`] / [`p3q_bloom::SharedFilter`] handles
 //!   (`Arc`s): offers, view entries, stored copies and simulator

@@ -30,10 +30,16 @@
 //!   index generation;
 //! * posting lookup is *positional*: an action id maps straight to its slot
 //!   in an id-range shard, no per-action key search;
-//! * each posting list is stored as a **delta-varint run** of ascending
-//!   user ids (`[byte-length][deltas…]`), ~1–3 bytes per posting instead
-//!   of 4, with a group offset directory every [`IDS_PER_GROUP`] slots for
-//!   random access.
+//! * each posting list is stored as a **group-varint run** of ascending
+//!   user ids (`[byte-length][first id: LEB128][deltas: group-varint]`,
+//!   four deltas per control byte — see `p3q_trace::codec`), ~1–3 bytes
+//!   per posting instead of 4, decoded four-at-a-time on the hot paths;
+//! * random access goes through a two-level **group offset directory**:
+//!   one absolute `u32` anchor every [`GROUPS_PER_ANCHOR`] groups (= 64
+//!   posting slots) plus a `u16` anchor-relative delta per group —
+//!   ~0.31 bytes per key against the 0.5 of the previous absolute-`u32`
+//!   directory, with a per-shard wide fallback for blobs whose 64-slot
+//!   windows outgrow `u16`.
 //!
 //! [`ActionIndex::memory`] reports the resident bytes of this layout next
 //! to what the uncompressed CSR equivalent would take; the benchmark
@@ -83,8 +89,11 @@
 //! adds per-user memoization with exact [`DeltaOutcome`]-driven
 //! invalidation on top.
 
-use p3q_trace::codec::{read_varint, write_varint, VarintReader};
-use p3q_trace::{ActionDictionary, Dataset, Profile, TaggingAction, UserId};
+use p3q_trace::codec::{
+    decode_group, encode_sorted_u32s_grouped, for_each_sorted_u32_grouped_padded, read_varint,
+    write_varint, VarintReader, GROUP_DECODE_SLACK, GROUP_SIZE,
+};
+use p3q_trace::{ActionDictionary, Dataset, PackedProfile, Profile, TaggingAction, UserId};
 
 /// Distinct action ids a shard aims to hold when the shard count is derived
 /// from the dataset size ([`ActionIndex::build`]).
@@ -95,10 +104,15 @@ const TARGET_KEYS_PER_SHARD: usize = 1024;
 const MAX_SHARDS: usize = 1024;
 
 /// Posting slots per offset-directory group: random access decodes at most
-/// this many byte-length prefixes before reaching its posting. 8 keeps the
-/// directory at ~0.5 bytes per key (the offset column was the largest
-/// remaining index column at 4) for a few extra varint reads per lookup.
+/// this many byte-length prefixes before reaching its posting. 8 trades a
+/// few extra varint reads per lookup against directory size.
 const IDS_PER_GROUP: usize = 8;
+
+/// Groups per directory anchor in the [`GroupDirectory::Compact`] layout:
+/// one absolute `u32` anchor every 8 groups (= 64 posting slots), `u16`
+/// anchor-relative deltas in between — 2.5 bytes per group (~0.31 per key)
+/// against the 4 of an absolute-`u32`-per-group directory.
+const GROUPS_PER_ANCHOR: usize = 8;
 
 /// Per-key bound on `|affected members| × |gainers|` pair emission in
 /// [`ActionIndex::apply_deltas`] (affected members = posting-list members
@@ -201,39 +215,109 @@ pub struct IndexMemory {
     pub distinct_actions: usize,
 }
 
+/// The per-shard group offset directory: byte offset of posting slot
+/// `g * IDS_PER_GROUP` for every group `g`.
+#[derive(Debug, Clone)]
+enum GroupDirectory {
+    /// Anchored layout (the common case): `anchors[a]` is the absolute byte
+    /// offset of group `a * GROUPS_PER_ANCHOR`, `deltas[g]` the `u16`
+    /// offset of group `g` relative to its window's anchor. Fits whenever
+    /// no [`GROUPS_PER_ANCHOR`]-group window spans more than `u16::MAX`
+    /// blob bytes.
+    Compact { anchors: Vec<u32>, deltas: Vec<u16> },
+    /// Absolute `u32` per group, for the rare shard whose very popular
+    /// postings overflow a `u16` window; keeps lookups O(1) either way.
+    Wide(Vec<u32>),
+}
+
+impl Default for GroupDirectory {
+    fn default() -> Self {
+        GroupDirectory::Compact {
+            anchors: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+}
+
+impl GroupDirectory {
+    /// Compacts absolute per-group offsets, falling back to the wide layout
+    /// when any anchor-relative delta overflows `u16`.
+    fn from_offsets(offsets: Vec<u32>) -> Self {
+        let mut anchors = Vec::with_capacity(offsets.len().div_ceil(GROUPS_PER_ANCHOR));
+        let mut deltas = Vec::with_capacity(offsets.len());
+        for (g, &off) in offsets.iter().enumerate() {
+            if g % GROUPS_PER_ANCHOR == 0 {
+                anchors.push(off);
+            }
+            let anchor = *anchors.last().expect("anchor pushed for window start");
+            match u16::try_from(off - anchor) {
+                Ok(d) => deltas.push(d),
+                Err(_) => return GroupDirectory::Wide(offsets),
+            }
+        }
+        GroupDirectory::Compact { anchors, deltas }
+    }
+
+    /// Absolute byte offset of group `group`.
+    #[inline]
+    fn offset(&self, group: usize) -> usize {
+        match self {
+            GroupDirectory::Compact { anchors, deltas } => {
+                anchors[group / GROUPS_PER_ANCHOR] as usize + deltas[group] as usize
+            }
+            GroupDirectory::Wide(offsets) => offsets[group] as usize,
+        }
+    }
+
+    /// Resident heap bytes of the directory.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            GroupDirectory::Compact { anchors, deltas } => {
+                anchors.len() * std::mem::size_of::<u32>()
+                    + deltas.len() * std::mem::size_of::<u16>()
+            }
+            GroupDirectory::Wide(offsets) => offsets.len() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
 /// One id-range shard: a compressed posting block over the contiguous
 /// action-id run `start_id .. start_id + num_ids`.
 ///
-/// `blob` holds, per id in order, `[byte-length varint][delta-varint run of
-/// ascending user ids]` (length 0 = empty posting); `group_offsets[g]` is
-/// the byte offset of slot `g * IDS_PER_GROUP`.
+/// `blob` holds, per id in order, `[byte-length varint][first id: LEB128]
+/// [deltas: group-varint]` (length 0 = empty posting); `directory` maps
+/// group `g` to the byte offset of slot `g * IDS_PER_GROUP`.
 #[derive(Debug, Clone, Default)]
 struct PostingShard {
     start_id: usize,
     num_ids: usize,
-    group_offsets: Vec<u32>,
+    directory: GroupDirectory,
     blob: Vec<u8>,
 }
 
 impl PostingShard {
     /// Builds a shard from decoded posting lists (empty lists allowed).
     fn encode(start_id: usize, postings: &[Vec<u32>]) -> Self {
-        let mut group_offsets = Vec::with_capacity(postings.len().div_ceil(IDS_PER_GROUP));
+        let mut offsets = Vec::with_capacity(postings.len().div_ceil(IDS_PER_GROUP));
         let mut blob = Vec::new();
         let mut run = Vec::new();
         for (rel, posting) in postings.iter().enumerate() {
             if rel % IDS_PER_GROUP == 0 {
-                group_offsets.push(u32::try_from(blob.len()).expect("shard blob exceeds 4 GiB"));
+                offsets.push(u32::try_from(blob.len()).expect("shard blob exceeds 4 GiB"));
             }
             run.clear();
-            p3q_trace::codec::encode_sorted_u32s(posting, &mut run);
+            encode_sorted_u32s_grouped(posting, &mut run);
             write_varint(run.len() as u64, &mut blob);
             blob.extend_from_slice(&run);
         }
+        // Decode slack: every run's backing slice reaches this far past its
+        // logical end, so the counting sweep's fused kernel never needs a
+        // bounds-checked tail path (see `for_each_sorted_u32_grouped_padded`).
+        blob.resize(blob.len() + GROUP_DECODE_SLACK, 0);
         Self {
             start_id,
             num_ids: postings.len(),
-            group_offsets,
+            directory: GroupDirectory::from_offsets(offsets),
             blob,
         }
     }
@@ -242,8 +326,18 @@ impl PostingShard {
     /// walks at most `IDS_PER_GROUP - 1` length prefixes from the group
     /// start.
     fn posting_bytes(&self, rel: usize) -> &[u8] {
+        let (bytes, len) = self.posting_run(rel);
+        &bytes[..len]
+    }
+
+    /// The posting at relative slot `rel` as a padded run: the backing
+    /// slice reaches to the end of the blob (whose trailing
+    /// [`GROUP_DECODE_SLACK`] zero bytes guarantee the fused kernel's slack
+    /// invariant for every run, including the last), plus the run's logical
+    /// byte length.
+    fn posting_run(&self, rel: usize) -> (&[u8], usize) {
         debug_assert!(rel < self.num_ids);
-        let group_start = self.group_offsets[rel / IDS_PER_GROUP] as usize;
+        let group_start = self.directory.offset(rel / IDS_PER_GROUP);
         let mut reader = VarintReader::new(&self.blob[group_start..]);
         for _ in 0..rel % IDS_PER_GROUP {
             let len = reader.next_varint().expect("slot inside the shard") as usize;
@@ -251,7 +345,7 @@ impl PostingShard {
         }
         let len = reader.next_varint().expect("slot inside the shard") as usize;
         let pos = self.blob.len() - reader.remaining();
-        &self.blob[pos..pos + len]
+        (&self.blob[pos..], len)
     }
 
     /// Decodes the posting at relative slot `rel`.
@@ -273,10 +367,10 @@ impl PostingShard {
     }
 }
 
-/// Decodes one `[deltas…]` run (the byte-length prefix already consumed)
-/// into ascending user ids — the shared codec decoder, narrowed to `u32`.
+/// Decodes one posting run (the byte-length prefix already consumed) into
+/// ascending user ids — the shared grouped-codec decoder.
 fn decode_run(bytes: &[u8]) -> impl Iterator<Item = u32> + '_ {
-    p3q_trace::codec::decode_sorted_u64s(bytes).map(|v| v as u32)
+    p3q_trace::codec::decode_sorted_u32s_grouped(bytes)
 }
 
 /// A counting inverted index over every distinct tagging action of a
@@ -552,40 +646,53 @@ impl ActionIndex {
     /// [`Self::collect_top`] or clear it via the next `accumulate` call —
     /// the sweep starts by resetting only previously touched slots.
     pub fn accumulate(&self, profile: &Profile, exclude: UserId, scratch: &mut SimilarityScratch) {
+        // Intern the profile once (sorted dense ids), then every posting
+        // lookup is positional: shard by id range, slot by offset — no
+        // per-action key search.
+        self.dict.ids_of_profile_into(profile, &mut scratch.ids);
+        self.sweep_resolved_ids(exclude, scratch);
+    }
+
+    /// [`Self::accumulate`] straight off the at-rest bytes: resolves the
+    /// packed profile's action ids through the decode-on-the-fly iterator,
+    /// never materializing an unpacked [`Profile`]. Counts are identical to
+    /// the decoded path by construction — both walk the same id set.
+    pub fn accumulate_packed(
+        &self,
+        packed: &PackedProfile,
+        exclude: UserId,
+        scratch: &mut SimilarityScratch,
+    ) {
+        self.dict
+            .ids_of_actions_into(packed.actions(), &mut scratch.ids);
+        self.sweep_resolved_ids(exclude, scratch);
+    }
+
+    /// The counting sweep over already-resolved profile ids in
+    /// `scratch.ids` — the shared core of [`Self::accumulate`] and
+    /// [`Self::accumulate_packed`].
+    fn sweep_resolved_ids(&self, exclude: UserId, scratch: &mut SimilarityScratch) {
         debug_assert_eq!(scratch.counts.len(), self.num_users);
         for &slot in &scratch.touched {
             scratch.counts[slot as usize] = 0;
         }
         scratch.touched.clear();
 
-        // Intern the profile once (sorted dense ids), then every posting
-        // lookup is positional: shard by id range, slot by offset — no
-        // per-action key search.
-        self.dict.ids_of_profile_into(profile, &mut scratch.ids);
+        let counts = &mut scratch.counts;
+        let touched = &mut scratch.touched;
         for &id in &scratch.ids {
             let shard = &self.shards[self.shard_of(id as usize)];
             let rel = id as usize - shard.start_id;
             if rel >= shard.num_ids {
                 continue;
             }
-            // Inline delta-varint decode: one pass over the posting bytes,
-            // no per-entry bounds checks — this loop carries the whole
-            // counting sweep.
-            let mut reader = VarintReader::new(shard.posting_bytes(rel));
-            let mut user = 0u32;
-            let mut first = true;
-            while let Some(raw) = reader.next_varint() {
-                user = if first { raw as u32 } else { user + raw as u32 };
-                first = false;
-                if user == exclude.0 {
-                    continue;
-                }
-                let slot = &mut scratch.counts[user as usize];
-                if *slot == 0 {
-                    scratch.touched.push(user);
-                }
-                *slot += 1;
-            }
+            // Fused group-varint decode, four posting deltas per control
+            // byte, every load bounds-check-free thanks to the blob's
+            // decode slack — this loop carries the whole counting sweep.
+            let (bytes, run_len) = shard.posting_run(rel);
+            for_each_sorted_u32_grouped_padded(bytes, run_len, |user| {
+                bump_count(counts, touched, exclude.0, user);
+            });
         }
     }
 
@@ -636,6 +743,33 @@ impl ActionIndex {
         let mut ids = Vec::new();
         self.dict
             .ids_of_profile_into(dataset.profile(user), &mut ids);
+        self.resolve_from_ids(&ids, user, network_size)
+    }
+
+    /// [`Self::resolve_top_similar`] straight off the at-rest bytes: the
+    /// querying user's profile stays packed end to end — ids are resolved
+    /// through the decode-on-the-fly iterator and the posting cursors
+    /// stream compressed runs, so nothing is ever materialized. The ranking
+    /// and probe are byte-identical to the decoded path.
+    pub fn resolve_top_similar_packed(
+        &self,
+        packed: &PackedProfile,
+        user: UserId,
+        network_size: usize,
+    ) -> (Vec<(UserId, u64)>, ResolveProbe) {
+        let mut ids = Vec::new();
+        self.dict.ids_of_actions_into(packed.actions(), &mut ids);
+        self.resolve_from_ids(&ids, user, network_size)
+    }
+
+    /// The streaming top-k merge over already-resolved profile ids — the
+    /// shared core of the on-demand resolution entry points.
+    fn resolve_from_ids(
+        &self,
+        ids: &[u32],
+        user: UserId,
+        network_size: usize,
+    ) -> (Vec<(UserId, u64)>, ResolveProbe) {
         let sources: Vec<PostingCursor<'_>> = ids
             .iter()
             .filter_map(|&id| {
@@ -670,14 +804,23 @@ impl ActionIndex {
         self.collect_top(network_size, scratch)
     }
 
+    /// [`Self::top_similar`] with the querying profile served packed (see
+    /// [`Self::accumulate_packed`]).
+    pub fn top_similar_packed(
+        &self,
+        packed: &PackedProfile,
+        user: UserId,
+        network_size: usize,
+        scratch: &mut SimilarityScratch,
+    ) -> Vec<(UserId, u64)> {
+        self.accumulate_packed(packed, user, scratch);
+        self.collect_top(network_size, scratch)
+    }
+
     /// Resident-byte report of the compressed layout, next to the
     /// uncompressed CSR equivalent (see [`IndexMemory`]).
     pub fn memory(&self) -> IndexMemory {
-        let directory_bytes: usize = self
-            .shards
-            .iter()
-            .map(|s| s.group_offsets.len() * std::mem::size_of::<u32>())
-            .sum();
+        let directory_bytes: usize = self.shards.iter().map(|s| s.directory.heap_bytes()).sum();
         let postings_bytes: usize = self.shards.iter().map(|s| s.blob.len()).sum();
         let postings = self.num_postings;
         let dictionary_bytes = self.dict.heap_bytes();
@@ -707,25 +850,34 @@ pub struct ResolveProbe {
 }
 
 /// A lazily decoding cursor over one compressed posting run: yields the
-/// ascending user ids of the `[delta-varint…]` bytes one at a time, skipping
-/// `exclude` (the profile's owner) — the sorted-access source
+/// ascending user ids of the `[first: LEB128][deltas: group-varint]` bytes
+/// one at a time (buffering one decoded group), skipping `exclude` (the
+/// profile's owner) — the sorted-access source
 /// [`ActionIndex::resolve_top_similar`] feeds into
 /// `p3q_topk::streaming_count_topk`. Decoding is incremental, so an
 /// early-terminated merge never pays for the posting tail.
 #[derive(Debug, Clone)]
 pub struct PostingCursor<'a> {
-    reader: VarintReader<'a>,
+    bytes: &'a [u8],
+    pos: usize,
+    buf: [u32; GROUP_SIZE],
+    buf_len: u8,
+    buf_pos: u8,
     prev: u32,
     first: bool,
     exclude: u32,
 }
 
 impl<'a> PostingCursor<'a> {
-    /// Opens a cursor over one posting's delta-run bytes (the byte-length
-    /// prefix already consumed, as returned by `posting_bytes`).
+    /// Opens a cursor over one posting's run bytes (the byte-length prefix
+    /// already consumed, as returned by `posting_bytes`).
     fn new(bytes: &'a [u8], exclude: u32) -> Self {
         Self {
-            reader: VarintReader::new(bytes),
+            bytes,
+            pos: 0,
+            buf: [0; GROUP_SIZE],
+            buf_len: 0,
+            buf_pos: 0,
             prev: 0,
             first: true,
             exclude,
@@ -737,20 +889,44 @@ impl Iterator for PostingCursor<'_> {
     type Item = u32;
 
     fn next(&mut self) -> Option<u32> {
-        while let Some(raw) = self.reader.next_varint() {
-            let user = if self.first {
-                raw as u32
+        loop {
+            if self.first {
+                if self.bytes.is_empty() {
+                    return None;
+                }
+                self.first = false;
+                self.prev = read_varint(self.bytes, &mut self.pos) as u32;
             } else {
-                self.prev + raw as u32
-            };
-            self.first = false;
-            self.prev = user;
-            if user != self.exclude {
-                return Some(user);
+                if self.buf_pos == self.buf_len {
+                    self.buf_len = decode_group(self.bytes, &mut self.pos, &mut self.buf) as u8;
+                    self.buf_pos = 0;
+                    if self.buf_len == 0 {
+                        return None;
+                    }
+                }
+                self.prev += self.buf[self.buf_pos as usize];
+                self.buf_pos += 1;
+            }
+            if self.prev != self.exclude {
+                return Some(self.prev);
             }
         }
-        None
     }
+}
+
+/// Bumps one posting member's sweep counter, tracking first touches —
+/// shared by every counting-sweep entry point so the packed and decoded
+/// paths count identically.
+#[inline]
+fn bump_count(counts: &mut [u32], touched: &mut Vec<u32>, exclude: u32, user: u32) {
+    if user == exclude {
+        return;
+    }
+    let slot = &mut counts[user as usize];
+    if *slot == 0 {
+        touched.push(user);
+    }
+    *slot += 1;
 }
 
 /// Sorts, dedups and wraps a raw dirty-user accumulation.
@@ -1230,6 +1406,101 @@ mod tests {
                 "{user}"
             );
             assert!(!resolved.iter().any(|&(peer, _)| peer == UserId(2)));
+        }
+    }
+
+    #[test]
+    fn packed_serving_matches_decoded_serving() {
+        let d = dataset();
+        for shards in [1, 2, 4] {
+            let index = ActionIndex::build_with_shards(&d, shards);
+            let mut scratch = SimilarityScratch::new(d.num_users());
+            for user in d.users() {
+                let packed = PackedProfile::pack(d.profile(user));
+                for k in [0, 1, 3, 10] {
+                    let decoded = index.top_similar(&d, user, k, &mut scratch);
+                    let served = index.top_similar_packed(&packed, user, k, &mut scratch);
+                    assert_eq!(served, decoded, "user {user}, k {k}, {shards} shards");
+                    let (resolved, probe) = index.resolve_top_similar(&d, user, k);
+                    let (resolved_packed, probe_packed) =
+                        index.resolve_top_similar_packed(&packed, user, k);
+                    assert_eq!(resolved_packed, resolved, "user {user}, k {k}");
+                    assert_eq!(probe_packed, probe, "user {user}, k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_directory_fallback_preserves_random_access() {
+        // One shard, 70 distinct actions, each tagged by 1500 users: any
+        // 64-slot directory window spans far more than u16::MAX blob bytes,
+        // forcing the per-shard Wide fallback. Random access, the counting
+        // sweep and on-demand resolution must be unaffected.
+        let num_users = 1500u32;
+        let profiles: Vec<Profile> = (0..num_users)
+            .map(|_| Profile::from_actions((0..70u32).map(|i| act(i, 1))))
+            .collect();
+        let d = Dataset::new(profiles, 100, 10);
+        let index = ActionIndex::build_with_shards(&d, 1);
+        let all: Vec<u32> = (0..num_users).collect();
+        for i in (0..70u32).step_by(13) {
+            assert_eq!(index.taggers_of(&act(i, 1)), all, "action {i}");
+        }
+        let memory = index.memory();
+        // The wide fallback pays 4 bytes per group, i.e. 0.5 per slot.
+        assert_eq!(
+            memory.directory_bytes,
+            70usize.div_ceil(IDS_PER_GROUP) * 4,
+            "expected the absolute-u32 fallback directory"
+        );
+        let mut scratch = SimilarityScratch::new(d.num_users());
+        let swept = index.top_similar(&d, UserId(0), 5, &mut scratch);
+        let (resolved, _) = index.resolve_top_similar(&d, UserId(0), 5);
+        assert_eq!(resolved, swept);
+        assert_eq!(swept[0].1, 70, "full overlap with every peer");
+    }
+
+    #[test]
+    fn compact_directory_beats_absolute_u32_layout() {
+        // Paper-shaped sparse postings keep every 64-slot window narrow, so
+        // the anchored u16 directory must engage and undercut the 4-bytes-
+        // per-group absolute layout.
+        let profiles: Vec<Profile> = (0..300u32)
+            .map(|u| Profile::from_actions((0..5u32).map(|i| act(u * 5 + i, 1))))
+            .collect();
+        let d = Dataset::new(profiles, 2000, 10);
+        let index = ActionIndex::build_with_shards(&d, 1);
+        let memory = index.memory();
+        let groups = 1500usize.div_ceil(IDS_PER_GROUP);
+        assert!(
+            memory.directory_bytes < groups * 4,
+            "compact directory ({}) must undercut the absolute-u32 layout ({})",
+            memory.directory_bytes,
+            groups * 4
+        );
+    }
+
+    #[test]
+    fn rebuild_checksums_are_identical_across_shard_layouts() {
+        // The posting content of the index is a pure function of the
+        // dataset: any shard layout must produce byte-identical posting
+        // runs per action (the shard split moves only blob boundaries).
+        let d = dataset();
+        let actions: Vec<TaggingAction> = d.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        let reference: Vec<Vec<u32>> = {
+            let index = ActionIndex::build_with_shards(&d, 1);
+            actions.iter().map(|a| index.taggers_of(a)).collect()
+        };
+        for shards in [2, 3, 4, 6] {
+            let index = ActionIndex::build_with_shards(&d, shards);
+            for (action, taggers) in actions.iter().zip(&reference) {
+                assert_eq!(
+                    index.taggers_of(action),
+                    *taggers,
+                    "{action}, {shards} shards"
+                );
+            }
         }
     }
 

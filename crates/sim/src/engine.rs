@@ -86,7 +86,7 @@ use crate::exchange::{
 };
 use crate::fault::FaultPlan;
 use crate::membership::Membership;
-use crate::parallel::{default_threads, parallel_map_chunks, parallel_map_owned};
+use crate::parallel::{default_threads, parallel_map_chunks_aligned, parallel_map_owned};
 use crate::store::NodeStore;
 
 /// What one executed cycle did, mostly for drivers that stop when gossip
@@ -178,6 +178,19 @@ impl<N> Simulator<N> {
     /// The shard-partitioned node store backing the simulator.
     pub fn node_store(&self) -> &NodeStore<N> {
         &self.nodes
+    }
+
+    /// Applies `f` to every node (as `f(index, &mut node)`), fanning
+    /// **whole shards** out to `threads` workers — the shard-granular
+    /// mutable fan-out for bespoke drivers and offline phases (see
+    /// [`NodeStore::for_each_mut_sharded`]). Final state is independent of
+    /// `threads`.
+    pub fn for_each_node_mut_sharded<F>(&mut self, threads: usize, f: F)
+    where
+        N: Send,
+        F: Fn(usize, &mut N) + Sync,
+    {
+        self.nodes.for_each_mut_sharded(threads, f);
     }
 
     /// Simultaneous mutable access to two distinct nodes — the shape of every
@@ -384,9 +397,14 @@ impl<N: Send + Sync> Simulator<N> {
                 plans
             } else {
                 let alive = self.membership.alive_nodes();
-                parallel_map_chunks(
+                // Shard-aligned chunking: with no (or few) crashed nodes the
+                // alive list is (nearly) the identity, so aligning its chunk
+                // boundaries to the shard size hands each worker whole
+                // shards of cache-adjacent nodes to plan.
+                parallel_map_chunks_aligned(
                     alive.len(),
                     threads,
+                    self.nodes.shard_size(),
                     || (),
                     |i, ()| {
                         let idx = alive[i];

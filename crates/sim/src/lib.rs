@@ -66,6 +66,8 @@ pub use fault::{FaultConfig, FaultPlan, FaultStats, FaultTransitions};
 pub use fingerprint::{fingerprint_chain, Fingerprint, Fnv};
 pub use membership::Membership;
 pub use metrics::{DistributionSummary, SeriesRecorder};
-pub use parallel::{default_threads, parallel_map_chunks, stream_seed};
+pub use parallel::{
+    default_threads, parallel_map_chunks, parallel_map_chunks_aligned, stream_seed,
+};
 pub use schedule::EventQueue;
 pub use store::NodeStore;

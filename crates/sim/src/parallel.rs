@@ -97,6 +97,60 @@ where
     out
 }
 
+/// [`parallel_map_chunks`] with chunk boundaries rounded up to a multiple
+/// of `align` — the shard-granular fan-out: pass a [`NodeStore`] shard size
+/// (a power of two) and every worker receives whole shard runs, so the read
+/// phase of a cycle walks each shard's cache-adjacent nodes on one thread
+/// instead of splitting shards across workers at arbitrary offsets.
+///
+/// Output is identical to [`parallel_map_chunks`] (and independent of
+/// `threads` and `align`) by the module's determinism contract — chunking
+/// changes only which worker computes which contiguous index run.
+///
+/// [`NodeStore`]: crate::NodeStore
+pub fn parallel_map_chunks_aligned<T, S, MS, F>(
+    len: usize,
+    threads: usize,
+    align: usize,
+    make_state: MS,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let align = align.max(1);
+    let threads = threads.max(1).min(len.max(1));
+    if threads == 1 {
+        return parallel_map_chunks(len, 1, make_state, f);
+    }
+    let chunk_size = len.div_ceil(threads).div_ceil(align) * align;
+    let chunks = len.div_ceil(chunk_size);
+    let mut chunk_results: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|t| {
+                let start = t * chunk_size;
+                let end = ((t + 1) * chunk_size).min(len);
+                let (f, make_state) = (&f, &make_state);
+                scope.spawn(move || {
+                    let mut state = make_state();
+                    (start..end).map(|i| f(i, &mut state)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            chunk_results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for chunk in chunk_results {
+        out.extend(chunk);
+    }
+    out
+}
+
 /// Applies `f` to every element of `items` (as `f(index, &mut item)`),
 /// fanning contiguous chunks out to `threads` workers.
 ///
@@ -229,6 +283,20 @@ mod tests {
             let got = parallel_map_chunks(97, threads, || (), |i, ()| i * i);
             assert_eq!(got, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn aligned_chunks_match_unaligned_for_any_geometry() {
+        let expected: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            for align in [1, 4, 16, 64, 512] {
+                let got =
+                    parallel_map_chunks_aligned(257, threads, align, || (), |i, ()| i * 3 + 1);
+                assert_eq!(got, expected, "threads = {threads}, align = {align}");
+            }
+        }
+        let empty: Vec<u8> = parallel_map_chunks_aligned(0, 4, 16, || (), |_, ()| unreachable!());
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -34,7 +34,10 @@
 //!   profile form ([`PackedProfile`]) the similarity index and the
 //!   benchmark memory accounting are built on.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the group-varint decode kernel in [`codec`] is the
+// sole, explicitly `#[allow]`-ed exemption (a bounds-check-free unaligned
+// load with a `// SAFETY:` justification); everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod action;
@@ -56,7 +59,7 @@ pub use dict::{action_key, key_action, ActionDictionary, ActionId};
 pub use dynamics::{ChangeBatch, DynamicsConfig, DynamicsGenerator, DynamicsMode, ProfileChange};
 pub use generator::{SyntheticTrace, TraceConfig, TraceGenerator, World};
 pub use ids::{ItemId, TagId, UserId};
-pub use profile::{PackedProfile, Profile, SharedProfile};
+pub use profile::{PackedActions, PackedProfile, Profile, SharedProfile};
 pub use queries::{Query, QueryGenerator};
 pub use scenario::{
     DynamicsPlan, PlanKind, PlanStep, Scenario, ScenarioConfig, ScenarioEvent, ScenarioWorkload,

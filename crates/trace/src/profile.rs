@@ -308,16 +308,54 @@ impl PackedProfile {
     /// Decodes back into a [`Profile`].
     pub fn unpack(&self) -> Profile {
         let mut actions = Vec::with_capacity(self.len as usize);
-        let mut pos = 0usize;
-        let mut item = 0u32;
-        for _ in 0..self.len {
-            item += crate::codec::read_varint(&self.bytes, &mut pos) as u32;
-            let tag = crate::codec::read_varint(&self.bytes, &mut pos) as u32;
-            actions.push(TaggingAction::new(ItemId(item), TagId(tag)));
-        }
+        actions.extend(self.actions());
         Profile { actions }
     }
+
+    /// Iterates the packed actions in sorted order, decoding on the fly —
+    /// the zero-materialization serving path: query scoring and index
+    /// interning can walk the at-rest bytes without ever allocating an
+    /// unpacked [`Profile`].
+    pub fn actions(&self) -> PackedActions<'_> {
+        PackedActions {
+            bytes: &self.bytes,
+            pos: 0,
+            remaining: self.len,
+            item: 0,
+        }
+    }
 }
+
+/// Decode-on-the-fly iterator over a [`PackedProfile`]'s actions (see
+/// [`PackedProfile::actions`]).
+#[derive(Debug, Clone)]
+pub struct PackedActions<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    item: u32,
+}
+
+impl Iterator for PackedActions<'_> {
+    type Item = TaggingAction;
+
+    #[inline]
+    fn next(&mut self) -> Option<TaggingAction> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.item += crate::codec::read_varint(self.bytes, &mut self.pos) as u32;
+        let tag = crate::codec::read_varint(self.bytes, &mut self.pos) as u32;
+        Some(TaggingAction::new(ItemId(self.item), TagId(tag)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for PackedActions<'_> {}
 
 impl From<&Profile> for PackedProfile {
     fn from(profile: &Profile) -> Self {
